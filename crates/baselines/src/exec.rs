@@ -1,0 +1,532 @@
+//! The shared dense-transformer execution model, parameterized by the
+//! kernel-level choices that distinguish DeepSpeed Inference from its
+//! comparators (Sec. VII-A1, VII-B1, VII-E).
+
+use dsi_kernels::cost::{
+    self, gemm_policy, mem_policy, ExecConfig, GemmImpl,
+};
+use dsi_kernels::fusion::{fuse, FusedKernel, FusionPlan};
+use dsi_kernels::graph::transformer_layer_ops_tp;
+use dsi_model::config::{BertConfig, GptConfig};
+use dsi_sim::collectives::Collectives;
+use dsi_sim::hw::GpuSpec;
+use dsi_sim::topology::Topology;
+use serde::Serialize;
+
+/// Operator-fusion strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FusionChoice {
+    /// Every micro-op its own kernel (eager PyTorch / Megatron).
+    Unfused,
+    /// Attention fused, biases fused with activations, no layer-norm/GEMM
+    /// cross-fusion (FasterTransformer; also our model of E.T.'s fusion
+    /// scope, which covers the self-attention sublayer only — Sec. II-d).
+    FasterTransformer,
+    /// Deep-Fusion (Sec. III-B/D): the small-batch plan with GEMMs fused
+    /// into their regions at small `m`, the large-batch plan (GEMMs
+    /// standalone on cuBLAS) otherwise.
+    DeepFusion,
+}
+
+/// GEMM implementation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum GemmChoice {
+    /// Vendor BLAS regardless of shape.
+    AlwaysCuBlas,
+    /// SBI-GeMM at small batch, cuBLAS beyond the crossover, CUTLASS for
+    /// INT8 (Sec. III-C/D).
+    DeepSpeedSelect,
+}
+
+/// A named execution style: the experimental unit of the paper's dense
+/// comparisons.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExecStyle {
+    pub name: &'static str,
+    pub fusion: FusionChoice,
+    pub gemm: GemmChoice,
+    pub cuda_graph: bool,
+    /// Charge eager micro-op launch counts (PyTorch) instead of one launch
+    /// per region.
+    pub eager_launches: bool,
+}
+
+impl ExecStyle {
+    /// DeepSpeed Transformer (Sec. III).
+    pub fn deepspeed() -> Self {
+        ExecStyle {
+            name: "DeepSpeed",
+            fusion: FusionChoice::DeepFusion,
+            gemm: GemmChoice::DeepSpeedSelect,
+            cuda_graph: true,
+            eager_launches: false,
+        }
+    }
+
+    /// NVIDIA FasterTransformer (the Fig. 6/8/13 baseline).
+    pub fn faster_transformer() -> Self {
+        ExecStyle {
+            name: "FasterTransformer",
+            fusion: FusionChoice::FasterTransformer,
+            gemm: GemmChoice::AlwaysCuBlas,
+            cuda_graph: false,
+            eager_launches: false,
+        }
+    }
+
+    /// Eager PyTorch / Megatron inference (the Fig. 10a baseline).
+    pub fn pytorch() -> Self {
+        ExecStyle {
+            name: "PyTorch",
+            fusion: FusionChoice::Unfused,
+            gemm: GemmChoice::AlwaysCuBlas,
+            cuda_graph: false,
+            eager_launches: true,
+        }
+    }
+
+    /// Megatron + Deep-Fusion but stock GEMMs and no CUDA graph — the
+    /// middle bar of Fig. 10(a), isolating the fusion contribution.
+    pub fn megatron_deepfusion() -> Self {
+        ExecStyle {
+            name: "Megatron+DeepFusion",
+            fusion: FusionChoice::DeepFusion,
+            gemm: GemmChoice::AlwaysCuBlas,
+            cuda_graph: false,
+            eager_launches: false,
+        }
+    }
+
+    /// E.T. (Chen et al., SC'21): fused self-attention and custom GEMMs, but
+    /// narrower fusion scope than Deep-Fusion and no KV-cache/graph support
+    /// (Sec. VII-E6).
+    pub fn et() -> Self {
+        ExecStyle {
+            name: "E.T.",
+            fusion: FusionChoice::FasterTransformer,
+            gemm: GemmChoice::AlwaysCuBlas,
+            cuda_graph: false,
+            eager_launches: false,
+        }
+    }
+
+    fn plan(&self, m: usize, n_ops: usize) -> FusionPlan {
+        match self.fusion {
+            FusionChoice::Unfused => FusionPlan::unfused(n_ops),
+            FusionChoice::FasterTransformer => FusionPlan::faster_transformer(),
+            FusionChoice::DeepFusion => {
+                if m <= 32 {
+                    FusionPlan::deepspeed_small_batch()
+                } else {
+                    FusionPlan::deepspeed_large_batch()
+                }
+            }
+        }
+    }
+
+    fn gemm_impl(&self, m: usize, cfg: &ExecConfig) -> GemmImpl {
+        match self.gemm {
+            GemmChoice::AlwaysCuBlas => GemmImpl::CuBlas,
+            GemmChoice::DeepSpeedSelect => gemm_policy::deepspeed_select(m, cfg.weight_dtype),
+        }
+    }
+
+    fn kernel_time(
+        &self,
+        gpu: &GpuSpec,
+        k: &FusedKernel,
+        hidden: usize,
+        cfg: &ExecConfig,
+    ) -> f64 {
+        let (ceff, beff, dtype) = if let Some(m) = k.gemm_rows {
+            let imp = self.gemm_impl(m, cfg);
+            (
+                gemm_policy::compute_efficiency_scaled(imp, m as f64, hidden),
+                gemm_policy::bw_efficiency(imp, m as f64),
+                cfg.weight_dtype,
+            )
+        } else if k.has_attention {
+            let beff = match self.fusion {
+                FusionChoice::DeepFusion => mem_policy::ATTENTION_BW_EFF,
+                FusionChoice::FasterTransformer => mem_policy::ATTENTION_BW_EFF_BASELINE,
+                FusionChoice::Unfused => mem_policy::ATTENTION_BW_EFF_EAGER,
+            };
+            (mem_policy::ATTENTION_COMPUTE_EFF, beff, cfg.act_dtype)
+        } else {
+            (0.3, mem_policy::ELEMENTWISE_BW_EFF, cfg.act_dtype)
+        };
+        cost::exec_time(gpu, &k.cost, dtype, ceff, beff)
+    }
+
+    /// Time of one transformer layer processing `batch` sequences of
+    /// `t_new` tokens over `t_ctx` context, with `tp`-way tensor slicing
+    /// (compute only; all-reduces are charged in [`Self::forward_time`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn layer_time(
+        &self,
+        gpu: &GpuSpec,
+        batch: usize,
+        t_new: usize,
+        t_ctx: usize,
+        hidden: usize,
+        heads: usize,
+        tp: usize,
+        cfg: &ExecConfig,
+    ) -> f64 {
+        let m = batch * t_new;
+        let ops = transformer_layer_ops_tp(batch, t_new, t_ctx, hidden, heads, tp, cfg.weight_dtype);
+        let plan = self.plan(m, ops.len());
+        let kernels = fuse(&ops, &plan, cfg.act_dtype).expect("built-in plans are legal");
+        let mut t = 0.0;
+        let mut launches = 0usize;
+        for k in &kernels {
+            t += self.kernel_time(gpu, k, hidden, cfg);
+            launches += if self.eager_launches {
+                k.eager_launches
+            } else {
+                k.launches
+            };
+        }
+        let cfg_eff = ExecConfig {
+            cuda_graph: self.cuda_graph && cfg.cuda_graph,
+            ..*cfg
+        };
+        t + cost::launch_time(gpu, launches, &cfg_eff)
+    }
+
+    /// Where a layer's time goes (the Sec. VII-E analysis view).
+    #[allow(clippy::too_many_arguments)]
+    pub fn layer_breakdown(
+        &self,
+        gpu: &GpuSpec,
+        batch: usize,
+        t_new: usize,
+        t_ctx: usize,
+        hidden: usize,
+        heads: usize,
+        tp: usize,
+        cfg: &ExecConfig,
+    ) -> LayerBreakdown {
+        let m = batch * t_new;
+        let ops = transformer_layer_ops_tp(batch, t_new, t_ctx, hidden, heads, tp, cfg.weight_dtype);
+        let plan = self.plan(m, ops.len());
+        let kernels = fuse(&ops, &plan, cfg.act_dtype).expect("built-in plans are legal");
+        let mut b = LayerBreakdown::default();
+        let mut launches = 0usize;
+        for k in &kernels {
+            let t = self.kernel_time(gpu, k, hidden, cfg);
+            if k.gemm_rows.is_some() {
+                b.gemm += t;
+            } else if k.has_attention {
+                b.attention += t;
+            } else {
+                b.elementwise += t;
+            }
+            launches += if self.eager_launches {
+                k.eager_launches
+            } else {
+                k.launches
+            };
+        }
+        let cfg_eff = ExecConfig {
+            cuda_graph: self.cuda_graph && cfg.cuda_graph,
+            ..*cfg
+        };
+        b.launch = cost::launch_time(gpu, launches, &cfg_eff);
+        b
+    }
+
+    /// Full-model forward over `t_new` new tokens per sequence: all layers,
+    /// the two per-layer tensor-parallel all-reduces, the tied-embedding
+    /// logits GEMM, and (with CUDA graphs) one graph-replay overhead.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_time(
+        &self,
+        topo: &Topology,
+        model: &GptConfig,
+        tp: usize,
+        batch: usize,
+        t_new: usize,
+        t_ctx: usize,
+        cfg: &ExecConfig,
+    ) -> f64 {
+        let gpu = &topo.cluster.node.gpu;
+        let m = batch * t_new;
+        let layer =
+            self.layer_time(gpu, batch, t_new, t_ctx, model.hidden, model.heads, tp, cfg);
+        let mut t = model.layers as f64 * layer;
+        if tp > 1 {
+            let group = topo.tp_group(0, tp);
+            let bytes = m as f64 * model.hidden as f64 * cfg.act_dtype.bytes() as f64;
+            t += 2.0 * model.layers as f64 * Collectives::allreduce(topo, &group, bytes).time;
+        }
+        // Tied-embedding logits projection, sharded with TP.
+        let logits_cost = cost::KernelCost {
+            flops: 2.0 * m as f64 * model.hidden as f64 * model.vocab as f64 / tp as f64,
+            weight_bytes: model.hidden as f64 * model.vocab as f64
+                * cfg.weight_dtype.bytes() as f64
+                / tp as f64,
+            act_read: (m * model.hidden) as f64 * cfg.act_dtype.bytes() as f64,
+            act_write: (m * model.vocab / tp) as f64 * cfg.act_dtype.bytes() as f64,
+        };
+        let imp = self.gemm_impl(m, cfg);
+        t += cost::exec_time(
+            gpu,
+            &logits_cost,
+            cfg.weight_dtype,
+            gemm_policy::compute_efficiency_scaled(imp, m as f64, model.hidden),
+            gemm_policy::bw_efficiency(imp, m as f64),
+        );
+        if self.cuda_graph && cfg.cuda_graph {
+            t += cost::graph_replay_overhead(gpu);
+        }
+        t
+    }
+
+    /// The Fig. 6 workload: generate `gen_tokens` tokens from a
+    /// `prompt`-token prompt at `batch`, on `tp` GPUs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn generation_latency(
+        &self,
+        topo: &Topology,
+        model: &GptConfig,
+        tp: usize,
+        batch: usize,
+        prompt: usize,
+        gen_tokens: usize,
+        cfg: &ExecConfig,
+    ) -> LatencyReport {
+        let prompt_time = self.forward_time(topo, model, tp, batch, prompt, prompt, cfg);
+        let mut gen_time = 0.0;
+        for i in 1..gen_tokens {
+            gen_time += self.forward_time(topo, model, tp, batch, 1, prompt + i, cfg);
+        }
+        let total = prompt_time + gen_time;
+        LatencyReport {
+            prompt_time,
+            gen_time,
+            total,
+            tokens_per_s: (batch * gen_tokens) as f64 / total,
+        }
+    }
+
+    /// Encoder (BERT-style) forward: one pass over `seq` tokens, no KV
+    /// cache, no causal structure (Fig. 12 workload).
+    pub fn encoder_forward_time(
+        &self,
+        gpu: &GpuSpec,
+        model: &BertConfig,
+        batch: usize,
+        seq: usize,
+        cfg: &ExecConfig,
+    ) -> f64 {
+        let layer = self.layer_time(gpu, batch, seq, seq, model.hidden, model.heads, 1, cfg);
+        let mut t = model.layers as f64 * layer;
+        if self.cuda_graph && cfg.cuda_graph {
+            t += cost::graph_replay_overhead(gpu);
+        }
+        t
+    }
+}
+
+/// Result of a generation run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencyReport {
+    pub prompt_time: f64,
+    pub gen_time: f64,
+    pub total: f64,
+    pub tokens_per_s: f64,
+}
+
+/// Per-layer time split by kernel class (seconds).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct LayerBreakdown {
+    pub gemm: f64,
+    pub attention: f64,
+    pub elementwise: f64,
+    pub launch: f64,
+}
+
+impl LayerBreakdown {
+    pub fn total(&self) -> f64 {
+        self.gemm + self.attention + self.elementwise + self.launch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_model::zoo::{dense_by_name, encoders};
+    use dsi_sim::hw::ClusterSpec;
+
+    fn topo() -> Topology {
+        Topology::new(ClusterSpec::dgx_a100(2))
+    }
+
+    fn gen_latency(style: &ExecStyle, model: &str, tp: usize, batch: usize, cfg: &ExecConfig) -> f64 {
+        let m = dense_by_name(model).unwrap();
+        style
+            .generation_latency(&topo(), &m, tp, batch, 128, 8, cfg)
+            .total
+    }
+
+    #[test]
+    fn deepspeed_beats_ft_small_batch_fp16() {
+        // Fig. 6 small batch: DeepSpeed-FP16 up to ~1.55× over FT-FP16.
+        let ds = ExecStyle::deepspeed();
+        let ft = ExecStyle::faster_transformer();
+        let cfg = ExecConfig::fp16(true);
+        for model in ["GPT-2-1.5B", "GPT-Neo-2.7B", "GPT-J-6B", "GPT-13B"] {
+            let s = gen_latency(&ft, model, 1, 1, &cfg) / gen_latency(&ds, model, 1, 1, &cfg);
+            assert!(s > 1.2 && s < 2.3, "{model}: speedup {s:.2}");
+        }
+    }
+
+    #[test]
+    fn speedup_largest_for_smallest_model() {
+        // "The latency reduction is the largest for the smallest model
+        // sizes" (Sec. VII-B1).
+        let ds = ExecStyle::deepspeed();
+        let ft = ExecStyle::faster_transformer();
+        let cfg = ExecConfig::fp16(true);
+        let s_small =
+            gen_latency(&ft, "GPT-2-1.5B", 1, 1, &cfg) / gen_latency(&ds, "GPT-2-1.5B", 1, 1, &cfg);
+        let s_large =
+            gen_latency(&ft, "LM-175B", 16, 1, &cfg) / gen_latency(&ds, "LM-175B", 16, 1, &cfg);
+        assert!(s_small > s_large, "small {s_small:.2} large {s_large:.2}");
+        assert!(s_large > 1.1, "175B speedup {s_large:.2}");
+    }
+
+    #[test]
+    fn int8_buys_more_than_fp16() {
+        // Fig. 6: DeepSpeed-INT8 up to ~1.95× over the FP16 baseline.
+        let ds = ExecStyle::deepspeed();
+        let ft = ExecStyle::faster_transformer();
+        let fp16 = ExecConfig::fp16(true);
+        let int8 = ExecConfig::int8(true);
+        for model in ["GPT-J-6B", "GPT-13B"] {
+            let base = gen_latency(&ft, model, 1, 1, &fp16);
+            let s16 = base / gen_latency(&ds, model, 1, 1, &fp16);
+            let s8 = base / gen_latency(&ds, model, 1, 1, &int8);
+            assert!(s8 > s16, "{model}: int8 {s8:.2} <= fp16 {s16:.2}");
+            assert!(s8 < 3.0, "{model}: int8 speedup implausible {s8:.2}");
+        }
+    }
+
+    #[test]
+    fn deepspeed_wins_across_batch_sizes() {
+        let ds = ExecStyle::deepspeed();
+        let ft = ExecStyle::faster_transformer();
+        let cfg = ExecConfig::fp16(true);
+        for batch in [1usize, 4, 16, 64, 128] {
+            let s = gen_latency(&ft, "GPT-J-6B", 1, batch, &cfg)
+                / gen_latency(&ds, "GPT-J-6B", 1, batch, &cfg);
+            assert!(s > 1.0, "batch {batch}: DS must win, got {s:.3}");
+        }
+    }
+
+    #[test]
+    fn pytorch_slowest_fusion_helps_sbi_helps_more() {
+        // Fig. 10(a) ordering: PyTorch > +DeepFusion > +DeepFusion+SBI (DS).
+        let gpu = dsi_sim::hw::GpuSpec::a100_40gb();
+        let cfg = ExecConfig::fp16(true);
+        let t = |style: &ExecStyle| {
+            style.layer_time(&gpu, 1, 1, 128, 1600, 25, 1, &cfg)
+        };
+        let pt = t(&ExecStyle::pytorch());
+        let df = t(&ExecStyle::megatron_deepfusion());
+        let ds = t(&ExecStyle::deepspeed());
+        assert!(pt > df, "pytorch {pt:.2e} <= +fusion {df:.2e}");
+        assert!(df > ds, "+fusion {df:.2e} <= +sbi {ds:.2e}");
+        assert!(pt / ds > 1.5, "total kernel gain only {:.2}", pt / ds);
+    }
+
+    #[test]
+    fn et_comparison_shape() {
+        // Fig. 12: DeepSpeed 1.7× faster on DistilBERT, 1.4× on BERT —
+        // the gain shrinks as the model deepens (launch overhead amortizes).
+        let gpu = dsi_sim::hw::GpuSpec::a100_40gb();
+        let cfg = ExecConfig::fp16(true);
+        let ds = ExecStyle::deepspeed();
+        let et = ExecStyle::et();
+        let models = encoders();
+        let speedups: Vec<f64> = models
+            .iter()
+            .map(|m| {
+                et.encoder_forward_time(&gpu, m, 1, 128, &cfg)
+                    / ds.encoder_forward_time(&gpu, m, 1, 128, &cfg)
+            })
+            .collect();
+        for (m, s) in models.iter().zip(&speedups) {
+            assert!(*s > 1.15 && *s < 2.5, "{}: speedup {s:.2}", m.name);
+        }
+        assert!(
+            speedups[0] >= speedups[1] * 0.98,
+            "DistilBERT gain {:.2} should be >= BERT gain {:.2}",
+            speedups[0],
+            speedups[1]
+        );
+    }
+
+    #[test]
+    fn breakdown_sums_to_layer_time() {
+        let gpu = dsi_sim::hw::GpuSpec::a100_40gb();
+        let cfg = ExecConfig::fp16(true);
+        for style in [ExecStyle::deepspeed(), ExecStyle::faster_transformer(), ExecStyle::pytorch()] {
+            let total = style.layer_time(&gpu, 2, 1, 256, 2048, 16, 1, &cfg);
+            let b = style.layer_breakdown(&gpu, 2, 1, 256, 2048, 16, 1, &cfg);
+            assert!(
+                (b.total() - total).abs() < 1e-12,
+                "{}: {} vs {}",
+                style.name,
+                b.total(),
+                total
+            );
+        }
+    }
+
+    #[test]
+    fn small_batch_is_gemm_weight_dominated() {
+        // Sec. I: small-batch latency is bounded by reading the weights —
+        // the GEMM share must dominate the breakdown.
+        let gpu = dsi_sim::hw::GpuSpec::a100_40gb();
+        let cfg = ExecConfig::fp16(true);
+        let b = ExecStyle::deepspeed().layer_breakdown(&gpu, 1, 1, 128, 4096, 32, 1, &cfg);
+        assert!(b.gemm > 0.6 * b.total(), "gemm share {:.2}", b.gemm / b.total());
+    }
+
+    #[test]
+    fn long_context_shifts_time_to_attention() {
+        let gpu = dsi_sim::hw::GpuSpec::a100_40gb();
+        let cfg = ExecConfig::fp16(true);
+        let ds = ExecStyle::deepspeed();
+        let short = ds.layer_breakdown(&gpu, 8, 1, 128, 2048, 16, 1, &cfg);
+        let long = ds.layer_breakdown(&gpu, 8, 1, 4096, 2048, 16, 1, &cfg);
+        assert!(
+            long.attention / long.total() > short.attention / short.total(),
+            "KV reads must grow with context"
+        );
+    }
+
+    #[test]
+    fn generation_report_consistent() {
+        let ds = ExecStyle::deepspeed();
+        let cfg = ExecConfig::fp16(true);
+        let m = dense_by_name("GPT-2-1.5B").unwrap();
+        let r = ds.generation_latency(&topo(), &m, 1, 4, 128, 8, &cfg);
+        assert!((r.prompt_time + r.gen_time - r.total).abs() < 1e-12);
+        assert!(r.tokens_per_s > 0.0);
+        assert!(r.prompt_time > 0.0 && r.gen_time > 0.0);
+    }
+
+    #[test]
+    fn tensor_parallelism_reduces_latency() {
+        // Aggregate bandwidth: TP=8 should cut per-token latency vs TP=1 for
+        // a large model despite all-reduce overhead (Sec. IV-A).
+        let ds = ExecStyle::deepspeed();
+        let cfg = ExecConfig::fp16(true);
+        let t1 = gen_latency(&ds, "GPT-NeoX-20B", 1, 1, &cfg);
+        let t8 = gen_latency(&ds, "GPT-NeoX-20B", 8, 1, &cfg);
+        assert!(t8 < t1 / 3.0, "tp8 {t8:.4} vs tp1 {t1:.4}");
+    }
+}

@@ -1,0 +1,24 @@
+//! # dsi-baselines — comparator systems
+//!
+//! The paper's dense-model evaluation is controlled: "Both the baseline and
+//! DeepSpeed Inference use identical TP strategy so all the latency
+//! differences in these results come from the differences in kernel
+//! implementations" (Sec. VII-B1). This crate makes that control explicit:
+//! one shared execution model ([`exec`]) parameterized by exactly the four
+//! ingredients the systems differ in —
+//!
+//! 1. the fusion plan (PyTorch-unfused / FasterTransformer / Deep-Fusion),
+//! 2. the GEMM implementation policy (always-cuBLAS vs SBI/CUTLASS
+//!    selection),
+//! 3. CUDA-graph launch elision,
+//! 4. eager (micro-op) vs compiled launch counts.
+//!
+//! [`exec::ExecStyle`] constructors give the named systems: DeepSpeed
+//! Inference, FasterTransformer (Fig. 6/8/13 baseline), PyTorch/Megatron
+//! (Fig. 10a baseline), Megatron+Deep-Fusion-only (the Fig. 10a middle bar),
+//! and E.T. (Fig. 12). The MoE PyTorch baseline lives in `dsi-moe`, next to
+//! the system it contrasts with.
+
+pub mod exec;
+
+pub use exec::{ExecStyle, FusionChoice, GemmChoice, LatencyReport};

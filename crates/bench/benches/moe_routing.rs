@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the MoE routing paths: the sparse one-hot einsum
+//! baseline vs the dense mapping-table rewrite (Sec. V-C), measured on the
+//! functional implementations — the complexity gap (`S·E·M·c_e` vs
+//! `S·M·c_e`) is directly visible in the wall-clock ratio.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsi_kernels::tensor::Tensor;
+use dsi_moe::gating::top_k_gating;
+use dsi_moe::layer::{ep_forward, MoeLayer};
+use dsi_moe::routing::{dispatch_dense, dispatch_sparse, gather_dense, gather_sparse};
+
+fn bench_gating(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gating");
+    for &experts in &[16usize, 64, 128] {
+        let logits = Tensor::randn(&[64, experts], 1.0, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(experts), &(), |b, _| {
+            b.iter(|| top_k_gating(black_box(&logits), 1, 8))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch");
+    for &experts in &[16usize, 64] {
+        let tokens = Tensor::randn(&[64, 128], 1.0, 2);
+        let logits = Tensor::randn(&[64, experts], 1.0, 3);
+        let gate = top_k_gating(&logits, 1, 8);
+        g.bench_with_input(BenchmarkId::new("sparse", experts), &(), |b, _| {
+            b.iter(|| dispatch_sparse(black_box(&tokens), black_box(&gate)))
+        });
+        g.bench_with_input(BenchmarkId::new("dense", experts), &(), |b, _| {
+            b.iter(|| dispatch_dense(black_box(&tokens), black_box(&gate)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gather");
+    let experts = 64usize;
+    let cap = 8usize;
+    let logits = Tensor::randn(&[64, experts], 1.0, 4);
+    let gate = top_k_gating(&logits, 2, cap);
+    let expert_out = Tensor::randn(&[experts * cap, 128], 1.0, 5);
+    g.bench_function("sparse", |b| {
+        b.iter(|| gather_sparse(black_box(&expert_out), black_box(&gate)))
+    });
+    g.bench_function("dense", |b| {
+        b.iter(|| gather_dense(black_box(&expert_out), black_box(&gate)))
+    });
+    g.finish();
+}
+
+fn bench_ep_forward(c: &mut Criterion) {
+    let layer = MoeLayer::random(64, 8, 1, 6);
+    let x = Tensor::randn(&[32, 64], 1.0, 7);
+    let mut g = c.benchmark_group("ep_forward");
+    for &ranks in &[1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &(), |b, _| {
+            b.iter(|| ep_forward(black_box(&layer), black_box(&x), ranks, 32 / ranks))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gating, bench_dispatch, bench_gather, bench_ep_forward);
+criterion_main!(benches);

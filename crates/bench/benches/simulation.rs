@@ -1,0 +1,81 @@
+//! Criterion benchmarks of the simulation substrate itself: task-graph
+//! scheduling throughput, collective cost evaluation, and full engine
+//! queries — the costs a *user* of this library pays per what-if question.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsi_core::engine::{EngineConfig, InferenceEngine};
+use dsi_model::zoo;
+use dsi_moe::system::{MoeSystem, MoeSystemKind};
+use dsi_parallel::pipeline::{PipelineSchedule, PipelineSpec};
+use dsi_sim::collectives::Collectives;
+use dsi_sim::hw::ClusterSpec;
+use dsi_sim::topology::Topology;
+use dsi_zero::engine::ZeroInference;
+
+fn bench_pipeline_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_sim");
+    for &tokens in &[10usize, 50, 100] {
+        let spec = PipelineSpec {
+            stages: 8,
+            prompt_microbatches: 32,
+            gen_microbatches: 8,
+            gen_tokens: tokens,
+            stage_prompt_time_full: 40e-3,
+            stage_gen_time: 2e-3,
+            microbatch_overhead: 0.1e-3,
+            p2p_time: 0.05e-3,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(tokens), &(), |b, _| {
+            b.iter(|| black_box(&spec).run(PipelineSchedule::InferenceQueue))
+        });
+    }
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let topo = Topology::new(ClusterSpec::dgx_a100(32));
+    let group: Vec<usize> = (0..256).collect();
+    let mut g = c.benchmark_group("collectives");
+    g.bench_function("allreduce_256", |b| {
+        b.iter(|| Collectives::allreduce(black_box(&topo), black_box(&group), 1e8))
+    });
+    g.bench_function("alltoall_256", |b| {
+        b.iter(|| Collectives::alltoall(black_box(&topo), black_box(&group), 1e6))
+    });
+    g.bench_function("pcc_alltoall_256_tp8", |b| {
+        b.iter(|| Collectives::pcc_alltoall(black_box(&topo), black_box(&group), 8, 1e6))
+    });
+    g.finish();
+}
+
+fn bench_engine_queries(c: &mut Criterion) {
+    let model = zoo::dense_by_name("LM-175B").unwrap();
+    let engine = InferenceEngine::new(EngineConfig::deepspeed(
+        model,
+        ClusterSpec::dgx_a100(2),
+        8,
+        2,
+    ));
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("generation_175b_pp2", |b| {
+        b.iter(|| black_box(&engine).generation(16, 512, 50))
+    });
+
+    let moe = MoeSystem::new(zoo::table2().pop().unwrap(), MoeSystemKind::DeepSpeed);
+    g.bench_function("moe_token_latency_2t", |b| {
+        b.iter(|| black_box(&moe).token_latency(8))
+    });
+
+    let zero = ZeroInference::new(
+        zoo::dense_by_name("LM-530B").unwrap(),
+        dsi_sim::hw::NodeSpec::lambda_a6000(),
+        1,
+    );
+    g.bench_function("zero_530b_forward", |b| {
+        b.iter(|| black_box(&zero).run(8))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline_simulation, bench_collectives, bench_engine_queries);
+criterion_main!(benches);

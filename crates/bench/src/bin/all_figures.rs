@@ -1,0 +1,49 @@
+//! Run every table/figure/ablation target in sequence — the one-command
+//! regeneration of the paper's whole evaluation. Each child writes its JSON
+//! rows to `results/`.
+
+use std::process::Command;
+
+const TARGETS: &[&str] = &[
+    "table1", "table2", "fig6", "fig7", "fig8", "fig9a", "fig9b", "fig9c", "fig10a", "fig10b",
+    "fig10c", "fig11", "fig12", "fig13", "ablate_sbi", "ablate_pcc", "ablate_fusion",
+    "ablate_offload", "ablate_capacity", "breakdown",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for target in TARGETS {
+        println!("\n================================================================");
+        println!("== {target}");
+        println!("================================================================");
+        let path = dir.join(target);
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Fall back to cargo when running via `cargo run` from source.
+            Command::new("cargo")
+                .args(["run", "-q", "-p", "dsi-bench", "--bin", target])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{target}: exited with {s}");
+                failures.push(*target);
+            }
+            Err(e) => {
+                eprintln!("{target}: failed to launch: {e}");
+                failures.push(*target);
+            }
+        }
+    }
+    println!("\n================================================================");
+    if failures.is_empty() {
+        println!("all {} targets regenerated; JSON rows in results/", TARGETS.len());
+    } else {
+        println!("FAILED targets: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,104 @@
+//! # dsi-bench — the benchmark harness
+//!
+//! One binary per table/figure of the paper's evaluation (Sec. VII):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table I — dense model configurations |
+//! | `table2` | Table II — sparse model configurations |
+//! | `fig6`   | dense latency/throughput vs FasterTransformer, FP16 & INT8 |
+//! | `fig7`   | MoE latency/throughput vs PyTorch baseline, ≤256 GPUs |
+//! | `fig8`   | 175B/530B throughput vs FT under TP×PP |
+//! | `fig9a`  | ZeRO-Inference throughput vs batch (GPT-NeoX-20B, A6000) |
+//! | `fig9b`  | ZeRO-Inference model scale & throughput across models |
+//! | `fig9c`  | ZeRO-Inference multi-GPU scaling (GPT-50B, DGX-2) |
+//! | `fig10a` | kernel breakdown: PyTorch → +Deep-Fusion → +SBI-GeMM |
+//! | `fig10b` | 530B pipeline-optimization ablation |
+//! | `fig10c` | prefetching impact on ZeRO-Inference (V100) |
+//! | `fig11`  | MoE aggregate memory bandwidth scalability |
+//! | `fig12`  | encoder kernel comparison vs E.T. |
+//! | `fig13`  | hybrid-scheduling prompt latency vs FT |
+//!
+//! Every binary prints a human-readable table and writes JSON rows to
+//! `results/<experiment>.jsonl` for mechanical comparison against the
+//! paper's numbers (see `EXPERIMENTS.md`). Criterion micro-benchmarks of
+//! the functional kernels live under `benches/`.
+
+use dsi_core::report::Row;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory JSON results are written to (created on demand). Override with
+/// the `DSI_RESULTS_DIR` environment variable.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("DSI_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Write rows to `results/<experiment>.jsonl` (overwrites) and echo a
+/// summary line.
+pub fn emit(experiment: &str, rows: &[Row]) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warn: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{experiment}.jsonl"));
+    match fs::File::create(&path) {
+        Ok(mut f) => {
+            for r in rows {
+                let _ = writeln!(f, "{}", r.json());
+            }
+            println!("[{} rows -> {}]", rows.len(), path.display());
+        }
+        Err(e) => eprintln!("warn: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Fixed-width table printing for the human-readable view.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", line(headers.iter().map(|s| s.to_string()).collect()));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+/// Milliseconds formatter.
+pub fn ms(t: f64) -> String {
+    format!("{:.2}", t * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_env_override() {
+        // Uses the env var when present (set by this test only).
+        std::env::set_var("DSI_RESULTS_DIR", "/tmp/dsi-test-results");
+        assert_eq!(results_dir(), PathBuf::from("/tmp/dsi-test-results"));
+        std::env::remove_var("DSI_RESULTS_DIR");
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(0.00123), "1.23");
+    }
+}

@@ -1,0 +1,230 @@
+//! Continuous (iteration-level) batching — the natural extension of the
+//! paper's token-queue schedule (Fig. 2b) from micro-batches to *requests*.
+//!
+//! Static batching (the [`crate::serving`] baseline) admits a batch, runs it
+//! to completion, and only then admits the next one: late arrivals wait out
+//! the whole generation of strangers. Continuous batching re-forms the
+//! running batch at every token step — new requests join as soon as their
+//! prompt is processed, finished requests leave immediately — which is the
+//! scheduling discipline production engines adopted after the paper. The
+//! simulation below quantifies how much of the tail latency that discipline
+//! removes, on the same engine cost model.
+
+use crate::engine::InferenceEngine;
+use crate::serving::{ServingReport, Workload};
+use rand::distributions::Distribution;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Continuous-batching policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ContinuousPolicy {
+    /// Maximum sequences resident in the running batch.
+    pub max_batch: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Request {
+    arrival: f64,
+    remaining: usize,
+    prompt_done: bool,
+}
+
+/// Simulate continuous batching for `workload` on `engine`. Time advances in
+/// token steps of the current running batch; between steps, finished
+/// requests retire and waiting requests are admitted (their prompt is
+/// charged on admission).
+pub fn simulate_continuous(
+    engine: &InferenceEngine,
+    workload: &Workload,
+    policy: ContinuousPolicy,
+) -> ServingReport {
+    assert!(workload.requests > 0 && policy.max_batch > 0);
+    let mut rng = ChaCha8Rng::seed_from_u64(workload.seed);
+    let exp = rand::distributions::Uniform::new(0.0f64, 1.0);
+    let mut arrivals = Vec::with_capacity(workload.requests);
+    let mut t = 0.0;
+    for _ in 0..workload.requests {
+        let u: f64 = exp.sample(&mut rng).max(1e-12);
+        t += -u.ln() / workload.arrival_rate;
+        arrivals.push(t);
+    }
+
+    // Cost primitives from the engine (deterministic, cache by batch size).
+    let mut prompt_cache: Vec<Option<f64>> = vec![None; policy.max_batch + 1];
+    let mut step_cache: Vec<Option<f64>> = vec![None; policy.max_batch + 1];
+    let mut prompt_time = |b: usize| -> f64 {
+        let b = b.clamp(1, policy.max_batch);
+        if prompt_cache[b].is_none() {
+            prompt_cache[b] =
+                Some(engine.generation(b, workload.prompt, 1).prompt_latency);
+        }
+        prompt_cache[b].unwrap()
+    };
+    let mut step_time = |b: usize| -> f64 {
+        let b = b.clamp(1, policy.max_batch);
+        if step_cache[b].is_none() {
+            // Per-token time of a b-sized batch: amortize the generation tail.
+            let r = engine.generation(b, workload.prompt, workload.gen);
+            step_cache[b] = Some((r.total_latency - r.prompt_latency) / workload.gen.max(1) as f64);
+        }
+        step_cache[b].unwrap()
+    };
+
+    let mut now = 0.0f64;
+    let mut busy = 0.0f64;
+    let mut running: Vec<Request> = Vec::new();
+    let mut next = 0usize;
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut batch_sizes: Vec<f64> = Vec::new();
+
+    while latencies.len() < workload.requests {
+        // Admit arrivals into free slots.
+        while next < arrivals.len()
+            && running.len() < policy.max_batch
+            && arrivals[next] <= now
+        {
+            running.push(Request {
+                arrival: arrivals[next],
+                remaining: workload.gen,
+                prompt_done: false,
+            });
+            next += 1;
+        }
+        if running.is_empty() {
+            // Idle until the next arrival.
+            now = arrivals[next].max(now);
+            continue;
+        }
+        // Charge prompts for newly admitted requests (processed alongside
+        // the running batch, like the paper's hybrid prompt handling).
+        let fresh = running.iter().filter(|r| !r.prompt_done).count();
+        if fresh > 0 {
+            let dt = prompt_time(fresh);
+            now += dt;
+            busy += dt;
+            for r in running.iter_mut() {
+                r.prompt_done = true;
+            }
+        }
+        // One token step for the whole running batch.
+        let b = running.len();
+        batch_sizes.push(b as f64);
+        let dt = step_time(b);
+        now += dt;
+        busy += dt;
+        for r in running.iter_mut() {
+            r.remaining -= 1;
+        }
+        // Retire finished requests.
+        running.retain(|r| {
+            if r.remaining == 0 {
+                latencies.push(now - r.arrival);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies[((latencies.len() as f64 * p) as usize).min(latencies.len() - 1)];
+    let wall = now.max(*arrivals.last().unwrap());
+    ServingReport {
+        completed: latencies.len(),
+        p50: pct(0.50),
+        p95: pct(0.95),
+        p99: pct(0.99),
+        mean_batch: batch_sizes.iter().sum::<f64>() / batch_sizes.len().max(1) as f64,
+        goodput: latencies.len() as f64 / wall,
+        utilization: busy / wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::serving::{simulate_serving, BatchPolicy};
+    use dsi_model::zoo::dense_by_name;
+    use dsi_sim::hw::ClusterSpec;
+
+    fn engine() -> InferenceEngine {
+        InferenceEngine::new(EngineConfig::deepspeed(
+            dense_by_name("GPT-J-6B").unwrap(),
+            ClusterSpec::dgx_a100(1),
+            1,
+            1,
+        ))
+    }
+
+    fn workload(rate: f64) -> Workload {
+        Workload {
+            arrival_rate: rate,
+            prompt: 128,
+            gen: 16,
+            requests: 150,
+            seed: 21,
+        }
+    }
+
+    #[test]
+    fn completes_everything_deterministically() {
+        let e = engine();
+        let p = ContinuousPolicy { max_batch: 16 };
+        let a = simulate_continuous(&e, &workload(20.0), p);
+        let b = simulate_continuous(&e, &workload(20.0), p);
+        assert_eq!(a.completed, 150);
+        assert_eq!(a.p99, b.p99);
+        assert!(a.p50 <= a.p95 && a.p95 <= a.p99);
+        assert!(a.utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn beats_static_batching_tail_latency_under_load() {
+        // The headline property: at moderate load with long generations,
+        // iteration-level scheduling cuts tail latency vs run-to-completion
+        // batching (late arrivals no longer wait out strangers' tokens).
+        // At full saturation the advantage flips — prompt passes interleave
+        // with decoding — which is why production engines added chunked
+        // prefill on top; the crossover itself is part of the model.
+        let e = engine();
+        let mut w = workload(10.0);
+        w.gen = 48;
+        let stat = simulate_serving(
+            &e,
+            &w,
+            BatchPolicy {
+                max_batch: 16,
+                max_wait: 0.05,
+            },
+        );
+        let cont = simulate_continuous(&e, &w, ContinuousPolicy { max_batch: 16 });
+        assert!(
+            cont.p99 < 0.8 * stat.p99,
+            "continuous p99 {:.3}s vs static {:.3}s",
+            cont.p99,
+            stat.p99
+        );
+        assert!(cont.p50 < stat.p50);
+    }
+
+    #[test]
+    fn light_load_degenerates_gracefully() {
+        // At trivial load both disciplines serve ~one request at a time.
+        let e = engine();
+        let w = workload(0.5);
+        let cont = simulate_continuous(&e, &w, ContinuousPolicy { max_batch: 8 });
+        assert!(cont.mean_batch < 1.6, "mean batch {}", cont.mean_batch);
+        assert_eq!(cont.completed, 150);
+    }
+
+    #[test]
+    fn batch_cap_respected() {
+        let e = engine();
+        let w = workload(500.0); // heavy overload
+        let cont = simulate_continuous(&e, &w, ContinuousPolicy { max_batch: 4 });
+        assert!(cont.mean_batch <= 4.0 + 1e-9);
+        assert!(cont.utilization > 0.9);
+    }
+}

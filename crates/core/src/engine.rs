@@ -1,0 +1,449 @@
+//! The inference engine: model × parallelism × schedule × memory policy.
+//!
+//! For TP-only deployments the engine defers to the kernel-level execution
+//! model. With pipeline parallelism it derives per-stage timings from the
+//! kernel model and plays the chosen schedule (training-style vs
+//! inference-optimized token queue, uniform vs hybrid micro-batching,
+//! Sec. IV-C1) on the discrete-event engine; KV-cache offload (Sec. IV-C2/3)
+//! both extends the feasible batch range and adds a simulated PCIe-overlap
+//! cost to each generation step.
+
+use dsi_baselines::exec::ExecStyle;
+use dsi_kernels::cost::ExecConfig;
+use dsi_model::config::GptConfig;
+use dsi_parallel::offload::OffloadSpec;
+use dsi_parallel::pipeline::{PipelineSchedule, PipelineSpec};
+use dsi_sim::collectives::Collectives;
+use dsi_sim::hw::{ClusterSpec, DType};
+use dsi_sim::topology::Topology;
+use serde::Serialize;
+
+/// Full configuration of a dense-model deployment.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    pub model: GptConfig,
+    pub cluster: ClusterSpec,
+    /// Tensor-parallel degree (within a node).
+    pub tp: usize,
+    /// Pipeline-parallel degree (stages).
+    pub pp: usize,
+    pub style: ExecStyle,
+    pub exec: ExecConfig,
+    /// Token-queue schedule (Fig. 2b) vs training-style drain (Fig. 2a).
+    pub inference_schedule: bool,
+    /// Hybrid micro-batching: more micro-batches for the prompt than for
+    /// generation (Fig. 3).
+    pub hybrid_schedule: bool,
+    /// Offload KV cache to host DRAM between steps (Sec. IV-C2).
+    pub kv_offload: bool,
+    /// Stagger offloads odd/even across PCIe-sharing GPU pairs (Sec. IV-C3).
+    pub odd_even_offload: bool,
+}
+
+impl EngineConfig {
+    /// The full DeepSpeed Inference configuration for a (tp, pp) mapping.
+    pub fn deepspeed(model: GptConfig, cluster: ClusterSpec, tp: usize, pp: usize) -> Self {
+        EngineConfig {
+            model,
+            cluster,
+            tp,
+            pp,
+            style: ExecStyle::deepspeed(),
+            exec: ExecConfig::fp16(true),
+            inference_schedule: true,
+            hybrid_schedule: true,
+            kv_offload: true,
+            odd_even_offload: true,
+        }
+    }
+
+    /// DeepSpeed Inference with INT8 weights (Sec. III-D): same system,
+    /// halved weight bytes, CUTLASS INT8 GEMMs.
+    pub fn deepspeed_int8(model: GptConfig, cluster: ClusterSpec, tp: usize, pp: usize) -> Self {
+        EngineConfig {
+            exec: ExecConfig::int8(true),
+            ..Self::deepspeed(model, cluster, tp, pp)
+        }
+    }
+
+    /// The FasterTransformer baseline on the same mapping: training-style
+    /// pipeline schedule, uniform micro-batching, no KV offload.
+    pub fn faster_transformer(model: GptConfig, cluster: ClusterSpec, tp: usize, pp: usize) -> Self {
+        EngineConfig {
+            model,
+            cluster,
+            tp,
+            pp,
+            style: ExecStyle::faster_transformer(),
+            exec: ExecConfig::fp16(false),
+            inference_schedule: false,
+            hybrid_schedule: false,
+            kv_offload: false,
+            odd_even_offload: false,
+        }
+    }
+}
+
+/// Result of one engine run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RunReport {
+    pub batch: usize,
+    /// Time to first token (prompt processing).
+    pub prompt_latency: f64,
+    /// End-to-end latency for the whole generation.
+    pub total_latency: f64,
+    /// Generated tokens per second (aggregate over the batch).
+    pub tokens_per_s: f64,
+    /// Average pipeline bubble fraction (0 for TP-only runs).
+    pub bubble_fraction: f64,
+}
+
+/// A configured deployment ready to run workloads.
+#[derive(Debug, Clone)]
+pub struct InferenceEngine {
+    pub cfg: EngineConfig,
+    topo: Topology,
+}
+
+impl InferenceEngine {
+    pub fn new(cfg: EngineConfig) -> Self {
+        assert!(cfg.tp >= 1 && cfg.pp >= 1);
+        assert!(
+            cfg.tp * cfg.pp <= cfg.cluster.total_gpus(),
+            "mapping needs {} GPUs, cluster has {}",
+            cfg.tp * cfg.pp,
+            cfg.cluster.total_gpus()
+        );
+        assert!(
+            cfg.model.layers.is_multiple_of(cfg.pp) || cfg.pp == 1,
+            "layers must split across pipeline stages"
+        );
+        let topo = Topology::new(cfg.cluster.clone());
+        InferenceEngine { cfg, topo }
+    }
+
+    /// Per-GPU weight bytes under this mapping.
+    pub fn weight_bytes_per_gpu(&self) -> f64 {
+        self.cfg.model.weight_bytes(self.cfg.exec.weight_dtype) / (self.cfg.tp * self.cfg.pp) as f64
+    }
+
+    /// Per-sequence KV bytes resident on one GPU for a given context length.
+    fn kv_per_seq_gpu(&self, ctx: f64) -> f64 {
+        let shards = (self.cfg.tp * self.cfg.pp) as f64;
+        self.cfg.model.kv_bytes_per_token(DType::Fp16) * ctx / shards
+    }
+
+    /// KV bytes one GPU can sustainably keep *spilled* to host DRAM: the
+    /// spilled share of every micro-batch's cache must cross PCIe once per
+    /// generated token, hidden under the step's weight-read time
+    /// (Sec. IV-C2/3). Without odd/even staggering, GPUs sharing a PCIe link
+    /// see half the bandwidth.
+    fn offload_spill_budget(&self) -> f64 {
+        if !self.cfg.kv_offload {
+            return 0.0;
+        }
+        let node = &self.cfg.cluster.node;
+        // Per token step, each stage streams its weight shard once per
+        // generation micro-batch (M = pp micro-batches).
+        let t_step = self.cfg.pp as f64 * self.weight_bytes_per_gpu() / (node.gpu.mem_bw * 0.8);
+        let contended = node.pcie_shared_pairs && !self.cfg.odd_even_offload;
+        let pcie = node.pcie.bw * if contended { 0.5 } else { 1.0 };
+        // Off + back on, with 20% headroom so the overlap never stalls.
+        0.4 * t_step * pcie
+    }
+
+    /// Largest batch that fits this mapping for a `prompt + gen` context.
+    /// Without KV offload, the KV cache must live in HBM next to the weight
+    /// shard; with offload, the spill budget sustainable over PCIe
+    /// (Sec. IV-C2) extends the range, bounded by host DRAM.
+    pub fn max_batch(&self, prompt: usize, gen: usize) -> usize {
+        let ctx = (prompt + gen) as f64;
+        let dt = self.cfg.exec.weight_dtype;
+        let gpu_mem = self.cfg.cluster.node.gpu.mem_bytes as f64;
+        let free = gpu_mem - self.weight_bytes_per_gpu() - 2e9;
+        if free <= 0.0 {
+            return 0;
+        }
+        let shards = (self.cfg.tp * self.cfg.pp) as f64;
+        let kv_per_seq = self.kv_per_seq_gpu(ctx);
+        let act_per_seq =
+            self.cfg.model.activation_bytes(prompt as f64, dt) / shards + 2.0 * ctx * 1e3;
+        let resident = free / (act_per_seq + kv_per_seq);
+        let extra = self.offload_spill_budget() / kv_per_seq;
+        let host = self.cfg.cluster.node.dram_bytes as f64 * 0.8;
+        let host_bound = host / (self.cfg.model.kv_bytes_per_token(DType::Fp16) * ctx);
+        (resident + extra).min(host_bound).floor().max(0.0) as usize
+    }
+
+    /// Inter-stage activation transfer time for one micro-batch of
+    /// `mb_tokens` token-rows.
+    fn p2p_time(&self, mb_tokens: usize) -> f64 {
+        let bytes =
+            mb_tokens as f64 * self.cfg.model.hidden as f64 * self.cfg.exec.act_dtype.bytes() as f64;
+        // Adjacent stages sit on adjacent rank blocks of tp GPUs.
+        Collectives::p2p(&self.topo, 0, self.cfg.tp % self.topo.world_size(), bytes).time
+    }
+
+    /// KV-offload overhead per generated token per stage: the spilled share
+    /// of the cache crosses PCIe each step; simulate the paired-GPU PCIe
+    /// timeline and charge any stall beyond compute.
+    fn offload_stall_per_token(
+        &self,
+        batch: usize,
+        ctx: f64,
+        layers_per_stage: usize,
+        gen_step: f64,
+    ) -> f64 {
+        if !self.cfg.kv_offload {
+            return 0.0;
+        }
+        let gpu_mem = self.cfg.cluster.node.gpu.mem_bytes as f64;
+        let free = gpu_mem - self.weight_bytes_per_gpu() - 2e9;
+        let resident_kv = (free).max(0.0);
+        let total_kv = batch as f64 * self.kv_per_seq_gpu(ctx);
+        let spilled = (total_kv - resident_kv).max(0.0);
+        if spilled == 0.0 {
+            return 0.0;
+        }
+        let spec = OffloadSpec {
+            layers: layers_per_stage,
+            layer_compute: gen_step / layers_per_stage as f64,
+            kv_bytes_per_layer: 2.0 * spilled / layers_per_stage as f64, // off + back on
+            pcie_bw: self.cfg.cluster.node.pcie.bw,
+            shared_link: self.cfg.cluster.node.pcie_shared_pairs,
+            odd_even_schedule: self.cfg.odd_even_offload,
+        };
+        let r = spec.run();
+        (r.step_time - r.compute_time).max(0.0)
+    }
+
+    /// Run a generation workload: `batch` sequences, `prompt` tokens each,
+    /// generating `gen` tokens.
+    pub fn generation(&self, batch: usize, prompt: usize, gen: usize) -> RunReport {
+        let cfg = &self.cfg;
+        let gpu = &cfg.cluster.node.gpu;
+        if cfg.pp == 1 {
+            let r = cfg
+                .style
+                .generation_latency(&self.topo, &cfg.model, cfg.tp, batch, prompt, gen, &cfg.exec);
+            return RunReport {
+                batch,
+                prompt_latency: r.prompt_time,
+                total_latency: r.total,
+                tokens_per_s: (batch * gen) as f64 / r.total,
+                bubble_fraction: 0.0,
+            };
+        }
+
+        let layers_per_stage = cfg.model.layers / cfg.pp;
+        let scale = layers_per_stage as f64 / cfg.model.layers as f64;
+
+        // Stage timings from the kernel model. Prompt compute for the FULL
+        // batch through one stage; generation time for one micro-batch.
+        let prompt_full = cfg
+            .style
+            .forward_time(&self.topo, &cfg.model, cfg.tp, batch, prompt, prompt, &cfg.exec)
+            * scale;
+        let gen_mbs = cfg.pp;
+        let prompt_mbs = if cfg.hybrid_schedule { 4 * cfg.pp } else { cfg.pp };
+        let mb_batch = batch.div_ceil(gen_mbs).max(1);
+        let gen_step_stage = cfg
+            .style
+            .forward_time(&self.topo, &cfg.model, cfg.tp, mb_batch, 1, prompt + gen / 2, &cfg.exec)
+            * scale;
+        let gen_step_stage =
+            gen_step_stage
+                + self.offload_stall_per_token(
+                    mb_batch,
+                    (prompt + gen / 2) as f64,
+                    layers_per_stage,
+                    gen_step_stage,
+                );
+
+        let spec = PipelineSpec {
+            stages: cfg.pp,
+            prompt_microbatches: prompt_mbs,
+            gen_microbatches: gen_mbs,
+            gen_tokens: gen.saturating_sub(1),
+            stage_prompt_time_full: prompt_full,
+            stage_gen_time: gen_step_stage,
+            microbatch_overhead: 12.0 * gpu.kernel_launch_overhead,
+            p2p_time: self.p2p_time(mb_batch),
+        };
+        let schedule = if cfg.inference_schedule {
+            PipelineSchedule::InferenceQueue
+        } else {
+            PipelineSchedule::TrainingStyle
+        };
+        let r = spec.run(schedule);
+        RunReport {
+            batch,
+            prompt_latency: r.prompt_latency,
+            total_latency: r.total_latency,
+            tokens_per_s: (batch * gen) as f64 / r.total_latency,
+            bubble_fraction: r.bubble_fraction,
+        }
+    }
+
+    /// Sweep batch sizes (powers of two up to the memory limit) and return
+    /// the best-throughput run — the paper's Fig. 8 methodology ("we run
+    /// with batch sizes that give the best performance").
+    pub fn best_throughput(&self, prompt: usize, gen: usize) -> Option<RunReport> {
+        let max = self.max_batch(prompt, gen);
+        if max == 0 {
+            return None;
+        }
+        let mut batches: Vec<usize> = (0..)
+            .map(|i| 1usize << i)
+            .take_while(|&b| b < max)
+            .collect();
+        batches.push(max);
+        batches
+            .into_iter()
+            .map(|b| self.generation(b, prompt, gen))
+            .max_by(|a, b| a.tokens_per_s.partial_cmp(&b.tokens_per_s).unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_model::zoo::dense_by_name;
+
+    fn engines_175b() -> (InferenceEngine, InferenceEngine) {
+        let model = dense_by_name("LM-175B").unwrap();
+        let cluster = ClusterSpec::dgx_a100(2); // 16 GPUs
+        (
+            InferenceEngine::new(EngineConfig::deepspeed(model.clone(), cluster.clone(), 8, 2)),
+            InferenceEngine::new(EngineConfig::faster_transformer(model, cluster, 8, 2)),
+        )
+    }
+
+    #[test]
+    fn fig8_175b_throughput_gain() {
+        // Fig. 8: DeepSpeed ≈1.51× FT throughput for 175B on 16 GPUs
+        // (prompt 512, gen 50).
+        let (ds, ft) = engines_175b();
+        let rds = ds.best_throughput(512, 50).unwrap();
+        let rft = ft.best_throughput(512, 50).unwrap();
+        let gain = rds.tokens_per_s / rft.tokens_per_s;
+        assert!(gain > 1.3, "gain {gain:.2}");
+        assert!(gain < 3.0, "gain implausible {gain:.2}");
+    }
+
+    #[test]
+    fn fig8_530b_runs_on_40_gpus() {
+        let model = dense_by_name("LM-530B").unwrap();
+        let cluster = ClusterSpec::dgx_a100(5); // 40 GPUs
+        let ds = InferenceEngine::new(EngineConfig::deepspeed(model.clone(), cluster.clone(), 8, 5));
+        let rds = ds.best_throughput(512, 50).unwrap();
+        assert!(rds.tokens_per_s > 0.0);
+        // TP-only FT on 8 GPUs cannot even fit the model (Sec. VII-C: FT
+        // with TP+PP crashed; TP-only needs 133 GB/GPU).
+        let ft_tp_only = InferenceEngine::new(EngineConfig::faster_transformer(
+            model,
+            ClusterSpec::dgx_a100(1),
+            8,
+            1,
+        ));
+        assert_eq!(ft_tp_only.max_batch(512, 50), 0);
+    }
+
+    #[test]
+    fn kv_offload_extends_batch_range() {
+        // The spill budget is PCIe-bound (Sec. IV-C3): the extension is real
+        // but modest — spilled KV must cross the host link every step.
+        let (ds, ft) = engines_175b();
+        let with = ds.max_batch(512, 50);
+        let without = ft.max_batch(512, 50);
+        assert!(with > without, "offload {with} <= resident {without}");
+    }
+
+    #[test]
+    fn odd_even_scheduling_increases_spill_budget() {
+        let model = dense_by_name("LM-530B").unwrap();
+        let cluster = ClusterSpec::dgx_a100(5);
+        let mut cfg = EngineConfig::deepspeed(model, cluster, 8, 5);
+        cfg.odd_even_offload = false;
+        let naive = InferenceEngine::new(cfg.clone()).max_batch(512, 50);
+        cfg.odd_even_offload = true;
+        let staggered = InferenceEngine::new(cfg).max_batch(512, 50);
+        assert!(staggered > naive, "staggered {staggered} naive {naive}");
+    }
+
+    #[test]
+    fn inference_schedule_beats_training_schedule() {
+        let model = dense_by_name("LM-175B").unwrap();
+        let cluster = ClusterSpec::dgx_a100(2);
+        let mut cfg = EngineConfig::deepspeed(model, cluster, 8, 2);
+        cfg.inference_schedule = false;
+        let slow = InferenceEngine::new(cfg.clone());
+        cfg.inference_schedule = true;
+        let fast = InferenceEngine::new(cfg);
+        let b = 16;
+        assert!(
+            fast.generation(b, 512, 50).total_latency < slow.generation(b, 512, 50).total_latency
+        );
+    }
+
+    #[test]
+    fn hybrid_improves_prompt_latency_with_pp() {
+        // Fig. 13 (PP+MP config): hybrid scheduling cuts prompt latency.
+        let model = dense_by_name("LM-175B").unwrap();
+        let cluster = ClusterSpec::dgx_a100(2);
+        let mut cfg = EngineConfig::deepspeed(model, cluster, 8, 2);
+        cfg.hybrid_schedule = false;
+        let uniform = InferenceEngine::new(cfg.clone());
+        cfg.hybrid_schedule = true;
+        let hybrid = InferenceEngine::new(cfg);
+        let b = 24;
+        let pu = uniform.generation(b, 512, 8).prompt_latency;
+        let ph = hybrid.generation(b, 512, 8).prompt_latency;
+        assert!(ph < pu, "hybrid {ph:.4} uniform {pu:.4}");
+    }
+
+    #[test]
+    fn int8_engine_fits_more_and_runs_faster() {
+        // Halved weights double the feasible batch headroom and cut the
+        // bandwidth-bound generation time.
+        let model = dense_by_name("GPT-13B").unwrap();
+        let cluster = ClusterSpec::dgx_a100(1);
+        let fp16 = InferenceEngine::new(EngineConfig::deepspeed(model.clone(), cluster.clone(), 1, 1));
+        let int8 = InferenceEngine::new(EngineConfig::deepspeed_int8(model, cluster, 1, 1));
+        assert!(int8.weight_bytes_per_gpu() * 1.9 < fp16.weight_bytes_per_gpu() * 1.0 + 1.0e9);
+        assert!(int8.max_batch(128, 8) >= fp16.max_batch(128, 8));
+        let t8 = int8.generation(1, 128, 8).total_latency;
+        let t16 = fp16.generation(1, 128, 8).total_latency;
+        assert!(t8 < t16, "int8 {t8} fp16 {t16}");
+    }
+
+    #[test]
+    fn tp_only_run_has_no_bubbles() {
+        let model = dense_by_name("GPT-13B").unwrap();
+        let e = InferenceEngine::new(EngineConfig::deepspeed(
+            model,
+            ClusterSpec::dgx_a100(1),
+            4,
+            1,
+        ));
+        let r = e.generation(4, 128, 8);
+        assert_eq!(r.bubble_fraction, 0.0);
+        assert!(r.total_latency > 0.0);
+    }
+
+    #[test]
+    fn best_throughput_uses_larger_batches() {
+        let (ds, _) = engines_175b();
+        let best = ds.best_throughput(512, 50).unwrap();
+        let small = ds.generation(1, 512, 50);
+        assert!(best.batch > 1);
+        assert!(best.tokens_per_s > small.tokens_per_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "mapping needs")]
+    fn oversubscribed_mapping_rejected() {
+        let model = dense_by_name("GPT-13B").unwrap();
+        InferenceEngine::new(EngineConfig::deepspeed(model, ClusterSpec::dgx_a100(1), 8, 2));
+    }
+}

@@ -1,0 +1,208 @@
+//! Deployment planning: search the parallelism space for a model + cluster.
+//!
+//! Sec. I frames the core systems question: "It requires aggregate memory
+//! bandwidth across multiple devices, which needs optimal parallelism
+//! strategies ... Such parallelism strategies must cater to the variation in
+//! transformer architecture and hardware characteristics." This module
+//! answers it mechanically: enumerate the feasible (TP, PP) mappings on a
+//! cluster (TP restricted to a node, the paper's Sec. II guidance), evaluate
+//! each with the engine, and pick by objective — minimum latency under an
+//! optional SLA, or maximum throughput.
+
+use crate::engine::{EngineConfig, InferenceEngine, RunReport};
+use dsi_model::config::GptConfig;
+use dsi_sim::hw::ClusterSpec;
+use serde::Serialize;
+
+/// What the planner optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum Objective {
+    /// Minimize end-to-end latency at a fixed batch size.
+    MinLatency { batch: usize },
+    /// Maximize aggregate tokens/s (batch chosen per mapping).
+    MaxThroughput,
+}
+
+/// One evaluated candidate mapping.
+#[derive(Debug, Clone, Serialize)]
+pub struct Candidate {
+    pub tp: usize,
+    pub pp: usize,
+    pub gpus: usize,
+    pub report: RunReport,
+}
+
+/// The planner's answer.
+#[derive(Debug, Clone, Serialize)]
+pub struct Plan {
+    pub best: Candidate,
+    /// Every feasible candidate, sorted best-first by the objective.
+    pub candidates: Vec<Candidate>,
+}
+
+/// Enumerate feasible (tp, pp) mappings: tp a power of two within a node,
+/// tp·pp within the cluster, layers divisible by pp, and the weight shard
+/// fitting GPU memory with activation headroom.
+pub fn feasible_mappings(model: &GptConfig, cluster: &ClusterSpec) -> Vec<(usize, usize)> {
+    let per_node = cluster.node.gpus_per_node;
+    let total = cluster.total_gpus();
+    let mut out = Vec::new();
+    let mut tp = 1;
+    while tp <= per_node {
+        if !model.hidden.is_multiple_of(tp) || !model.heads.is_multiple_of(tp) {
+            tp *= 2;
+            continue;
+        }
+        for pp in 1..=total / tp {
+            if !model.layers.is_multiple_of(pp) {
+                continue;
+            }
+            let engine = InferenceEngine::new(EngineConfig::deepspeed(
+                model.clone(),
+                cluster.clone(),
+                tp,
+                pp,
+            ));
+            if engine.max_batch(512, 50) >= 1 {
+                out.push((tp, pp));
+            }
+        }
+        tp *= 2;
+    }
+    out
+}
+
+/// Search the mapping space under the objective and an optional latency SLA
+/// (seconds, applied to total latency of the workload). Returns `None` when
+/// nothing feasible meets the SLA.
+pub fn plan(
+    model: &GptConfig,
+    cluster: &ClusterSpec,
+    prompt: usize,
+    gen: usize,
+    objective: Objective,
+    sla: Option<f64>,
+) -> Option<Plan> {
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for (tp, pp) in feasible_mappings(model, cluster) {
+        let engine = InferenceEngine::new(EngineConfig::deepspeed(
+            model.clone(),
+            cluster.clone(),
+            tp,
+            pp,
+        ));
+        let report = match objective {
+            Objective::MinLatency { batch } => {
+                if engine.max_batch(prompt, gen) < batch {
+                    continue;
+                }
+                engine.generation(batch, prompt, gen)
+            }
+            Objective::MaxThroughput => match engine.best_throughput(prompt, gen) {
+                Some(r) => r,
+                None => continue,
+            },
+        };
+        if let Some(limit) = sla {
+            if report.total_latency > limit {
+                continue;
+            }
+        }
+        candidates.push(Candidate {
+            tp,
+            pp,
+            gpus: tp * pp,
+            report,
+        });
+    }
+    match objective {
+        Objective::MinLatency { .. } => candidates.sort_by(|a, b| {
+            a.report
+                .total_latency
+                .partial_cmp(&b.report.total_latency)
+                .unwrap()
+        }),
+        Objective::MaxThroughput => candidates.sort_by(|a, b| {
+            b.report
+                .tokens_per_s
+                .partial_cmp(&a.report.tokens_per_s)
+                .unwrap()
+        }),
+    }
+    candidates.first().cloned().map(|best| Plan {
+        best,
+        candidates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_model::zoo::dense_by_name;
+
+    #[test]
+    fn small_model_prefers_modest_tp_for_latency() {
+        // GPT-J on one DGX: latency plan must exist; more GPUs than needed
+        // stop paying off once all-reduce overhead bites.
+        let model = dense_by_name("GPT-J-6B").unwrap();
+        let cluster = ClusterSpec::dgx_a100(1);
+        let p = plan(&model, &cluster, 128, 8, Objective::MinLatency { batch: 1 }, None)
+            .expect("feasible");
+        assert!(p.best.gpus <= 8);
+        assert!(!p.candidates.is_empty());
+        // Best is at least as fast as TP=1.
+        let tp1 = p
+            .candidates
+            .iter()
+            .find(|c| c.tp == 1 && c.pp == 1)
+            .expect("tp1 evaluated");
+        assert!(p.best.report.total_latency <= tp1.report.total_latency);
+    }
+
+    #[test]
+    fn huge_model_requires_multi_gpu_mapping() {
+        // 175B cannot map onto fewer than ~8 A100-40GB GPUs.
+        let model = dense_by_name("LM-175B").unwrap();
+        let cluster = ClusterSpec::dgx_a100(2);
+        let mappings = feasible_mappings(&model, &cluster);
+        assert!(!mappings.is_empty());
+        assert!(mappings.iter().all(|&(tp, pp)| tp * pp >= 10 || tp * pp >= 8));
+        let p = plan(&model, &cluster, 512, 50, Objective::MaxThroughput, None).expect("feasible");
+        assert!(p.best.gpus >= 12, "175B plan used only {} GPUs", p.best.gpus);
+    }
+
+    #[test]
+    fn sla_filters_candidates() {
+        let model = dense_by_name("GPT-2-1.5B").unwrap();
+        let cluster = ClusterSpec::dgx_a100(1);
+        let loose = plan(&model, &cluster, 128, 8, Objective::MinLatency { batch: 1 }, Some(10.0));
+        assert!(loose.is_some());
+        let impossible = plan(
+            &model,
+            &cluster,
+            128,
+            8,
+            Objective::MinLatency { batch: 1 },
+            Some(1e-6),
+        );
+        assert!(impossible.is_none());
+    }
+
+    #[test]
+    fn throughput_objective_sorts_descending() {
+        let model = dense_by_name("GPT-13B").unwrap();
+        let cluster = ClusterSpec::dgx_a100(1);
+        let p = plan(&model, &cluster, 512, 50, Objective::MaxThroughput, None).unwrap();
+        for w in p.candidates.windows(2) {
+            assert!(w[0].report.tokens_per_s >= w[1].report.tokens_per_s);
+        }
+    }
+
+    #[test]
+    fn oversized_model_on_tiny_cluster_infeasible() {
+        let model = dense_by_name("LM-530B").unwrap();
+        let cluster = ClusterSpec::dgx_a100(1); // 8×40 GB — can't hold 1.06 TB
+        assert!(feasible_mappings(&model, &cluster).is_empty());
+        assert!(plan(&model, &cluster, 512, 50, Objective::MaxThroughput, None).is_none());
+    }
+}

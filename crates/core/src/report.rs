@@ -1,0 +1,73 @@
+//! Machine-readable result rows for the benchmark harness.
+//!
+//! Every bench binary prints a human-readable table to stdout and appends
+//! JSON rows (one object per line) so EXPERIMENTS.md entries can be
+//! regenerated and diffed mechanically.
+
+use serde::Serialize;
+
+/// One measured point of one experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Experiment id, e.g. "fig6", "table2".
+    pub experiment: String,
+    /// System under test, e.g. "DeepSpeed-FP16".
+    pub system: String,
+    /// Model name.
+    pub model: String,
+    /// Free-form x-axis value (batch size, GPU count, ...).
+    pub x: f64,
+    /// Name of the x-axis.
+    pub x_name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit of the value ("ms", "tokens/s", "TFLOPS", "TB/s").
+    pub unit: String,
+}
+
+impl Row {
+    pub fn new(
+        experiment: &str,
+        system: &str,
+        model: &str,
+        x_name: &str,
+        x: f64,
+        value: f64,
+        unit: &str,
+    ) -> Self {
+        Row {
+            experiment: experiment.into(),
+            system: system.into(),
+            model: model.into(),
+            x,
+            x_name: x_name.into(),
+            value,
+            unit: unit.into(),
+        }
+    }
+
+    /// Serialize to one JSON line.
+    pub fn json(&self) -> String {
+        serde_json::to_string(self).expect("row serializes")
+    }
+}
+
+/// Print a section header for a bench table.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_roundtrips_to_json() {
+        let r = Row::new("fig6", "DeepSpeed-FP16", "GPT-2-1.5B", "batch", 1.0, 3.2, "ms");
+        let s = r.json();
+        assert!(s.contains("\"experiment\":\"fig6\""));
+        assert!(s.contains("\"value\":3.2"));
+        let parsed: serde_json::Value = serde_json::from_str(&s).unwrap();
+        assert_eq!(parsed["unit"], "ms");
+    }
+}

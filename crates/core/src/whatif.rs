@@ -1,0 +1,165 @@
+//! Hardware sensitivity analysis: which resource actually bounds a
+//! deployment?
+//!
+//! The paper's whole argument is a set of roofline attributions — small
+//! batch is HBM-bound (Sec. I), cross-node TP is network-bound (Sec. II),
+//! launch overhead binds small models (Sec. III-D), NVMe binds 530B
+//! streaming (Sec. VI). This module makes those attributions queryable:
+//! scale one hardware knob at a time and report the latency elasticity
+//! `−d log(latency) / d log(knob)` — 1.0 means the knob is the bottleneck,
+//! 0.0 means it is irrelevant.
+
+use crate::engine::{EngineConfig, InferenceEngine};
+use dsi_sim::hw::ClusterSpec;
+use serde::Serialize;
+
+/// A hardware knob the sensitivity analysis can scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Knob {
+    /// GPU HBM bandwidth.
+    MemBandwidth,
+    /// GPU peak math throughput (all precisions).
+    PeakFlops,
+    /// Kernel-launch overhead (inverse: larger knob = lower overhead).
+    LaunchOverhead,
+    /// Intra-node interconnect bandwidth (NVLink/NVSwitch).
+    IntraBandwidth,
+    /// Inter-node network bandwidth.
+    InterBandwidth,
+}
+
+pub const ALL_KNOBS: [Knob; 5] = [
+    Knob::MemBandwidth,
+    Knob::PeakFlops,
+    Knob::LaunchOverhead,
+    Knob::IntraBandwidth,
+    Knob::InterBandwidth,
+];
+
+/// Scale a cluster's hardware along one knob by `factor` (> 1 = better
+/// hardware).
+pub fn scale_cluster(base: &ClusterSpec, knob: Knob, factor: f64) -> ClusterSpec {
+    assert!(factor > 0.0);
+    let mut c = base.clone();
+    match knob {
+        Knob::MemBandwidth => c.node.gpu.mem_bw *= factor,
+        Knob::PeakFlops => {
+            c.node.gpu.peak_fp32 *= factor;
+            c.node.gpu.peak_fp16 *= factor;
+            c.node.gpu.peak_int8 *= factor;
+        }
+        Knob::LaunchOverhead => c.node.gpu.kernel_launch_overhead /= factor,
+        Knob::IntraBandwidth => c.node.intra_link.bw *= factor,
+        Knob::InterBandwidth => c.inter_bw *= factor,
+    }
+    c
+}
+
+/// Sensitivity of one workload to one knob.
+#[derive(Debug, Clone, Serialize)]
+pub struct Sensitivity {
+    pub knob: Knob,
+    /// Latency elasticity in [0, 1]: fraction of latency the knob governs.
+    pub elasticity: f64,
+}
+
+/// Measure the latency elasticity of every knob for a deployment +
+/// workload: re-run the engine with each knob improved by `factor` (default
+/// 2×) and convert the speedup into an elasticity.
+pub fn sensitivities(
+    cfg: &EngineConfig,
+    batch: usize,
+    prompt: usize,
+    gen: usize,
+    factor: f64,
+) -> Vec<Sensitivity> {
+    let base = InferenceEngine::new(cfg.clone())
+        .generation(batch, prompt, gen)
+        .total_latency;
+    ALL_KNOBS
+        .iter()
+        .map(|&knob| {
+            let mut scaled = cfg.clone();
+            scaled.cluster = scale_cluster(&cfg.cluster, knob, factor);
+            let t = InferenceEngine::new(scaled)
+                .generation(batch, prompt, gen)
+                .total_latency;
+            // If the knob governed everything, t = base/factor; if nothing,
+            // t = base. Map linearly onto [0, 1] in log space.
+            let elasticity = (base / t).ln() / factor.ln();
+            Sensitivity {
+                knob,
+                elasticity: elasticity.clamp(-0.05, 1.05),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_model::zoo::dense_by_name;
+
+    fn sens(model: &str, tp: usize, pp: usize, nodes: usize, batch: usize) -> Vec<Sensitivity> {
+        let cfg = EngineConfig::deepspeed(
+            dense_by_name(model).unwrap(),
+            ClusterSpec::dgx_a100(nodes),
+            tp,
+            pp,
+        );
+        sensitivities(&cfg, batch, 128, 8, 2.0)
+    }
+
+    fn get(v: &[Sensitivity], k: Knob) -> f64 {
+        v.iter().find(|s| s.knob == k).unwrap().elasticity
+    }
+
+    #[test]
+    fn small_batch_single_gpu_is_memory_bound() {
+        // Sec. I: batch-1 latency is weight-read bound.
+        let v = sens("GPT-J-6B", 1, 1, 1, 1);
+        let mem = get(&v, Knob::MemBandwidth);
+        assert!(mem > 0.5, "memory elasticity {mem:.2}");
+        assert!(mem > 3.0 * get(&v, Knob::PeakFlops).max(0.05));
+        assert!(get(&v, Knob::InterBandwidth).abs() < 0.05);
+    }
+
+    #[test]
+    fn large_batch_prompt_is_compute_bound() {
+        let v = sens("GPT-J-6B", 1, 1, 1, 64);
+        let flops = get(&v, Knob::PeakFlops);
+        let mem = get(&v, Knob::MemBandwidth);
+        assert!(flops > mem, "flops {flops:.2} vs mem {mem:.2}");
+    }
+
+    #[test]
+    fn cross_node_tp_feels_the_network() {
+        // TP=16 spans two nodes: inter-node bandwidth must matter there and
+        // not for the TP=8 single-node mapping.
+        let wide = sens("LM-175B", 16, 1, 2, 8);
+        let narrow = sens("LM-175B", 8, 2, 2, 8);
+        assert!(
+            get(&wide, Knob::InterBandwidth) > get(&narrow, Knob::InterBandwidth) + 0.05,
+            "wide {:.2} narrow {:.2}",
+            get(&wide, Knob::InterBandwidth),
+            get(&narrow, Knob::InterBandwidth)
+        );
+    }
+
+    #[test]
+    fn elasticities_are_fractions_of_a_whole() {
+        // Knobs partition the latency (roughly): summed elasticity ≈ ≤ 1.2.
+        let v = sens("GPT-13B", 4, 1, 1, 4);
+        let sum: f64 = v.iter().map(|s| s.elasticity.max(0.0)).sum();
+        assert!(sum < 1.4, "sum {sum:.2}");
+        assert!(sum > 0.5, "sum {sum:.2}");
+    }
+
+    #[test]
+    fn scale_cluster_is_pure() {
+        let base = ClusterSpec::dgx_a100(1);
+        let scaled = scale_cluster(&base, Knob::MemBandwidth, 2.0);
+        assert_eq!(scaled.node.gpu.mem_bw, base.node.gpu.mem_bw * 2.0);
+        assert_eq!(base.node.gpu.mem_bw, ClusterSpec::dgx_a100(1).node.gpu.mem_bw);
+    }
+}

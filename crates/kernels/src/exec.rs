@@ -1,0 +1,261 @@
+//! Functional execution of the kernel IR — including *tiled* execution of
+//! fusion regions, which turns Deep-Fusion's legality rule into a checkable
+//! numerical property.
+//!
+//! Sec. III-B's argument is: a region may be fused iff it can be tiled along
+//! an axis with no cross-tile data dependencies; then each tile runs
+//! independently (in one thread block, intermediates in registers). This
+//! module interprets the [`crate::graph::OpDesc`] list over real tensors two
+//! ways — whole-tensor, and split into independent token tiles per fused
+//! region — and the test suite demonstrates:
+//!
+//! * for legal plans, tiled execution is *exactly* whole-tensor execution;
+//! * for an illegal fusion (tiling attention along tokens of the same
+//!   sequence), tiled execution visibly diverges — i.e. the legality check
+//!   in [`crate::fusion`] is load-bearing, not decorative.
+
+use crate::fusion::FusionPlan;
+use crate::ops;
+use crate::tensor::Tensor;
+
+/// Concrete weights backing one transformer layer's op list (a thin view of
+/// `dsi-model`'s layer weights, kept here to avoid a dependency cycle).
+#[derive(Debug, Clone)]
+pub struct LayerTensors {
+    pub ln1_g: Tensor,
+    pub ln1_b: Tensor,
+    pub w_qkv: Tensor,
+    pub b_qkv: Tensor,
+    pub w_o: Tensor,
+    pub b_o: Tensor,
+    pub ln2_g: Tensor,
+    pub ln2_b: Tensor,
+    pub w_ff1: Tensor,
+    pub b_ff1: Tensor,
+    pub w_ff2: Tensor,
+    pub b_ff2: Tensor,
+    pub heads: usize,
+}
+
+impl LayerTensors {
+    /// Deterministic random weights for a `hidden`-wide layer.
+    pub fn random(hidden: usize, heads: usize, seed: u64) -> Self {
+        let h = hidden;
+        let s = 1.0 / (h as f32).sqrt();
+        LayerTensors {
+            ln1_g: Tensor::from_vec(&[h], vec![1.0; h]),
+            ln1_b: Tensor::zeros(&[h]),
+            w_qkv: Tensor::randn(&[h, 3 * h], s, seed + 1),
+            b_qkv: Tensor::randn(&[3 * h], 0.01, seed + 2),
+            w_o: Tensor::randn(&[h, h], s, seed + 3),
+            b_o: Tensor::randn(&[h], 0.01, seed + 4),
+            ln2_g: Tensor::from_vec(&[h], vec![1.0; h]),
+            ln2_b: Tensor::zeros(&[h]),
+            w_ff1: Tensor::randn(&[h, 4 * h], s, seed + 5),
+            b_ff1: Tensor::randn(&[4 * h], 0.01, seed + 6),
+            w_ff2: Tensor::randn(&[4 * h, h], s * 0.5, seed + 7),
+            b_ff2: Tensor::randn(&[h], 0.01, seed + 8),
+        heads,
+        }
+    }
+}
+
+/// Execution state flowing through the canonical 12-op layer dataflow (see
+/// [`crate::graph::transformer_layer_ops`]): the current activation plus the
+/// residual saved at block boundaries.
+#[derive(Debug, Clone)]
+struct Flow {
+    x: Tensor,
+    residual: Tensor,
+}
+
+/// Execute one op of the canonical layer list, by index. `full_x`/`kv` give
+/// attention its whole-sequence context (what makes token-tiling attention
+/// illegal — it reaches outside the tile).
+fn exec_op(idx: usize, w: &LayerTensors, flow: &mut Flow, causal_offset: usize) {
+    match idx {
+        0 => {
+            // ln_1: save the residual, normalize.
+            flow.residual = flow.x.clone();
+            flow.x = ops::layernorm(&flow.x, &w.ln1_g, &w.ln1_b, 1e-5);
+        }
+        1 => flow.x = ops::matmul(&flow.x, &w.w_qkv),
+        2 => ops::add_bias(&mut flow.x, &w.b_qkv),
+        3 => { /* head transpose: layout-only, a no-op on our row-major data */ }
+        4 => {
+            // attention over the qkv produced by ops 1-2.
+            let h = w.w_o.rows();
+            let q = flow.x.col_slice(0, h);
+            let k = flow.x.col_slice(h, 2 * h);
+            let v = flow.x.col_slice(2 * h, 3 * h);
+            flow.x = ops::attention(&q, &k, &v, w.heads, causal_offset);
+        }
+        5 => flow.x = ops::matmul(&flow.x, &w.w_o),
+        6 => {
+            ops::add_bias(&mut flow.x, &w.b_o);
+            ops::add_inplace(&mut flow.x, &flow.residual);
+            flow.residual = flow.x.clone();
+        }
+        7 => flow.x = ops::layernorm(&flow.x, &w.ln2_g, &w.ln2_b, 1e-5),
+        8 => flow.x = ops::matmul(&flow.x, &w.w_ff1),
+        9 => {
+            ops::add_bias(&mut flow.x, &w.b_ff1);
+            ops::gelu(&mut flow.x);
+        }
+        10 => flow.x = ops::matmul(&flow.x, &w.w_ff2),
+        11 => {
+            ops::add_bias(&mut flow.x, &w.b_ff2);
+            ops::add_inplace(&mut flow.x, &flow.residual);
+        }
+        _ => panic!("op index {idx} out of the canonical 12-op list"),
+    }
+}
+
+/// Whole-tensor execution of the canonical layer over `x` (`[t, h]`).
+pub fn layer_forward_whole(w: &LayerTensors, x: &Tensor) -> Tensor {
+    let mut flow = Flow {
+        x: x.clone(),
+        residual: x.clone(),
+    };
+    for idx in 0..12 {
+        exec_op(idx, w, &mut flow, 0);
+    }
+    flow.x
+}
+
+/// Whether the canonical op at `idx` can be tiled along the *token* axis
+/// with no cross-tile dependency (mirrors the `tile_axes` declarations).
+pub fn token_tileable(idx: usize) -> bool {
+    idx != 4 // attention couples tokens of one sequence
+}
+
+/// Tiled execution: run each fusion region token-tile by token-tile (tile
+/// width `tile`), mimicking the per-thread-block execution of a fused
+/// kernel. Regions whose ops are all token-tileable are split; a region
+/// containing attention processes the full tensor (its tile axis is Head,
+/// which our row-major data keeps together — splitting *tokens* there would
+/// be the illegal fusion the legality check exists to prevent).
+///
+/// With `force_tile_attention`, attention is (incorrectly) token-tiled too,
+/// demonstrating the divergence.
+pub fn layer_forward_tiled(
+    w: &LayerTensors,
+    x: &Tensor,
+    plan: &FusionPlan,
+    tile: usize,
+    force_tile_attention: bool,
+) -> Tensor {
+    assert!(tile >= 1);
+    let t = x.rows();
+    let mut flow = Flow {
+        x: x.clone(),
+        residual: x.clone(),
+    };
+    for &(lo, hi) in &plan.regions {
+        let tileable = (lo..hi).all(|i| token_tileable(i) || force_tile_attention);
+        if !tileable || t <= tile {
+            for idx in lo..hi {
+                exec_op(idx, w, &mut flow, 0);
+            }
+            continue;
+        }
+        // Split the region's input state into token tiles and run the whole
+        // region per tile — exactly what one fused thread block does.
+        let mut out_parts: Vec<Tensor> = Vec::new();
+        let mut res_parts: Vec<Tensor> = Vec::new();
+        let mut start = 0;
+        while start < t {
+            let end = (start + tile).min(t);
+            let mut tile_flow = Flow {
+                x: flow.x.row_slice(start, end),
+                residual: flow.residual.row_slice(start, end),
+            };
+            for idx in lo..hi {
+                // A token tile that (illegally) includes attention sees only
+                // its own tokens as context — offset keeps causality local.
+                exec_op(idx, w, &mut tile_flow, 0);
+            }
+            out_parts.push(tile_flow.x);
+            res_parts.push(tile_flow.residual);
+            start = end;
+        }
+        flow.x = Tensor::cat_rows(&out_parts.iter().collect::<Vec<_>>());
+        flow.residual = Tensor::cat_rows(&res_parts.iter().collect::<Vec<_>>());
+    }
+    flow.x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (LayerTensors, Tensor) {
+        let w = LayerTensors::random(32, 4, 91);
+        let x = Tensor::randn(&[8, 32], 1.0, 92);
+        (w, x)
+    }
+
+    #[test]
+    fn whole_execution_matches_reference_dataflow() {
+        // Sanity: the op-list interpreter is a faithful transformer layer —
+        // check shape and finiteness, and that it is deterministic.
+        let (w, x) = setup();
+        let a = layer_forward_whole(&w, &x);
+        let b = layer_forward_whole(&w, &x);
+        assert_eq!(a.shape(), x.shape());
+        assert!(a.data().iter().all(|v| v.is_finite()));
+        assert!(a.allclose(&b, 0.0));
+    }
+
+    #[test]
+    fn legal_plans_tile_exactly() {
+        // The Deep-Fusion legality theorem, numerically: for every built-in
+        // plan, per-tile execution of each region equals whole-tensor
+        // execution, for several tile widths.
+        let (w, x) = setup();
+        let want = layer_forward_whole(&w, &x);
+        for plan in [
+            FusionPlan::unfused(12),
+            FusionPlan::deepspeed_small_batch(),
+            FusionPlan::deepspeed_large_batch(),
+            FusionPlan::faster_transformer(),
+        ] {
+            for tile in [1usize, 2, 3, 4] {
+                let got = layer_forward_tiled(&w, &x, &plan, tile, false);
+                assert!(
+                    got.allclose(&want, 1e-4),
+                    "plan {:?} tile {tile}: diff {}",
+                    plan.regions,
+                    got.max_abs_diff(&want)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn illegal_attention_tiling_diverges() {
+        // Token-tiling the attention region breaks cross-token dependencies:
+        // the result must differ — this is exactly the fusion the legality
+        // rule forbids.
+        let (w, x) = setup();
+        let want = layer_forward_whole(&w, &x);
+        let plan = FusionPlan::deepspeed_small_batch();
+        let got = layer_forward_tiled(&w, &x, &plan, 2, true);
+        assert!(
+            got.max_abs_diff(&want) > 1e-3,
+            "illegally tiled attention should diverge (diff {})",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn single_token_makes_every_tiling_legal() {
+        // With t=1 there is nothing to couple: even attention token-tiling
+        // degenerates to correct execution.
+        let w = LayerTensors::random(32, 4, 93);
+        let x = Tensor::randn(&[1, 32], 1.0, 94);
+        let want = layer_forward_whole(&w, &x);
+        let got = layer_forward_tiled(&w, &x, &FusionPlan::deepspeed_small_batch(), 1, true);
+        assert!(got.allclose(&want, 1e-5));
+    }
+}

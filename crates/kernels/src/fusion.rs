@@ -1,0 +1,319 @@
+//! Deep-Fusion (Sec. III-B): partition a layer's op list into fused regions
+//! under the tile-dependency legality rule, and recompute costs with interior
+//! activations held in registers/shared memory.
+//!
+//! Fusion legality: "two operators can be fused using Deep-Fusion if each
+//! tile of the second operator depends on exactly one output tile of the
+//! first" — which holds exactly when the two ops share a tileable axis. A
+//! region is legal iff every adjacent pair shares an axis.
+//!
+//! Cost effect of fusing a region:
+//! * launches: 1 (vs one — or several, for eager frameworks — per op),
+//! * weight bytes: unchanged (weights always stream from HBM),
+//! * activation traffic: only the region's *boundary* tensors hit HBM; all
+//!   interior producer→consumer tensors stay on-chip ("the data produced by
+//!   each tile is either kept in registers or in shared memory").
+
+use crate::cost::KernelCost;
+use crate::graph::{OpDesc, OpKind};
+use dsi_sim::hw::DType;
+use serde::Serialize;
+
+/// A partition of an op list into contiguous fused regions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FusionPlan {
+    /// Each region is a contiguous, non-empty range of op indices; regions
+    /// must cover `0..n` in order.
+    pub regions: Vec<(usize, usize)>,
+}
+
+/// Ways a plan can be rejected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum FusionError {
+    /// Regions don't tile `0..n` contiguously.
+    BadPartition,
+    /// Ops at these adjacent indices share no tileable axis.
+    NoSharedAxis(usize, usize),
+}
+
+impl std::fmt::Display for FusionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FusionError::BadPartition => write!(f, "regions do not partition the op list"),
+            FusionError::NoSharedAxis(a, b) => {
+                write!(f, "ops {a} and {b} share no tileable axis; cannot fuse")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+impl FusionPlan {
+    /// Every op in its own region (the eager / unfused baseline).
+    pub fn unfused(n_ops: usize) -> Self {
+        FusionPlan {
+            regions: (0..n_ops).map(|i| (i, i + 1)).collect(),
+        }
+    }
+
+    /// The DeepSpeed small-batch plan of Fig. 1(c): four fused regions
+    /// around the GEMMs — (1) input layer-norm + QKV GEMM (+bias),
+    /// (2) transposition + attention, (3) attention-output GEMM + bias +
+    /// residual, (4) post-attention layer-norm + FF1 GEMM + GeLU, and
+    /// (5) FF2 GEMM + bias + residual. Indices refer to
+    /// [`crate::graph::transformer_layer_ops`].
+    pub fn deepspeed_small_batch() -> Self {
+        FusionPlan {
+            regions: vec![(0, 3), (3, 5), (5, 7), (7, 10), (10, 12)],
+        }
+    }
+
+    /// The DeepSpeed large-batch plan (Sec. III-D): "we follow the same
+    /// fusion strategy ... with the difference that we use CUBLAS for GeMM
+    /// operations, and keep them unfused". GEMMs stand alone; the non-GEMM
+    /// chains between them stay fused.
+    pub fn deepspeed_large_batch() -> Self {
+        FusionPlan {
+            regions: vec![
+                (0, 1),   // ln_1
+                (1, 2),   // qkv_gemm (cuBLAS, unfused)
+                (2, 5),   // qkv_bias + transpose + attention
+                (5, 6),   // attn_out_gemm
+                (6, 8),   // bias+residual + ln_2
+                (8, 9),   // ff1_gemm
+                (9, 10),  // gelu_bias
+                (10, 11), // ff2_gemm
+                (11, 12), // bias+residual
+            ],
+        }
+    }
+
+    /// FasterTransformer-style fusion: attention block fused, biases fused
+    /// with activations, but no layer-norm/GEMM cross-fusion and no custom
+    /// GEMM (the baseline of Fig. 6).
+    pub fn faster_transformer() -> Self {
+        FusionPlan {
+            regions: vec![
+                (0, 1),
+                (1, 2),
+                (2, 5), // qkv_bias + transpose + attention
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (9, 10),
+                (10, 11),
+                (11, 12),
+            ],
+        }
+    }
+}
+
+/// A fused kernel: one launch covering a region of ops.
+#[derive(Debug, Clone, Serialize)]
+pub struct FusedKernel {
+    pub name: String,
+    pub cost: KernelCost,
+    /// Launches this kernel costs on an optimized runtime.
+    pub launches: usize,
+    /// Launches on an eager framework (sum of micro-launches).
+    pub eager_launches: usize,
+    /// Activation rows `m` of the largest GEMM in the region (drives the
+    /// GEMM efficiency curves); `None` if the region has no GEMM.
+    pub gemm_rows: Option<usize>,
+    /// Region contains an attention op (uses attention efficiency).
+    pub has_attention: bool,
+}
+
+fn shares_axis(a: &OpDesc, b: &OpDesc) -> bool {
+    a.tile_axes.iter().any(|ax| b.tile_axes.contains(ax))
+}
+
+/// Apply a fusion plan to an op list, checking legality and producing fused
+/// kernels with boundary-only activation traffic.
+pub fn fuse(
+    ops: &[OpDesc],
+    plan: &FusionPlan,
+    act_dtype: DType,
+) -> Result<Vec<FusedKernel>, FusionError> {
+    // Partition check.
+    let mut expect = 0usize;
+    for &(lo, hi) in &plan.regions {
+        if lo != expect || hi <= lo || hi > ops.len() {
+            return Err(FusionError::BadPartition);
+        }
+        expect = hi;
+    }
+    if expect != ops.len() {
+        return Err(FusionError::BadPartition);
+    }
+
+    let mut out = Vec::with_capacity(plan.regions.len());
+    for &(lo, hi) in &plan.regions {
+        let region = &ops[lo..hi];
+        // Legality: each adjacent producer→consumer pair must share a tile
+        // axis ("each tile of the second operator depends on exactly one
+        // output tile of the first"). The tiling axis may change across a
+        // pair boundary — the fused kernel re-tiles through shared memory,
+        // as the paper's transposition+attention region does.
+        for i in 0..region.len() - 1 {
+            if !shares_axis(&region[i], &region[i + 1]) {
+                return Err(FusionError::NoSharedAxis(lo + i, lo + i + 1));
+            }
+        }
+
+        let mut cost = KernelCost::default();
+        let mut eager = 0usize;
+        let mut gemm_rows = None;
+        let mut has_attention = false;
+        for (i, op) in region.iter().enumerate() {
+            let c = op.cost(act_dtype);
+            cost.flops += c.flops;
+            cost.weight_bytes += c.weight_bytes;
+            eager += op.micro_launches;
+            match op.kind {
+                OpKind::Gemm { m, .. } => {
+                    gemm_rows = Some(gemm_rows.map_or(m, |g: usize| g.max(m)));
+                }
+                OpKind::Attention { .. } => has_attention = true,
+                _ => {}
+            }
+            // Boundary traffic: the first op's reads enter from HBM and the
+            // last op's writes leave to HBM. Interior tensors stay on-chip,
+            // *except* extra external operands (residual inputs), which are
+            // reads from outside the region regardless of position.
+            if i == 0 {
+                cost.act_read += c.act_read;
+            } else if let OpKind::Elementwise {
+                elems,
+                extra_input: true,
+            } = op.kind
+            {
+                cost.act_read += elems as f64 * act_dtype.bytes() as f64;
+            }
+            if i == region.len() - 1 {
+                cost.act_write += c.act_write;
+            }
+        }
+        let name = region
+            .iter()
+            .map(|o| o.name)
+            .collect::<Vec<_>>()
+            .join("+");
+        out.push(FusedKernel {
+            name,
+            cost,
+            launches: 1,
+            eager_launches: eager,
+            gemm_rows,
+            has_attention,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::transformer_layer_ops;
+
+    fn ops() -> Vec<OpDesc> {
+        transformer_layer_ops(1, 1, 128, 512, 8, DType::Fp16)
+    }
+
+    #[test]
+    fn unfused_plan_is_identity() {
+        let ops = ops();
+        let fused = fuse(&ops, &FusionPlan::unfused(ops.len()), DType::Fp16).unwrap();
+        assert_eq!(fused.len(), ops.len());
+        for (f, o) in fused.iter().zip(&ops) {
+            let c = o.cost(DType::Fp16);
+            assert_eq!(f.cost.act_read, c.act_read);
+            assert_eq!(f.cost.act_write, c.act_write);
+        }
+    }
+
+    #[test]
+    fn deepspeed_plans_are_legal() {
+        let ops = ops();
+        assert!(fuse(&ops, &FusionPlan::deepspeed_small_batch(), DType::Fp16).is_ok());
+        assert!(fuse(&ops, &FusionPlan::deepspeed_large_batch(), DType::Fp16).is_ok());
+        assert!(fuse(&ops, &FusionPlan::faster_transformer(), DType::Fp16).is_ok());
+    }
+
+    #[test]
+    fn fusion_preserves_flops_and_weights() {
+        let ops = ops();
+        let unfused = fuse(&ops, &FusionPlan::unfused(ops.len()), DType::Fp16).unwrap();
+        let fused = fuse(&ops, &FusionPlan::deepspeed_small_batch(), DType::Fp16).unwrap();
+        let sum = |ks: &[FusedKernel], f: fn(&KernelCost) -> f64| -> f64 {
+            ks.iter().map(|k| f(&k.cost)).sum()
+        };
+        assert_eq!(sum(&unfused, |c| c.flops), sum(&fused, |c| c.flops));
+        assert_eq!(
+            sum(&unfused, |c| c.weight_bytes),
+            sum(&fused, |c| c.weight_bytes)
+        );
+    }
+
+    #[test]
+    fn fusion_reduces_activation_traffic_and_launches() {
+        let ops = ops();
+        let unfused = fuse(&ops, &FusionPlan::unfused(ops.len()), DType::Fp16).unwrap();
+        let fused = fuse(&ops, &FusionPlan::deepspeed_small_batch(), DType::Fp16).unwrap();
+        let traffic = |ks: &[FusedKernel]| -> f64 {
+            ks.iter().map(|k| k.cost.act_read + k.cost.act_write).sum()
+        };
+        assert!(traffic(&fused) < traffic(&unfused));
+        let launches = |ks: &[FusedKernel]| -> usize { ks.iter().map(|k| k.launches).sum() };
+        assert_eq!(launches(&fused), 5);
+        assert_eq!(launches(&unfused), 12);
+    }
+
+    #[test]
+    fn residual_read_survives_fusion() {
+        // Region (5,7) = attn_out_gemm + bias_residual: the residual stream
+        // must still be read from HBM even though the gemm output is fused.
+        let ops = ops();
+        let fused = fuse(&ops, &FusionPlan::deepspeed_small_batch(), DType::Fp16).unwrap();
+        let region = &fused[2];
+        assert!(region.name.contains("attn_bias_residual"));
+        let m_h_bytes = (1 * 512 * 2) as f64;
+        // reads: gemm input (m×h) + residual (m×h).
+        assert!(region.cost.act_read >= 2.0 * m_h_bytes);
+    }
+
+    #[test]
+    fn illegal_partition_rejected() {
+        let ops = ops();
+        let bad = FusionPlan {
+            regions: vec![(0, 5), (6, 12)], // gap at 5
+        };
+        assert_eq!(
+            fuse(&ops, &bad, DType::Fp16).unwrap_err(),
+            FusionError::BadPartition
+        );
+    }
+
+    #[test]
+    fn no_shared_axis_rejected() {
+        // attention tiles only along Head; attn_out_gemm tiles along
+        // Token/OutputCol — fusing them directly must be rejected.
+        let ops = ops();
+        let bad = FusionPlan {
+            regions: vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 6), (6, 12)],
+        };
+        let err = fuse(&ops, &bad, DType::Fp16).unwrap_err();
+        assert!(matches!(err, FusionError::NoSharedAxis(4, 5)));
+    }
+
+    #[test]
+    fn eager_launch_counts_exceed_fused() {
+        let ops = ops();
+        let fused = fuse(&ops, &FusionPlan::unfused(ops.len()), DType::Fp16).unwrap();
+        let eager: usize = fused.iter().map(|k| k.eager_launches).sum();
+        let opt: usize = fused.iter().map(|k| k.launches).sum();
+        assert!(eager > 2 * opt, "eager {eager} opt {opt}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # dsi-kernels — transformer kernels: functional CPU implementations and
+//! GPU cost models
+//!
+//! Sec. III of the paper introduces inference-optimized transformer kernels
+//! built from three techniques: Deep-Fusion (Sec. III-B), the SBI-GeMM
+//! skinny-matrix GEMM (Sec. III-C), and CUDA-graph launch elision
+//! (Sec. III-D). This crate reproduces all three at two levels:
+//!
+//! * **Functional** — every operator of a transformer layer (GEMM,
+//!   layer-norm, softmax, attention with KV caching, GeLU, bias/residual,
+//!   quantize/dequantize, the SBI weight-layout transform) is implemented on
+//!   CPU with `rayon` data-parallelism, so the numerical claims (fused
+//!   dataflow ≡ unfused, sharded ≡ unsharded, INT8 error bounds) are *tested*,
+//!   not assumed.
+//! * **Cost** — each operator carries a [`cost::KernelCost`] (FLOPs, bytes
+//!   moved, launch class). [`fusion`] partitions a layer's op-list into fused
+//!   regions under the paper's tile-dependency legality rule and recomputes
+//!   traffic with interior tensors held in registers/shared memory;
+//!   [`cost::gemm_policy`] supplies the batch-size-dependent efficiency
+//!   curves that distinguish cuBLAS from SBI-GeMM from CUTLASS-INT8.
+
+pub mod cost;
+pub mod exec;
+pub mod fusion;
+pub mod graph;
+pub mod ops;
+pub mod precision;
+pub mod quant;
+pub mod sbi;
+pub mod tensor;
+
+pub use cost::{ExecConfig, GemmImpl, KernelCost};
+pub use fusion::{FusedKernel, FusionPlan};
+pub use graph::{Axis, OpDesc, OpKind};
+pub use tensor::Tensor;

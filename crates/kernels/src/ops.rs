@@ -1,0 +1,348 @@
+//! Functional transformer operators (CPU, rayon-parallel).
+//!
+//! These are the numerical reference for everything else in the
+//! reproduction: the tensor-parallel sharding of Sec. IV-A, the MoE routing
+//! rewrite of Sec. V-C, and the INT8 path of Sec. III-D are all validated
+//! against forward passes built from these operators.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// `a [m,k] × b [k,n] -> [m,n]`, rows in parallel.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul inner-dim mismatch: {k} vs {kb}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let bd = b.data();
+    out.data_mut()
+        .par_chunks_mut(n)
+        .zip(a.data().par_chunks(k))
+        .for_each(|(orow, arow)| {
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        });
+    out
+}
+
+/// `a [m,k] × bᵀ` where `b` is stored `[n,k]` -> `[m,n]`. Used for attention
+/// scores (Q·Kᵀ).
+pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, kb) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul_transb inner-dim mismatch");
+    let mut out = Tensor::zeros(&[m, n]);
+    out.data_mut()
+        .par_chunks_mut(n)
+        .zip(a.data().par_chunks(k))
+        .for_each(|(orow, arow)| {
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = b.row(j);
+                *o = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
+            }
+        });
+    out
+}
+
+/// Add a `[n]` bias to every row of a `[m,n]` tensor, in place.
+pub fn add_bias(x: &mut Tensor, bias: &Tensor) {
+    let n = x.cols();
+    assert_eq!(bias.len(), n, "bias length mismatch");
+    let b = bias.data();
+    x.data_mut().par_chunks_mut(n).for_each(|row| {
+        for (v, bv) in row.iter_mut().zip(b) {
+            *v += bv;
+        }
+    });
+}
+
+/// Element-wise `x += y` (residual connection).
+pub fn add_inplace(x: &mut Tensor, y: &Tensor) {
+    assert_eq!(x.shape(), y.shape(), "residual shape mismatch");
+    x.data_mut()
+        .par_iter_mut()
+        .zip(y.data().par_iter())
+        .for_each(|(a, b)| *a += b);
+}
+
+/// Scale every element in place.
+pub fn scale_inplace(x: &mut Tensor, s: f32) {
+    x.data_mut().par_iter_mut().for_each(|v| *v *= s);
+}
+
+/// GeLU activation (tanh approximation, as in GPT-2/3), in place.
+pub fn gelu(x: &mut Tensor) {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    x.data_mut().par_iter_mut().for_each(|v| {
+        let u = *v;
+        *v = 0.5 * u * (1.0 + (C * (u + 0.044715 * u * u * u)).tanh());
+    });
+}
+
+/// Layer norm over the trailing dimension with learnable `gamma`/`beta`.
+///
+/// The paper (Sec. III-B) notes all micro-operations of a layer-norm tile
+/// along the token dimension with reductions inside a tile; the per-row loop
+/// below is exactly that tile.
+pub fn layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+    let n = x.cols();
+    assert_eq!(gamma.len(), n);
+    assert_eq!(beta.len(), n);
+    let mut out = x.clone();
+    let (g, b) = (gamma.data(), beta.data());
+    out.data_mut().par_chunks_mut(n).for_each(|row| {
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (i, v) in row.iter_mut().enumerate() {
+            *v = (*v - mean) * inv * g[i] + b[i];
+        }
+    });
+    out
+}
+
+/// Row-wise softmax in place.
+pub fn softmax_rows(x: &mut Tensor) {
+    let n = x.cols();
+    x.data_mut().par_chunks_mut(n).for_each(|row| {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    });
+}
+
+/// Multi-head scaled-dot-product attention for one sequence.
+///
+/// * `q` — `[t_new, h]` queries for the tokens being processed this step,
+/// * `k`/`v` — `[t_ctx, h]` keys/values for the *full* context so far (the KV
+///   cache concatenated with this step's keys/values; Sec. II-d KV-caching),
+/// * `n_heads` — attention heads; `h` must divide evenly,
+/// * `causal_offset` — index of `q`'s first token in the full context, so
+///   query `i` may attend to context positions `<= causal_offset + i`.
+pub fn attention(q: &Tensor, k: &Tensor, v: &Tensor, n_heads: usize, causal_offset: usize) -> Tensor {
+    let (t_new, h) = (q.rows(), q.cols());
+    let t_ctx = k.rows();
+    assert_eq!(k.cols(), h);
+    assert_eq!(v.rows(), t_ctx);
+    assert_eq!(v.cols(), h);
+    assert_eq!(h % n_heads, 0, "heads must divide hidden");
+    let d = h / n_heads;
+    let scale = 1.0 / (d as f32).sqrt();
+
+    let mut out = Tensor::zeros(&[t_new, h]);
+    // Parallelize over heads; each head works on its column slice.
+    let head_outputs: Vec<(usize, Vec<f32>)> = (0..n_heads)
+        .into_par_iter()
+        .map(|hd| {
+            let lo = hd * d;
+            let mut ho = vec![0.0f32; t_new * d];
+            for i in 0..t_new {
+                let qi = &q.row(i)[lo..lo + d];
+                let limit = causal_offset + i; // inclusive highest position
+                let mut scores = vec![f32::NEG_INFINITY; t_ctx];
+                for (j, s) in scores.iter_mut().enumerate().take(t_ctx) {
+                    if j <= limit {
+                        let kj = &k.row(j)[lo..lo + d];
+                        *s = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
+                    }
+                }
+                // softmax
+                let m = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for s in scores.iter_mut() {
+                    *s = (*s - m).exp();
+                    sum += *s;
+                }
+                for s in scores.iter_mut() {
+                    *s /= sum;
+                }
+                // weighted sum of values
+                let orow = &mut ho[i * d..(i + 1) * d];
+                for (j, &w) in scores.iter().enumerate() {
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let vj = &v.row(j)[lo..lo + d];
+                    for (o, &vv) in orow.iter_mut().zip(vj) {
+                        *o += w * vv;
+                    }
+                }
+            }
+            (hd, ho)
+        })
+        .collect();
+    for (hd, ho) in head_outputs {
+        let lo = hd * d;
+        for i in 0..t_new {
+            out.row_mut(i)[lo..lo + d].copy_from_slice(&ho[i * d..(i + 1) * d]);
+        }
+    }
+    out
+}
+
+/// Embedding lookup: `ids` into a `[vocab, h]` table.
+pub fn embedding(table: &Tensor, ids: &[usize]) -> Tensor {
+    let h = table.cols();
+    let mut out = Tensor::zeros(&[ids.len(), h]);
+    for (i, &id) in ids.iter().enumerate() {
+        assert!(id < table.rows(), "token id {id} out of vocab");
+        out.row_mut(i).copy_from_slice(table.row(id));
+    }
+    out
+}
+
+/// Row-wise argmax (greedy decoding).
+pub fn argmax_rows(x: &Tensor) -> Vec<usize> {
+    (0..x.rows())
+        .map(|r| {
+            x.row(r)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        let i = Tensor::from_vec(&[2, 2], vec![1., 0., 0., 1.]);
+        assert!(matmul(&a, &i).allclose(&a, 0.0));
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_transb_matches_matmul() {
+        let a = Tensor::randn(&[3, 5], 1.0, 1);
+        let b = Tensor::randn(&[5, 4], 1.0, 2);
+        // Build bT stored [4,5]
+        let mut bt = Tensor::zeros(&[4, 5]);
+        for i in 0..5 {
+            for j in 0..4 {
+                bt.row_mut(j)[i] = b.row(i)[j];
+            }
+        }
+        let c1 = matmul(&a, &b);
+        let c2 = matmul_transb(&a, &bt);
+        assert!(c1.allclose(&c2, 1e-5));
+    }
+
+    #[test]
+    fn bias_and_residual() {
+        let mut x = Tensor::from_vec(&[2, 2], vec![1., 1., 1., 1.]);
+        add_bias(&mut x, &Tensor::from_vec(&[2], vec![1., 2.]));
+        assert_eq!(x.data(), &[2., 3., 2., 3.]);
+        let y = Tensor::from_vec(&[2, 2], vec![1., 1., 1., 1.]);
+        add_inplace(&mut x, &y);
+        assert_eq!(x.data(), &[3., 4., 3., 4.]);
+    }
+
+    #[test]
+    fn gelu_fixed_points() {
+        let mut x = Tensor::from_vec(&[3], vec![0.0, 10.0, -10.0]);
+        gelu(&mut x);
+        assert!(x.data()[0].abs() < 1e-6);
+        assert!((x.data()[1] - 10.0).abs() < 1e-3);
+        assert!(x.data()[2].abs() < 1e-3);
+    }
+
+    #[test]
+    fn layernorm_normalizes() {
+        let x = Tensor::from_vec(&[1, 4], vec![1., 2., 3., 4.]);
+        let g = Tensor::from_vec(&[4], vec![1.; 4]);
+        let b = Tensor::from_vec(&[4], vec![0.; 4]);
+        let y = layernorm(&x, &g, &b, 1e-5);
+        let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
+        let var: f32 = y.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut x = Tensor::from_vec(&[2, 3], vec![1., 2., 3., -1., 0., 1.]);
+        softmax_rows(&mut x);
+        for r in 0..2 {
+            let s: f32 = x.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Larger logits get larger probability.
+        assert!(x.row(0)[2] > x.row(0)[0]);
+    }
+
+    #[test]
+    fn attention_single_token_is_value_passthrough() {
+        // One token attending only to itself returns exactly its value row.
+        let q = Tensor::randn(&[1, 8], 1.0, 3);
+        let k = Tensor::randn(&[1, 8], 1.0, 4);
+        let v = Tensor::randn(&[1, 8], 1.0, 5);
+        let o = attention(&q, &k, &v, 2, 0);
+        assert!(o.allclose(&v, 1e-6));
+    }
+
+    #[test]
+    fn attention_causality() {
+        // Token 0 must not see token 1: its output is independent of later
+        // context rows.
+        let q = Tensor::randn(&[2, 8], 1.0, 6);
+        let k = Tensor::randn(&[2, 8], 1.0, 7);
+        let v = Tensor::randn(&[2, 8], 1.0, 8);
+        let o_full = attention(&q, &k, &v, 2, 0);
+        let o_first = attention(&q.row_slice(0, 1), &k.row_slice(0, 1), &v.row_slice(0, 1), 2, 0);
+        assert!(o_full.row_slice(0, 1).allclose(&o_first, 1e-6));
+    }
+
+    #[test]
+    fn attention_uniform_when_keys_equal() {
+        // Identical keys -> uniform weights -> output = mean of values.
+        let q = Tensor::randn(&[1, 4], 1.0, 9);
+        let k = Tensor::from_vec(&[3, 4], vec![1.0; 12]);
+        let v = Tensor::from_vec(&[3, 4], {
+            let mut d = vec![0.0; 12];
+            for (i, x) in d.iter_mut().enumerate() {
+                *x = i as f32;
+            }
+            d
+        });
+        let o = attention(&q, &k, &v, 1, 2);
+        for j in 0..4 {
+            let mean = (v.row(0)[j] + v.row(1)[j] + v.row(2)[j]) / 3.0;
+            assert!((o.row(0)[j] - mean).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn embedding_and_argmax() {
+        let table = Tensor::from_vec(&[3, 2], vec![0., 1., 10., 11., 20., 21.]);
+        let e = embedding(&table, &[2, 0]);
+        assert_eq!(e.row(0), &[20., 21.]);
+        assert_eq!(e.row(1), &[0., 1.]);
+        assert_eq!(argmax_rows(&e), vec![1, 1]);
+    }
+}

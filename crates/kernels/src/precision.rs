@@ -1,0 +1,198 @@
+//! Reduced-precision emulation: FP16/BF16 rounding on f32 storage.
+//!
+//! The cost layer treats FP16 as a bandwidth property; this module supplies
+//! the *numerics*: round-to-nearest-even conversion to IEEE binary16 and
+//! bfloat16 grids, so tests can measure how much precision the paper's FP16
+//! execution actually costs a model (it should be negligible — that's why
+//! FP16 inference is standard — and now that's checked, not assumed).
+
+use crate::tensor::Tensor;
+
+/// Round an `f32` to the nearest IEEE-754 binary16 value (returned as f32).
+/// Handles normals, subnormals, overflow to infinity, and NaN.
+pub fn to_fp16(x: f32) -> f32 {
+    let bits = x.to_bits();
+    let sign = (bits >> 16) & 0x8000;
+    let mut exp = ((bits >> 23) & 0xff) as i32;
+    let mut frac = bits & 0x007f_ffff;
+
+    let half_bits: u32 = if exp == 0xff {
+        // Inf / NaN.
+        sign | 0x7c00 | if frac != 0 { 0x0200 } else { 0 }
+    } else {
+        exp -= 127 - 15; // rebias
+        if exp >= 0x1f {
+            sign | 0x7c00 // overflow -> inf
+        } else if exp <= 0 {
+            // Subnormal half (or zero).
+            if exp < -10 {
+                sign
+            } else {
+                frac |= 0x0080_0000; // implicit leading 1
+                let shift = (14 - exp) as u32;
+                let sub = frac >> shift;
+                // Round to nearest even.
+                let rem = frac & ((1 << shift) - 1);
+                let half = 1u32 << (shift - 1);
+                let rounded = match rem.cmp(&half) {
+                    std::cmp::Ordering::Greater => sub + 1,
+                    std::cmp::Ordering::Equal => sub + (sub & 1),
+                    std::cmp::Ordering::Less => sub,
+                };
+                sign | rounded
+            }
+        } else {
+            // Normal: keep 10 fraction bits, round-to-nearest-even on the
+            // remaining 13.
+            let rem = frac & 0x1fff;
+            let mut out = (exp as u32) << 10 | (frac >> 13);
+            match rem.cmp(&0x1000) {
+                std::cmp::Ordering::Greater => out += 1,
+                std::cmp::Ordering::Equal => out += out & 1,
+                std::cmp::Ordering::Less => {}
+            }
+            sign | out // carry into the exponent is correct by construction
+        }
+    };
+
+    // Expand back to f32.
+    let s = half_bits & 0x8000;
+    let e = (half_bits >> 10) & 0x1f;
+    let f = half_bits & 0x3ff;
+    let out_bits = if e == 0 {
+        if f == 0 {
+            s << 16
+        } else {
+            // Subnormal half: renormalize.
+            let mut e32 = 127 - 15 + 1;
+            let mut f32v = f;
+            while f32v & 0x400 == 0 {
+                f32v <<= 1;
+                e32 -= 1;
+            }
+            (s << 16) | ((e32 as u32) << 23) | ((f32v & 0x3ff) << 13)
+        }
+    } else if e == 0x1f {
+        (s << 16) | 0x7f80_0000 | (f << 13)
+    } else {
+        (s << 16) | ((e + 127 - 15) << 23) | (f << 13)
+    };
+    f32::from_bits(out_bits)
+}
+
+/// Round to the nearest bfloat16 value (round-to-nearest-even on the low 16
+/// mantissa bits).
+pub fn to_bf16(x: f32) -> f32 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        return x;
+    }
+    let rem = bits & 0xffff;
+    let mut hi = bits >> 16;
+    match rem.cmp(&0x8000) {
+        std::cmp::Ordering::Greater => hi += 1,
+        std::cmp::Ordering::Equal => hi += hi & 1,
+        std::cmp::Ordering::Less => {}
+    }
+    f32::from_bits(hi << 16)
+}
+
+/// Round every element of a tensor to the FP16 grid.
+pub fn tensor_to_fp16(t: &Tensor) -> Tensor {
+    let data = t.data().iter().map(|&x| to_fp16(x)).collect();
+    Tensor::from_vec(t.shape(), data)
+}
+
+/// Round every element of a tensor to the BF16 grid.
+pub fn tensor_to_bf16(t: &Tensor) -> Tensor {
+    let data = t.data().iter().map(|&x| to_bf16(x)).collect();
+    Tensor::from_vec(t.shape(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_survive() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.25] {
+            assert_eq!(to_fp16(v), v, "{v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn fp16_relative_error_bounded() {
+        // Normal range: relative error ≤ 2^-11.
+        let mut x = 1e-3f32;
+        while x < 6e4 {
+            let r = to_fp16(x);
+            assert!(
+                ((r - x) / x).abs() <= 1.0 / 2048.0 + 1e-7,
+                "x={x} rounded to {r}"
+            );
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn fp16_overflow_to_infinity() {
+        assert!(to_fp16(1e6).is_infinite());
+        assert!(to_fp16(-1e6).is_infinite() && to_fp16(-1e6) < 0.0);
+        // Largest half value survives.
+        assert_eq!(to_fp16(65504.0), 65504.0);
+    }
+
+    #[test]
+    fn fp16_subnormals() {
+        // Smallest positive half subnormal ≈ 5.96e-8.
+        let tiny = 5.9604645e-8f32;
+        assert_eq!(to_fp16(tiny), tiny);
+        // Far below it flushes to zero.
+        assert_eq!(to_fp16(1e-9), 0.0);
+    }
+
+    #[test]
+    fn fp16_round_to_nearest_even() {
+        // 1 + 2^-11 is exactly between 1.0 and 1+2^-10: rounds to even (1.0).
+        let x = 1.0 + 2f32.powi(-11);
+        assert_eq!(to_fp16(x), 1.0);
+        // 1 + 3·2^-11 sits exactly between mantissa 1 (odd) and mantissa 2
+        // (even) — ties-to-even picks the even neighbor 1 + 2^-9.
+        let y = 1.0 + 3.0 * 2f32.powi(-11);
+        assert_eq!(to_fp16(y), 1.0 + 2f32.powi(-9));
+    }
+
+    #[test]
+    fn bf16_preserves_range_loses_precision() {
+        // Huge values stay finite (unlike FP16) — BF16 keeps the f32
+        // exponent range.
+        assert!(to_bf16(1e38).is_finite());
+        assert!(to_fp16(1e38).is_infinite());
+        // But the mantissa is truncated to 7 bits.
+        let x = 1.0 + 2f32.powi(-9);
+        assert!((to_bf16(x) - x).abs() > 0.0, "bf16 must drop low mantissa bits");
+        // Relative error bound ~2^-8.
+        let v = 3.14159f32;
+        assert!(((to_bf16(v) - v) / v).abs() <= 1.0 / 256.0);
+    }
+
+    #[test]
+    fn idempotent() {
+        for v in [3.14159f32, -0.007, 123.456] {
+            let once = to_fp16(v);
+            assert_eq!(to_fp16(once), once);
+            let once = to_bf16(v);
+            assert_eq!(to_bf16(once), once);
+        }
+    }
+
+    #[test]
+    fn tensor_rounding_elementwise() {
+        let t = Tensor::randn(&[4, 4], 1.0, 1);
+        let h = tensor_to_fp16(&t);
+        for (a, b) in t.data().iter().zip(h.data()) {
+            assert_eq!(*b, to_fp16(*a));
+        }
+        assert!(t.max_abs_diff(&h) < 1e-3);
+    }
+}

@@ -1,0 +1,195 @@
+//! INT8 weight quantization (Sec. III-D).
+//!
+//! The paper's INT8 path quantizes GEMM weights to 8 bits (halving the bytes
+//! the memory-bandwidth-bound small-batch GEMMs must read, and unlocking the
+//! 2× INT8 tensor-core peak at large batch). We implement symmetric
+//! group-wise quantization: each group of `group_size` consecutive weights
+//! along the input dimension shares one `f32` scale, chosen so the group's
+//! max-abs value maps to 127.
+
+use crate::ops;
+use crate::tensor::Tensor;
+
+/// An INT8-quantized matrix with group-wise scales.
+#[derive(Debug, Clone)]
+pub struct QuantizedMatrix {
+    /// Original shape `[k, n]`.
+    pub shape: [usize; 2],
+    /// Quantized values, row-major, same layout as the source.
+    pub q: Vec<i8>,
+    /// One scale per (row-group, column): `scales[g * n + j]`.
+    pub scales: Vec<f32>,
+    /// Rows per quantization group.
+    pub group_size: usize,
+}
+
+impl QuantizedMatrix {
+    /// Quantize a `[k, n]` weight matrix with `group_size` rows per group.
+    pub fn quantize(w: &Tensor, group_size: usize) -> Self {
+        let (k, n) = (w.rows(), w.cols());
+        assert!(group_size > 0);
+        let n_groups = k.div_ceil(group_size);
+        let mut scales = vec![0.0f32; n_groups * n];
+        let mut q = vec![0i8; k * n];
+        for g in 0..n_groups {
+            let lo = g * group_size;
+            let hi = (lo + group_size).min(k);
+            for j in 0..n {
+                let mut maxabs = 0.0f32;
+                for r in lo..hi {
+                    maxabs = maxabs.max(w.row(r)[j].abs());
+                }
+                let scale = if maxabs == 0.0 { 1.0 } else { maxabs / 127.0 };
+                scales[g * n + j] = scale;
+                for r in lo..hi {
+                    let v = (w.row(r)[j] / scale).round();
+                    q[r * n + j] = v.clamp(-127.0, 127.0) as i8;
+                }
+            }
+        }
+        QuantizedMatrix {
+            shape: [k, n],
+            q,
+            scales,
+            group_size,
+        }
+    }
+
+    /// Reconstruct the `f32` matrix.
+    pub fn dequantize(&self) -> Tensor {
+        let [k, n] = self.shape;
+        let mut out = Tensor::zeros(&[k, n]);
+        for r in 0..k {
+            let g = r / self.group_size;
+            let row = out.row_mut(r);
+            for (j, o) in row.iter_mut().enumerate() {
+                *o = self.q[r * n + j] as f32 * self.scales[g * n + j];
+            }
+        }
+        out
+    }
+
+    /// The worst-case absolute reconstruction error of any element: half a
+    /// quantization step, i.e. `scale / 2`, per group/column.
+    pub fn max_error_bound(&self) -> f32 {
+        self.scales.iter().copied().fold(0.0, f32::max) / 2.0 + f32::EPSILON
+    }
+
+    /// Bytes of the quantized representation (values + scales); used by the
+    /// cost model to credit the 2× weight-read reduction.
+    pub fn storage_bytes(&self) -> usize {
+        self.q.len() + self.scales.len() * 4
+    }
+}
+
+/// `x [m,k] × dequant(wq) [k,n]`: the INT8 GEMM of Sec. III-D with the
+/// dequantization epilogue fused (we dequantize on the fly rather than
+/// materializing the f32 weights).
+pub fn matmul_quantized(x: &Tensor, wq: &QuantizedMatrix) -> Tensor {
+    let [k, n] = wq.shape;
+    assert_eq!(x.cols(), k, "quantized matmul inner-dim mismatch");
+    let m = x.rows();
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        let xi = x.row(i);
+        let orow = out.row_mut(i);
+        for (r, &xv) in xi.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let g = r / wq.group_size;
+            let qrow = &wq.q[r * n..(r + 1) * n];
+            let srow = &wq.scales[g * n..(g + 1) * n];
+            for ((o, &qv), &s) in orow.iter_mut().zip(qrow).zip(srow) {
+                *o += xv * qv as f32 * s;
+            }
+        }
+    }
+    out
+}
+
+/// Relative Frobenius-norm error between an f32 GEMM and its INT8
+/// counterpart; the quality metric the INT8 claims rest on.
+pub fn quantized_gemm_rel_error(x: &Tensor, w: &Tensor, group_size: usize) -> f32 {
+    let exact = ops::matmul(x, w);
+    let wq = QuantizedMatrix::quantize(w, group_size);
+    let approx = matmul_quantized(x, &wq);
+    let num: f32 = exact
+        .data()
+        .iter()
+        .zip(approx.data())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    let den: f32 = exact.data().iter().map(|a| a * a).sum();
+    if den == 0.0 {
+        0.0
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_bounded() {
+        let w = Tensor::randn(&[16, 8], 0.5, 11);
+        let q = QuantizedMatrix::quantize(&w, 4);
+        let d = q.dequantize();
+        let bound = q.max_error_bound();
+        assert!(w.max_abs_diff(&d) <= bound, "err {} bound {}", w.max_abs_diff(&d), bound);
+    }
+
+    #[test]
+    fn zero_matrix_quantizes_exactly() {
+        let w = Tensor::zeros(&[4, 4]);
+        let q = QuantizedMatrix::quantize(&w, 2);
+        assert!(q.dequantize().allclose(&w, 0.0));
+    }
+
+    #[test]
+    fn max_values_map_to_127() {
+        let w = Tensor::from_vec(&[2, 1], vec![2.0, -2.0]);
+        let q = QuantizedMatrix::quantize(&w, 2);
+        assert_eq!(q.q[0], 127);
+        assert_eq!(q.q[1], -127);
+    }
+
+    #[test]
+    fn storage_halves_vs_fp16() {
+        let w = Tensor::randn(&[128, 128], 0.1, 3);
+        let q = QuantizedMatrix::quantize(&w, 64);
+        let fp16_bytes = w.len() * 2;
+        // INT8 + scale overhead must still be well under FP16.
+        assert!(q.storage_bytes() < fp16_bytes * 6 / 10);
+    }
+
+    #[test]
+    fn quantized_gemm_small_error() {
+        let x = Tensor::randn(&[4, 32], 1.0, 21);
+        let w = Tensor::randn(&[32, 16], 0.2, 22);
+        let err = quantized_gemm_rel_error(&x, &w, 8);
+        assert!(err < 0.02, "relative error too high: {err}");
+    }
+
+    #[test]
+    fn smaller_groups_reduce_error() {
+        let x = Tensor::randn(&[4, 64], 1.0, 31);
+        // Heavy-tailed weights: one large outlier per column region.
+        let mut w = Tensor::randn(&[64, 16], 0.1, 32);
+        for j in 0..16 {
+            w.row_mut(0)[j] = 5.0;
+        }
+        let coarse = quantized_gemm_rel_error(&x, &w, 64);
+        let fine = quantized_gemm_rel_error(&x, &w, 8);
+        assert!(fine < coarse, "fine {fine} coarse {coarse}");
+    }
+
+    #[test]
+    fn ragged_last_group_handled() {
+        let w = Tensor::randn(&[10, 4], 0.5, 41);
+        let q = QuantizedMatrix::quantize(&w, 4); // groups of 4,4,2
+        assert!(w.max_abs_diff(&q.dequantize()) <= q.max_error_bound());
+    }
+}

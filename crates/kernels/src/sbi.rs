@@ -1,0 +1,277 @@
+//! SBI-GeMM: the custom small-batch-inference GEMM of Sec. III-C.
+//!
+//! Three ideas from the paper are reproduced functionally:
+//!
+//! 1. **Tiling strategy** (Sec. III-C1): tile the output dimension so the
+//!    reduction stays within a tile (one kernel). When the output dimension
+//!    is too small to fill the SMs, additionally tile the *input* dimension
+//!    and finish with a cross-tile reduction (two kernels). [`SbiPlan`]
+//!    makes that choice exactly as described.
+//! 2. **Cooperative-group reduction** (Sec. III-C2): each "warp" produces a
+//!    partial result for an output tile; a data-layout transpose makes
+//!    partials of the same output element contiguous so one warp reduces
+//!    them without a shared-memory reduction tree. [`gemm_sbi`] executes
+//!    this two-phase structure literally (partials buffer → transpose →
+//!    final reduce) so the dataflow is testable.
+//! 3. **Full cache-line layout** (Sec. III-C3): the weight matrix is
+//!    transposed at init so `M` rows of each column are contiguous, letting
+//!    each thread read `M` elements along the input dimension (M=2 for FP16,
+//!    4 for INT8). [`SbiLayout`] performs that transform and is verified to
+//!    be a bijection.
+
+use crate::tensor::Tensor;
+use dsi_sim::hw::DType;
+use rayon::prelude::*;
+
+/// SBI weight layout: `[k, n]` stored so that for each output column `j`,
+/// blocks of `m_interleave` consecutive input-rows are contiguous.
+#[derive(Debug, Clone)]
+pub struct SbiLayout {
+    pub k: usize,
+    pub n: usize,
+    pub m_interleave: usize,
+    /// Padded block count along k.
+    blocks: usize,
+    data: Vec<f32>,
+}
+
+impl SbiLayout {
+    /// Transform a row-major `[k, n]` weight matrix into SBI layout for the
+    /// given data type's interleave factor.
+    pub fn from_weights(w: &Tensor, dtype: DType) -> Self {
+        let (k, n) = (w.rows(), w.cols());
+        let m = dtype.sbi_interleave();
+        let blocks = k.div_ceil(m);
+        let mut data = vec![0.0f32; blocks * m * n];
+        for r in 0..k {
+            for j in 0..n {
+                let (blk, off) = (r / m, r % m);
+                data[(j * blocks + blk) * m + off] = w.row(r)[j];
+            }
+        }
+        SbiLayout {
+            k,
+            n,
+            m_interleave: m,
+            blocks,
+            data,
+        }
+    }
+
+    /// Element at logical position `(r, j)` of the original matrix.
+    pub fn get(&self, r: usize, j: usize) -> f32 {
+        let m = self.m_interleave;
+        self.data[(j * self.blocks + r / m) * m + r % m]
+    }
+
+    /// Invert the transform (used to prove it is lossless).
+    pub fn to_row_major(&self) -> Tensor {
+        let mut out = Tensor::zeros(&[self.k, self.n]);
+        for r in 0..self.k {
+            for j in 0..self.n {
+                out.row_mut(r)[j] = self.get(r, j);
+            }
+        }
+        out
+    }
+
+    /// The contiguous slice a single "thread" reads for column `j`, block
+    /// `blk`: exactly `m_interleave` values, i.e. one cache-line-filling read
+    /// per warp.
+    pub fn block(&self, j: usize, blk: usize) -> &[f32] {
+        let m = self.m_interleave;
+        &self.data[(j * self.blocks + blk) * m..(j * self.blocks + blk + 1) * m]
+    }
+}
+
+/// Kernel-count decision of Sec. III-C1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SbiPlan {
+    /// Tiles along the output dimension.
+    pub output_tiles: usize,
+    /// Tiles along the input (reduction) dimension; `> 1` forces a second
+    /// reduction kernel.
+    pub input_tiles: usize,
+}
+
+impl SbiPlan {
+    /// Outputs per thread-block tile (64 output elements per tile keeps a
+    /// block's warps busy on all modeled parts).
+    pub const TILE_N: usize = 64;
+
+    /// Choose tiling for an `[k] × [k,n]` product on a GPU with `sm_count`
+    /// SMs. If output tiles alone cannot occupy the SMs ("for small models,
+    /// where the output dimension is too small"), split the input dimension
+    /// until they do.
+    pub fn choose(k: usize, n: usize, sm_count: usize) -> SbiPlan {
+        let output_tiles = n.div_ceil(Self::TILE_N).max(1);
+        if output_tiles >= sm_count {
+            return SbiPlan {
+                output_tiles,
+                input_tiles: 1,
+            };
+        }
+        let want = sm_count.div_ceil(output_tiles);
+        // Each input tile should still be a few cache lines deep.
+        let max_split = (k / 256).max(1);
+        SbiPlan {
+            output_tiles,
+            input_tiles: want.min(max_split).max(1),
+        }
+    }
+
+    pub const fn kernels(&self) -> usize {
+        if self.input_tiles > 1 {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+/// Warp width used by the two-phase reduction.
+const WARP: usize = 32;
+
+/// SBI GEMM: `x [m,k] × w [k,n] -> [m,n]` where `w` is in [`SbiLayout`].
+///
+/// The computation follows the kernel structure of Fig. 1(a): per output
+/// tile, each of `WARP`-sized chunks of the reduction dimension produces a
+/// partial sum ("warp partials"), the partials are transposed so that all
+/// partials of one output element are contiguous, and a final pass reduces
+/// them. With `plan.input_tiles > 1` the final reduction crosses tile
+/// boundaries, modeling the second kernel.
+pub fn gemm_sbi(x: &Tensor, w: &SbiLayout, plan: SbiPlan) -> Tensor {
+    let (mrows, k) = (x.rows(), x.cols());
+    assert_eq!(k, w.k, "gemm_sbi inner-dim mismatch");
+    let n = w.n;
+    let m = w.m_interleave;
+    let mut out = Tensor::zeros(&[mrows, n]);
+
+    // Reduction-dimension chunking: each "warp" covers WARP*m consecutive k.
+    let chunk = WARP * m;
+    let n_chunks = k.div_ceil(chunk);
+    // Partition chunks across input tiles.
+    let chunks_per_tile = n_chunks.div_ceil(plan.input_tiles);
+
+    for row in 0..mrows {
+        let xr = x.row(row);
+        // Phase 1: per (input-tile, chunk) partial sums per output element.
+        // partials[j][c] = partial over chunk c.
+        let partials: Vec<Vec<f32>> = (0..n)
+            .into_par_iter()
+            .map(|j| {
+                let mut p = vec![0.0f32; n_chunks];
+                for (c, pc) in p.iter_mut().enumerate() {
+                    let lo = c * chunk;
+                    let hi = (lo + chunk).min(k);
+                    let mut acc = 0.0f32;
+                    let mut r = lo;
+                    while r < hi {
+                        let blk = r / m;
+                        let b = w.block(j, blk);
+                        let take = (hi - r).min(m - (r % m));
+                        for t in 0..take {
+                            acc += xr[r + t] * b[r % m + t];
+                        }
+                        r += take;
+                    }
+                    *pc = acc;
+                }
+                p
+            })
+            .collect();
+        // Phase 2: the "transpose + cooperative-group reduce". Reduce within
+        // each input tile first (the first kernel's epilogue), then across
+        // tiles (the second kernel when input_tiles > 1).
+        let orow = out.row_mut(row);
+        for (j, o) in orow.iter_mut().enumerate() {
+            let mut tile_sums = vec![0.0f32; plan.input_tiles];
+            for (c, &p) in partials[j].iter().enumerate() {
+                tile_sums[(c / chunks_per_tile).min(plan.input_tiles - 1)] += p;
+            }
+            *o = tile_sums.iter().sum();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul;
+
+    #[test]
+    fn layout_roundtrip_fp16() {
+        let w = Tensor::randn(&[64, 48], 0.3, 5);
+        let l = SbiLayout::from_weights(&w, DType::Fp16);
+        assert_eq!(l.m_interleave, 2);
+        assert!(l.to_row_major().allclose(&w, 0.0));
+    }
+
+    #[test]
+    fn layout_roundtrip_int8_interleave() {
+        let w = Tensor::randn(&[63, 7], 0.3, 6); // ragged k
+        let l = SbiLayout::from_weights(&w, DType::Int8);
+        assert_eq!(l.m_interleave, 4);
+        assert!(l.to_row_major().allclose(&w, 0.0));
+    }
+
+    #[test]
+    fn block_is_contiguous_along_k() {
+        let w = Tensor::from_vec(&[4, 2], vec![0., 10., 1., 11., 2., 12., 3., 13.]);
+        let l = SbiLayout::from_weights(&w, DType::Fp16);
+        // Column 0, block 0 holds rows 0 and 1 of column 0.
+        assert_eq!(l.block(0, 0), &[0., 1.]);
+        assert_eq!(l.block(1, 1), &[12., 13.]);
+    }
+
+    #[test]
+    fn plan_single_kernel_for_wide_output() {
+        // 108 SMs, n = 12288 -> 192 output tiles >= SMs: one kernel.
+        let p = SbiPlan::choose(4096, 12288, 108);
+        assert_eq!(p.input_tiles, 1);
+        assert_eq!(p.kernels(), 1);
+    }
+
+    #[test]
+    fn plan_two_kernels_for_narrow_output() {
+        // Small model: n = 768 -> 12 tiles < 108 SMs: split input dim.
+        let p = SbiPlan::choose(3072, 768, 108);
+        assert!(p.input_tiles > 1);
+        assert_eq!(p.kernels(), 2);
+    }
+
+    #[test]
+    fn gemm_sbi_matches_reference_one_kernel() {
+        let x = Tensor::randn(&[2, 96], 1.0, 7);
+        let w = Tensor::randn(&[96, 130], 0.2, 8);
+        let l = SbiLayout::from_weights(&w, DType::Fp16);
+        let plan = SbiPlan {
+            output_tiles: 3,
+            input_tiles: 1,
+        };
+        let got = gemm_sbi(&x, &l, plan);
+        assert!(got.allclose(&matmul(&x, &w), 1e-4));
+    }
+
+    #[test]
+    fn gemm_sbi_matches_reference_two_kernels() {
+        let x = Tensor::randn(&[1, 512], 1.0, 9);
+        let w = Tensor::randn(&[512, 64], 0.2, 10);
+        let l = SbiLayout::from_weights(&w, DType::Fp16);
+        let plan = SbiPlan::choose(512, 64, 108);
+        assert_eq!(plan.kernels(), 2);
+        let got = gemm_sbi(&x, &l, plan);
+        assert!(got.allclose(&matmul(&x, &w), 1e-4));
+    }
+
+    #[test]
+    fn gemm_sbi_int8_layout_matches() {
+        let x = Tensor::randn(&[3, 128], 1.0, 11);
+        let w = Tensor::randn(&[128, 32], 0.2, 12);
+        let l = SbiLayout::from_weights(&w, DType::Int8);
+        let plan = SbiPlan::choose(128, 32, 84);
+        let got = gemm_sbi(&x, &l, plan);
+        assert!(got.allclose(&matmul(&x, &w), 1e-4));
+    }
+}

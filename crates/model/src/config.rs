@@ -1,0 +1,302 @@
+//! Model configurations and resource accounting.
+//!
+//! Everything the cost models need about a model is derived here: parameter
+//! counts (weights bytes = the small-batch latency lower bound of Sec. I),
+//! forward FLOPs (the large-batch throughput bound), and KV-cache bytes (the
+//! memory-capacity pressure of Sec. IV-B).
+
+use dsi_sim::hw::DType;
+use serde::{Deserialize, Serialize};
+
+/// GPT-style decoder-only transformer (Table I).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GptConfig {
+    pub name: String,
+    pub hidden: usize,
+    pub layers: usize,
+    pub heads: usize,
+    pub vocab: usize,
+    pub max_seq: usize,
+}
+
+impl GptConfig {
+    pub fn new(name: &str, hidden: usize, layers: usize, heads: usize) -> Self {
+        GptConfig {
+            name: name.into(),
+            hidden,
+            layers,
+            heads,
+            vocab: 50_257,
+            max_seq: 2048,
+        }
+    }
+
+    /// Parameters of one transformer layer: QKV `h×3h`, attention output
+    /// `h×h`, FFN `h×4h` and `4h×h` (= 12 h²), plus biases and layer-norms.
+    pub fn layer_params(&self) -> f64 {
+        let h = self.hidden as f64;
+        12.0 * h * h + 13.0 * h
+    }
+
+    /// Total parameters including token/position embeddings (output
+    /// projection tied to the token embedding).
+    pub fn total_params(&self) -> f64 {
+        self.layers as f64 * self.layer_params()
+            + (self.vocab + self.max_seq) as f64 * self.hidden as f64
+            + 2.0 * self.hidden as f64
+    }
+
+    /// Bytes of model weights at a precision.
+    pub fn weight_bytes(&self, dtype: DType) -> f64 {
+        self.total_params() * dtype.bytes() as f64
+    }
+
+    /// Bytes of one layer's weights at a precision (the unit ZeRO-Inference
+    /// streams, Sec. VI-A).
+    pub fn layer_weight_bytes(&self, dtype: DType) -> f64 {
+        self.layer_params() * dtype.bytes() as f64
+    }
+
+    /// Forward FLOPs for processing `tokens` tokens (prompt or batched
+    /// generation), ignoring attention's quadratic term: ≈ 2 · params ·
+    /// tokens. The paper uses exactly this ("one GPT3-175B layer requires
+    /// about 7 TFlops to process an input of batch size 1" at seq 2048,
+    /// Sec. VI-A).
+    pub fn forward_flops(&self, tokens: f64) -> f64 {
+        2.0 * self.layers as f64 * self.layer_params() * tokens
+    }
+
+    /// Attention's additional context-dependent FLOPs for a batch of
+    /// sequences each attending over `ctx` positions with `t_new` new tokens.
+    pub fn attention_flops(&self, batch: f64, t_new: f64, ctx: f64) -> f64 {
+        4.0 * batch * self.layers as f64 * t_new * ctx * self.hidden as f64
+    }
+
+    /// KV-cache bytes per token of context per sequence (all layers):
+    /// 2 (K and V) · hidden · layers.
+    pub fn kv_bytes_per_token(&self, dtype: DType) -> f64 {
+        2.0 * self.hidden as f64 * self.layers as f64 * dtype.bytes() as f64
+    }
+
+    /// Peak activation working-set bytes for a forward pass over `tokens`
+    /// tokens at once (a few live `[tokens, 4h]` buffers; calibrated factor
+    /// of 8 hidden-widths covers QKV + FFN intermediates with buffer reuse).
+    pub fn activation_bytes(&self, tokens: f64, dtype: DType) -> f64 {
+        8.0 * tokens * self.hidden as f64 * dtype.bytes() as f64
+    }
+
+    /// Per-sequence activation working set of a *prompt* forward over `seq`
+    /// tokens, including the materialized attention-score matrix
+    /// (`heads × seq²`) that 2022-era unfused attention kernels keep live —
+    /// the term that actually caps prompt batch sizes on a single GPU
+    /// (Sec. VI-A's batch-size discussion).
+    pub fn prompt_activation_bytes_per_seq(&self, seq: usize, dtype: DType) -> f64 {
+        let ab = dtype.bytes() as f64;
+        let s = seq as f64;
+        (8.0 * s * self.hidden as f64 + self.heads as f64 * s * s) * ab
+    }
+}
+
+/// BERT-style encoder (Fig. 12 comparison with E.T.).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BertConfig {
+    pub name: String,
+    pub hidden: usize,
+    pub layers: usize,
+    pub heads: usize,
+}
+
+impl BertConfig {
+    pub fn new(name: &str, hidden: usize, layers: usize, heads: usize) -> Self {
+        BertConfig {
+            name: name.into(),
+            hidden,
+            layers,
+            heads,
+        }
+    }
+
+    pub fn total_params(&self) -> f64 {
+        let h = self.hidden as f64;
+        self.layers as f64 * (12.0 * h * h + 13.0 * h)
+    }
+}
+
+/// Mixture-of-Experts transformer (Table II): a dense GPT base whose
+/// feed-forward blocks are replaced by Position-wise MoE layers in
+/// `moe_layers` of the `base.layers` blocks (Sec. II-b).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MoeConfig {
+    pub name: String,
+    pub base: GptConfig,
+    /// Experts per MoE layer.
+    pub experts: usize,
+    /// How many of the base's layers carry an MoE block.
+    pub moe_layers: usize,
+    /// Top-k gating (1 for Switch-style routing used here).
+    pub top_k: usize,
+    /// Expert capacity factor: capacity = factor · tokens · top_k / experts.
+    pub capacity_factor: f64,
+    /// Tensor (model) parallel degree for the dense components.
+    pub mp_degree: usize,
+    /// Expert-parallel degree.
+    pub ep_degree: usize,
+    /// Expert-slicing degree (tensor-slicing *within* an expert, Sec. V-A).
+    pub expert_slicing: usize,
+    /// Total GPUs the configuration targets.
+    pub gpus: usize,
+}
+
+impl MoeConfig {
+    /// Parameters of a single expert: one FFN block, `h×4h + 4h×h = 8 h²`.
+    pub fn expert_params(&self) -> f64 {
+        let h = self.base.hidden as f64;
+        8.0 * h * h
+    }
+
+    /// All expert parameters across the model.
+    pub fn total_expert_params(&self) -> f64 {
+        self.moe_layers as f64 * self.experts as f64 * self.expert_params()
+    }
+
+    /// Dense (non-expert) parameters: the base model minus the FFN blocks
+    /// that MoE replaced, plus gating projections.
+    pub fn dense_params(&self) -> f64 {
+        let h = self.base.hidden as f64;
+        let base = self.base.total_params();
+        let removed_ffn = self.moe_layers as f64 * 8.0 * h * h;
+        let gates = self.moe_layers as f64 * h * self.experts as f64;
+        base - removed_ffn + gates
+    }
+
+    pub fn total_params(&self) -> f64 {
+        self.dense_params() + self.total_expert_params()
+    }
+
+    /// Experts resident on one GPU: `experts / ep_degree`, each further
+    /// sliced `expert_slicing` ways.
+    pub fn expert_params_per_gpu(&self) -> f64 {
+        self.total_expert_params() / (self.ep_degree as f64 * self.expert_slicing as f64)
+    }
+
+    /// Expert capacity (tokens per expert) for a batch of `tokens` tokens.
+    pub fn capacity(&self, tokens: usize) -> usize {
+        ((self.capacity_factor * tokens as f64 * self.top_k as f64) / self.experts as f64)
+            .ceil()
+            .max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt3_175b_parameter_count() {
+        let c = GptConfig::new("LM-175B", 12288, 96, 96);
+        let p = c.total_params();
+        assert!(
+            (p - 175e9).abs() / 175e9 < 0.02,
+            "175B config gives {:.1}B",
+            p / 1e9
+        );
+    }
+
+    #[test]
+    fn mt_nlg_530b_parameter_count() {
+        let c = GptConfig::new("LM-530B", 20480, 105, 128);
+        let p = c.total_params();
+        assert!(
+            (p - 530e9).abs() / 530e9 < 0.02,
+            "530B config gives {:.1}B",
+            p / 1e9
+        );
+    }
+
+    #[test]
+    fn paper_7tflops_per_175b_layer() {
+        // Sec. VI-A: "one GPT3-175B layer requires about 7 TFlops to process
+        // an input of batch size 1" (seq 2048).
+        let c = GptConfig::new("LM-175B", 12288, 96, 96);
+        let per_layer = 2.0 * c.layer_params() * 2048.0;
+        assert!(
+            (per_layer - 7e12).abs() / 7e12 < 0.08,
+            "per-layer flops {:.2}T",
+            per_layer / 1e12
+        );
+    }
+
+    #[test]
+    fn weight_bytes_track_dtype() {
+        let c = GptConfig::new("x", 1024, 4, 16);
+        assert_eq!(c.weight_bytes(DType::Fp16) * 2.0, c.weight_bytes(DType::Fp32));
+        assert_eq!(c.weight_bytes(DType::Int8) * 2.0, c.weight_bytes(DType::Fp16));
+    }
+
+    #[test]
+    fn kv_cache_bytes() {
+        let c = GptConfig::new("x", 1024, 4, 16);
+        // 2 * 1024 * 4 * 2 bytes = 16 KiB per context token.
+        assert_eq!(c.kv_bytes_per_token(DType::Fp16), 16384.0);
+    }
+
+    #[test]
+    fn moe_capacity_formula() {
+        let m = MoeConfig {
+            name: "t".into(),
+            base: GptConfig::new("b", 2048, 24, 16),
+            experts: 128,
+            moe_layers: 12,
+            top_k: 1,
+            capacity_factor: 1.0,
+            mp_degree: 1,
+            ep_degree: 128,
+            expert_slicing: 1,
+            gpus: 128,
+        };
+        assert_eq!(m.capacity(1280), 10);
+        assert_eq!(m.capacity(1), 1); // floor of one slot
+    }
+
+    #[test]
+    fn moe_param_split_consistent() {
+        let m = MoeConfig {
+            name: "t".into(),
+            base: GptConfig::new("b", 2048, 24, 16),
+            experts: 128,
+            moe_layers: 12,
+            top_k: 1,
+            capacity_factor: 1.0,
+            mp_degree: 1,
+            ep_degree: 128,
+            expert_slicing: 1,
+            gpus: 128,
+        };
+        assert!((m.total_params() - m.dense_params() - m.total_expert_params()).abs() < 1.0);
+        // 1.3B base + 128 experts over 12 layers ≈ 52B (Table II row 1).
+        assert!(
+            (m.total_params() - 52e9).abs() / 52e9 < 0.05,
+            "got {:.1}B",
+            m.total_params() / 1e9
+        );
+    }
+
+    #[test]
+    fn expert_slicing_halves_per_gpu_experts() {
+        let mut m = MoeConfig {
+            name: "t".into(),
+            base: GptConfig::new("b", 8192, 40, 64),
+            experts: 128,
+            moe_layers: 20,
+            top_k: 1,
+            capacity_factor: 1.0,
+            mp_degree: 8,
+            ep_degree: 128,
+            expert_slicing: 1,
+            gpus: 128,
+        };
+        let one = m.expert_params_per_gpu();
+        m.expert_slicing = 2;
+        assert_eq!(m.expert_params_per_gpu(), one / 2.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Functional BERT-style encoder — the Fig. 12 model family, executable.
+//!
+//! Same operator inventory as the decoder (which is why the paper's kernels
+//! serve both: "DeepSpeed Inference supports encoder, decoder, and sparsely
+//! gated MoE models", Sec. VII-E6) with two differences: attention is
+//! bidirectional (no causal mask, no KV cache) and BERT uses post-layer-norm
+//! blocks.
+
+use crate::config::BertConfig;
+use crate::reference::LayerWeights;
+use dsi_kernels::ops;
+use dsi_kernels::tensor::Tensor;
+
+/// One encoder layer (reuses the decoder's weight container; `ln1`/`ln2`
+/// act as the two *post*-norms here).
+fn encoder_layer(lw: &LayerWeights, x: &Tensor, heads: usize) -> Tensor {
+    let h = x.cols();
+    let t = x.rows();
+    // Self-attention (bidirectional: every query sees the whole sequence).
+    let mut qkv = ops::matmul(x, &lw.w_qkv);
+    ops::add_bias(&mut qkv, &lw.b_qkv);
+    let q = qkv.col_slice(0, h);
+    let k = qkv.col_slice(h, 2 * h);
+    let v = qkv.col_slice(2 * h, 3 * h);
+    // causal_offset = t makes position limits vacuous (j <= t-1 always).
+    let attn = ops::attention(&q, &k, &v, heads, t);
+    let mut out = ops::matmul(&attn, &lw.w_o);
+    ops::add_bias(&mut out, &lw.b_o);
+    ops::add_inplace(&mut out, x);
+    let out = ops::layernorm(&out, &lw.ln1_g, &lw.ln1_b, 1e-5); // post-LN
+
+    // Feed-forward.
+    let mut ff = ops::matmul(&out, &lw.w_ff1);
+    ops::add_bias(&mut ff, &lw.b_ff1);
+    ops::gelu(&mut ff);
+    let mut y = ops::matmul(&ff, &lw.w_ff2);
+    ops::add_bias(&mut y, &lw.b_ff2);
+    ops::add_inplace(&mut y, &out);
+    ops::layernorm(&y, &lw.ln2_g, &lw.ln2_b, 1e-5)
+}
+
+/// A functional BERT-style encoder.
+pub struct BertModel {
+    pub config: BertConfig,
+    pub vocab: usize,
+    pub max_seq: usize,
+    /// `[vocab, h]` token embedding.
+    pub wte: Tensor,
+    /// `[max_seq, h]` position embedding.
+    pub wpe: Tensor,
+    pub layers: Vec<LayerWeights>,
+}
+
+impl BertModel {
+    /// Deterministic random encoder with a small test vocab.
+    pub fn random(config: BertConfig, vocab: usize, max_seq: usize, seed: u64) -> Self {
+        let h = config.hidden;
+        BertModel {
+            wte: Tensor::randn(&[vocab, h], 0.05, seed + 1),
+            wpe: Tensor::randn(&[max_seq, h], 0.01, seed + 2),
+            layers: (0..config.layers)
+                .map(|i| LayerWeights::random(h, seed + 100 + i as u64))
+                .collect(),
+            config,
+            vocab,
+            max_seq,
+        }
+    }
+
+    /// Encode a token sequence into `[t, h]` contextual embeddings.
+    pub fn encode(&self, ids: &[usize]) -> Tensor {
+        assert!(ids.len() <= self.max_seq, "sequence exceeds max_seq");
+        let mut x = ops::embedding(&self.wte, ids);
+        for (i, row) in x.data_mut().chunks_mut(self.config.hidden).enumerate() {
+            for (a, b) in row.iter_mut().zip(self.wpe.row(i)) {
+                *a += b;
+            }
+        }
+        for lw in &self.layers {
+            x = encoder_layer(lw, &x, self.config.heads);
+        }
+        x
+    }
+
+    /// Mean-pooled sequence embedding (the common sentence-encoder head).
+    pub fn embed_sequence(&self, ids: &[usize]) -> Vec<f32> {
+        let x = self.encode(ids);
+        let (t, h) = (x.rows(), x.cols());
+        let mut out = vec![0.0f32; h];
+        for r in 0..t {
+            for (o, v) in out.iter_mut().zip(x.row(r)) {
+                *o += v / t as f32;
+            }
+        }
+        out
+    }
+}
+
+/// Cosine similarity of two embeddings.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    dot / (na * nb).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> BertModel {
+        BertModel::random(BertConfig::new("tiny-bert", 64, 2, 4), 101, 64, 7)
+    }
+
+    #[test]
+    fn encode_shapes_and_determinism() {
+        let m = model();
+        let a = m.encode(&[1, 2, 3, 4]);
+        assert_eq!(a.shape(), &[4, 64]);
+        assert!(a.allclose(&m.encode(&[1, 2, 3, 4]), 0.0));
+        assert!(a.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn attention_is_bidirectional() {
+        // Changing the LAST token must change the FIRST token's output —
+        // impossible under a causal mask, guaranteed under bidirectional
+        // attention.
+        let m = model();
+        let a = m.encode(&[1, 2, 3, 4]);
+        let b = m.encode(&[1, 2, 3, 99]);
+        let first_diff = a
+            .row(0)
+            .iter()
+            .zip(b.row(0))
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(first_diff > 1e-4, "first token ignored the future: {first_diff}");
+    }
+
+    #[test]
+    fn post_norm_output_is_normalized() {
+        let m = model();
+        let x = m.encode(&[5, 6, 7]);
+        for r in 0..3 {
+            let mean: f32 = x.row(r).iter().sum::<f32>() / 64.0;
+            let var: f32 = x.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-3 && (var - 1.0).abs() < 0.05, "r{r}: {mean} {var}");
+        }
+    }
+
+    #[test]
+    fn sequence_embeddings_separate_inputs() {
+        let m = model();
+        let a = m.embed_sequence(&[1, 2, 3, 4, 5]);
+        let a2 = m.embed_sequence(&[1, 2, 3, 4, 5]);
+        let b = m.embed_sequence(&[60, 70, 80, 90, 100]);
+        assert!((cosine(&a, &a2) - 1.0).abs() < 1e-6);
+        assert!(cosine(&a, &b) < 0.99, "distinct inputs should not collapse");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_seq")]
+    fn overlong_rejected() {
+        let m = model();
+        let ids: Vec<usize> = (0..65).map(|i| i % 101).collect();
+        m.encode(&ids);
+    }
+}

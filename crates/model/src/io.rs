@@ -1,0 +1,306 @@
+//! Model checkpoints: a compact binary format for saving/loading the
+//! functional models (weights are the unit ZeRO-Inference pins to NVMe —
+//! a serving system needs them on disk).
+//!
+//! Format: magic `DSI1`, then the config as a JSON-free binary header, then
+//! each tensor as `(rank, dims..., f32 data)` little-endian. All failure
+//! paths are typed ([`IoError`]); loading validates magic, version, and
+//! structural consistency.
+
+use crate::config::GptConfig;
+use crate::reference::{GptModel, LayerWeights};
+use bytes::{Buf, BufMut};
+use dsi_kernels::tensor::Tensor;
+use std::fs;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"DSI1";
+const VERSION: u16 = 1;
+
+/// Checkpoint errors.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    /// Not a checkpoint / wrong magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Structurally inconsistent payload.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::BadMagic => write!(f, "not a DSI checkpoint"),
+            IoError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            IoError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    out.put_u8(t.shape().len() as u8);
+    for &d in t.shape() {
+        out.put_u64_le(d as u64);
+    }
+    for &v in t.data() {
+        out.put_f32_le(v);
+    }
+}
+
+fn get_tensor(buf: &mut &[u8]) -> Result<Tensor, IoError> {
+    if buf.remaining() < 1 {
+        return Err(IoError::Corrupt("truncated tensor header"));
+    }
+    let rank = buf.get_u8() as usize;
+    if rank == 0 || rank > 4 {
+        return Err(IoError::Corrupt("implausible tensor rank"));
+    }
+    if buf.remaining() < rank * 8 {
+        return Err(IoError::Corrupt("truncated shape"));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    let mut n: usize = 1;
+    for _ in 0..rank {
+        let d = buf.get_u64_le() as usize;
+        if d == 0 || d > 1 << 28 {
+            return Err(IoError::Corrupt("implausible dimension"));
+        }
+        n = n.checked_mul(d).ok_or(IoError::Corrupt("shape overflow"))?;
+        shape.push(d);
+    }
+    if buf.remaining() < n * 4 {
+        return Err(IoError::Corrupt("truncated tensor data"));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Ok(Tensor::from_vec(&shape, data))
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String, IoError> {
+    if buf.remaining() < 4 {
+        return Err(IoError::Corrupt("truncated string"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if len > 1 << 16 || buf.remaining() < len {
+        return Err(IoError::Corrupt("implausible string"));
+    }
+    let s = String::from_utf8(buf.chunk()[..len].to_vec())
+        .map_err(|_| IoError::Corrupt("non-utf8 string"))?;
+    buf.advance(len);
+    Ok(s)
+}
+
+/// Serialize a model to bytes.
+pub fn to_bytes(model: &GptModel) -> Vec<u8> {
+    let c = &model.config;
+    let mut out = Vec::new();
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION);
+    put_string(&mut out, &c.name);
+    for v in [c.hidden, c.layers, c.heads, c.vocab, c.max_seq] {
+        out.put_u64_le(v as u64);
+    }
+    put_tensor(&mut out, &model.wte);
+    put_tensor(&mut out, &model.wpe);
+    put_tensor(&mut out, &model.lnf_g);
+    put_tensor(&mut out, &model.lnf_b);
+    for lw in &model.layers {
+        for t in [
+            &lw.ln1_g, &lw.ln1_b, &lw.w_qkv, &lw.b_qkv, &lw.w_o, &lw.b_o, &lw.ln2_g, &lw.ln2_b,
+            &lw.w_ff1, &lw.b_ff1, &lw.w_ff2, &lw.b_ff2,
+        ] {
+            put_tensor(&mut out, t);
+        }
+    }
+    out
+}
+
+/// Deserialize a model from bytes.
+pub fn from_bytes(mut buf: &[u8]) -> Result<GptModel, IoError> {
+    if buf.remaining() < 6 {
+        return Err(IoError::BadMagic);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(IoError::BadVersion(version));
+    }
+    let name = get_string(&mut buf)?;
+    if buf.remaining() < 5 * 8 {
+        return Err(IoError::Corrupt("truncated config"));
+    }
+    let hidden = buf.get_u64_le() as usize;
+    let layers = buf.get_u64_le() as usize;
+    let heads = buf.get_u64_le() as usize;
+    let vocab = buf.get_u64_le() as usize;
+    let max_seq = buf.get_u64_le() as usize;
+    if layers == 0 || layers > 1024 || heads == 0 || !hidden.is_multiple_of(heads.max(1)) {
+        return Err(IoError::Corrupt("implausible config"));
+    }
+    let config = GptConfig {
+        name,
+        hidden,
+        layers,
+        heads,
+        vocab,
+        max_seq,
+    };
+    let wte = get_tensor(&mut buf)?;
+    let wpe = get_tensor(&mut buf)?;
+    let lnf_g = get_tensor(&mut buf)?;
+    let lnf_b = get_tensor(&mut buf)?;
+    if wte.shape() != [vocab, hidden] || wpe.shape() != [max_seq, hidden] {
+        return Err(IoError::Corrupt("embedding shape mismatch"));
+    }
+    let mut lws = Vec::with_capacity(layers);
+    for _ in 0..layers {
+        let ln1_g = get_tensor(&mut buf)?;
+        let ln1_b = get_tensor(&mut buf)?;
+        let w_qkv = get_tensor(&mut buf)?;
+        let b_qkv = get_tensor(&mut buf)?;
+        let w_o = get_tensor(&mut buf)?;
+        let b_o = get_tensor(&mut buf)?;
+        let ln2_g = get_tensor(&mut buf)?;
+        let ln2_b = get_tensor(&mut buf)?;
+        let w_ff1 = get_tensor(&mut buf)?;
+        let b_ff1 = get_tensor(&mut buf)?;
+        let w_ff2 = get_tensor(&mut buf)?;
+        let b_ff2 = get_tensor(&mut buf)?;
+        if w_qkv.shape() != [hidden, 3 * hidden] || w_ff2.shape() != [4 * hidden, hidden] {
+            return Err(IoError::Corrupt("layer shape mismatch"));
+        }
+        lws.push(LayerWeights {
+            ln1_g,
+            ln1_b,
+            w_qkv,
+            b_qkv,
+            w_o,
+            b_o,
+            ln2_g,
+            ln2_b,
+            w_ff1,
+            b_ff1,
+            w_ff2,
+            b_ff2,
+        });
+    }
+    if buf.has_remaining() {
+        return Err(IoError::Corrupt("trailing bytes"));
+    }
+    Ok(GptModel {
+        config,
+        wte,
+        wpe,
+        layers: lws,
+        lnf_g,
+        lnf_b,
+    })
+}
+
+/// Save to a file.
+pub fn save(model: &GptModel, path: impl AsRef<Path>) -> Result<(), IoError> {
+    Ok(fs::write(path, to_bytes(model))?)
+}
+
+/// Load from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<GptModel, IoError> {
+    from_bytes(&fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    fn model() -> GptModel {
+        GptModel::random(zoo::tiny(2), 77)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let m = model();
+        let bytes = to_bytes(&m);
+        let back = from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back.config.hidden, m.config.hidden);
+        assert_eq!(back.config.name, m.config.name);
+        assert!(back.wte.allclose(&m.wte, 0.0));
+        for (a, b) in back.layers.iter().zip(&m.layers) {
+            assert!(a.w_qkv.allclose(&b.w_qkv, 0.0));
+            assert!(a.w_ff2.allclose(&b.w_ff2, 0.0));
+        }
+        // Behavioural identity.
+        assert_eq!(back.generate(&[1, 2, 3], 5), m.generate(&[1, 2, 3], 5));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let m = model();
+        let path = std::env::temp_dir().join("dsi_ckpt_test.bin");
+        save(&m, &path).expect("save");
+        let back = load(&path).expect("load");
+        assert_eq!(back.generate(&[4], 3), m.generate(&[4], 3));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = to_bytes(&model());
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes(&bytes), Err(IoError::BadMagic)));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = to_bytes(&model());
+        bytes[4] = 99;
+        assert!(matches!(from_bytes(&bytes), Err(IoError::BadVersion(_))));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = to_bytes(&model());
+        // Chop at a sample of offsets: every prefix must fail cleanly, never
+        // panic.
+        for cut in [3usize, 6, 10, 40, bytes.len() / 2, bytes.len() - 1] {
+            let r = from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes must be rejected");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = to_bytes(&model());
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(from_bytes(&bytes), Err(IoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn nonexistent_file_is_io_error() {
+        assert!(matches!(
+            load("/definitely/not/a/path.bin"),
+            Err(IoError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,32 @@
+//! # dsi-model — transformer model definitions and functional reference
+//!
+//! Three pieces:
+//!
+//! * [`config`] — GPT-style decoder, BERT-style encoder, and MoE model
+//!   configurations with exact parameter / FLOP / KV-cache accounting. These
+//!   are the quantities every roofline in the reproduction is built from.
+//! * [`zoo`] — the concrete models of the paper's evaluation: Table I's
+//!   dense family (GPT-2 1.5B through LM-530B), Table II's sparse family
+//!   (52B through 2T MoE), and the Fig. 12 encoders (DistilBERT, BERT).
+//! * [`reference`] — a complete functional GPT implementation (embedding,
+//!   transformer stack, KV cache, greedy decoding) on the CPU kernels of
+//!   `dsi-kernels`. It is the ground truth that tensor-parallel sharding,
+//!   MoE routing rewrites, and fused kernels are verified against.
+
+pub mod batched;
+pub mod beam;
+pub mod config;
+pub mod encoder;
+pub mod io;
+pub mod quantized;
+pub mod reference;
+pub mod sampling;
+pub mod zoo;
+
+pub use batched::BatchSession;
+pub use beam::beam_search;
+pub use encoder::BertModel;
+pub use config::{BertConfig, GptConfig, MoeConfig};
+pub use quantized::QuantizedGptModel;
+pub use reference::{GptModel, KvCache, LayerKv, LayerWeights};
+pub use sampling::{Sampler, SamplerConfig};

@@ -1,0 +1,330 @@
+//! Functional GPT reference implementation on the CPU kernels.
+//!
+//! This is the numerical ground truth of the reproduction. It implements the
+//! full decoder forward pass — embeddings, pre-norm transformer blocks,
+//! multi-head causal attention with a KV cache (Sec. II-d), tied-embedding
+//! logits, greedy decoding — entirely from `dsi-kernels` operators, so the
+//! parallel implementations (tensor slicing, pipeline stages, MoE routing)
+//! can be checked for exact/near-exact equivalence on small configurations.
+
+use crate::config::GptConfig;
+use dsi_kernels::ops;
+use dsi_kernels::tensor::Tensor;
+
+/// Weights of one transformer layer.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    pub ln1_g: Tensor,
+    pub ln1_b: Tensor,
+    /// `[h, 3h]` fused QKV projection.
+    pub w_qkv: Tensor,
+    pub b_qkv: Tensor,
+    /// `[h, h]` attention output projection.
+    pub w_o: Tensor,
+    pub b_o: Tensor,
+    pub ln2_g: Tensor,
+    pub ln2_b: Tensor,
+    /// `[h, 4h]`.
+    pub w_ff1: Tensor,
+    pub b_ff1: Tensor,
+    /// `[4h, h]`.
+    pub w_ff2: Tensor,
+    pub b_ff2: Tensor,
+}
+
+impl LayerWeights {
+    /// Deterministic random initialization (scaled to keep activations
+    /// stable through deep stacks).
+    pub fn random(hidden: usize, seed: u64) -> Self {
+        let h = hidden;
+        let s = 1.0 / (h as f32).sqrt();
+        LayerWeights {
+            ln1_g: Tensor::from_vec(&[h], vec![1.0; h]),
+            ln1_b: Tensor::zeros(&[h]),
+            w_qkv: Tensor::randn(&[h, 3 * h], s, seed.wrapping_mul(31).wrapping_add(1)),
+            b_qkv: Tensor::randn(&[3 * h], 0.01, seed.wrapping_mul(31).wrapping_add(2)),
+            w_o: Tensor::randn(&[h, h], s, seed.wrapping_mul(31).wrapping_add(3)),
+            b_o: Tensor::randn(&[h], 0.01, seed.wrapping_mul(31).wrapping_add(4)),
+            ln2_g: Tensor::from_vec(&[h], vec![1.0; h]),
+            ln2_b: Tensor::zeros(&[h]),
+            w_ff1: Tensor::randn(&[h, 4 * h], s, seed.wrapping_mul(31).wrapping_add(5)),
+            b_ff1: Tensor::randn(&[4 * h], 0.01, seed.wrapping_mul(31).wrapping_add(6)),
+            w_ff2: Tensor::randn(&[4 * h, h], s * 0.5, seed.wrapping_mul(31).wrapping_add(7)),
+            b_ff2: Tensor::randn(&[h], 0.01, seed.wrapping_mul(31).wrapping_add(8)),
+        }
+    }
+}
+
+/// Cached keys/values for one layer of one sequence.
+#[derive(Debug, Clone)]
+pub struct LayerKv {
+    /// `[t_ctx, h]`.
+    pub k: Tensor,
+    /// `[t_ctx, h]`.
+    pub v: Tensor,
+}
+
+impl LayerKv {
+    pub fn empty(hidden: usize) -> Self {
+        LayerKv {
+            k: Tensor::zeros(&[0, hidden]),
+            v: Tensor::zeros(&[0, hidden]),
+        }
+    }
+
+    /// Context length cached so far.
+    pub fn len(&self) -> usize {
+        self.k.rows()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append this step's keys/values.
+    pub fn append(&mut self, k: &Tensor, v: &Tensor) {
+        self.k = Tensor::cat_rows(&[&self.k, k]);
+        self.v = Tensor::cat_rows(&[&self.v, v]);
+    }
+
+    /// Bytes held (f32 storage; the capacity pressure of Sec. IV-B3).
+    pub fn bytes(&self) -> usize {
+        (self.k.len() + self.v.len()) * 4
+    }
+}
+
+/// Per-layer KV cache for one sequence.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    pub layers: Vec<LayerKv>,
+}
+
+impl KvCache {
+    pub fn new(layers: usize, hidden: usize) -> Self {
+        KvCache {
+            layers: (0..layers).map(|_| LayerKv::empty(hidden)).collect(),
+        }
+    }
+
+    pub fn context_len(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.len())
+    }
+
+    pub fn total_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.bytes()).sum()
+    }
+}
+
+/// The self-attention sub-layer (pre-norm): layer-norm + QKV GEMM +
+/// attention over the cached context + output projection + residual
+/// (regions 1–3 of Fig. 1c). Exposed standalone so MoE models can pair it
+/// with a Position-wise MoE block instead of the dense FFN (Sec. II-b).
+pub fn attention_block(lw: &LayerWeights, x: &Tensor, kv: &mut LayerKv, heads: usize) -> Tensor {
+    let h = x.cols();
+    let offset = kv.len();
+    let normed = ops::layernorm(x, &lw.ln1_g, &lw.ln1_b, 1e-5);
+    let mut qkv = ops::matmul(&normed, &lw.w_qkv);
+    ops::add_bias(&mut qkv, &lw.b_qkv);
+    let q = qkv.col_slice(0, h);
+    let k = qkv.col_slice(h, 2 * h);
+    let v = qkv.col_slice(2 * h, 3 * h);
+    kv.append(&k, &v);
+    let attn = ops::attention(&q, &kv.k, &kv.v, heads, offset);
+    let mut out = ops::matmul(&attn, &lw.w_o);
+    ops::add_bias(&mut out, &lw.b_o);
+    ops::add_inplace(&mut out, x);
+    out
+}
+
+/// The dense feed-forward sub-layer (pre-norm): layer-norm + FF1 + GeLU +
+/// FF2 + residual (regions 4–5 of Fig. 1c).
+pub fn ffn_block(lw: &LayerWeights, x: &Tensor) -> Tensor {
+    let normed2 = ops::layernorm(x, &lw.ln2_g, &lw.ln2_b, 1e-5);
+    let mut ff = ops::matmul(&normed2, &lw.w_ff1);
+    ops::add_bias(&mut ff, &lw.b_ff1);
+    ops::gelu(&mut ff);
+    let mut y = ops::matmul(&ff, &lw.w_ff2);
+    ops::add_bias(&mut y, &lw.b_ff2);
+    ops::add_inplace(&mut y, x);
+    y
+}
+
+/// Forward one transformer layer for `x` = `[t_new, h]`, appending to the
+/// layer's KV cache. Exposed standalone so the parallelism crate can re-use
+/// the exact same math on weight shards.
+pub fn layer_forward(lw: &LayerWeights, x: &Tensor, kv: &mut LayerKv, heads: usize) -> Tensor {
+    let out = attention_block(lw, x, kv, heads);
+    ffn_block(lw, &out)
+}
+
+/// A complete functional GPT model.
+///
+/// ```
+/// use dsi_model::reference::GptModel;
+/// use dsi_model::zoo;
+/// let model = GptModel::random(zoo::tiny(2), 42);
+/// let tokens = model.generate(&[1, 2, 3], 4);
+/// assert_eq!(tokens.len(), 4);
+/// // Deterministic: same prompt, same continuation.
+/// assert_eq!(tokens, model.generate(&[1, 2, 3], 4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GptModel {
+    pub config: GptConfig,
+    /// `[vocab, h]` token embedding (tied with the output projection).
+    pub wte: Tensor,
+    /// `[max_seq, h]` learned position embedding.
+    pub wpe: Tensor,
+    pub layers: Vec<LayerWeights>,
+    pub lnf_g: Tensor,
+    pub lnf_b: Tensor,
+}
+
+impl GptModel {
+    /// Deterministic random model.
+    pub fn random(config: GptConfig, seed: u64) -> Self {
+        let h = config.hidden;
+        let layers = (0..config.layers)
+            .map(|i| LayerWeights::random(h, seed.wrapping_add(1000 + i as u64)))
+            .collect();
+        GptModel {
+            wte: Tensor::randn(&[config.vocab, h], 0.05, seed.wrapping_add(1)),
+            wpe: Tensor::randn(&[config.max_seq, h], 0.01, seed.wrapping_add(2)),
+            lnf_g: Tensor::from_vec(&[h], vec![1.0; h]),
+            lnf_b: Tensor::zeros(&[h]),
+            layers,
+            config,
+        }
+    }
+
+    /// Forward `ids` (new tokens) through the model, extending `cache`.
+    /// Returns `[ids.len(), vocab]` logits.
+    pub fn forward(&self, ids: &[usize], cache: &mut KvCache) -> Tensor {
+        assert_eq!(cache.layers.len(), self.config.layers);
+        let offset = cache.context_len();
+        assert!(
+            offset + ids.len() <= self.config.max_seq,
+            "sequence exceeds max_seq"
+        );
+        let mut x = ops::embedding(&self.wte, ids);
+        // Position embedding for the absolute positions of these tokens.
+        for (i, row) in (offset..offset + ids.len()).enumerate() {
+            let pos = self.wpe.row(row).to_vec();
+            for (a, b) in x.row_mut(i).iter_mut().zip(pos) {
+                *a += b;
+            }
+        }
+        for (l, lw) in self.layers.iter().enumerate() {
+            x = layer_forward(lw, &x, &mut cache.layers[l], self.config.heads);
+        }
+        let x = ops::layernorm(&x, &self.lnf_g, &self.lnf_b, 1e-5);
+        // Tied output projection: logits = x · wteᵀ.
+        ops::matmul_transb(&x, &self.wte)
+    }
+
+    /// Forward with no cache reuse (recomputes the whole prefix); used to
+    /// validate KV-cache equivalence.
+    pub fn forward_full(&self, ids: &[usize]) -> Tensor {
+        let mut cache = KvCache::new(self.config.layers, self.config.hidden);
+        self.forward(ids, &mut cache)
+    }
+
+    /// Greedy generation: process `prompt`, then emit `n_tokens` tokens.
+    pub fn generate(&self, prompt: &[usize], n_tokens: usize) -> Vec<usize> {
+        let mut cache = KvCache::new(self.config.layers, self.config.hidden);
+        let logits = self.forward(prompt, &mut cache);
+        let mut out = Vec::with_capacity(n_tokens);
+        let mut next = *ops::argmax_rows(&logits.row_slice(logits.rows() - 1, logits.rows()))
+            .first()
+            .unwrap();
+        out.push(next);
+        for _ in 1..n_tokens {
+            let logits = self.forward(&[next], &mut cache);
+            next = ops::argmax_rows(&logits)[0];
+            out.push(next);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::tiny;
+
+    fn model(layers: usize) -> GptModel {
+        GptModel::random(tiny(layers), 42)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let m = model(2);
+        let mut cache = KvCache::new(2, 64);
+        let logits = m.forward(&[1, 2, 3], &mut cache);
+        assert_eq!(logits.shape(), &[3, 101]);
+        assert_eq!(cache.context_len(), 3);
+    }
+
+    #[test]
+    fn incremental_equals_full_recompute() {
+        // The KV-cache invariant: processing [a,b,c] then d must produce the
+        // same logits for d as processing [a,b,c,d] at once.
+        let m = model(2);
+        let mut cache = KvCache::new(2, 64);
+        m.forward(&[5, 6, 7], &mut cache);
+        let inc = m.forward(&[8], &mut cache);
+        let full = m.forward_full(&[5, 6, 7, 8]);
+        let last = full.row_slice(3, 4);
+        assert!(
+            inc.allclose(&last, 1e-3),
+            "max diff {}",
+            inc.max_abs_diff(&last)
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = model(2);
+        let a = m.generate(&[1, 2, 3, 4], 6);
+        let b = m.generate(&[1, 2, 3, 4], 6);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        assert!(a.iter().all(|&t| t < 101));
+    }
+
+    #[test]
+    fn generation_depends_on_prompt() {
+        let m = model(2);
+        let a = m.generate(&[1, 2, 3, 4], 4);
+        let b = m.generate(&[4, 3, 2, 1], 4);
+        assert_ne!(a, b, "different prompts should diverge (almost surely)");
+    }
+
+    #[test]
+    fn cache_grows_per_token() {
+        let m = model(1);
+        let mut cache = KvCache::new(1, 64);
+        m.forward(&[1, 2], &mut cache);
+        let b2 = cache.total_bytes();
+        m.forward(&[3], &mut cache);
+        let b3 = cache.total_bytes();
+        assert_eq!(cache.context_len(), 3);
+        // 2 tensors * hidden * 4 bytes per token per layer.
+        assert_eq!(b3 - b2, 2 * 64 * 4);
+    }
+
+    #[test]
+    fn logits_finite() {
+        let m = model(3);
+        let logits = m.forward_full(&[10, 20, 30, 40, 50]);
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_seq")]
+    fn overlong_sequence_rejected() {
+        let m = model(1);
+        let ids: Vec<usize> = (0..70).map(|i| i % 101).collect();
+        m.forward_full(&ids);
+    }
+}

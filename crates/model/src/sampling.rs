@@ -1,0 +1,219 @@
+//! Decoding strategies over the reference model's logits.
+//!
+//! The paper's latency workloads are greedy generation, but a serving system
+//! exposes the standard sampler knobs; these are implemented here so the
+//! examples and tests can exercise realistic decoding loops (temperature,
+//! top-k, nucleus) deterministically (seeded RNG).
+
+use dsi_kernels::ops;
+use dsi_kernels::tensor::Tensor;
+use rand::distributions::Distribution;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A decoding configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SamplerConfig {
+    /// Softmax temperature; 0 means greedy.
+    pub temperature: f32,
+    /// Keep only the `top_k` most likely tokens (0 = disabled).
+    pub top_k: usize,
+    /// Nucleus sampling: keep the smallest set of tokens with cumulative
+    /// probability ≥ `top_p` (1.0 = disabled).
+    pub top_p: f32,
+}
+
+impl SamplerConfig {
+    pub fn greedy() -> Self {
+        SamplerConfig {
+            temperature: 0.0,
+            top_k: 0,
+            top_p: 1.0,
+        }
+    }
+
+    pub fn top_k(k: usize, temperature: f32) -> Self {
+        SamplerConfig {
+            temperature,
+            top_k: k,
+            top_p: 1.0,
+        }
+    }
+
+    pub fn nucleus(p: f32, temperature: f32) -> Self {
+        SamplerConfig {
+            temperature,
+            top_k: 0,
+            top_p: p,
+        }
+    }
+}
+
+/// A deterministic sampler.
+///
+/// ```
+/// use dsi_model::sampling::{Sampler, SamplerConfig};
+/// let mut s = Sampler::new(SamplerConfig::greedy(), 0);
+/// assert_eq!(s.sample(&[0.1, 2.0, 0.3]), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    pub config: SamplerConfig,
+    rng: ChaCha8Rng,
+}
+
+impl Sampler {
+    pub fn new(config: SamplerConfig, seed: u64) -> Self {
+        Sampler {
+            config,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Sample one token id from a `[vocab]` logits row.
+    pub fn sample(&mut self, logits: &[f32]) -> usize {
+        if self.config.temperature <= 0.0 {
+            return argmax(logits);
+        }
+        // Temperature-scaled softmax.
+        let mut probs: Vec<(usize, f32)> = logits
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (i, l / self.config.temperature))
+            .collect();
+        let m = probs.iter().map(|&(_, v)| v).fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (_, v) in probs.iter_mut() {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
+        for (_, v) in probs.iter_mut() {
+            *v /= sum;
+        }
+        // Sort by probability for the truncation filters.
+        probs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        if self.config.top_k > 0 {
+            probs.truncate(self.config.top_k.max(1));
+        }
+        if self.config.top_p < 1.0 {
+            let mut cum = 0.0;
+            let mut keep = 0;
+            for (i, &(_, p)) in probs.iter().enumerate() {
+                cum += p;
+                keep = i + 1;
+                if cum >= self.config.top_p {
+                    break;
+                }
+            }
+            probs.truncate(keep.max(1));
+        }
+        // Renormalize and draw.
+        let total: f32 = probs.iter().map(|&(_, p)| p).sum();
+        let u: f32 = rand::distributions::Uniform::new(0.0f32, 1.0).sample(&mut self.rng) * total;
+        let mut acc = 0.0;
+        for &(id, p) in &probs {
+            acc += p;
+            if u <= acc {
+                return id;
+            }
+        }
+        probs.last().map(|&(id, _)| id).unwrap_or(0)
+    }
+
+    /// Sample one token per row of a `[rows, vocab]` logits tensor.
+    pub fn sample_rows(&mut self, logits: &Tensor) -> Vec<usize> {
+        (0..logits.rows()).map(|r| self.sample(logits.row(r))).collect()
+    }
+}
+
+fn argmax(row: &[f32]) -> usize {
+    // First maximum wins on ties, matching the top-k filter's stable order.
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate().skip(1) {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Softmax cross-entropy of the observed next tokens under the model's
+/// logits — the quality metric used to check that INT8 quantization does not
+/// wreck the distribution (Sec. III-D is a performance technique; quality
+/// must be preserved).
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> f32 {
+    assert_eq!(logits.rows(), targets.len());
+    let mut total = 0.0;
+    for (r, &t) in targets.iter().enumerate() {
+        let mut row = Tensor::from_vec(&[1, logits.cols()], logits.row(r).to_vec());
+        ops::softmax_rows(&mut row);
+        total -= row.row(0)[t].max(1e-9).ln();
+    }
+    total / targets.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits() -> Vec<f32> {
+        vec![0.1, 3.0, 0.2, 2.9, -1.0]
+    }
+
+    #[test]
+    fn greedy_is_argmax() {
+        let mut s = Sampler::new(SamplerConfig::greedy(), 1);
+        assert_eq!(s.sample(&logits()), 1);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut s = Sampler::new(SamplerConfig::top_k(3, 1.0), seed);
+            (0..20).map(|_| s.sample(&logits())).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn top_k_restricts_support() {
+        let mut s = Sampler::new(SamplerConfig::top_k(2, 1.0), 3);
+        for _ in 0..200 {
+            let t = s.sample(&logits());
+            assert!(t == 1 || t == 3, "token {t} outside top-2");
+        }
+    }
+
+    #[test]
+    fn nucleus_restricts_support() {
+        // Tokens 1 and 3 carry ~95% of the mass; p=0.9 keeps only them.
+        let mut s = Sampler::new(SamplerConfig::nucleus(0.9, 1.0), 4);
+        for _ in 0..200 {
+            let t = s.sample(&logits());
+            assert!(t == 1 || t == 3, "token {t} outside the nucleus");
+        }
+    }
+
+    #[test]
+    fn low_temperature_concentrates() {
+        let mut hot = Sampler::new(SamplerConfig::top_k(0, 2.0), 5);
+        let mut cold = Sampler::new(SamplerConfig::top_k(0, 0.02), 5);
+        let n = 300;
+        let count = |s: &mut Sampler| (0..n).filter(|_| s.sample(&logits()) == 1).count();
+        let hot_top = count(&mut hot);
+        let cold_top = count(&mut cold);
+        assert!(cold_top > hot_top, "cold {cold_top} hot {hot_top}");
+        assert!(cold_top as f64 > 0.95 * n as f64);
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_targets() {
+        let l = Tensor::from_vec(&[2, 3], vec![5.0, 0.0, 0.0, 0.0, 5.0, 0.0]);
+        let good = cross_entropy(&l, &[0, 1]);
+        let bad = cross_entropy(&l, &[2, 2]);
+        assert!(good < bad);
+        assert!(good < 0.1);
+    }
+}

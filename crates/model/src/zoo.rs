@@ -1,0 +1,269 @@
+//! The paper's evaluated models.
+//!
+//! * [`table1`] — the dense family of Table I with its TP/PP mappings.
+//! * [`table2`] — the sparse family of Table II (52B – 2T parameters).
+//! * [`encoders`] — DistilBERT and BERT for the E.T. comparison (Fig. 12).
+//!
+//! For Table II the paper reports total sizes (52, 107.7, 349, 1064.9,
+//! 2024 billion); the number of MoE layers is derived to match those totals
+//! given each base's hidden size (the DeepSpeed-MoE "every other layer"
+//! placement for the smaller models, denser placement for the larger ones).
+
+use crate::config::{BertConfig, GptConfig, MoeConfig};
+use serde::{Deserialize, Serialize};
+
+/// A Table I row: model plus its parallelism mapping per experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DenseEntry {
+    pub config: GptConfig,
+    /// Tensor-parallel degree used in Fig. 6 (0 = not part of Fig. 6).
+    pub fig6_tp: usize,
+    /// (TP, PP) used in Fig. 8 (None = not part of Fig. 8).
+    pub fig8: Option<(usize, usize)>,
+    /// Appears in Fig. 9 (ZeRO-Inference) at TP=1.
+    pub fig9: bool,
+}
+
+/// Table I, in paper order.
+pub fn table1() -> Vec<DenseEntry> {
+    vec![
+        DenseEntry {
+            config: GptConfig::new("GPT-2-1.5B", 1600, 48, 25),
+            fig6_tp: 1,
+            fig8: None,
+            fig9: false,
+        },
+        DenseEntry {
+            config: GptConfig::new("GPT-Neo-2.7B", 2560, 32, 20),
+            fig6_tp: 1,
+            fig8: None,
+            fig9: false,
+        },
+        DenseEntry {
+            config: GptConfig::new("GPT-J-6B", 4096, 28, 32),
+            fig6_tp: 1,
+            fig8: None,
+            fig9: false,
+        },
+        DenseEntry {
+            config: GptConfig::new("GPT-13B", 5120, 40, 40),
+            fig6_tp: 1,
+            fig8: None,
+            fig9: false,
+        },
+        DenseEntry {
+            config: GptConfig::new("GPT-NeoX-20B", 6144, 44, 64),
+            fig6_tp: 2,
+            fig8: None,
+            fig9: true,
+        },
+        DenseEntry {
+            config: GptConfig::new("GPT-50B", 8192, 62, 64),
+            fig6_tp: 4,
+            fig8: None,
+            fig9: true,
+        },
+        DenseEntry {
+            config: GptConfig::new("GPT-87B", 12288, 48, 96),
+            fig6_tp: 8,
+            fig8: None,
+            fig9: false,
+        },
+        DenseEntry {
+            config: GptConfig::new("LM-175B", 12288, 96, 96),
+            fig6_tp: 16,
+            fig8: Some((8, 2)),
+            fig9: true,
+        },
+        DenseEntry {
+            config: GptConfig::new("LM-530B", 20480, 105, 128),
+            fig6_tp: 0,
+            fig8: Some((8, 5)),
+            fig9: true,
+        },
+    ]
+}
+
+/// Look up a Table I model by name.
+pub fn dense_by_name(name: &str) -> Option<GptConfig> {
+    table1().into_iter().find(|e| e.config.name == name).map(|e| e.config)
+}
+
+fn moe(
+    name: &str,
+    base: GptConfig,
+    moe_layers: usize,
+    mp: usize,
+    ep: usize,
+    slicing: usize,
+    gpus: usize,
+) -> MoeConfig {
+    MoeConfig {
+        name: name.into(),
+        base,
+        experts: 128,
+        moe_layers,
+        top_k: 1,
+        capacity_factor: 1.0,
+        mp_degree: mp,
+        ep_degree: ep,
+        expert_slicing: slicing,
+        gpus,
+    }
+}
+
+/// Table II, in paper order: (name, total size B, #layers, hidden, MP, EP,
+/// expert-slicing, #GPUs) =
+/// (1.3B+MoE-128, 52, 24, 2048, 1, 128, 1, 128),
+/// (2.4B+MoE-128, 107.7, 16, 3584, 1, 128, 1, 128),
+/// (8B+MoE-128, 349.0, 30, 4096, 4, 128, 1, 128),
+/// (24B+MoE-128, 1064.9, 40, 8192, 8, 128, 2, 256),
+/// (47B+MoE-128, 2024.0, 58, 8192, 8, 128, 2, 256).
+pub fn table2() -> Vec<MoeConfig> {
+    vec![
+        moe(
+            "1.3B+MoE-128",
+            GptConfig::new("GPT-1.3B", 2048, 24, 16),
+            12,
+            1,
+            128,
+            1,
+            128,
+        ),
+        moe(
+            "2.4B+MoE-128",
+            GptConfig::new("GPT-2.4B", 3584, 16, 28),
+            8,
+            1,
+            128,
+            1,
+            128,
+        ),
+        moe(
+            "8B+MoE-128",
+            GptConfig::new("GPT-8B", 4096, 30, 32),
+            20,
+            4,
+            128,
+            1,
+            128,
+        ),
+        moe(
+            "24B+MoE-128",
+            GptConfig::new("GPT-24B", 8192, 40, 64),
+            15,
+            8,
+            128,
+            2,
+            256,
+        ),
+        moe(
+            "47B+MoE-128",
+            GptConfig::new("GPT-47B", 8192, 58, 64),
+            29,
+            8,
+            128,
+            2,
+            256,
+        ),
+    ]
+}
+
+/// The Fig. 12 encoder models.
+pub fn encoders() -> Vec<BertConfig> {
+    vec![
+        BertConfig::new("DistilBERT", 768, 6, 12),
+        BertConfig::new("BERT-base", 768, 12, 12),
+    ]
+}
+
+/// A small configuration for functional tests: big enough to have real
+/// multi-head structure, small enough to run everywhere.
+pub fn tiny(layers: usize) -> GptConfig {
+    GptConfig {
+        name: "tiny".into(),
+        hidden: 64,
+        layers,
+        heads: 4,
+        vocab: 101,
+        max_seq: 64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_sizes_match_names() {
+        // Every entry's computed size should be within 15% of the nominal
+        // billions in its name (embeddings dominate small models' slack).
+        for e in table1() {
+            let nominal: f64 = e
+                .config
+                .name
+                .trim_end_matches('B')
+                .rsplit('-')
+                .next()
+                .unwrap()
+                .replace("LM", "")
+                .parse()
+                .unwrap_or(0.0);
+            if nominal > 0.0 {
+                let got = e.config.total_params() / 1e9;
+                assert!(
+                    (got - nominal).abs() / nominal < 0.35,
+                    "{}: computed {got:.1}B vs nominal {nominal}B",
+                    e.config.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table2_totals_match_paper() {
+        let expected = [52.0, 107.7, 349.0, 1064.9, 2024.0];
+        for (m, &exp) in table2().iter().zip(&expected) {
+            let got = m.total_params() / 1e9;
+            assert!(
+                (got - exp).abs() / exp < 0.06,
+                "{}: computed {got:.1}B vs paper {exp}B",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn table2_largest_exceeds_two_trillion() {
+        let m = &table2()[4];
+        assert!(m.total_params() > 2.0e12);
+    }
+
+    #[test]
+    fn table2_gpu_counts() {
+        let t = table2();
+        assert!(t[..3].iter().all(|m| m.gpus == 128));
+        assert!(t[3..].iter().all(|m| m.gpus == 256 && m.expert_slicing == 2));
+    }
+
+    #[test]
+    fn fig6_models_have_tp() {
+        let with_tp: Vec<_> = table1().into_iter().filter(|e| e.fig6_tp > 0).collect();
+        assert_eq!(with_tp.len(), 8);
+        assert_eq!(with_tp.last().unwrap().fig6_tp, 16);
+    }
+
+    #[test]
+    fn encoder_sizes() {
+        let e = encoders();
+        // DistilBERT has half BERT's layers.
+        assert_eq!(e[0].layers * 2, e[1].layers);
+        assert!(e[1].total_params() > e[0].total_params());
+    }
+
+    #[test]
+    fn dense_by_name_lookup() {
+        assert!(dense_by_name("LM-175B").is_some());
+        assert!(dense_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! The gating function (Sec. V-C step 1): softmax over expert logits,
+//! top-k expert selection, capacity-constrained slot assignment.
+//!
+//! The output is deliberately the *dense table* representation the paper's
+//! optimized kernels use — "we replace the one-hot representation of the
+//! token to expert mapping using a table data-structure" — from which
+//! [`crate::routing`] derives both the sparse-einsum reference and the
+//! table-based scatter/gather.
+
+use dsi_kernels::ops;
+use dsi_kernels::tensor::Tensor;
+use serde::Serialize;
+
+/// One token's routing to one expert.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Assignment {
+    pub expert: usize,
+    /// Capacity slot within the expert's buffer.
+    pub slot: usize,
+    /// Normalized gate weight for combining expert outputs.
+    pub weight: f32,
+}
+
+/// Dense routing tables produced by the gating function.
+#[derive(Debug, Clone, Serialize)]
+pub struct GateDecision {
+    pub n_tokens: usize,
+    pub n_experts: usize,
+    pub capacity: usize,
+    pub top_k: usize,
+    /// Token → up to `top_k` assignments (fewer if capacity dropped some).
+    pub token_to_expert: Vec<Vec<Assignment>>,
+    /// Expert → slot → source token (the inverse table of Sec. V-C step 2).
+    pub expert_to_token: Vec<Vec<Option<usize>>>,
+    /// Tokens that lost every assignment to capacity limits.
+    pub dropped: Vec<usize>,
+}
+
+impl GateDecision {
+    /// Tokens assigned to `expert`.
+    pub fn expert_load(&self, expert: usize) -> usize {
+        self.expert_to_token[expert].iter().flatten().count()
+    }
+
+    /// Load-imbalance factor: max expert load over mean expert load
+    /// (1.0 = perfectly balanced). The quantity the Switch-style auxiliary
+    /// loss drives toward 1 during training, and the quantity that decides
+    /// how badly expert-parallel GPUs collide at inference (Sec. V-A).
+    pub fn imbalance(&self) -> f64 {
+        let loads: Vec<usize> = (0..self.n_experts).map(|e| self.expert_load(e)).collect();
+        let total: usize = loads.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.n_experts as f64;
+        *loads.iter().max().unwrap() as f64 / mean
+    }
+
+    /// Fraction of routed assignments that were dropped to capacity.
+    pub fn drop_rate(&self) -> f64 {
+        if self.n_tokens == 0 {
+            return 0.0;
+        }
+        self.dropped.len() as f64 / self.n_tokens as f64
+    }
+}
+
+/// Top-k gating over `logits` (`[tokens, experts]`) with per-expert
+/// `capacity` slots. Tokens claim slots in token order (the deterministic
+/// cumsum ordering of the paper's step 2); an assignment that finds its
+/// expert full is dropped. Gate weights are the softmax probabilities of the
+/// selected experts renormalized over the *kept* assignments.
+pub fn top_k_gating(logits: &Tensor, top_k: usize, capacity: usize) -> GateDecision {
+    let (s, e) = (logits.rows(), logits.cols());
+    assert!(top_k >= 1 && top_k <= e, "top_k out of range");
+    let mut probs = logits.clone();
+    ops::softmax_rows(&mut probs);
+
+    let mut token_to_expert: Vec<Vec<Assignment>> = vec![Vec::new(); s];
+    let mut expert_to_token: Vec<Vec<Option<usize>>> = vec![vec![None; capacity]; e];
+    let mut next_slot = vec![0usize; e];
+    let mut dropped = Vec::new();
+
+    #[allow(clippy::needless_range_loop)] // t indexes both probs rows and tables
+    for t in 0..s {
+        // Select top-k experts by probability (stable order for ties).
+        let mut idx: Vec<usize> = (0..e).collect();
+        idx.sort_by(|&a, &b| {
+            probs.row(t)[b]
+                .partial_cmp(&probs.row(t)[a])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        let chosen = &idx[..top_k];
+        let mut kept = Vec::new();
+        for &ex in chosen {
+            if next_slot[ex] < capacity {
+                let slot = next_slot[ex];
+                next_slot[ex] += 1;
+                expert_to_token[ex][slot] = Some(t);
+                kept.push((ex, slot, probs.row(t)[ex]));
+            }
+        }
+        if kept.is_empty() {
+            dropped.push(t);
+            continue;
+        }
+        let norm: f32 = kept.iter().map(|&(_, _, w)| w).sum();
+        token_to_expert[t] = kept
+            .into_iter()
+            .map(|(expert, slot, w)| Assignment {
+                expert,
+                slot,
+                weight: w / norm,
+            })
+            .collect();
+    }
+
+    GateDecision {
+        n_tokens: s,
+        n_experts: e,
+        capacity,
+        top_k,
+        token_to_expert,
+        expert_to_token,
+        dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits(s: usize, e: usize, seed: u64) -> Tensor {
+        Tensor::randn(&[s, e], 1.0, seed)
+    }
+
+    #[test]
+    fn every_token_gets_k_assignments_with_ample_capacity() {
+        let d = top_k_gating(&logits(32, 8, 1), 2, 32);
+        assert!(d.dropped.is_empty());
+        for t in &d.token_to_expert {
+            assert_eq!(t.len(), 2);
+            // Distinct experts per token.
+            assert_ne!(t[0].expert, t[1].expert);
+        }
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let d = top_k_gating(&logits(64, 4, 2), 1, 3);
+        for e in 0..4 {
+            assert!(d.expert_load(e) <= 3);
+        }
+        // 64 tokens into 4 experts × 3 slots: most are dropped.
+        assert!(d.dropped.len() >= 64 - 12);
+    }
+
+    #[test]
+    fn tables_are_mutually_inverse() {
+        let d = top_k_gating(&logits(20, 6, 3), 2, 8);
+        for (t, asgs) in d.token_to_expert.iter().enumerate() {
+            for a in asgs {
+                assert_eq!(d.expert_to_token[a.expert][a.slot], Some(t));
+            }
+        }
+        for (e, slots) in d.expert_to_token.iter().enumerate() {
+            for (slot, tok) in slots.iter().enumerate() {
+                if let Some(t) = tok {
+                    assert!(d.token_to_expert[*t]
+                        .iter()
+                        .any(|a| a.expert == e && a.slot == slot));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gate_weights_normalized() {
+        let d = top_k_gating(&logits(16, 8, 4), 2, 16);
+        for asgs in &d.token_to_expert {
+            let sum: f32 = asgs.iter().map(|a| a.weight).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn top1_picks_argmax() {
+        let l = Tensor::from_vec(&[2, 3], vec![0.1, 5.0, 0.2, 3.0, 0.0, 0.0]);
+        let d = top_k_gating(&l, 1, 2);
+        assert_eq!(d.token_to_expert[0][0].expert, 1);
+        assert_eq!(d.token_to_expert[1][0].expert, 0);
+        // Top-1 weight renormalizes to 1.
+        assert!((d.token_to_expert[0][0].weight - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn imbalance_metrics() {
+        // Uniform logits route ~evenly: imbalance close to 1.
+        let l = Tensor::randn(&[512, 8], 0.05, 9);
+        let d = top_k_gating(&l, 1, 512);
+        assert!(d.imbalance() < 1.6, "imbalance {}", d.imbalance());
+        assert_eq!(d.drop_rate(), 0.0);
+        // A hot expert drives imbalance toward E.
+        let mut hot = Tensor::randn(&[512, 8], 0.05, 10);
+        for r in 0..512 {
+            hot.row_mut(r)[3] += 10.0;
+        }
+        let d = top_k_gating(&hot, 1, 512);
+        assert!(d.imbalance() > 7.0, "imbalance {}", d.imbalance());
+    }
+
+    #[test]
+    fn slots_fill_in_token_order() {
+        let l = Tensor::from_vec(&[3, 2], vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        let d = top_k_gating(&l, 1, 4);
+        assert_eq!(d.expert_to_token[0][0], Some(0));
+        assert_eq!(d.expert_to_token[0][1], Some(1));
+        assert_eq!(d.expert_to_token[0][2], Some(2));
+    }
+}

@@ -1,0 +1,145 @@
+//! Cost models for the two MoE kernel implementations of Sec. V-C.
+//!
+//! The baseline gating path builds one-hot masks, runs top-k selection,
+//! cumulative sums, and two sparse einsums of complexity `S·E·M·c_e` — "not
+//! only wasteful due to the sparse tensor representation, but also extremely
+//! slow due to many kernel call invocations". The optimized path keeps
+//! mapping tables and replaces both einsums with data-layout transforms of
+//! complexity `S·M·c_e`, fused into (nearly) a single kernel. The paper
+//! reports "over 6× reduction in MoE kernel-related latency"; the test at
+//! the bottom recovers that factor from the two models.
+
+use dsi_kernels::cost::{self, KernelCost};
+use dsi_sim::hw::{DType, GpuSpec};
+use serde::Serialize;
+
+/// Cost of the routing-related kernels of one MoE layer (everything except
+/// the expert FFNs and the all-to-alls).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MoeKernelCost {
+    pub cost: KernelCost,
+    /// Kernel launches.
+    pub launches: usize,
+}
+
+/// Baseline sparse path: gating function (masks, top-k, cumsum, sparse
+/// matmul — "numerous operations") plus the two sparse einsums.
+pub fn sparse_routing_cost(
+    tokens: usize,
+    experts: usize,
+    hidden: usize,
+    capacity: usize,
+    act_dtype: DType,
+) -> MoeKernelCost {
+    let (s, e, m, c) = (tokens as f64, experts as f64, hidden as f64, capacity as f64);
+    let ab = act_dtype.bytes() as f64;
+    // Gate projection handled by the dense layer model; here: one-hot mask
+    // creation, top-k, cumsum, inverse-map matmuls.
+    let mask_elems = s * e * c;
+    // Two einsums, each S×E×M×c_e multiply-adds, reading the mask and the
+    // token matrix and writing the dispatched/combined tensor; the one-hot
+    // intermediates are materialized in f32 as eager PyTorch does.
+    let einsum_flops = 2.0 * 2.0 * s * e * m * c;
+    let einsum_traffic = 2.0 * (mask_elems * 4.0 + s * m * ab + e * c * m * ab);
+    let gating_traffic = 6.0 * mask_elems * 4.0; // masks re-read by each micro-op
+    MoeKernelCost {
+        cost: KernelCost {
+            flops: einsum_flops + 10.0 * mask_elems,
+            weight_bytes: 0.0,
+            act_read: einsum_traffic + gating_traffic,
+            act_write: einsum_traffic / 2.0,
+        },
+        // Micro-kernels for the gating function (masking, top-k, cumsum,
+        // one-hot matmuls) plus the einsum launches and their layout
+        // preludes (Sec. V-C: "many kernel call invocations").
+        launches: 40,
+    }
+}
+
+/// Optimized dense-table path: build token→expert table, invert it by a
+/// parallel scan, and do both scatter and gather as row copies; all but the
+/// final transform fused into one kernel.
+pub fn dense_routing_cost(
+    tokens: usize,
+    experts: usize,
+    hidden: usize,
+    capacity: usize,
+    act_dtype: DType,
+) -> MoeKernelCost {
+    let (s, e, m, c) = (tokens as f64, experts as f64, hidden as f64, capacity as f64);
+    let ab = act_dtype.bytes() as f64;
+    let _ = c;
+    // Table building touches S×E gate probabilities once; the two layout
+    // transforms move each routed token row twice (S·M·c_e with c_e folded
+    // into the rows actually moved).
+    let copy_traffic = 2.0 * 2.0 * s * m * ab;
+    MoeKernelCost {
+        cost: KernelCost {
+            flops: 4.0 * s * e + 8.0 * s * m,
+            weight_bytes: 0.0,
+            act_read: copy_traffic + s * e * 4.0,
+            act_write: copy_traffic / 2.0,
+        },
+        // One fused kernel plus the final data-layout transform.
+        launches: 2,
+    }
+}
+
+/// Wall-clock time of a routing cost on a GPU (no CUDA graph for the
+/// baseline; the optimized path is fused into the graph so its launches are
+/// also charged here for a conservative comparison).
+pub fn routing_time(gpu: &GpuSpec, k: &MoeKernelCost, dtype: DType) -> f64 {
+    let exec = cost::exec_time(gpu, &k.cost, dtype, 0.3, cost::mem_policy::ELEMENTWISE_BW_EFF);
+    exec + k.launches as f64 * gpu.kernel_launch_overhead
+}
+
+/// The headline kernel-latency ratio (sparse / dense) for a configuration.
+pub fn kernel_speedup(gpu: &GpuSpec, tokens: usize, experts: usize, hidden: usize, capacity: usize) -> f64 {
+    let sp = sparse_routing_cost(tokens, experts, hidden, capacity, DType::Fp16);
+    let de = dense_routing_cost(tokens, experts, hidden, capacity, DType::Fp16);
+    routing_time(gpu, &sp, DType::Fp16) / routing_time(gpu, &de, DType::Fp16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_path_has_fewer_launches() {
+        let sp = sparse_routing_cost(8, 128, 4096, 8, DType::Fp16);
+        let de = dense_routing_cost(8, 128, 4096, 8, DType::Fp16);
+        assert!(de.launches * 10 <= sp.launches);
+    }
+
+    #[test]
+    fn dense_path_moves_less_data() {
+        let sp = sparse_routing_cost(64, 128, 4096, 8, DType::Fp16);
+        let de = dense_routing_cost(64, 128, 4096, 8, DType::Fp16);
+        assert!(de.cost.act_read < sp.cost.act_read);
+        assert!(de.cost.flops < sp.cost.flops);
+    }
+
+    #[test]
+    fn paper_six_x_kernel_reduction() {
+        // Sec. V-C: "over 6× reduction in MoE kernel-related latency" for
+        // inference-scale token counts.
+        let gpu = GpuSpec::a100_40gb();
+        let s = kernel_speedup(&gpu, 8, 128, 4096, 8);
+        assert!(s > 6.0, "kernel speedup only {s:.1}x");
+        // And it should stay >4x even for prompt-sized token counts.
+        let s2 = kernel_speedup(&gpu, 1024, 128, 4096, 16);
+        assert!(s2 > 4.0, "prompt kernel speedup only {s2:.1}x");
+    }
+
+    #[test]
+    fn sparse_cost_scales_with_experts_dense_does_not() {
+        let s64 = sparse_routing_cost(32, 64, 1024, 8, DType::Fp16);
+        let s256 = sparse_routing_cost(32, 256, 1024, 8, DType::Fp16);
+        assert!(s256.cost.flops > 3.0 * s64.cost.flops);
+        let d64 = dense_routing_cost(32, 64, 1024, 8, DType::Fp16);
+        let d256 = dense_routing_cost(32, 256, 1024, 8, DType::Fp16);
+        // Dense path's copies are expert-count independent (only the S×E
+        // gate-probability scan grows).
+        assert!(d256.cost.act_read < d64.cost.act_read * 1.5);
+    }
+}

@@ -1,0 +1,407 @@
+//! Functional MoE layer and its expert-parallel execution.
+//!
+//! * [`MoeLayer::forward`] — the single-device reference: gate → dispatch →
+//!   per-expert FFN → weighted combine.
+//! * [`ep_forward`] — expert parallelism (Sec. V-A): tokens are partitioned
+//!   across ranks, experts are partitioned across ranks, and two *real*
+//!   all-to-alls (dispatch and combine) move token rows between them through
+//!   [`CommGroup`] buffers. Verified equal to the single-device reference.
+//! * [`flat_exchange`] / [`pcc_exchange`] — the communication schedules of
+//!   Fig. 5 at the data level. With tensor-slicing degree `L`, the data held
+//!   by the `L` ranks of a TP group is replicated, so the flat all-to-all
+//!   over all `p` ranks moves every chunk `L` times; PCC runs the all-to-all
+//!   only between same-TP-slot ranks and restores replication with an
+//!   intra-group all-gather. Both must (and do) produce identical final
+//!   states — the property the cost savings of Sec. V-B rest on.
+
+use crate::gating::top_k_gating;
+use crate::routing::{dispatch_dense, gather_dense};
+use dsi_kernels::ops;
+use dsi_kernels::tensor::Tensor;
+use dsi_sim::collectives::CommGroup;
+
+/// One expert: a position-wise FFN block (`h → 4h → h`).
+#[derive(Debug, Clone)]
+pub struct ExpertFfn {
+    pub w1: Tensor,
+    pub b1: Tensor,
+    pub w2: Tensor,
+    pub b2: Tensor,
+}
+
+impl ExpertFfn {
+    pub fn random(hidden: usize, seed: u64) -> Self {
+        let s = 1.0 / (hidden as f32).sqrt();
+        ExpertFfn {
+            w1: Tensor::randn(&[hidden, 4 * hidden], s, seed.wrapping_add(1)),
+            b1: Tensor::randn(&[4 * hidden], 0.01, seed.wrapping_add(2)),
+            w2: Tensor::randn(&[4 * hidden, hidden], s * 0.5, seed.wrapping_add(3)),
+            b2: Tensor::randn(&[hidden], 0.01, seed.wrapping_add(4)),
+        }
+    }
+
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = ops::matmul(x, &self.w1);
+        ops::add_bias(&mut h, &self.b1);
+        ops::gelu(&mut h);
+        let mut y = ops::matmul(&h, &self.w2);
+        ops::add_bias(&mut y, &self.b2);
+        y
+    }
+}
+
+/// A position-wise MoE layer: learned gate plus `E` experts.
+///
+/// ```
+/// use dsi_moe::layer::MoeLayer;
+/// use dsi_kernels::tensor::Tensor;
+/// let layer = MoeLayer::random(16, 4, 1, 7);
+/// let x = Tensor::randn(&[8, 16], 1.0, 8);
+/// let y = layer.forward(&x, /*capacity*/ 8);
+/// assert_eq!(y.shape(), &[8, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MoeLayer {
+    /// `[h, E]` gating projection.
+    pub gate_w: Tensor,
+    pub experts: Vec<ExpertFfn>,
+    pub top_k: usize,
+}
+
+impl MoeLayer {
+    pub fn random(hidden: usize, n_experts: usize, top_k: usize, seed: u64) -> Self {
+        MoeLayer {
+            gate_w: Tensor::randn(&[hidden, n_experts], 0.1, seed),
+            experts: (0..n_experts)
+                .map(|i| ExpertFfn::random(hidden, seed.wrapping_add(100 + 10 * i as u64)))
+                .collect(),
+            top_k,
+        }
+    }
+
+    /// Single-device forward over `x` (`[S, h]`) with per-expert capacity.
+    pub fn forward(&self, x: &Tensor, capacity: usize) -> Tensor {
+        let logits = ops::matmul(x, &self.gate_w);
+        let gate = top_k_gating(&logits, self.top_k, capacity);
+        let dispatched = dispatch_dense(x, &gate);
+        // Run each expert on its capacity block.
+        let h = x.cols();
+        let mut outs = Tensor::zeros(&[self.experts.len() * capacity, h]);
+        for (e, ex) in self.experts.iter().enumerate() {
+            let block = dispatched.row_slice(e * capacity, (e + 1) * capacity);
+            let y = ex.forward(&block);
+            for c in 0..capacity {
+                outs.row_mut(e * capacity + c).copy_from_slice(y.row(c));
+            }
+        }
+        gather_dense(&outs, &gate)
+    }
+}
+
+/// Expert-parallel forward across `n_ranks` simulated devices.
+///
+/// Tokens are split into `n_ranks` contiguous shards; experts are split into
+/// `n_ranks` contiguous groups. Each rank gates its local tokens, scatters
+/// them into an `[E, cap_local, h]` send buffer grouped by destination rank,
+/// and the dispatch/combine all-to-alls run through [`CommGroup::alltoall`].
+/// `cap_local` is the per-source-rank slot budget per expert.
+pub fn ep_forward(layer: &MoeLayer, x: &Tensor, n_ranks: usize, cap_local: usize) -> Tensor {
+    let s = x.rows();
+    let h = x.cols();
+    let e = layer.experts.len();
+    assert!(s.is_multiple_of(n_ranks), "tokens must split evenly across ranks");
+    assert!(e.is_multiple_of(n_ranks), "experts must split evenly across ranks");
+    let s_local = s / n_ranks;
+    let e_local = e / n_ranks;
+
+    // Per-rank gating over local tokens.
+    let mut gates = Vec::with_capacity(n_ranks);
+    for r in 0..n_ranks {
+        let xt = x.row_slice(r * s_local, (r + 1) * s_local);
+        let logits = ops::matmul(&xt, &layer.gate_w);
+        gates.push(top_k_gating(&logits, layer.top_k, cap_local));
+    }
+
+    // Build send buffers: [dest rank][local experts of dest][cap_local][h].
+    let chunk_elems = e_local * cap_local * h;
+    let buffers: Vec<Vec<f32>> = (0..n_ranks)
+        .map(|r| {
+            let xt = x.row_slice(r * s_local, (r + 1) * s_local);
+            let dispatched = dispatch_dense(&xt, &gates[r]); // [e*cap_local, h]
+            // dispatch_dense already orders by expert id, which is grouped by
+            // destination rank (contiguous expert split) — so the flat data
+            // is exactly the concatenation of per-destination chunks.
+            debug_assert_eq!(dispatched.len(), n_ranks * chunk_elems);
+            dispatched.into_data()
+        })
+        .collect();
+
+    // Dispatch all-to-all.
+    let mut comm = CommGroup::new(buffers);
+    comm.alltoall();
+
+    // Each rank runs its local experts over the received slots.
+    let out_buffers: Vec<Vec<f32>> = (0..n_ranks)
+        .map(|d| {
+            let recv = &comm.buffers[d]; // [src][e_local][cap_local][h]
+            let mut out = vec![0.0f32; recv.len()];
+            for src in 0..n_ranks {
+                for le in 0..e_local {
+                    let base = (src * e_local + le) * cap_local * h;
+                    let block =
+                        Tensor::from_vec(&[cap_local, h], recv[base..base + cap_local * h].to_vec());
+                    let y = layer.experts[d * e_local + le].forward(&block);
+                    out[base..base + cap_local * h].copy_from_slice(y.data());
+                }
+            }
+            out
+        })
+        .collect();
+
+    // Combine all-to-all (the reverse exchange).
+    let mut comm = CommGroup::new(out_buffers);
+    comm.alltoall();
+
+    // Local weighted combine.
+    let mut result = Tensor::zeros(&[s, h]);
+    #[allow(clippy::needless_range_loop)] // r indexes gates, buffers, and rows
+    for r in 0..n_ranks {
+        let recv = Tensor::from_vec(&[e * cap_local, h], comm.buffers[r].clone());
+        let combined = gather_dense(&recv, &gates[r]);
+        for t in 0..s_local {
+            result
+                .row_mut(r * s_local + t)
+                .copy_from_slice(combined.row(t));
+        }
+    }
+    result
+}
+
+/// [`ep_forward`] with automatic token padding: real all-to-alls need equal
+/// per-rank shards, so systems pad the token count to a multiple of the
+/// world size (the capacity padding of GShard-style implementations). Pad
+/// rows are zero tokens whose outputs are discarded.
+pub fn ep_forward_padded(
+    layer: &MoeLayer,
+    x: &Tensor,
+    n_ranks: usize,
+    cap_local: usize,
+) -> Tensor {
+    let s = x.rows();
+    let h = x.cols();
+    let padded = s.div_ceil(n_ranks) * n_ranks;
+    if padded == s {
+        return ep_forward(layer, x, n_ranks, cap_local);
+    }
+    let mut data = x.data().to_vec();
+    data.extend(std::iter::repeat_n(0.0, (padded - s) * h));
+    let xp = Tensor::from_vec(&[padded, h], data);
+    let yp = ep_forward(layer, &xp, n_ranks, cap_local);
+    yp.row_slice(0, s)
+}
+
+/// The chunk each expert-parallel group sends to each other group, as flat
+/// data: `data[src_group]` is the replicated buffer of that group, laid out
+/// as `groups` equal chunks (one per destination group).
+type GroupData = Vec<Vec<f32>>;
+
+/// Baseline flat all-to-all over all `p = groups·l` ranks (bottom of
+/// Fig. 5): every rank of a source group sends the full destination chunk to
+/// every rank of the destination group; receivers drop the `l−1` duplicate
+/// copies. Returns each rank's final `[groups × chunk]` state.
+pub fn flat_exchange(data: &GroupData, l: usize) -> Vec<Vec<f32>> {
+    let groups = data.len();
+    let p = groups * l;
+    let chunk = data[0].len() / groups;
+    assert!(data.iter().all(|d| d.len() == groups * chunk));
+
+    // Rank (j, c) sends, for each destination rank d = (j', c'), the chunk
+    // j→j'. Buffer = concat over d of that chunk.
+    let buffers: Vec<Vec<f32>> = (0..p)
+        .map(|r| {
+            let j = r / l;
+            let mut b = Vec::with_capacity(p * chunk);
+            for d in 0..p {
+                let jp = d / l;
+                b.extend_from_slice(&data[j][jp * chunk..(jp + 1) * chunk]);
+            }
+            b
+        })
+        .collect();
+    let mut comm = CommGroup::new(buffers);
+    comm.alltoall();
+
+    // Receiver (j', c') got, from each source rank (j, c), chunk j→j'; the l
+    // copies per source group are identical — keep the first (the "local
+    // transform" dedupe).
+    comm.buffers
+        .iter()
+        .map(|recv| {
+            let mut out = Vec::with_capacity(groups * chunk);
+            for j in 0..groups {
+                let src_rank = j * l; // slot-0 replica
+                out.extend_from_slice(&recv[src_rank * chunk..src_rank * chunk + chunk]);
+            }
+            out
+        })
+        .collect()
+}
+
+/// PCC schedule (top of Fig. 5): (1) local split so TP slot `c` owns the
+/// `c`-th `1/l` of every chunk, (2) all-to-all among same-slot ranks only,
+/// (3) all-gather within each TP group, (4) local reorder. Produces the same
+/// final per-rank state as [`flat_exchange`] while moving each chunk across
+/// the expert-parallel dimension exactly once.
+pub fn pcc_exchange(data: &GroupData, l: usize) -> Vec<Vec<f32>> {
+    let groups = data.len();
+    let chunk = data[0].len() / groups;
+    assert!(chunk.is_multiple_of(l), "chunk must split across tensor-parallel ranks");
+    let sub = chunk / l;
+
+    // Step 1+2: for each TP slot c, an all-to-all among the `groups` ranks
+    // holding slot c. Rank (j, c)'s buffer: concat over destination group j'
+    // of subchunk c of chunk j→j'.
+    let mut slot_results: Vec<Vec<Vec<f32>>> = Vec::with_capacity(l);
+    for c in 0..l {
+        let buffers: Vec<Vec<f32>> = (0..groups)
+            .map(|j| {
+                let mut b = Vec::with_capacity(groups * sub);
+                for jp in 0..groups {
+                    let base = jp * chunk + c * sub;
+                    b.extend_from_slice(&data[j][base..base + sub]);
+                }
+                b
+            })
+            .collect();
+        let mut comm = CommGroup::new(buffers);
+        comm.alltoall();
+        slot_results.push(comm.buffers);
+    }
+
+    // Step 3: all-gather within each TP group j' (over c), then
+    // Step 4: local reorder back to [j][chunk].
+    let mut out = Vec::with_capacity(groups * l);
+    #[allow(clippy::needless_range_loop)] // jp selects the per-slot results of group jp
+    for jp in 0..groups {
+        let gathered: Vec<Vec<f32>> = (0..l).map(|c| slot_results[c][jp].clone()).collect();
+        let mut comm = CommGroup::new(gathered);
+        comm.allgather();
+        // Every TP rank of group j' now holds concat over c of
+        // (concat over j of subchunk c of chunk j→j').
+        let flat = &comm.buffers[0];
+        let mut reordered = vec![0.0f32; groups * chunk];
+        for c in 0..l {
+            for j in 0..groups {
+                let src = (c * groups + j) * sub;
+                let dst = j * chunk + c * sub;
+                reordered[dst..dst + sub].copy_from_slice(&flat[src..src + sub]);
+            }
+        }
+        for _ in 0..l {
+            out.push(reordered.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expert_ffn_deterministic() {
+        let e = ExpertFfn::random(16, 5);
+        let x = Tensor::randn(&[3, 16], 1.0, 6);
+        assert!(e.forward(&x).allclose(&e.forward(&x), 0.0));
+    }
+
+    #[test]
+    fn moe_layer_forward_shapes() {
+        let layer = MoeLayer::random(16, 4, 1, 7);
+        let x = Tensor::randn(&[8, 16], 1.0, 8);
+        let y = layer.forward(&x, 8);
+        assert_eq!(y.shape(), &[8, 16]);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn ep_forward_matches_single_device() {
+        // 2 ranks, ample capacity so nothing drops: the expert-parallel
+        // execution with real all-to-alls must equal the reference.
+        let layer = MoeLayer::random(16, 4, 1, 9);
+        let x = Tensor::randn(&[8, 16], 1.0, 10);
+        // Single-device with capacity = n_ranks * cap_local (same budget).
+        let want = layer.forward(&x, 8);
+        let got = ep_forward(&layer, &x, 2, 4);
+        assert!(
+            got.allclose(&want, 1e-4),
+            "max diff {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn ep_forward_four_ranks() {
+        let layer = MoeLayer::random(16, 8, 2, 11);
+        let x = Tensor::randn(&[16, 16], 1.0, 12);
+        let want = layer.forward(&x, 16);
+        let got = ep_forward(&layer, &x, 4, 4);
+        assert!(
+            got.allclose(&want, 1e-4),
+            "max diff {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    fn group_data(groups: usize, chunk: usize, seed: u64) -> GroupData {
+        (0..groups)
+            .map(|j| {
+                Tensor::randn(&[groups * chunk], 1.0, seed + j as u64).into_data()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pcc_equals_flat_exchange() {
+        // The Sec. V-B claim, functionally: identical final states.
+        for l in [1usize, 2, 4] {
+            let data = group_data(4, 8, 100 + l as u64);
+            let flat = flat_exchange(&data, l);
+            let pcc = pcc_exchange(&data, l);
+            assert_eq!(flat.len(), pcc.len());
+            for (a, b) in flat.iter().zip(&pcc) {
+                assert_eq!(a, b, "mismatch at l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_delivers_correct_chunks() {
+        // Destination group j' must end with [chunk(j→j') for all j].
+        let groups = 3;
+        let chunk = 4;
+        let data = group_data(groups, chunk, 200);
+        let flat = flat_exchange(&data, 2);
+        for jp in 0..groups {
+            for c in 0..2 {
+                let rank = jp * 2 + c;
+                for j in 0..groups {
+                    let got = &flat[rank][j * chunk..(j + 1) * chunk];
+                    let want = &data[j][jp * chunk..(jp + 1) * chunk];
+                    assert_eq!(got, want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pcc_replicates_within_tp_group() {
+        let data = group_data(2, 8, 300);
+        let pcc = pcc_exchange(&data, 4);
+        // Ranks 0..4 (group 0) identical; 4..8 (group 1) identical.
+        for c in 1..4 {
+            assert_eq!(pcc[0], pcc[c]);
+            assert_eq!(pcc[4], pcc[4 + c]);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Scatter/gather routing: sparse one-hot einsum reference vs the dense
+//! mapping-table rewrite (Sec. V-C steps 3–4).
+//!
+//! The baseline "sparse einsum" path materializes one-hot masks and
+//! multiplies through them — `(E−1)` out of `E` multiply-adds per token are
+//! with zeros, giving the `S × E × M × c_e` complexity the paper calls out.
+//! The optimized path walks the expert→token table and copies rows —
+//! `S × M × c_e`. Both are implemented literally so the equivalence (and the
+//! complexity gap, which the cost model in [`crate::kernels`] charges) is
+//! demonstrated rather than asserted.
+
+use crate::gating::GateDecision;
+use dsi_kernels::tensor::Tensor;
+
+/// Dispatch tokens (`[S, h]`) into per-expert buffers (`[E, capacity, h]`,
+/// returned flattened `[E * capacity, h]`) via the *sparse einsum*:
+/// `dispatched[e, c, :] = Σ_s onehot[s, e, c] · tokens[s, :]`.
+pub fn dispatch_sparse(tokens: &Tensor, gate: &GateDecision) -> Tensor {
+    let h = tokens.cols();
+    let (e, cap) = (gate.n_experts, gate.capacity);
+    // Materialize the one-hot mask [S, E, cap] exactly as the baseline does.
+    let mut mask = vec![0.0f32; gate.n_tokens * e * cap];
+    for (t, asgs) in gate.token_to_expert.iter().enumerate() {
+        for a in asgs {
+            mask[(t * e + a.expert) * cap + a.slot] = 1.0;
+        }
+    }
+    let mut out = Tensor::zeros(&[e * cap, h]);
+    // The wasteful full contraction: every (expert, slot) scans every token.
+    for ex in 0..e {
+        for c in 0..cap {
+            let row = out.row_mut(ex * cap + c);
+            for t in 0..gate.n_tokens {
+                let m = mask[(t * e + ex) * cap + c];
+                if m != 0.0 {
+                    for (o, &x) in row.iter_mut().zip(tokens.row(t)) {
+                        *o += m * x;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Dispatch via the dense expert→token table: for each occupied slot, copy
+/// the token row (step 3's "data-layout transformation").
+pub fn dispatch_dense(tokens: &Tensor, gate: &GateDecision) -> Tensor {
+    let h = tokens.cols();
+    let (e, cap) = (gate.n_experts, gate.capacity);
+    let mut out = Tensor::zeros(&[e * cap, h]);
+    for (ex, slots) in gate.expert_to_token.iter().enumerate() {
+        for (c, tok) in slots.iter().enumerate() {
+            if let Some(t) = tok {
+                out.row_mut(ex * cap + c).copy_from_slice(tokens.row(*t));
+            }
+        }
+    }
+    out
+}
+
+/// Gather expert outputs (`[E * capacity, h]`) back to token order via the
+/// sparse einsum, weighting by the gate probabilities.
+pub fn gather_sparse(expert_out: &Tensor, gate: &GateDecision) -> Tensor {
+    let h = expert_out.cols();
+    let (e, cap) = (gate.n_experts, gate.capacity);
+    let mut mask = vec![0.0f32; gate.n_tokens * e * cap];
+    for (t, asgs) in gate.token_to_expert.iter().enumerate() {
+        for a in asgs {
+            mask[(t * e + a.expert) * cap + a.slot] = a.weight;
+        }
+    }
+    let mut out = Tensor::zeros(&[gate.n_tokens, h]);
+    for t in 0..gate.n_tokens {
+        let row = out.row_mut(t);
+        for ex in 0..e {
+            for c in 0..cap {
+                let w = mask[(t * e + ex) * cap + c];
+                if w != 0.0 {
+                    for (o, &x) in row.iter_mut().zip(expert_out.row(ex * cap + c)) {
+                        *o += w * x;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gather via the dense token→expert table (step 4).
+pub fn gather_dense(expert_out: &Tensor, gate: &GateDecision) -> Tensor {
+    let h = expert_out.cols();
+    let cap = gate.capacity;
+    let mut out = Tensor::zeros(&[gate.n_tokens, h]);
+    for (t, asgs) in gate.token_to_expert.iter().enumerate() {
+        let row = out.row_mut(t);
+        for a in asgs {
+            for (o, &x) in row.iter_mut().zip(expert_out.row(a.expert * cap + a.slot)) {
+                *o += a.weight * x;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gating::top_k_gating;
+
+    fn setup(s: usize, e: usize, cap: usize, k: usize) -> (Tensor, GateDecision) {
+        let tokens = Tensor::randn(&[s, 16], 1.0, 77);
+        let logits = Tensor::randn(&[s, e], 1.0, 78);
+        (tokens.clone(), top_k_gating(&logits, k, cap))
+    }
+
+    #[test]
+    fn dispatch_sparse_equals_dense_top1() {
+        let (tokens, gate) = setup(24, 8, 8, 1);
+        let a = dispatch_sparse(&tokens, &gate);
+        let b = dispatch_dense(&tokens, &gate);
+        assert!(a.allclose(&b, 1e-6));
+    }
+
+    #[test]
+    fn dispatch_sparse_equals_dense_top2() {
+        let (tokens, gate) = setup(16, 4, 16, 2);
+        let a = dispatch_sparse(&tokens, &gate);
+        let b = dispatch_dense(&tokens, &gate);
+        assert!(a.allclose(&b, 1e-6));
+    }
+
+    #[test]
+    fn gather_sparse_equals_dense() {
+        let (_, gate) = setup(16, 4, 16, 2);
+        let expert_out = Tensor::randn(&[4 * 16, 16], 1.0, 79);
+        let a = gather_sparse(&expert_out, &gate);
+        let b = gather_dense(&expert_out, &gate);
+        assert!(a.allclose(&b, 1e-5));
+    }
+
+    #[test]
+    fn roundtrip_identity_experts() {
+        // With identity experts (output = input), gather(dispatch(x)) must
+        // return x for every non-dropped token (weights sum to 1).
+        let (tokens, gate) = setup(20, 5, 8, 2);
+        let d = dispatch_dense(&tokens, &gate);
+        let back = gather_dense(&d, &gate);
+        for t in 0..20 {
+            if !gate.dropped.contains(&t) && gate.token_to_expert[t].len() == 2 {
+                let diff: f32 = back
+                    .row(t)
+                    .iter()
+                    .zip(tokens.row(t))
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f32::max);
+                assert!(diff < 1e-5, "token {t} diff {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_tokens_get_zero_output() {
+        // Tiny capacity forces drops; dropped tokens combine nothing.
+        let tokens = Tensor::randn(&[16, 8], 1.0, 80);
+        let logits = Tensor::from_vec(&[16, 2], vec![1.0, 0.0].repeat(16));
+        let gate = top_k_gating(&logits, 1, 2);
+        assert!(!gate.dropped.is_empty());
+        let d = dispatch_dense(&tokens, &gate);
+        let out = gather_dense(&d, &gate);
+        for &t in &gate.dropped {
+            assert!(out.row(t).iter().all(|&v| v == 0.0));
+        }
+    }
+}

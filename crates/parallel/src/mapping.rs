@@ -1,0 +1,193 @@
+//! 3D parallelism mapping: data × tensor × pipeline rank layout.
+//!
+//! The paper's systems combine parallelism modes (Sec. II-c: "3D parallelism
+//! combines data, tensor, and pipeline parallelism"); serving replicates a
+//! TP×PP engine `dp` ways for throughput. This module owns the rank
+//! arithmetic — which global rank plays which (dp, pp, tp) coordinate, and
+//! which ranks form each communication group — with the invariants
+//! (partition, alignment to nodes) tested rather than assumed.
+//!
+//! Layout (rank-major, TP fastest): `rank = ((dp·PP) + pp)·TP + tp`, so a TP
+//! group is `TP` consecutive ranks (inside a node, per the Sec. II guidance)
+//! and a pipeline stage boundary is a stride-`TP` hop.
+
+use serde::{Deserialize, Serialize};
+
+/// A complete 3D mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping3D {
+    /// Data-parallel replicas.
+    pub dp: usize,
+    /// Pipeline stages per replica.
+    pub pp: usize,
+    /// Tensor-parallel degree per stage.
+    pub tp: usize,
+}
+
+/// A rank's coordinate in the 3D mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coord {
+    pub dp: usize,
+    pub pp: usize,
+    pub tp: usize,
+}
+
+impl Mapping3D {
+    pub fn new(dp: usize, pp: usize, tp: usize) -> Self {
+        assert!(dp >= 1 && pp >= 1 && tp >= 1);
+        Mapping3D { dp, pp, tp }
+    }
+
+    /// Total GPUs.
+    pub fn world_size(&self) -> usize {
+        self.dp * self.pp * self.tp
+    }
+
+    /// Global rank of a coordinate.
+    pub fn rank(&self, c: Coord) -> usize {
+        assert!(c.dp < self.dp && c.pp < self.pp && c.tp < self.tp);
+        (c.dp * self.pp + c.pp) * self.tp + c.tp
+    }
+
+    /// Coordinate of a global rank.
+    pub fn coord(&self, rank: usize) -> Coord {
+        assert!(rank < self.world_size(), "rank {rank} out of range");
+        Coord {
+            tp: rank % self.tp,
+            pp: (rank / self.tp) % self.pp,
+            dp: rank / (self.tp * self.pp),
+        }
+    }
+
+    /// The tensor-parallel group containing `rank` (consecutive ranks).
+    pub fn tp_group(&self, rank: usize) -> Vec<usize> {
+        let base = (rank / self.tp) * self.tp;
+        (base..base + self.tp).collect()
+    }
+
+    /// The pipeline group containing `rank` (same dp and tp, all stages).
+    pub fn pp_group(&self, rank: usize) -> Vec<usize> {
+        let c = self.coord(rank);
+        (0..self.pp)
+            .map(|pp| self.rank(Coord { pp, ..c }))
+            .collect()
+    }
+
+    /// The data-parallel group containing `rank` (same pp and tp, all
+    /// replicas) — the group gradients would reduce over in training, and
+    /// the replica set a load balancer spreads requests across in serving.
+    pub fn dp_group(&self, rank: usize) -> Vec<usize> {
+        let c = self.coord(rank);
+        (0..self.dp)
+            .map(|dp| self.rank(Coord { dp, ..c }))
+            .collect()
+    }
+
+    /// Ranks of pipeline stage `pp` in replica `dp` (one TP group).
+    pub fn stage_ranks(&self, dp: usize, pp: usize) -> Vec<usize> {
+        (0..self.tp)
+            .map(|tp| self.rank(Coord { dp, pp, tp }))
+            .collect()
+    }
+
+    /// Does every TP group sit inside a node of `gpus_per_node` GPUs? The
+    /// paper's placement requirement (Sec. II-c: tensor slicing needs the
+    /// intra-node interconnect).
+    pub fn tp_within_nodes(&self, gpus_per_node: usize) -> bool {
+        if self.tp > gpus_per_node {
+            return false;
+        }
+        (0..self.world_size()).step_by(self.tp).all(|base| {
+            base / gpus_per_node == (base + self.tp - 1) / gpus_per_node
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn m() -> Mapping3D {
+        Mapping3D::new(2, 2, 4) // 16 ranks
+    }
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let m = m();
+        for rank in 0..m.world_size() {
+            assert_eq!(m.rank(m.coord(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn tp_groups_are_consecutive_and_partition() {
+        let m = m();
+        let mut seen = HashSet::new();
+        for rank in (0..m.world_size()).step_by(m.tp) {
+            let g = m.tp_group(rank);
+            assert_eq!(g, (rank..rank + 4).collect::<Vec<_>>());
+            for r in g {
+                assert!(seen.insert(r), "rank {r} in two TP groups");
+            }
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn groups_partition_world() {
+        let m = m();
+        for group_fn in [
+            Mapping3D::tp_group as fn(&Mapping3D, usize) -> Vec<usize>,
+            Mapping3D::pp_group,
+            Mapping3D::dp_group,
+        ] {
+            let mut seen = HashSet::new();
+            for rank in 0..m.world_size() {
+                let g = group_fn(&m, rank);
+                assert!(g.contains(&rank), "group must contain its member");
+                // Each rank appears in exactly one group of each kind: check
+                // by only inserting canonical (min-rank) groups.
+                if *g.iter().min().unwrap() == rank {
+                    for r in &g {
+                        assert!(seen.insert(*r));
+                    }
+                }
+            }
+            assert_eq!(seen.len(), m.world_size());
+        }
+    }
+
+    #[test]
+    fn stage_ranks_match_coords() {
+        let m = m();
+        let s = m.stage_ranks(1, 0);
+        for (tp, &rank) in s.iter().enumerate() {
+            assert_eq!(m.coord(rank), Coord { dp: 1, pp: 0, tp });
+        }
+    }
+
+    #[test]
+    fn pipeline_neighbors_stride_tp() {
+        let m = m();
+        let g = m.pp_group(0);
+        assert_eq!(g, vec![0, 4]);
+        let g = m.pp_group(5);
+        assert_eq!(g, vec![1, 5]);
+    }
+
+    #[test]
+    fn node_alignment_rule() {
+        assert!(Mapping3D::new(2, 2, 4).tp_within_nodes(8));
+        assert!(Mapping3D::new(1, 1, 8).tp_within_nodes(8));
+        assert!(!Mapping3D::new(1, 1, 16).tp_within_nodes(8));
+        // tp=4 on 8-GPU nodes always aligns; tp=8 with pp=3 (24 ranks) too.
+        assert!(Mapping3D::new(1, 3, 8).tp_within_nodes(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_rank_rejected() {
+        m().coord(16);
+    }
+}

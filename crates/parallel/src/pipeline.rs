@@ -1,0 +1,350 @@
+//! Inference-optimized pipeline parallelism (Sec. IV-B/C, Figs. 2–3).
+//!
+//! Autoregressive generation breaks the training pipeline assumption that
+//! batches are independent: token `t+1` of a sequence cannot enter stage 0
+//! until token `t` leaves the last stage. The paper contrasts:
+//!
+//! * the **training-style schedule** (Fig. 2a): all micro-batches of token
+//!   `t` drain the pipeline before token `t+1` starts — a `P−1`-slot bubble
+//!   per generated token;
+//! * the **inference token-queue schedule** (Fig. 2b): each micro-batch's
+//!   next token is queued the moment its previous token leaves the last
+//!   stage, amortizing the bubble over the whole generation;
+//! * **hybrid scheduling** (Fig. 3): prompt processing is compute-bound, so
+//!   many small micro-batches shrink the pipeline-fill bubble; token
+//!   generation is weight-fetch-bound, so per-stage time is independent of
+//!   micro-batch size and the number of micro-batches should be the minimum
+//!   that still fills the pipeline (= pipeline depth `P`).
+//!
+//! Schedules are materialized as task graphs and played on the
+//! discrete-event engine, so bubbles are *observed*, not asserted.
+
+use dsi_sim::engine::{Resource, TaskGraph, TaskId};
+use serde::Serialize;
+
+/// Which inter-token dependency policy to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PipelineSchedule {
+    /// Fig. 2a: full pipeline drain between generated tokens.
+    TrainingStyle,
+    /// Fig. 2b: per-micro-batch token queueing (DeepSpeed Inference).
+    InferenceQueue,
+}
+
+/// Timing parameters of a pipelined generation run.
+///
+/// ```
+/// use dsi_parallel::pipeline::{PipelineSchedule, PipelineSpec};
+/// let spec = PipelineSpec {
+///     stages: 4,
+///     prompt_microbatches: 4,
+///     gen_microbatches: 4,
+///     gen_tokens: 16,
+///     stage_prompt_time_full: 40e-3,
+///     stage_gen_time: 2e-3,
+///     microbatch_overhead: 0.1e-3,
+///     p2p_time: 0.05e-3,
+/// };
+/// let train = spec.run(PipelineSchedule::TrainingStyle);
+/// let queue = spec.run(PipelineSchedule::InferenceQueue);
+/// assert!(queue.total_latency < train.total_latency); // Fig. 2b beats 2a
+/// ```
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineSpec {
+    /// Pipeline depth `P`.
+    pub stages: usize,
+    /// Micro-batches during prompt processing.
+    pub prompt_microbatches: usize,
+    /// Micro-batches during token generation (hybrid scheduling uses a
+    /// smaller value here than for the prompt; Sec. IV-C1).
+    pub gen_microbatches: usize,
+    /// Tokens generated after the prompt pass (the prompt pass itself emits
+    /// the first token).
+    pub gen_tokens: usize,
+    /// Compute time of the *entire batch's* prompt through one stage;
+    /// divided across prompt micro-batches (prompt compute saturates the GPU,
+    /// so it splits ~linearly).
+    pub stage_prompt_time_full: f64,
+    /// Token-generation time of one micro-batch through one stage. Memory
+    /// bandwidth bound: independent of micro-batch size (Sec. IV-C1).
+    pub stage_gen_time: f64,
+    /// Fixed per-(micro-batch, stage) overhead — kernel launches and small
+    /// batch inefficiency. This is what penalizes excessive micro-batching.
+    pub microbatch_overhead: f64,
+    /// Inter-stage activation transfer time.
+    pub p2p_time: f64,
+}
+
+/// Observable results of simulating a pipeline schedule.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineResult {
+    /// Time at which the last prompt micro-batch left the last stage (first
+    /// token available).
+    pub prompt_latency: f64,
+    /// End-to-end time for prompt + all generated tokens.
+    pub total_latency: f64,
+    /// Average time per generated token after the prompt.
+    pub per_token_latency: f64,
+    /// Mean fraction of the active window each stage sat idle.
+    pub bubble_fraction: f64,
+}
+
+impl PipelineSpec {
+    /// Build the task graph for the chosen schedule. Returns the graph and
+    /// the ids of the last-stage prompt tasks (prompt-completion markers).
+    #[allow(clippy::needless_range_loop)] // indices name (micro-batch, stage) cells
+    pub fn build(&self, schedule: PipelineSchedule) -> (TaskGraph, Vec<TaskId>) {
+        assert!(self.stages >= 1 && self.prompt_microbatches >= 1 && self.gen_microbatches >= 1);
+        let mut g = TaskGraph::new();
+        let p = self.stages;
+        let mp = self.prompt_microbatches;
+        let mg = self.gen_microbatches;
+
+        let prompt_task = self.stage_prompt_time_full / mp as f64 + self.microbatch_overhead;
+        let gen_task = self.stage_gen_time + self.microbatch_overhead;
+
+        // ---- Prompt phase ----
+        // prompt[m][s] = compute task of micro-batch m at stage s.
+        let mut prompt_last: Vec<TaskId> = Vec::with_capacity(mp);
+        let mut prev_stage: Vec<Vec<TaskId>> = vec![Vec::new(); mp];
+        for m in 0..mp {
+            let mut dep: Option<TaskId> = None;
+            for s in 0..p {
+                let mut deps: Vec<TaskId> = Vec::new();
+                if let Some(d) = dep {
+                    // Activation hand-off across the stage boundary.
+                    let c = g.add(
+                        format!("prompt_p2p m{m} s{s}"),
+                        Resource::Network(s - 1),
+                        self.p2p_time,
+                        &[d],
+                    );
+                    deps.push(c);
+                }
+                let t = g.add(
+                    format!("prompt m{m} s{s}"),
+                    Resource::Compute(s),
+                    prompt_task,
+                    &deps,
+                );
+                prev_stage[m].push(t);
+                dep = Some(t);
+            }
+            prompt_last.push(dep.unwrap());
+        }
+
+        // ---- Generation phase ----
+        // Re-batching barrier between phases: generation micro-batches are
+        // regrouped from the prompt batch, so token 1 of every generation
+        // micro-batch depends on the full prompt (hybrid scheduling changes
+        // the micro-batch count across this boundary).
+        let mut last_token_exit: Vec<TaskId> = vec![*prompt_last.last().unwrap(); mg];
+        // For the training-style drain, track ALL last-stage exits of the
+        // previous token.
+        let mut prev_token_exits: Vec<TaskId> = prompt_last.clone();
+
+        for t in 0..self.gen_tokens {
+            let mut this_token_exits: Vec<TaskId> = Vec::with_capacity(mg);
+            for m in 0..mg {
+                let mut dep: Option<TaskId> = None;
+                for s in 0..p {
+                    let mut deps: Vec<TaskId> = Vec::new();
+                    if s == 0 {
+                        match schedule {
+                            PipelineSchedule::TrainingStyle => {
+                                // Token t starts only after token t-1 fully
+                                // drained (all micro-batches).
+                                deps.extend(prev_token_exits.iter().copied());
+                            }
+                            PipelineSchedule::InferenceQueue => {
+                                // Only this micro-batch's own previous token
+                                // gates it (the dynamic queue of Fig. 2b).
+                                deps.push(last_token_exit[m]);
+                            }
+                        }
+                    }
+                    if let Some(d) = dep {
+                        let c = g.add(
+                            format!("gen_p2p t{t} m{m} s{s}"),
+                            Resource::Network(s - 1),
+                            self.p2p_time,
+                            &[d],
+                        );
+                        deps.push(c);
+                    }
+                    let task = g.add(
+                        format!("gen t{t} m{m} s{s}"),
+                        Resource::Compute(s),
+                        gen_task,
+                        &deps,
+                    );
+                    dep = Some(task);
+                }
+                let exit = dep.unwrap();
+                last_token_exit[m] = exit;
+                this_token_exits.push(exit);
+            }
+            prev_token_exits = this_token_exits;
+        }
+
+        (g, prompt_last)
+    }
+
+    /// Simulate the schedule and extract latency/bubble metrics.
+    pub fn run(&self, schedule: PipelineSchedule) -> PipelineResult {
+        let (graph, prompt_last) = self.build(schedule);
+        let sched = graph.simulate();
+        debug_assert!(sched.validate(&graph).is_ok());
+        let prompt_latency = prompt_last
+            .iter()
+            .map(|&t| sched.end[t])
+            .fold(0.0f64, f64::max);
+        let total = sched.makespan;
+        let per_token = if self.gen_tokens > 0 {
+            (total - prompt_latency) / self.gen_tokens as f64
+        } else {
+            0.0
+        };
+        let bubble: f64 = (0..self.stages)
+            .map(|s| {
+                let r = Resource::Compute(s);
+                let span_busy = sched.busy_time(&graph, r);
+                let span = span_busy + sched.bubble_time(&graph, r);
+                if span > 0.0 {
+                    1.0 - span_busy / span
+                } else {
+                    0.0
+                }
+            })
+            .sum::<f64>()
+            / self.stages as f64;
+        PipelineResult {
+            prompt_latency,
+            total_latency: total,
+            per_token_latency: per_token,
+            bubble_fraction: bubble,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> PipelineSpec {
+        PipelineSpec {
+            stages: 4,
+            prompt_microbatches: 4,
+            gen_microbatches: 4,
+            gen_tokens: 16,
+            stage_prompt_time_full: 40e-3,
+            stage_gen_time: 2e-3,
+            microbatch_overhead: 0.1e-3,
+            p2p_time: 0.05e-3,
+        }
+    }
+
+    #[test]
+    fn inference_queue_beats_training_style() {
+        let s = spec();
+        let train = s.run(PipelineSchedule::TrainingStyle);
+        let inf = s.run(PipelineSchedule::InferenceQueue);
+        assert!(
+            inf.total_latency < train.total_latency,
+            "queue {} vs train {}",
+            inf.total_latency,
+            train.total_latency
+        );
+        assert!(inf.bubble_fraction < train.bubble_fraction);
+    }
+
+    #[test]
+    fn training_style_bubble_grows_with_depth() {
+        // Deeper pipelines pay a larger drain bubble per token.
+        let mut s = spec();
+        let b4 = s.run(PipelineSchedule::TrainingStyle).bubble_fraction;
+        s.stages = 8;
+        s.prompt_microbatches = 8;
+        s.gen_microbatches = 8;
+        let b8 = s.run(PipelineSchedule::TrainingStyle).bubble_fraction;
+        assert!(b8 > b4, "b8 {b8} b4 {b4}");
+    }
+
+    #[test]
+    fn queue_schedule_token_rate_is_microbatch_bound() {
+        // Steady-state: each stage must process mg micro-batches per token,
+        // so per-token latency ≈ mg * stage_gen_time (plus overheads).
+        let s = spec();
+        let r = s.run(PipelineSchedule::InferenceQueue);
+        let lower = s.gen_microbatches as f64 * s.stage_gen_time;
+        assert!(r.per_token_latency >= lower * 0.99);
+        assert!(r.per_token_latency < lower * 1.6, "got {}", r.per_token_latency);
+    }
+
+    #[test]
+    fn hybrid_reduces_generation_time() {
+        // Same prompt micro-batching, fewer generation micro-batches:
+        // generation gets faster (Fig. 3 bottom).
+        let mut s = spec();
+        s.prompt_microbatches = 16;
+        s.gen_microbatches = 16;
+        let uniform = s.run(PipelineSchedule::InferenceQueue);
+        s.gen_microbatches = 4; // = pipeline depth
+        let hybrid = s.run(PipelineSchedule::InferenceQueue);
+        assert!(
+            hybrid.per_token_latency < uniform.per_token_latency / 2.0,
+            "hybrid {} uniform {}",
+            hybrid.per_token_latency,
+            uniform.per_token_latency
+        );
+        // Prompt latency unchanged (same prompt micro-batching).
+        assert!((hybrid.prompt_latency - uniform.prompt_latency).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_prompt_microbatches_cut_prompt_bubble() {
+        // Prompt fill bubble ≈ (P-1) * per-micro-batch time; more
+        // micro-batches shrink it as long as overhead stays small (Fig. 3 top).
+        let mut s = spec();
+        s.gen_tokens = 0;
+        s.prompt_microbatches = 4;
+        let coarse = s.run(PipelineSchedule::InferenceQueue).prompt_latency;
+        s.prompt_microbatches = 16;
+        let fine = s.run(PipelineSchedule::InferenceQueue).prompt_latency;
+        assert!(fine < coarse, "fine {fine} coarse {coarse}");
+    }
+
+    #[test]
+    fn excessive_microbatching_hurts_prompt() {
+        // Past the sweet spot, per-micro-batch overhead dominates.
+        let mut s = spec();
+        s.gen_tokens = 0;
+        s.microbatch_overhead = 1e-3;
+        s.prompt_microbatches = 8;
+        let mid = s.run(PipelineSchedule::InferenceQueue).prompt_latency;
+        s.prompt_microbatches = 256;
+        let excessive = s.run(PipelineSchedule::InferenceQueue).prompt_latency;
+        assert!(excessive > mid, "excessive {excessive} mid {mid}");
+    }
+
+    #[test]
+    fn single_stage_has_no_bubble() {
+        let mut s = spec();
+        s.stages = 1;
+        s.prompt_microbatches = 1;
+        s.gen_microbatches = 1;
+        let r = s.run(PipelineSchedule::InferenceQueue);
+        assert!(r.bubble_fraction < 1e-9);
+    }
+
+    #[test]
+    fn schedules_agree_with_one_microbatch_one_token() {
+        let mut s = spec();
+        s.prompt_microbatches = 1;
+        s.gen_microbatches = 1;
+        s.gen_tokens = 1;
+        let a = s.run(PipelineSchedule::TrainingStyle);
+        let b = s.run(PipelineSchedule::InferenceQueue);
+        assert!((a.total_latency - b.total_latency).abs() < 1e-12);
+    }
+}

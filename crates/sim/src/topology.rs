@@ -1,0 +1,176 @@
+//! Rank placement and link resolution over a [`ClusterSpec`].
+//!
+//! Ranks are laid out node-major: rank `r` lives on node `r / gpus_per_node`,
+//! local slot `r % gpus_per_node`. This matches the NCCL default and the
+//! paper's parallelism layout where tensor-parallel groups occupy consecutive
+//! ranks inside a node (Sec. IV-A: "tensor parallelism is often restricted to
+//! groups of GPUs sharing the high-bandwidth interconnect within a node").
+
+use crate::hw::{ClusterSpec, LinkSpec};
+use serde::{Deserialize, Serialize};
+
+/// Resolved view of a cluster for communication routing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    pub cluster: ClusterSpec,
+}
+
+/// Where a rank lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    pub node: usize,
+    pub local: usize,
+}
+
+impl Topology {
+    pub fn new(cluster: ClusterSpec) -> Self {
+        Topology { cluster }
+    }
+
+    pub fn world_size(&self) -> usize {
+        self.cluster.total_gpus()
+    }
+
+    pub fn placement(&self, rank: usize) -> Placement {
+        let g = self.cluster.node.gpus_per_node;
+        Placement {
+            node: rank / g,
+            local: rank % g,
+        }
+    }
+
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.placement(a).node == self.placement(b).node
+    }
+
+    /// Effective point-to-point link between two GPU ranks.
+    ///
+    /// Intra-node traffic rides NVLink/NVSwitch; inter-node traffic is
+    /// bottlenecked by the per-node network injection bandwidth. When a
+    /// collective drives many rank pairs across the same node boundary
+    /// concurrently the caller divides by the number of concurrent flows
+    /// (see [`crate::collectives`]).
+    pub fn p2p_link(&self, a: usize, b: usize) -> LinkSpec {
+        assert!(a < self.world_size() && b < self.world_size());
+        if a == b {
+            // Device-local copy: HBM-to-HBM at memory bandwidth.
+            LinkSpec::new(self.cluster.node.gpu.mem_bw / 2.0, 0.0)
+        } else if self.same_node(a, b) {
+            self.cluster.node.intra_link
+        } else {
+            LinkSpec::new(self.cluster.inter_bw, self.cluster.inter_latency)
+        }
+    }
+
+    /// Split `group` by node; returns (ranks-per-node buckets, #nodes spanned).
+    pub fn group_node_span(&self, group: &[usize]) -> (Vec<usize>, usize) {
+        let mut per_node = vec![0usize; self.cluster.nodes];
+        for &r in group {
+            per_node[self.placement(r).node] += 1;
+        }
+        let spanned = per_node.iter().filter(|&&c| c > 0).count();
+        (per_node, spanned)
+    }
+
+    /// The slowest (bottleneck) link a ring over `group` must traverse, with
+    /// inter-node hops sharing the node's injection bandwidth among
+    /// `flows_per_boundary` concurrent flows.
+    pub fn ring_bottleneck(&self, group: &[usize]) -> LinkSpec {
+        assert!(!group.is_empty());
+        if group.len() == 1 {
+            return LinkSpec::new(f64::INFINITY, 0.0);
+        }
+        let (per_node, spanned) = self.group_node_span(group);
+        if spanned <= 1 {
+            return self.cluster.node.intra_link;
+        }
+        // A node-major ring crosses each node boundary once in each
+        // direction; the injection bandwidth is shared by the ranks of the
+        // group on that node only to the extent they send cross-node
+        // simultaneously. In a ring, exactly one rank per node sends
+        // cross-node at a time, so a full rail is available to it — but many
+        // parallel rings (tensor-parallel groups stacked in a node) share it.
+        let max_ranks_per_node = per_node.iter().copied().max().unwrap_or(1).max(1);
+        let inter_bw = self.cluster.inter_bw / max_ranks_per_node as f64;
+        let intra = self.cluster.node.intra_link;
+        if inter_bw < intra.bw {
+            LinkSpec::new(inter_bw, self.cluster.inter_latency)
+        } else {
+            intra
+        }
+    }
+
+    /// Ranks of the tensor-parallel group containing `rank`, given TP degree
+    /// `tp`. Consecutive ranks, aligned to `tp`.
+    pub fn tp_group(&self, rank: usize, tp: usize) -> Vec<usize> {
+        let base = (rank / tp) * tp;
+        (base..base + tp).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hw::NodeSpec;
+
+    fn cluster() -> Topology {
+        Topology::new(ClusterSpec::dgx_a100(4)) // 32 GPUs
+    }
+
+    #[test]
+    fn placement_node_major() {
+        let t = cluster();
+        assert_eq!(t.placement(0), Placement { node: 0, local: 0 });
+        assert_eq!(t.placement(7), Placement { node: 0, local: 7 });
+        assert_eq!(t.placement(8), Placement { node: 1, local: 0 });
+        assert_eq!(t.placement(31), Placement { node: 3, local: 7 });
+    }
+
+    #[test]
+    fn p2p_intra_vs_inter() {
+        let t = cluster();
+        let intra = t.p2p_link(0, 7);
+        let inter = t.p2p_link(0, 8);
+        assert!(intra.bw > inter.bw);
+        assert!(intra.latency < inter.latency);
+    }
+
+    #[test]
+    fn ring_bottleneck_single_node_is_nvlink() {
+        let t = cluster();
+        let g: Vec<usize> = (0..8).collect();
+        let b = t.ring_bottleneck(&g);
+        assert_eq!(b.bw, t.cluster.node.intra_link.bw);
+    }
+
+    #[test]
+    fn ring_bottleneck_cross_node_is_network() {
+        let t = cluster();
+        let g: Vec<usize> = (0..16).collect();
+        let b = t.ring_bottleneck(&g);
+        assert!(b.bw < t.cluster.node.intra_link.bw);
+    }
+
+    #[test]
+    fn tp_group_aligned() {
+        let t = cluster();
+        assert_eq!(t.tp_group(5, 4), vec![4, 5, 6, 7]);
+        assert_eq!(t.tp_group(8, 8), vec![8, 9, 10, 11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn single_node_topology() {
+        let t = Topology::new(ClusterSpec::single(NodeSpec::lambda_a6000()));
+        assert_eq!(t.world_size(), 2);
+        assert!(t.same_node(0, 1));
+    }
+
+    #[test]
+    fn group_node_span_counts() {
+        let t = cluster();
+        let (per_node, spanned) = t.group_node_span(&[0, 1, 8, 9, 10]);
+        assert_eq!(per_node[0], 2);
+        assert_eq!(per_node[1], 3);
+        assert_eq!(spanned, 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! # dsi-zero — ZeRO-Inference: heterogeneous GPU+CPU+NVMe inference
+//! (Sec. VI)
+//!
+//! ZeRO-Inference "pins the model weights either in DRAM (if large enough)
+//! or NVMe, and streams each layer into GPU memory for computation when
+//! needed", spending GPU memory on large batches instead of on weights.
+//! This crate implements:
+//!
+//! * [`tiers`] — placement: where do the weights live (GPU / DRAM / NVMe),
+//!   and what is the largest model each strategy (GPU-only, CPU-only,
+//!   ZeRO-Inference) can serve on a node — the 25×/10× model-scale claims of
+//!   Sec. VII-D1.
+//! * [`engine`] — the streaming engine: per-layer fetch tasks (bottlenecked
+//!   by NVMe or PCIe), prefetch `k` layers ahead (Sec. VI-B), multi-GPU
+//!   partitioned fetch with an intra-node all-gather, and the max-batch
+//!   solver that converts freed GPU memory into throughput. Schedules run on
+//!   the discrete-event engine so overlap is simulated, not assumed.
+
+pub mod engine;
+pub mod store;
+pub mod tiers;
+
+pub use engine::{ZeroInference, ZeroReport};
+pub use store::{streamed_forward, StreamingStore};
+pub use tiers::{cpu_only_feasible, gpu_only_feasible, place_weights, Tier};

@@ -1,0 +1,148 @@
+//! Weight placement across the heterogeneous memory hierarchy, and
+//! feasibility of the three serving strategies compared in Sec. VII-D1.
+
+use dsi_model::config::GptConfig;
+use dsi_sim::hw::{DType, NodeSpec};
+use serde::Serialize;
+
+/// Where ZeRO-Inference pins the model weights (Sec. VI-A: "pins the model
+/// weights either in DRAM (if large enough) or NVMe").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Tier {
+    /// Whole model fits in one GPU (no streaming needed).
+    Gpu,
+    /// Host DRAM; streamed over PCIe.
+    Dram,
+    /// NVMe; streamed at NVMe read bandwidth.
+    Nvme,
+}
+
+impl Tier {
+    /// Bandwidth at which a layer can be sourced from this tier toward one
+    /// GPU, before PCIe sharing effects.
+    pub fn read_bw(self, node: &NodeSpec) -> f64 {
+        match self {
+            Tier::Gpu => node.gpu.mem_bw,
+            Tier::Dram => node.pcie.bw.min(node.dram_bw),
+            Tier::Nvme => node.nvme_read_bw.min(node.pcie.bw),
+        }
+    }
+}
+
+/// GPU memory ZeRO-Inference reserves for streaming buffers rather than
+/// activations: one buffer per layer of overlap depth (`prefetch`) plus the
+/// layer currently computing.
+pub fn buffer_bytes(model: &GptConfig, dtype: DType, prefetch: usize) -> f64 {
+    (prefetch as f64 + 1.0) * model.layer_weight_bytes(dtype)
+}
+
+/// Decide the weight tier for `model` on `node`, or `None` if even NVMe
+/// cannot hold it.
+pub fn place_weights(model: &GptConfig, node: &NodeSpec, dtype: DType) -> Option<Tier> {
+    let w = model.weight_bytes(dtype);
+    // "Whole model in GPU" needs headroom for activations; use 90%.
+    if w < node.gpu.mem_bytes as f64 * 0.9 {
+        Some(Tier::Gpu)
+    } else if w < node.dram_bytes as f64 * 0.9 {
+        Some(Tier::Dram)
+    } else if w < node.nvme_bytes as f64 * 0.95 {
+        Some(Tier::Nvme)
+    } else {
+        None
+    }
+}
+
+/// Can a GPU-only solution serve this model (weights + at least a batch-1
+/// working set resident in one GPU)?
+pub fn gpu_only_feasible(model: &GptConfig, node: &NodeSpec, dtype: DType, seq: usize) -> bool {
+    let w = model.weight_bytes(dtype);
+    let act1 = model.prompt_activation_bytes_per_seq(seq, dtype);
+    w + act1 < node.gpu.mem_bytes as f64 * 0.95
+}
+
+/// Can a CPU-only solution serve this model? CPU inference runs FP32 out of
+/// DRAM (the 2022-era CPU stacks the paper compares against).
+pub fn cpu_only_feasible(model: &GptConfig, node: &NodeSpec) -> bool {
+    model.weight_bytes(DType::Fp32) < node.dram_bytes as f64 * 0.9
+}
+
+/// Largest Table-I-style model (by parameter count) each strategy can serve;
+/// returns (gpu_only_max, cpu_only_max, zero_max) over the given candidates.
+pub fn max_model_per_strategy<'a>(
+    candidates: &'a [GptConfig],
+    node: &NodeSpec,
+    dtype: DType,
+    seq: usize,
+) -> (Option<&'a GptConfig>, Option<&'a GptConfig>, Option<&'a GptConfig>) {
+    let best = |pred: &dyn Fn(&GptConfig) -> bool| {
+        candidates
+            .iter()
+            .filter(|c| pred(c))
+            .max_by(|a, b| a.total_params().partial_cmp(&b.total_params()).unwrap())
+    };
+    (
+        best(&|c| gpu_only_feasible(c, node, dtype, seq)),
+        best(&|c| cpu_only_feasible(c, node)),
+        best(&|c| place_weights(c, node, dtype).is_some()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_model::zoo::table1;
+    use dsi_sim::hw::NodeSpec;
+
+    fn lambda() -> NodeSpec {
+        NodeSpec::lambda_a6000()
+    }
+
+    #[test]
+    fn placement_tiers_by_size() {
+        let node = lambda();
+        let small = GptConfig::new("s", 1600, 48, 25); // 1.5B -> GPU
+        let mid = GptConfig::new("m", 8192, 62, 64); // 50B -> DRAM
+        let big = GptConfig::new("b", 20480, 105, 128); // 530B -> NVMe
+        assert_eq!(place_weights(&small, &node, DType::Fp16), Some(Tier::Gpu));
+        assert_eq!(place_weights(&mid, &node, DType::Fp16), Some(Tier::Dram));
+        assert_eq!(place_weights(&big, &node, DType::Fp16), Some(Tier::Nvme));
+    }
+
+    #[test]
+    fn paper_25x_and_10x_model_scale() {
+        // Sec. VII-D1: ZeRO-Inference serves 530B on one A6000 — 25× the
+        // largest GPU-only model (20B) and 10× the CPU-only one (50B).
+        let node = lambda();
+        let models: Vec<GptConfig> = table1().into_iter().map(|e| e.config).collect();
+        let (gpu, cpu, zero) = max_model_per_strategy(&models, &node, DType::Fp16, 2048);
+        assert_eq!(gpu.unwrap().name, "GPT-NeoX-20B");
+        assert_eq!(cpu.unwrap().name, "GPT-50B");
+        assert_eq!(zero.unwrap().name, "LM-530B");
+        let ratio_gpu = zero.unwrap().total_params() / gpu.unwrap().total_params();
+        let ratio_cpu = zero.unwrap().total_params() / cpu.unwrap().total_params();
+        assert!(ratio_gpu > 20.0 && ratio_gpu < 30.0, "gpu ratio {ratio_gpu:.1}");
+        assert!(ratio_cpu > 8.0 && ratio_cpu < 13.0, "cpu ratio {ratio_cpu:.1}");
+    }
+
+    #[test]
+    fn tier_bandwidth_ordering() {
+        let node = lambda();
+        assert!(Tier::Gpu.read_bw(&node) > Tier::Dram.read_bw(&node));
+        assert!(Tier::Dram.read_bw(&node) > Tier::Nvme.read_bw(&node));
+    }
+
+    #[test]
+    fn buffer_bytes_grow_with_prefetch() {
+        let m = GptConfig::new("m", 4096, 28, 32);
+        assert!(
+            buffer_bytes(&m, DType::Fp16, 3) > buffer_bytes(&m, DType::Fp16, 0)
+        );
+    }
+
+    #[test]
+    fn oversized_model_rejected() {
+        let node = lambda();
+        let huge = GptConfig::new("10T", 65536, 200, 512);
+        assert_eq!(place_weights(&huge, &node, DType::Fp16), None);
+    }
+}

@@ -1,0 +1,86 @@
+//! Capacity planning for a production deployment: pick the parallelism
+//! mapping with the planner, then stress it with the request-level serving
+//! simulator to find the arrival rate it sustains under a latency SLA.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use deepspeed_inference::planner::{plan, Objective};
+use deepspeed_inference::serving::{simulate_serving, BatchPolicy, Workload};
+use deepspeed_inference::zoo;
+use deepspeed_inference::{ClusterSpec, EngineConfig, InferenceEngine};
+
+fn main() {
+    let model = zoo::dense_by_name("GPT-13B").unwrap();
+    let cluster = ClusterSpec::dgx_a100(1);
+    println!(
+        "capacity planning: {} on one DGX A100 (8 GPUs)\n",
+        model.name
+    );
+
+    // ---- 1. choose the mapping -------------------------------------------
+    let latency_plan = plan(&model, &cluster, 128, 8, Objective::MinLatency { batch: 1 }, None)
+        .expect("feasible");
+    println!(
+        "planner: best latency mapping TP{}xPP{} -> {:.0} ms end-to-end (b=1)",
+        latency_plan.best.tp,
+        latency_plan.best.pp,
+        latency_plan.best.report.total_latency * 1e3
+    );
+    for c in latency_plan.candidates.iter().take(4) {
+        println!(
+            "  candidate TP{}xPP{} ({} GPUs): {:.0} ms",
+            c.tp,
+            c.pp,
+            c.gpus,
+            c.report.total_latency * 1e3
+        );
+    }
+
+    // ---- 2. stress the chosen deployment ----------------------------------
+    let engine = InferenceEngine::new(EngineConfig::deepspeed(
+        model,
+        cluster,
+        latency_plan.best.tp,
+        latency_plan.best.pp,
+    ));
+    let policy = BatchPolicy {
+        max_batch: 16,
+        max_wait: 0.05,
+    };
+    let sla = 3.0; // seconds, p99
+    println!("\nserving sweep (prompt 128, gen 8, dynamic batching ≤16, 50 ms window):");
+    println!(
+        "{:>10} {:>9} {:>9} {:>9} {:>11} {:>11}",
+        "req/s", "p50 ms", "p99 ms", "batch", "util", "p99 SLA 3s"
+    );
+    let mut sustained = 0.0;
+    for rate in [1.0f64, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+        let r = simulate_serving(
+            &engine,
+            &Workload {
+                arrival_rate: rate,
+                prompt: 128,
+                gen: 8,
+                requests: 300,
+                seed: 7,
+            },
+            policy,
+        );
+        let ok = r.p99 <= sla;
+        if ok {
+            sustained = rate;
+        }
+        println!(
+            "{:>10.0} {:>9.0} {:>9.0} {:>9.1} {:>10.0}% {:>11}",
+            rate,
+            r.p50 * 1e3,
+            r.p99 * 1e3,
+            r.mean_batch,
+            r.utilization * 100.0,
+            if ok { "ok" } else { "violated" }
+        );
+    }
+    println!("\nsustainable load under the 3 s p99 SLA: ~{sustained:.0} requests/s");
+}

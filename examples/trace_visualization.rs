@@ -1,0 +1,47 @@
+//! Schedule introspection: render the Fig. 2 pipeline schedules as ASCII
+//! Gantt charts and export a Chrome/Perfetto trace of the token-queue
+//! schedule.
+//!
+//! ```sh
+//! cargo run --release --example trace_visualization
+//! # then open trace.json in https://ui.perfetto.dev
+//! ```
+
+use deepspeed_inference::parallel::pipeline::{PipelineSchedule, PipelineSpec};
+use deepspeed_inference::sim::trace::{chrome_trace, gantt};
+
+fn main() {
+    let spec = PipelineSpec {
+        stages: 4,
+        prompt_microbatches: 4,
+        gen_microbatches: 4,
+        gen_tokens: 6,
+        stage_prompt_time_full: 8e-3,
+        stage_gen_time: 1e-3,
+        microbatch_overhead: 0.05e-3,
+        p2p_time: 0.02e-3,
+    };
+
+    for (name, sched) in [
+        ("training-style schedule (Fig. 2a) — watch the drain bubbles", PipelineSchedule::TrainingStyle),
+        ("token-queue schedule (Fig. 2b) — bubbles amortized", PipelineSchedule::InferenceQueue),
+    ] {
+        let (graph, _) = spec.build(sched);
+        let s = graph.simulate();
+        s.validate(&graph).expect("valid schedule");
+        println!("\n{name}");
+        println!("makespan: {:.1} ms", s.makespan * 1e3);
+        // 'p' = prompt tasks, 'g' = generation tasks per stage lane.
+        print!("{}", gantt(&graph, &s, 100));
+    }
+
+    // Export the interesting one for Perfetto.
+    let (graph, _) = spec.build(PipelineSchedule::InferenceQueue);
+    let s = graph.simulate();
+    let json = chrome_trace(&graph, &s);
+    std::fs::write("trace.json", &json).expect("write trace.json");
+    println!(
+        "\nwrote trace.json ({} bytes) — open it at https://ui.perfetto.dev",
+        json.len()
+    );
+}

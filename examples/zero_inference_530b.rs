@@ -1,0 +1,88 @@
+//! Democratized large-model inference: run MT-NLG-530B on a single A6000
+//! workstation with ZeRO-Inference (Sec. VI / Sec. VII-D).
+//!
+//! Shows the tiered weight placement (GPU / DRAM / NVMe), the max-batch
+//! solver, the prefetch overlap, and the three-way comparison against
+//! GPU-only and CPU-only serving.
+//!
+//! ```sh
+//! cargo run --release --example zero_inference_530b
+//! ```
+
+use deepspeed_inference::zero::engine::ZeroInference;
+use deepspeed_inference::zero::tiers::{max_model_per_strategy, Tier};
+use deepspeed_inference::zoo;
+use deepspeed_inference::{DType, NodeSpec};
+
+fn main() {
+    let node = NodeSpec::lambda_a6000();
+    println!(
+        "workstation: 1x {}, {} GB DRAM, {} TB NVMe\n",
+        node.gpu.name,
+        node.dram_bytes >> 30,
+        node.nvme_bytes >> 40
+    );
+
+    // ---- who can serve what? ---------------------------------------------
+    let models: Vec<_> = zoo::table1().into_iter().map(|e| e.config).collect();
+    let (gpu_max, cpu_max, zero_max) = max_model_per_strategy(&models, &node, DType::Fp16, 2048);
+    println!("largest servable model per strategy:");
+    println!("  GPU-only       : {}", gpu_max.map(|m| m.name.as_str()).unwrap_or("none"));
+    println!("  CPU-only (fp32): {}", cpu_max.map(|m| m.name.as_str()).unwrap_or("none"));
+    println!("  ZeRO-Inference : {}", zero_max.map(|m| m.name.as_str()).unwrap_or("none"));
+    println!(
+        "  -> {:.0}x the GPU-only limit, {:.0}x the CPU-only limit\n",
+        zero_max.unwrap().total_params() / gpu_max.unwrap().total_params(),
+        zero_max.unwrap().total_params() / cpu_max.unwrap().total_params()
+    );
+
+    // ---- serve the 530B model --------------------------------------------
+    let z = ZeroInference::new(zoo::dense_by_name("LM-530B").unwrap(), node.clone(), 1);
+    let tier = z.tier().expect("530B fits on the NVMe");
+    assert_eq!(tier, Tier::Nvme);
+    let batch = z.max_batch();
+    let run = z.run(batch).unwrap();
+    println!(
+        "LM-530B streamed from {:?}: batch {}, forward pass {:.1} s, {:.1} TFLOPS \
+         ({:.0}% of the {:.1} TFLOPS peak), fetch stall {:.0}%",
+        run.tier,
+        run.batch,
+        run.time,
+        run.flops_per_gpu / 1e12,
+        100.0 * run.flops_per_gpu / node.gpu.peak_fp16,
+        node.gpu.peak_fp16 / 1e12,
+        100.0 * run.stall_fraction
+    );
+
+    // ---- prefetch ablation -------------------------------------------------
+    let mut z = z;
+    for prefetch in [0usize, 1, 2, 4] {
+        z.prefetch = prefetch;
+        let r = z.run(4).unwrap();
+        println!(
+            "  prefetch {prefetch}: small-batch (b=4) throughput {:.1} TFLOPS, stall {:.0}%",
+            r.flops_per_gpu / 1e12,
+            100.0 * r.stall_fraction
+        );
+    }
+
+    // ---- models that fit elsewhere: compare the three strategies ----------
+    println!();
+    for name in ["GPT-NeoX-20B", "GPT-50B"] {
+        let z = ZeroInference::new(zoo::dense_by_name(name).unwrap(), node.clone(), 1);
+        let zero = z.run_max_batch().unwrap();
+        let gpu = z.gpu_only();
+        let cpu = z.cpu_only(zero.batch);
+        let show = |label: &str, r: Option<deepspeed_inference::zero::engine::ZeroReport>| match r {
+            Some(r) => println!(
+                "  {name} {label:<15}: batch {:>3}, {:>6.1} TFLOPS",
+                r.batch,
+                r.flops_per_gpu / 1e12
+            ),
+            None => println!("  {name} {label:<15}: out of memory"),
+        };
+        show("ZeRO-Inference", Some(zero));
+        show("GPU-only", gpu);
+        show("CPU-only", cpu);
+    }
+}

@@ -1,0 +1,37 @@
+//! # deepspeed-inference — a Rust reproduction of *DeepSpeed Inference:
+//! Enabling Efficient Inference of Transformer Models at Unprecedented
+//! Scale* (SC 2022)
+//!
+//! This is the umbrella crate: it re-exports the public API of every
+//! subsystem. See `DESIGN.md` for the system inventory and per-experiment
+//! index, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ```
+//! use deepspeed_inference::{EngineConfig, InferenceEngine};
+//! use deepspeed_inference::zoo;
+//! use deepspeed_inference::ClusterSpec;
+//!
+//! let model = zoo::dense_by_name("GPT-J-6B").unwrap();
+//! let engine = InferenceEngine::new(EngineConfig::deepspeed(
+//!     model,
+//!     ClusterSpec::dgx_a100(1),
+//!     1, // tensor-parallel degree
+//!     1, // pipeline stages
+//! ));
+//! let run = engine.generation(/*batch*/ 1, /*prompt*/ 128, /*gen*/ 8);
+//! assert!(run.total_latency > 0.0);
+//! ```
+
+pub use dsi_core::*;
+
+/// Model zoo (Tables I and II of the paper).
+pub use dsi_model::zoo;
+
+/// Substrate crates, re-exported for advanced use.
+pub use dsi_baselines as baselines;
+pub use dsi_kernels as kernels;
+pub use dsi_model as model;
+pub use dsi_moe as moe;
+pub use dsi_parallel as parallel;
+pub use dsi_sim as sim;
+pub use dsi_zero as zero;

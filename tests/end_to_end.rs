@@ -1,0 +1,158 @@
+//! Cross-crate integration tests: each block asserts the qualitative
+//! orderings a figure of the paper rests on, through the public API only.
+
+use deepspeed_inference::baselines::exec::ExecStyle;
+use deepspeed_inference::zoo;
+use deepspeed_inference::{
+    ClusterSpec, EngineConfig, ExecConfig, InferenceEngine, MoeSystem, MoeSystemKind, NodeSpec,
+};
+use deepspeed_inference::sim::topology::Topology;
+use deepspeed_inference::zero::engine::ZeroInference;
+
+#[test]
+fn fig6_orderings_hold_for_every_model() {
+    // For every Fig. 6 model/batch: FT-FP16 >= DS-FP16 >= DS-INT8 latency.
+    let topo = Topology::new(ClusterSpec::dgx_a100(2));
+    let ft = ExecStyle::faster_transformer();
+    let ds = ExecStyle::deepspeed();
+    for e in zoo::table1().into_iter().filter(|e| e.fig6_tp > 0) {
+        for batch in [1usize, 8, 32] {
+            let t_ft = ft
+                .generation_latency(&topo, &e.config, e.fig6_tp, batch, 128, 8, &ExecConfig::fp16(false))
+                .total;
+            let t_16 = ds
+                .generation_latency(&topo, &e.config, e.fig6_tp, batch, 128, 8, &ExecConfig::fp16(true))
+                .total;
+            let t_8 = ds
+                .generation_latency(&topo, &e.config, e.fig6_tp, batch, 128, 8, &ExecConfig::int8(true))
+                .total;
+            assert!(t_16 < t_ft, "{} b{batch}: DS-FP16 must beat FT", e.config.name);
+            assert!(t_8 < t_16, "{} b{batch}: INT8 must beat FP16", e.config.name);
+            // Shape sanity: the FP16 gain stays in the paper's ballpark.
+            let s = t_ft / t_16;
+            assert!(s < 2.5, "{} b{batch}: speedup {s:.2} out of band", e.config.name);
+        }
+    }
+}
+
+#[test]
+fn fig7_speedup_band() {
+    for cfg in zoo::table2() {
+        let ds = MoeSystem::new(cfg.clone(), MoeSystemKind::DeepSpeed).token_latency(8).total;
+        let base = MoeSystem::new(cfg.clone(), MoeSystemKind::PyTorchBaseline)
+            .token_latency(8)
+            .total;
+        let s = base / ds;
+        assert!(s > 1.5 && s < 10.0, "{}: speedup {s:.2}", cfg.name);
+    }
+}
+
+#[test]
+fn fig8_deepspeed_wins_throughput() {
+    for (name, nodes, tp, pp) in [("LM-175B", 2usize, 8usize, 2usize), ("LM-530B", 5, 8, 5)] {
+        let model = zoo::dense_by_name(name).unwrap();
+        let cluster = ClusterSpec::dgx_a100(nodes);
+        let ds = InferenceEngine::new(EngineConfig::deepspeed(model.clone(), cluster.clone(), tp, pp))
+            .best_throughput(512, 50)
+            .unwrap();
+        let ft = InferenceEngine::new(EngineConfig::faster_transformer(model, cluster, tp, pp))
+            .best_throughput(512, 50)
+            .unwrap();
+        let gain = ds.tokens_per_s / ft.tokens_per_s;
+        assert!(gain > 1.3 && gain < 3.0, "{name}: gain {gain:.2}");
+    }
+}
+
+#[test]
+fn fig9_model_scale_claims() {
+    let node = NodeSpec::lambda_a6000();
+    // 530B runs on one A6000 at >45% of peak.
+    let z = ZeroInference::new(zoo::dense_by_name("LM-530B").unwrap(), node.clone(), 1);
+    let r = z.run_max_batch().unwrap();
+    assert!(r.flops_per_gpu / node.gpu.peak_fp16 > 0.45);
+    // GPU-only tops out at 20B: 50B+ has no GPU-only configuration.
+    let z50 = ZeroInference::new(zoo::dense_by_name("GPT-50B").unwrap(), node, 1);
+    assert!(z50.gpu_only().is_none());
+    assert!(z50.run(1).is_some());
+}
+
+#[test]
+fn fig10b_every_optimization_helps() {
+    let model = zoo::dense_by_name("LM-530B").unwrap();
+    let cluster = ClusterSpec::dgx_a100(5);
+    let steps: [[bool; 4]; 4] = [
+        [false, false, false, false],
+        [true, false, false, false],
+        [true, true, false, false],
+        [true, true, true, true],
+    ];
+    let mut prev = 0.0;
+    for [sched, hybrid, offload, odd_even] in steps {
+        let mut cfg = EngineConfig::deepspeed(model.clone(), cluster.clone(), 8, 5);
+        cfg.inference_schedule = sched;
+        cfg.hybrid_schedule = hybrid;
+        cfg.kv_offload = offload;
+        cfg.odd_even_offload = odd_even;
+        let r = InferenceEngine::new(cfg).best_throughput(512, 50).unwrap();
+        assert!(
+            r.tokens_per_s > prev,
+            "cumulative step must not regress: {} <= {prev}",
+            r.tokens_per_s
+        );
+        prev = r.tokens_per_s;
+    }
+}
+
+#[test]
+fn fig11_bandwidth_scaling_ordering() {
+    let cfg = zoo::table2().into_iter().next().unwrap();
+    let ds = MoeSystem::new(cfg.clone(), MoeSystemKind::DeepSpeed);
+    let base = MoeSystem::new(cfg, MoeSystemKind::PyTorchBaseline);
+    let mut prev_ds = 0.0;
+    for gpus in [8usize, 16, 32, 64, 128] {
+        let b_ds = ds.weak_scaling_bandwidth(gpus, 8);
+        let b_base = base.weak_scaling_bandwidth(gpus, 8);
+        assert!(b_ds > b_base, "{gpus} GPUs: DS must sustain more bandwidth");
+        assert!(b_ds > prev_ds, "{gpus} GPUs: DS bandwidth must keep growing");
+        prev_ds = b_ds;
+    }
+}
+
+#[test]
+fn fig12_encoder_speedups() {
+    let gpu = deepspeed_inference::GpuSpec::a100_40gb();
+    let cfg = ExecConfig::fp16(true);
+    for m in zoo::encoders() {
+        let t_et = ExecStyle::et().encoder_forward_time(&gpu, &m, 1, 128, &cfg);
+        let t_ds = ExecStyle::deepspeed().encoder_forward_time(&gpu, &m, 1, 128, &cfg);
+        let s = t_et / t_ds;
+        assert!(s > 1.2 && s < 2.2, "{}: {s:.2}", m.name);
+    }
+}
+
+#[test]
+fn fig13_hybrid_prompt_gains() {
+    let model = zoo::dense_by_name("LM-175B").unwrap();
+    let cluster = ClusterSpec::dgx_a100(2);
+    let ds = InferenceEngine::new(EngineConfig::deepspeed(model.clone(), cluster.clone(), 8, 2));
+    let ft = InferenceEngine::new(EngineConfig::faster_transformer(model, cluster, 8, 2));
+    let p_ds = ds.generation(24, 512, 8).prompt_latency;
+    let p_ft = ft.generation(24, 512, 8).prompt_latency;
+    assert!(p_ds < p_ft, "hybrid must cut prompt latency: {p_ds} vs {p_ft}");
+}
+
+#[test]
+fn whole_zoo_runs_single_gpu_where_it_fits() {
+    for e in zoo::table1() {
+        if e.config.weight_bytes(deepspeed_inference::DType::Fp16) < 35e9 {
+            let engine = InferenceEngine::new(EngineConfig::deepspeed(
+                e.config.clone(),
+                ClusterSpec::dgx_a100(1),
+                1,
+                1,
+            ));
+            let r = engine.generation(1, 128, 8);
+            assert!(r.total_latency > 0.0 && r.total_latency < 1.0, "{}", e.config.name);
+        }
+    }
+}

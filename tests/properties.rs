@@ -1,0 +1,291 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! reproduction: scheduling legality, communication-rewrite equivalence,
+//! gating constraints, quantization bounds, and cost-model monotonicity.
+
+use deepspeed_inference::kernels::cost::{gemm_policy, GemmImpl};
+use deepspeed_inference::kernels::fusion::{fuse, FusionPlan};
+use deepspeed_inference::kernels::graph::transformer_layer_ops;
+use deepspeed_inference::kernels::ops;
+use deepspeed_inference::kernels::quant::QuantizedMatrix;
+use deepspeed_inference::kernels::tensor::Tensor;
+use deepspeed_inference::moe::gating::top_k_gating;
+use deepspeed_inference::moe::layer::{flat_exchange, pcc_exchange};
+use deepspeed_inference::moe::routing::{
+    dispatch_dense, dispatch_sparse, gather_dense, gather_sparse,
+};
+use deepspeed_inference::parallel::pipeline::{PipelineSchedule, PipelineSpec};
+use deepspeed_inference::sim::collectives::{Collectives, CommGroup};
+use deepspeed_inference::sim::engine::{Resource, TaskGraph};
+use deepspeed_inference::sim::hw::{ClusterSpec, DType};
+use deepspeed_inference::sim::topology::Topology;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random task DAGs: the greedy scheduler always produces a schedule
+    /// that honours dependencies and never double-books a resource.
+    #[test]
+    fn task_graph_schedules_are_valid(
+        durations in prop::collection::vec(0.0f64..10.0, 1..40),
+        resources in prop::collection::vec(0usize..4, 1..40),
+        dep_skip in prop::collection::vec(1usize..5, 1..40),
+    ) {
+        let n = durations.len().min(resources.len()).min(dep_skip.len());
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            let mut deps = Vec::new();
+            if i >= dep_skip[i] {
+                deps.push(i - dep_skip[i]);
+            }
+            g.add(format!("t{i}"), Resource::Compute(resources[i]), durations[i], &deps);
+        }
+        let s = g.simulate();
+        prop_assert!(s.validate(&g).is_ok());
+        // Makespan is at least the longest single task and at most the sum.
+        let max = durations[..n].iter().copied().fold(0.0, f64::max);
+        let sum: f64 = durations[..n].iter().sum();
+        prop_assert!(s.makespan >= max - 1e-9);
+        prop_assert!(s.makespan <= sum + 1e-9);
+    }
+
+    /// The inference token-queue schedule never loses to the training-style
+    /// drain, for any geometry.
+    #[test]
+    fn inference_schedule_dominates(
+        stages in 1usize..6,
+        mbs in 1usize..8,
+        tokens in 1usize..12,
+        gen_time in 0.5e-3f64..5e-3,
+    ) {
+        let spec = PipelineSpec {
+            stages,
+            prompt_microbatches: mbs,
+            gen_microbatches: mbs,
+            gen_tokens: tokens,
+            stage_prompt_time_full: 20e-3,
+            stage_gen_time: gen_time,
+            microbatch_overhead: 0.05e-3,
+            p2p_time: 0.02e-3,
+        };
+        let train = spec.run(PipelineSchedule::TrainingStyle);
+        let queue = spec.run(PipelineSchedule::InferenceQueue);
+        prop_assert!(queue.total_latency <= train.total_latency + 1e-9);
+    }
+
+    /// Gating invariants for arbitrary logits: at most top_k assignments per
+    /// token, distinct experts per token, capacity never exceeded, tables
+    /// mutually inverse, weights normalized over kept assignments.
+    #[test]
+    fn gating_invariants(
+        tokens in 1usize..48,
+        experts in 1usize..12,
+        capacity in 1usize..16,
+        k in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let k = k.min(experts);
+        let logits = Tensor::randn(&[tokens, experts], 1.0, seed);
+        let d = top_k_gating(&logits, k, capacity);
+        for e in 0..experts {
+            prop_assert!(d.expert_load(e) <= capacity);
+        }
+        let mut assigned = 0usize;
+        for (t, asgs) in d.token_to_expert.iter().enumerate() {
+            prop_assert!(asgs.len() <= k);
+            let mut seen = std::collections::HashSet::new();
+            for a in asgs {
+                prop_assert!(seen.insert(a.expert), "duplicate expert for token {t}");
+                prop_assert_eq!(d.expert_to_token[a.expert][a.slot], Some(t));
+            }
+            if !asgs.is_empty() {
+                let sum: f32 = asgs.iter().map(|a| a.weight).sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4);
+            }
+            assigned += asgs.len();
+        }
+        let table_entries: usize = (0..experts).map(|e| d.expert_load(e)).sum();
+        prop_assert_eq!(assigned, table_entries);
+    }
+
+    /// The dense mapping-table routing rewrite is einsum-equivalent for any
+    /// gating outcome (the Sec. V-C correctness claim).
+    #[test]
+    fn routing_rewrite_equivalence(
+        tokens in 1usize..24,
+        experts in 1usize..8,
+        capacity in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        let h = 8;
+        let xs = Tensor::randn(&[tokens, h], 1.0, seed);
+        let logits = Tensor::randn(&[tokens, experts], 1.0, seed + 1);
+        let gate = top_k_gating(&logits, 1.min(experts), capacity);
+        let ds = dispatch_sparse(&xs, &gate);
+        let dd = dispatch_dense(&xs, &gate);
+        prop_assert!(ds.allclose(&dd, 1e-5));
+        let eo = Tensor::randn(&[experts * capacity, h], 1.0, seed + 2);
+        let gs = gather_sparse(&eo, &gate);
+        let gd = gather_dense(&eo, &gate);
+        prop_assert!(gs.allclose(&gd, 1e-4));
+    }
+
+    /// PCC communication schedule delivers byte-identical state to the flat
+    /// all-to-all for any (groups, tp, chunk) geometry.
+    #[test]
+    fn pcc_exchange_equivalence(
+        groups in 1usize..6,
+        l in 1usize..5,
+        chunk_units in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let chunk = chunk_units * l; // must split across tp ranks
+        let data: Vec<Vec<f32>> = (0..groups)
+            .map(|j| Tensor::randn(&[groups * chunk], 1.0, seed + j as u64).into_data())
+            .collect();
+        prop_assert_eq!(flat_exchange(&data, l), pcc_exchange(&data, l));
+    }
+
+    /// Functional all-reduce is equivalent to an explicit elementwise sum,
+    /// and idempotent under re-reduction scaling.
+    #[test]
+    fn allreduce_is_sum(
+        ranks in 1usize..6,
+        len in 1usize..32,
+        seed in 0u64..500,
+    ) {
+        let bufs: Vec<Vec<f32>> = (0..ranks)
+            .map(|r| Tensor::randn(&[len], 1.0, seed + r as u64).into_data())
+            .collect();
+        let mut expect = vec![0.0f32; len];
+        for b in &bufs {
+            for (e, x) in expect.iter_mut().zip(b) {
+                *e += x;
+            }
+        }
+        let mut g = CommGroup::new(bufs);
+        g.allreduce_sum();
+        for b in &g.buffers {
+            for (got, want) in b.iter().zip(&expect) {
+                prop_assert!((got - want).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// Collective cost models are monotone in message size and group size.
+    #[test]
+    fn collective_costs_monotone(
+        bytes in 1e3f64..1e9,
+        n1 in 2usize..64,
+        n2 in 2usize..64,
+    ) {
+        let topo = Topology::new(ClusterSpec::dgx_a100(8));
+        let (small, large) = (n1.min(n2), n1.max(n2));
+        let g_small: Vec<usize> = (0..small).collect();
+        let g_large: Vec<usize> = (0..large).collect();
+        // Size monotonicity.
+        let a = Collectives::allreduce(&topo, &g_small, bytes).time;
+        let b = Collectives::allreduce(&topo, &g_small, bytes * 2.0).time;
+        prop_assert!(b >= a);
+        // Group monotonicity for all-to-all at fixed per-rank bytes.
+        let x = Collectives::alltoall(&topo, &g_small, bytes).time;
+        let y = Collectives::alltoall(&topo, &g_large, bytes).time;
+        prop_assert!(y >= x - 1e-12);
+    }
+
+    /// INT8 quantization round-trip error is bounded by half a step for any
+    /// weights/group size.
+    #[test]
+    fn quantization_error_bounded(
+        rows in 1usize..32,
+        cols in 1usize..16,
+        group in 1usize..16,
+        scale in 0.01f32..2.0,
+        seed in 0u64..500,
+    ) {
+        let w = Tensor::randn(&[rows, cols], scale, seed);
+        let q = QuantizedMatrix::quantize(&w, group);
+        prop_assert!(w.max_abs_diff(&q.dequantize()) <= q.max_error_bound());
+    }
+
+    /// Deep-Fusion preserves FLOPs and weight traffic and never increases
+    /// activation traffic, for arbitrary layer shapes.
+    #[test]
+    fn fusion_conserves_work(
+        batch in 1usize..8,
+        t_new in 1usize..4,
+        extra_ctx in 0usize..64,
+        heads_pow in 0u32..4,
+        seed in 0u64..10, // unused shape jitter guard
+    ) {
+        let _ = seed;
+        let heads = 1usize << heads_pow;
+        let hidden = heads * 16;
+        let t_ctx = t_new + extra_ctx;
+        let ops = transformer_layer_ops(batch, t_new, t_ctx, hidden, heads, DType::Fp16);
+        let unfused = fuse(&ops, &FusionPlan::unfused(ops.len()), DType::Fp16).unwrap();
+        for plan in [FusionPlan::deepspeed_small_batch(), FusionPlan::deepspeed_large_batch()] {
+            let fused = fuse(&ops, &plan, DType::Fp16).unwrap();
+            let f = |ks: &[deepspeed_inference::kernels::fusion::FusedKernel]| {
+                ks.iter().fold((0.0, 0.0, 0.0), |acc, k| {
+                    (
+                        acc.0 + k.cost.flops,
+                        acc.1 + k.cost.weight_bytes,
+                        acc.2 + k.cost.act_read + k.cost.act_write,
+                    )
+                })
+            };
+            let (fl_u, w_u, a_u) = f(&unfused);
+            let (fl_f, w_f, a_f) = f(&fused);
+            prop_assert!((fl_u - fl_f).abs() < 1.0);
+            prop_assert!((w_u - w_f).abs() < 1.0);
+            prop_assert!(a_f <= a_u + 1.0);
+        }
+    }
+
+    /// GEMM efficiency curves stay in (0, 1) and SBI's bandwidth advantage
+    /// holds through the DeepSpeed selection crossover.
+    #[test]
+    fn gemm_policy_sane(m in 1.0f64..100000.0) {
+        for imp in [GemmImpl::CuBlas, GemmImpl::Sbi, GemmImpl::CutlassInt8] {
+            let bw = gemm_policy::bw_efficiency(imp, m);
+            let ce = gemm_policy::compute_efficiency(imp, m);
+            prop_assert!(bw > 0.0 && bw < 1.0);
+            prop_assert!(ce > 0.0 && ce < 1.0);
+        }
+        if m <= 32.0 {
+            prop_assert!(
+                gemm_policy::bw_efficiency(GemmImpl::Sbi, m)
+                    > gemm_policy::bw_efficiency(GemmImpl::CuBlas, m)
+            );
+        }
+    }
+
+    /// Attention over a random causal context: each output row is a convex
+    /// combination of value rows (bounded by the value extrema).
+    #[test]
+    fn attention_outputs_within_value_hull(
+        t in 1usize..6,
+        heads_pow in 0u32..3,
+        seed in 0u64..200,
+    ) {
+        let heads = 1usize << heads_pow;
+        let h = heads * 8;
+        let q = Tensor::randn(&[t, h], 1.0, seed);
+        let k = Tensor::randn(&[t, h], 1.0, seed + 1);
+        let v = Tensor::randn(&[t, h], 1.0, seed + 2);
+        let o = ops::attention(&q, &k, &v, heads, 0);
+        // Per head-dim column, outputs lie within [min, max] of the values.
+        for col in 0..h {
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for r in 0..t {
+                lo = lo.min(v.row(r)[col]);
+                hi = hi.max(v.row(r)[col]);
+            }
+            for r in 0..t {
+                let x = o.row(r)[col];
+                prop_assert!(x >= lo - 1e-4 && x <= hi + 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Simulation-substrate integration: schedules, traces, offload timelines,
+//! and hardware what-ifs interacting across crates.
+
+use deepspeed_inference::parallel::offload::OffloadSpec;
+use deepspeed_inference::parallel::pipeline::{PipelineSchedule, PipelineSpec};
+use deepspeed_inference::sim::collectives::Collectives;
+use deepspeed_inference::sim::hw::{ClusterSpec, NodeSpec};
+use deepspeed_inference::sim::topology::Topology;
+use deepspeed_inference::sim::trace::{chrome_trace, gantt};
+use deepspeed_inference::whatif::{scale_cluster, Knob};
+use deepspeed_inference::zoo;
+use deepspeed_inference::{EngineConfig, InferenceEngine};
+
+fn spec() -> PipelineSpec {
+    PipelineSpec {
+        stages: 4,
+        prompt_microbatches: 8,
+        gen_microbatches: 4,
+        gen_tokens: 10,
+        stage_prompt_time_full: 20e-3,
+        stage_gen_time: 1e-3,
+        microbatch_overhead: 0.05e-3,
+        p2p_time: 0.02e-3,
+    }
+}
+
+#[test]
+fn schedules_export_valid_traces() {
+    for sched in [PipelineSchedule::TrainingStyle, PipelineSchedule::InferenceQueue] {
+        let (graph, _) = spec().build(sched);
+        let s = graph.simulate();
+        let trace = chrome_trace(&graph, &s);
+        let parsed: serde_json::Value = serde_json::from_str(&trace).expect("valid JSON");
+        let events = parsed.as_array().unwrap();
+        let complete = events.iter().filter(|e| e["ph"] == "X").count();
+        assert_eq!(complete, graph.len());
+        // Every event's extent lies inside the makespan.
+        for e in events.iter().filter(|e| e["ph"] == "X") {
+            let ts = e["ts"].as_f64().unwrap();
+            let dur = e["dur"].as_f64().unwrap();
+            assert!(ts >= -1e-6 && ts + dur <= s.makespan * 1e6 + 1e-3);
+        }
+        // The Gantt chart covers all compute lanes.
+        let chart = gantt(&graph, &s, 60);
+        assert!(chart.lines().count() >= 4 + 1);
+    }
+}
+
+#[test]
+fn queue_schedule_keeps_stages_busier_in_trace() {
+    let (g_train, _) = spec().build(PipelineSchedule::TrainingStyle);
+    let (g_queue, _) = spec().build(PipelineSchedule::InferenceQueue);
+    let s_train = g_train.simulate();
+    let s_queue = g_queue.simulate();
+    use deepspeed_inference::sim::engine::Resource;
+    for stage in 0..4 {
+        let u_train = s_train.utilization(&g_train, Resource::Compute(stage));
+        let u_queue = s_queue.utilization(&g_queue, Resource::Compute(stage));
+        assert!(
+            u_queue >= u_train - 1e-9,
+            "stage {stage}: queue {u_queue:.2} < train {u_train:.2}"
+        );
+    }
+}
+
+#[test]
+fn offload_timeline_validates_and_responds_to_pcie() {
+    let base = OffloadSpec {
+        layers: 12,
+        layer_compute: 1e-3,
+        kv_bytes_per_layer: 30e6,
+        pcie_bw: 25e9,
+        shared_link: true,
+        odd_even_schedule: true,
+    };
+    let r1 = base.run();
+    // Doubling PCIe bandwidth can only help.
+    let r2 = OffloadSpec {
+        pcie_bw: 50e9,
+        ..base.clone()
+    }
+    .run();
+    assert!(r2.step_time <= r1.step_time + 1e-12);
+    // Zero KV = pure compute.
+    let r0 = OffloadSpec {
+        kv_bytes_per_layer: 0.0,
+        ..base
+    }
+    .run();
+    assert!((r0.step_time - r0.compute_time).abs() < 1e-9);
+}
+
+#[test]
+fn collectives_respect_topology_upgrades() {
+    let base = Topology::new(ClusterSpec::dgx_a100(2));
+    let fast = Topology::new(scale_cluster(&base.cluster, Knob::InterBandwidth, 4.0));
+    let group: Vec<usize> = (0..16).collect();
+    let b = Collectives::allreduce(&base, &group, 1e9).time;
+    let f = Collectives::allreduce(&fast, &group, 1e9).time;
+    assert!(f < b, "faster network must speed cross-node all-reduce");
+    // Intra-node collectives are unaffected by the network knob.
+    let intra: Vec<usize> = (0..8).collect();
+    let bi = Collectives::allreduce(&base, &intra, 1e9).time;
+    let fi = Collectives::allreduce(&fast, &intra, 1e9).time;
+    assert!((bi - fi).abs() < 1e-15);
+}
+
+#[test]
+fn engine_latency_monotone_in_every_hardware_knob() {
+    // Improving any knob never hurts the engine's prediction.
+    let model = zoo::dense_by_name("GPT-NeoX-20B").unwrap();
+    let base_cluster = ClusterSpec::dgx_a100(2);
+    let base = InferenceEngine::new(EngineConfig::deepspeed(model.clone(), base_cluster.clone(), 8, 2))
+        .generation(8, 128, 8)
+        .total_latency;
+    for knob in deepspeed_inference::whatif::ALL_KNOBS {
+        let cluster = scale_cluster(&base_cluster, knob, 2.0);
+        let t = InferenceEngine::new(EngineConfig::deepspeed(model.clone(), cluster, 8, 2))
+            .generation(8, 128, 8)
+            .total_latency;
+        assert!(t <= base * (1.0 + 1e-9), "{knob:?}: {t} > {base}");
+    }
+}
+
+#[test]
+fn h100_cluster_strictly_faster_than_a100() {
+    // The post-paper what-if: same model, same mapping, newer hardware.
+    let model = zoo::dense_by_name("LM-175B").unwrap();
+    let a100 = InferenceEngine::new(EngineConfig::deepspeed(
+        model.clone(),
+        ClusterSpec::dgx_a100(2),
+        8,
+        2,
+    ))
+    .generation(8, 128, 8)
+    .total_latency;
+    let h100 = InferenceEngine::new(EngineConfig::deepspeed(
+        model,
+        ClusterSpec::dgx_h100(2),
+        8,
+        2,
+    ))
+    .generation(8, 128, 8)
+    .total_latency;
+    assert!(
+        h100 < a100 / 1.6,
+        "H100 {h100:.4}s should be well under A100 {a100:.4}s"
+    );
+}
+
+#[test]
+fn shared_pcie_nodes_penalize_naive_offload_only() {
+    // The lambda workstation (dedicated links) should see no odd/even
+    // effect; a DGX (shared pairs) should.
+    let mk = |node: &NodeSpec, odd_even: bool| OffloadSpec {
+        layers: 16,
+        layer_compute: 1e-3,
+        kv_bytes_per_layer: 22e6,
+        pcie_bw: node.pcie.bw,
+        shared_link: node.pcie_shared_pairs,
+        odd_even_schedule: odd_even,
+    }
+    .run()
+    .step_time;
+    let dgx = NodeSpec::dgx_a100();
+    assert!(mk(&dgx, true) < mk(&dgx, false));
+    let lambda = NodeSpec::lambda_a6000();
+    assert!((mk(&lambda, true) - mk(&lambda, false)).abs() < 1e-9);
+}
