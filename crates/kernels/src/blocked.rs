@@ -1,0 +1,413 @@
+//! Cache-blocked GEMM over panel-packed weights — the "executed" half of
+//! Deep-Fusion's GEMM scheduling (Sec. III-B/III-C).
+//!
+//! Inference reuses the same weight matrix for every generated token, so the
+//! layout work that makes a GEMM fast should be paid **once per model, not
+//! once per call** (the same observation that motivates the paper's SBI-GeMM
+//! weight-layout transform). [`PackedB`] stores a `[k, n]` weight repacked
+//! into panels of [`PANEL`] output columns: panel `jp` holds rows
+//! `0..k`, each row contributing `PANEL` consecutive weights, so the decode
+//! GEMV streams the panel exactly once with unit stride. Output columns past
+//! `n` are zero-padded inside the last panel and never stored.
+//!
+//! Against that layout the row kernel keeps one accumulator register lane
+//! per output column for the whole `k` loop: each step broadcasts one
+//! element of `a` and fuses it into four 8-wide accumulators (AVX2+FMA when
+//! the CPU has it — detected once at runtime, `std::arch` only, no
+//! dependencies — otherwise a portable 32-lane scalar loop the
+//! auto-vectorizer handles). Four independent chains break the FMA latency
+//! serialization a single running sum would pay, and the output row is
+//! touched exactly once — no read-modify-write traffic like the naive
+//! saxpy form in [`crate::ops::matmul`].
+//!
+//! Every kernel writes into a caller-provided output slice, so steady-state
+//! decode can run entirely out of preallocated scratch (see
+//! `dsi-model::fast`). The `matmul_*_into` variants fuse the common
+//! epilogues (bias, bias+GeLU, bias+residual) into the same output pass —
+//! the interior tensor of each Fig. 1(c) region never touches memory twice.
+
+use crate::tensor::Tensor;
+
+/// Output columns per packed panel: four 8-float SIMD registers.
+pub const PANEL: usize = 32;
+
+/// Unit-stride dot product with 4 independent accumulators.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        acc[0] += x[0] * y[0];
+        acc[1] += x[1] * y[1];
+        acc[2] += x[2] * y[2];
+        acc[3] += x[3] * y[3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        s += x * y;
+    }
+    s
+}
+
+
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use super::PANEL;
+    use std::arch::x86_64::*;
+
+    /// One GEMV row over panel-packed weights: `out[0..n] = a[0..k] · B`.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support, and `panels` must hold
+    /// `n.div_ceil(PANEL)` panels of `k * PANEL` floats ([`super::PackedB`]
+    /// layout).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gemv(a: &[f32], k: usize, panels: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        let n_panels = n.div_ceil(PANEL);
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(panels.len(), n_panels * k * PANEL);
+        for jp in 0..n_panels {
+            let p = panels.as_ptr().add(jp * k * PANEL);
+            // Four independent FMA chains: one register per 8 output
+            // columns, alive across the whole k loop.
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut acc2 = _mm256_setzero_ps();
+            let mut acc3 = _mm256_setzero_ps();
+            for i in 0..k {
+                let av = _mm256_set1_ps(*a.get_unchecked(i));
+                let row = p.add(i * PANEL);
+                acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(row), acc0);
+                acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(row.add(8)), acc1);
+                acc2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(row.add(16)), acc2);
+                acc3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(row.add(24)), acc3);
+            }
+            let j0 = jp * PANEL;
+            if j0 + PANEL <= n {
+                let o = out.as_mut_ptr().add(j0);
+                _mm256_storeu_ps(o, acc0);
+                _mm256_storeu_ps(o.add(8), acc1);
+                _mm256_storeu_ps(o.add(16), acc2);
+                _mm256_storeu_ps(o.add(24), acc3);
+            } else {
+                // Tail panel: spill the padded lanes, store only the real
+                // columns.
+                let mut tmp = [0.0f32; PANEL];
+                _mm256_storeu_ps(tmp.as_mut_ptr(), acc0);
+                _mm256_storeu_ps(tmp.as_mut_ptr().add(8), acc1);
+                _mm256_storeu_ps(tmp.as_mut_ptr().add(16), acc2);
+                _mm256_storeu_ps(tmp.as_mut_ptr().add(24), acc3);
+                out[j0..n].copy_from_slice(&tmp[..n - j0]);
+            }
+        }
+    }
+}
+
+/// Portable fallback row kernel over the same panel layout. The fixed-width
+/// 32-lane accumulator loop is what the auto-vectorizer wants to see.
+fn gemv_scalar(a: &[f32], k: usize, panels: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    let n_panels = n.div_ceil(PANEL);
+    debug_assert_eq!(a.len(), k);
+    debug_assert_eq!(panels.len(), n_panels * k * PANEL);
+    for jp in 0..n_panels {
+        let panel = &panels[jp * k * PANEL..(jp + 1) * k * PANEL];
+        let mut acc = [0.0f32; PANEL];
+        for (i, rows) in panel.chunks_exact(PANEL).enumerate() {
+            let av = a[i];
+            for (lane, &w) in acc.iter_mut().zip(rows) {
+                *lane += av * w;
+            }
+        }
+        let j0 = jp * PANEL;
+        let je = (j0 + PANEL).min(n);
+        out[j0..je].copy_from_slice(&acc[..je - j0]);
+    }
+}
+
+#[inline]
+fn gemv(a: &[f32], k: usize, panels: &[f32], out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx2_fma() {
+        // SAFETY: feature support verified by `avx2_fma`; the slice layout
+        // contract is upheld by `PackedB` (the only producer of `panels`).
+        unsafe { avx::gemv(a, k, panels, out) };
+        return;
+    }
+    gemv_scalar(a, k, panels, out);
+}
+
+/// A weight matrix packed for repeated right-multiplication: logically
+/// `[k, n]`, stored as `n.div_ceil(PANEL)` panels of `PANEL` consecutive
+/// output columns (`data[jp * k * PANEL + i * PANEL + jr] == B[i, jp*PANEL +
+/// jr]`, zero past column `n`).
+#[derive(Debug, Clone)]
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl PackedB {
+    fn with_writer(k: usize, n: usize, fill: impl Fn(usize, usize) -> f32) -> Self {
+        let n_panels = n.div_ceil(PANEL);
+        let mut data = vec![0.0f32; n_panels * k * PANEL];
+        for jp in 0..n_panels {
+            let panel = &mut data[jp * k * PANEL..(jp + 1) * k * PANEL];
+            let width = (n - jp * PANEL).min(PANEL);
+            for i in 0..k {
+                for jr in 0..width {
+                    panel[i * PANEL + jr] = fill(i, jp * PANEL + jr);
+                }
+            }
+        }
+        PackedB { k, n, data }
+    }
+
+    /// Pack a `[k, n]` matrix (one-time layout transform; amortized over
+    /// every subsequent token).
+    pub fn pack(b: &Tensor) -> Self {
+        let (k, n) = (b.rows(), b.cols());
+        let bd = b.data();
+        Self::with_writer(k, n, |i, j| bd[i * n + j])
+    }
+
+    /// Pack a matrix already stored transposed (`[n, k]` row-major), e.g.
+    /// the tied embedding used for the logits projection `x · wteᵀ`.
+    pub fn from_pre_transposed(bt: &Tensor) -> Self {
+        let (n, k) = (bt.rows(), bt.cols());
+        let bd = bt.data();
+        Self::with_writer(k, n, |i, j| bd[j * k + i])
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// How the GEMM finishes each output element (fused epilogue).
+#[derive(Clone, Copy)]
+enum Epilogue<'a> {
+    /// `out = a·B`
+    None,
+    /// `out = a·B + bias`
+    Bias(&'a [f32]),
+    /// `out = gelu(a·B + bias)`
+    BiasGelu(&'a [f32]),
+    /// `out = a·B + bias + residual` (residual is `[m, n]` like `out`)
+    BiasAdd(&'a [f32], &'a [f32]),
+}
+
+/// GeLU (tanh approximation), matching [`crate::ops::gelu`].
+#[inline]
+pub fn gelu_scalar(u: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * u * (1.0 + (C * (u + 0.044715 * u * u * u)).tanh())
+}
+
+fn gemm_epilogue(a: &[f32], m: usize, b: &PackedB, out: &mut [f32], ep: Epilogue<'_>) {
+    let (k, n) = (b.k, b.n);
+    assert_eq!(a.len(), m * k, "gemm: lhs size mismatch");
+    assert_eq!(out.len(), m * n, "gemm: out size mismatch");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        gemv(arow, k, &b.data, orow);
+        // The epilogue runs while the freshly written row is still hot in
+        // L1 — one extra register pass, no second GEMM-sized traversal.
+        match ep {
+            Epilogue::None => {}
+            Epilogue::Bias(bias) => {
+                for (o, &bv) in orow.iter_mut().zip(bias) {
+                    *o += bv;
+                }
+            }
+            Epilogue::BiasGelu(bias) => crate::simd::bias_gelu_row(orow, bias),
+            Epilogue::BiasAdd(bias, res) => {
+                let rrow = &res[i * n..(i + 1) * n];
+                for ((o, &bv), &rv) in orow.iter_mut().zip(bias).zip(rrow) {
+                    *o += bv + rv;
+                }
+            }
+        }
+    }
+}
+
+/// `out[m,n] = a[m,k] · B`, into caller storage.
+pub fn matmul_into(a: &[f32], m: usize, b: &PackedB, out: &mut [f32]) {
+    gemm_epilogue(a, m, b, out, Epilogue::None);
+}
+
+/// `out = a·B + bias` in one output pass.
+pub fn matmul_bias_into(a: &[f32], m: usize, b: &PackedB, bias: &[f32], out: &mut [f32]) {
+    assert_eq!(bias.len(), b.n, "bias length mismatch");
+    gemm_epilogue(a, m, b, out, Epilogue::Bias(bias));
+}
+
+/// `out = gelu(a·B + bias)` in one output pass (Fig. 1(c) region 4 tail).
+pub fn matmul_bias_gelu_into(a: &[f32], m: usize, b: &PackedB, bias: &[f32], out: &mut [f32]) {
+    assert_eq!(bias.len(), b.n, "bias length mismatch");
+    gemm_epilogue(a, m, b, out, Epilogue::BiasGelu(bias));
+}
+
+/// `out = a·B + bias + residual` in one output pass (Fig. 1(c) regions 3
+/// and 5 tails: projection GEMM, bias add, and residual connection fused).
+pub fn matmul_bias_add_into(
+    a: &[f32],
+    m: usize,
+    b: &PackedB,
+    bias: &[f32],
+    residual: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(bias.len(), b.n, "bias length mismatch");
+    assert_eq!(residual.len(), m * b.n, "residual size mismatch");
+    gemm_epilogue(a, m, b, out, Epilogue::BiasAdd(bias, residual));
+}
+
+/// Allocating convenience wrapper: `a [m,k] · B -> [m,n]`.
+pub fn matmul_packed(a: &Tensor, b: &PackedB) -> Tensor {
+    let m = a.rows();
+    let mut out = Tensor::zeros(&[m, b.n]);
+    matmul_into(a.data(), m, b, out.data_mut());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn packed_matmul_matches_naive() {
+        // Shapes straddle panel boundaries: n < PANEL, n == PANEL, ragged
+        // tails, and the real layer shapes.
+        for (m, k, n) in [
+            (1, 7, 5),
+            (3, 16, 9),
+            (4, 33, 12),
+            (1, 16, 32),
+            (2, 10, 37),
+            (1, 64, 101),
+            (2, 64, 192),
+        ] {
+            let a = Tensor::randn(&[m, k], 1.0, 11);
+            let b = Tensor::randn(&[k, n], 1.0, 12);
+            let want = ops::matmul(&a, &b);
+            let got = matmul_packed(&a, &PackedB::pack(&b));
+            assert!(
+                got.allclose(&want, 1e-4),
+                "({m},{k},{n}) diff {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_fallback_matches_dispatch() {
+        // Whatever the runtime dispatch picks must agree with the portable
+        // kernel on identical inputs.
+        let a = Tensor::randn(&[2, 48], 1.0, 15);
+        let b = Tensor::randn(&[48, 77], 1.0, 16);
+        let pb = PackedB::pack(&b);
+        let mut got = vec![0.0f32; 2 * 77];
+        matmul_into(a.data(), 2, &pb, &mut got);
+        let mut want = vec![0.0f32; 2 * 77];
+        for i in 0..2 {
+            gemv_scalar(&a.data()[i * 48..(i + 1) * 48], 48, &pb.data, &mut want[i * 77..(i + 1) * 77]);
+        }
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= 1e-5, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn pre_transposed_matches_matmul_transb() {
+        let a = Tensor::randn(&[3, 16], 1.0, 21);
+        let bt = Tensor::randn(&[9, 16], 1.0, 22); // stored [n, k]
+        let want = ops::matmul_transb(&a, &bt);
+        let mut got = Tensor::zeros(&[3, 9]);
+        matmul_into(a.data(), 3, &PackedB::from_pre_transposed(&bt), got.data_mut());
+        assert!(got.allclose(&want, 1e-4), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn pre_transposed_pack_matches_pack() {
+        let b = Tensor::randn(&[10, 6], 1.0, 31);
+        let mut bt = Tensor::zeros(&[6, 10]);
+        for i in 0..10 {
+            for j in 0..6 {
+                bt.row_mut(j)[i] = b.row(i)[j];
+            }
+        }
+        let a = Tensor::randn(&[2, 10], 1.0, 32);
+        let c1 = matmul_packed(&a, &PackedB::pack(&b));
+        let c2 = matmul_packed(&a, &PackedB::from_pre_transposed(&bt));
+        assert!(c1.allclose(&c2, 0.0));
+    }
+
+    #[test]
+    fn bias_epilogue_matches_unfused() {
+        let a = Tensor::randn(&[3, 20], 1.0, 41);
+        let b = Tensor::randn(&[20, 11], 1.0, 42);
+        let bias = Tensor::randn(&[11], 1.0, 43);
+        let mut want = ops::matmul(&a, &b);
+        ops::add_bias(&mut want, &bias);
+        let mut got = Tensor::zeros(&[3, 11]);
+        matmul_bias_into(a.data(), 3, &PackedB::pack(&b), bias.data(), got.data_mut());
+        assert!(got.allclose(&want, 1e-4));
+    }
+
+    #[test]
+    fn bias_gelu_epilogue_matches_unfused() {
+        let a = Tensor::randn(&[2, 12], 1.0, 51);
+        let b = Tensor::randn(&[12, 8], 1.0, 52);
+        let bias = Tensor::randn(&[8], 1.0, 53);
+        let mut want = ops::matmul(&a, &b);
+        ops::add_bias(&mut want, &bias);
+        ops::gelu(&mut want);
+        let mut got = Tensor::zeros(&[2, 8]);
+        matmul_bias_gelu_into(a.data(), 2, &PackedB::pack(&b), bias.data(), got.data_mut());
+        assert!(got.allclose(&want, 1e-5));
+    }
+
+    #[test]
+    fn bias_add_epilogue_matches_unfused() {
+        let a = Tensor::randn(&[2, 12], 1.0, 61);
+        let b = Tensor::randn(&[12, 12], 1.0, 62);
+        let bias = Tensor::randn(&[12], 1.0, 63);
+        let res = Tensor::randn(&[2, 12], 1.0, 64);
+        let mut want = ops::matmul(&a, &b);
+        ops::add_bias(&mut want, &bias);
+        ops::add_inplace(&mut want, &res);
+        let mut got = Tensor::zeros(&[2, 12]);
+        matmul_bias_add_into(
+            a.data(),
+            2,
+            &PackedB::pack(&b),
+            bias.data(),
+            res.data(),
+            got.data_mut(),
+        );
+        assert!(got.allclose(&want, 1e-4));
+    }
+
+    #[test]
+    fn nan_propagates_through_packed_gemm() {
+        // The packed path must keep IEEE semantics: a NaN anywhere in the
+        // reduction poisons every real output column (the zero-padded tail
+        // lanes are never stored, so they cannot launder the NaN away).
+        let mut a = Tensor::zeros(&[1, 8]);
+        a.data_mut()[3] = f32::NAN;
+        let b = Tensor::randn(&[8, 4], 1.0, 71);
+        let got = matmul_packed(&a, &PackedB::pack(&b));
+        assert!(got.data().iter().all(|v| v.is_nan()));
+    }
+}

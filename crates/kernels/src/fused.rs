@@ -1,0 +1,425 @@
+//! Executed Deep-Fusion kernels: single-pass implementations of the four
+//! Fig. 1(c) small-batch fusion regions.
+//!
+//! [`crate::fusion`] *plans* fused regions and prices their launch/traffic
+//! savings; this module *executes* them. Each function is one "launch": it
+//! reads its region's inputs once, keeps every interior value in registers
+//! (or a caller-provided scratch row standing in for shared memory), and
+//! writes only the region boundary tensor:
+//!
+//! * region 1 — [`ln_matmul_bias_into`]: layer-norm → QKV GEMM → bias; the
+//!   normalized row never becomes a tensor, it lives in a scratch row reused
+//!   across rows and tokens.
+//! * region 2 — [`attention_into`]: score → softmax → weighted-sum in one
+//!   streaming pass over the keys (online softmax), with **no scores
+//!   buffer** of any size — the running max/sum rescale trick keeps state
+//!   in three registers plus the output accumulator.
+//! * regions 3/5 — `blocked::matmul_bias_add_into`: projection GEMM with
+//!   the bias and residual folded into the output write.
+//! * region 4 — [`ln_matmul_bias_gelu_into`]: layer-norm → FF1 GEMM → bias
+//!   → GeLU, again one output pass.
+//!
+//! All kernels write into caller scratch, so a steady-state decode step
+//! performs zero heap allocations (see `dsi-model::fast`).
+
+use crate::blocked::{dot, matmul_bias_gelu_into, matmul_bias_into, PackedB};
+use crate::tensor::Tensor;
+
+/// Layer-norm one row into `out` (gamma/beta applied).
+#[inline]
+pub fn layernorm_row_into(row: &[f32], gamma: &[f32], beta: &[f32], eps: f32, out: &mut [f32]) {
+    let n = row.len();
+    debug_assert_eq!(gamma.len(), n);
+    debug_assert_eq!(beta.len(), n);
+    debug_assert_eq!(out.len(), n);
+    let mean = row.iter().sum::<f32>() / n as f32;
+    let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+    let inv = 1.0 / (var + eps).sqrt();
+    for i in 0..n {
+        out[i] = (row[i] - mean) * inv * gamma[i] + beta[i];
+    }
+}
+
+/// Fig. 1(c) region 1: `out = layernorm(x)·W + bias` for `x = [m, h]`.
+/// `normed` is an `[h]` scratch row (the region's interior tensor).
+#[allow(clippy::too_many_arguments)]
+pub fn ln_matmul_bias_into(
+    x: &[f32],
+    m: usize,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    w: &PackedB,
+    bias: &[f32],
+    normed: &mut [f32],
+    out: &mut [f32],
+) {
+    let h = w.k();
+    assert_eq!(x.len(), m * h, "ln_matmul: input size mismatch");
+    assert_eq!(normed.len(), h, "ln_matmul: scratch row must be [h]");
+    for i in 0..m {
+        layernorm_row_into(&x[i * h..(i + 1) * h], gamma, beta, eps, normed);
+        matmul_bias_into(normed, 1, w, bias, &mut out[i * w.n()..(i + 1) * w.n()]);
+    }
+}
+
+/// Fig. 1(c) region 4: `out = gelu(layernorm(x)·W + bias)`.
+#[allow(clippy::too_many_arguments)]
+pub fn ln_matmul_bias_gelu_into(
+    x: &[f32],
+    m: usize,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    w: &PackedB,
+    bias: &[f32],
+    normed: &mut [f32],
+    out: &mut [f32],
+) {
+    let h = w.k();
+    assert_eq!(x.len(), m * h, "ln_matmul_gelu: input size mismatch");
+    assert_eq!(normed.len(), h, "ln_matmul_gelu: scratch row must be [h]");
+    for i in 0..m {
+        layernorm_row_into(&x[i * h..(i + 1) * h], gamma, beta, eps, normed);
+        matmul_bias_gelu_into(normed, 1, w, bias, &mut out[i * w.n()..(i + 1) * w.n()]);
+    }
+}
+
+/// Fused `x += bias` then GeLU, one pass over the rows (the eager pair
+/// `add_bias`; `gelu` reads and writes `x` twice).
+pub fn bias_gelu_inplace(x: &mut [f32], bias: &[f32]) {
+    let n = bias.len();
+    for row in x.chunks_exact_mut(n) {
+        crate::simd::bias_gelu_row(row, bias);
+    }
+}
+
+/// Fused `x += bias; x += residual` in one pass.
+pub fn bias_residual_inplace(x: &mut [f32], bias: &[f32], residual: &[f32]) {
+    let n = bias.len();
+    assert_eq!(x.len(), residual.len(), "residual size mismatch");
+    for (row, rrow) in x.chunks_exact_mut(n).zip(residual.chunks_exact(n)) {
+        for ((v, &b), &r) in row.iter_mut().zip(bias).zip(rrow) {
+            *v += b + r;
+        }
+    }
+}
+
+/// Fig. 1(c) region 2: multi-head causal attention as one streaming pass
+/// per (head, query) over the visible keys — the score row is never
+/// materialized. Uses the online-softmax recurrence: on a new running max
+/// the accumulator and weight sum are rescaled by `exp(m_old - m_new)`, so
+/// score → softmax → weighted-sum completes in a single traversal of the KV
+/// cache with O(1) extra state.
+///
+/// Shapes match [`crate::ops::attention`]: `q = [t_new, h]` (as a slice),
+/// `k`/`v = [t_ctx, h]`, query `i` attends to context `<= causal_offset+i`.
+/// `out` must be `[t_new * h]`; it doubles as the accumulator.
+pub fn attention_into(
+    q: &[f32],
+    t_new: usize,
+    k: &Tensor,
+    v: &Tensor,
+    n_heads: usize,
+    causal_offset: usize,
+    out: &mut [f32],
+) {
+    let t_ctx = k.rows();
+    let h = k.cols();
+    assert_eq!(q.len(), t_new * h, "attention: q size mismatch");
+    assert_eq!(v.rows(), t_ctx);
+    assert_eq!(v.cols(), h);
+    assert_eq!(out.len(), t_new * h, "attention: out size mismatch");
+    assert_eq!(h % n_heads, 0, "heads must divide hidden");
+    let d = h / n_heads;
+    let scale = 1.0 / (d as f32).sqrt();
+    let (kd, vd) = (k.data(), v.data());
+
+    for i in 0..t_new {
+        let visible = (causal_offset + i + 1).min(t_ctx);
+        for hd in 0..n_heads {
+            let lo = hd * d;
+            let qi = &q[i * h + lo..i * h + lo + d];
+            let acc = &mut out[i * h + lo..i * h + lo + d];
+            #[cfg(target_arch = "x86_64")]
+            if d.is_multiple_of(8) && crate::simd::avx2_fma() {
+                // SAFETY: feature support checked; `d` divides 8; the
+                // pointer arithmetic stays inside `kd`/`vd` because
+                // `visible <= t_ctx` and `lo + d <= h`.
+                unsafe { attn_avx::head_attention(qi, kd, vd, h, lo, visible, scale, acc) };
+                continue;
+            }
+            head_attention_scalar(qi, kd, vd, h, lo, visible, scale, acc);
+        }
+    }
+}
+
+/// One (query, head) online-softmax pass: the portable reference kernel.
+#[allow(clippy::too_many_arguments)]
+fn head_attention_scalar(
+    qi: &[f32],
+    kd: &[f32],
+    vd: &[f32],
+    h: usize,
+    lo: usize,
+    visible: usize,
+    scale: f32,
+    acc: &mut [f32],
+) {
+    let d = qi.len();
+    acc.fill(0.0);
+    let mut m_run = f32::NEG_INFINITY;
+    let mut sum = 0.0f32;
+    for j in 0..visible {
+        let kj = &kd[j * h + lo..j * h + lo + d];
+        let s = dot(qi, kj) * scale;
+        if s > m_run {
+            // Rescale history to the new max. First iteration:
+            // exp(-inf - s) = 0 zeroes the (already zero) state.
+            let corr = (m_run - s).exp();
+            sum *= corr;
+            for a in acc.iter_mut() {
+                *a *= corr;
+            }
+            m_run = s;
+        }
+        let w = (s - m_run).exp();
+        sum += w;
+        let vj = &vd[j * h + lo..j * h + lo + d];
+        for (a, &vv) in acc.iter_mut().zip(vj) {
+            *a += w * vv;
+        }
+    }
+    let inv = 1.0 / sum;
+    for a in acc.iter_mut() {
+        *a *= inv;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod attn_avx {
+    use crate::simd::avx::exp_ps;
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of one YMM register.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum(v: __m256) -> f32 {
+        let s = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+        _mm_cvtss_f32(s)
+    }
+
+    /// One (query, head) online-softmax pass, blocked 8 keys at a time:
+    /// 8 vector dot products, one shared running-max rescale, one 8-wide
+    /// `exp`, then 8 FMA accumulations — same recurrence as the scalar
+    /// kernel, still O(1) state (an 8-score register block, no per-query
+    /// buffer). Requires `d % 8 == 0`.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA; `kd`/`vd` must hold `[t_ctx, h]` row-major with
+    /// `visible <= t_ctx`, `lo + d <= h`, `d == qi.len() == acc.len()`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn head_attention(
+        qi: &[f32],
+        kd: &[f32],
+        vd: &[f32],
+        h: usize,
+        lo: usize,
+        visible: usize,
+        scale: f32,
+        acc: &mut [f32],
+    ) {
+        let d = qi.len();
+        acc.fill(0.0);
+        let mut m_run = f32::NEG_INFINITY;
+        let mut sum = 0.0f32;
+        let mut sbuf = [0.0f32; 8];
+        let mut wbuf = [0.0f32; 8];
+        let mut j = 0;
+        while j + 8 <= visible {
+            for (jr, sb) in sbuf.iter_mut().enumerate() {
+                let kj = kd.as_ptr().add((j + jr) * h + lo);
+                let mut dv = _mm256_setzero_ps();
+                let mut t = 0;
+                while t < d {
+                    dv = _mm256_fmadd_ps(
+                        _mm256_loadu_ps(qi.as_ptr().add(t)),
+                        _mm256_loadu_ps(kj.add(t)),
+                        dv,
+                    );
+                    t += 8;
+                }
+                *sb = hsum(dv) * scale;
+            }
+            // Block max via `>` so a NaN score leaves `m_run` alone and
+            // poisons the weights (and thus `sum`) instead — identical to
+            // the scalar kernel's NaN behavior.
+            let mut bm = m_run;
+            for &sc in &sbuf {
+                if sc > bm {
+                    bm = sc;
+                }
+            }
+            if bm > m_run {
+                let corr = (m_run - bm).exp();
+                sum *= corr;
+                let cv = _mm256_set1_ps(corr);
+                let mut t = 0;
+                while t < d {
+                    let p = acc.as_mut_ptr().add(t);
+                    _mm256_storeu_ps(p, _mm256_mul_ps(cv, _mm256_loadu_ps(p)));
+                    t += 8;
+                }
+                m_run = bm;
+            }
+            let w = exp_ps(_mm256_sub_ps(
+                _mm256_loadu_ps(sbuf.as_ptr()),
+                _mm256_set1_ps(m_run),
+            ));
+            _mm256_storeu_ps(wbuf.as_mut_ptr(), w);
+            sum += hsum(w);
+            for (jr, &wv) in wbuf.iter().enumerate() {
+                let wv = _mm256_set1_ps(wv);
+                let vj = vd.as_ptr().add((j + jr) * h + lo);
+                let mut t = 0;
+                while t < d {
+                    let p = acc.as_mut_ptr().add(t);
+                    _mm256_storeu_ps(
+                        p,
+                        _mm256_fmadd_ps(wv, _mm256_loadu_ps(vj.add(t)), _mm256_loadu_ps(p)),
+                    );
+                    t += 8;
+                }
+            }
+            j += 8;
+        }
+        // Scalar tail: fewer than 8 keys left.
+        for jj in j..visible {
+            let kj = &kd[jj * h + lo..jj * h + lo + d];
+            let s = crate::blocked::dot(qi, kj) * scale;
+            if s > m_run {
+                let corr = (m_run - s).exp();
+                sum *= corr;
+                for a in acc.iter_mut() {
+                    *a *= corr;
+                }
+                m_run = s;
+            }
+            let w = (s - m_run).exp();
+            sum += w;
+            let vj = &vd[jj * h + lo..jj * h + lo + d];
+            for (a, &vv) in acc.iter_mut().zip(vj) {
+                *a += w * vv;
+            }
+        }
+        let inv = 1.0 / sum;
+        for a in acc.iter_mut() {
+            *a *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocked::PackedB;
+    use crate::ops;
+
+    #[test]
+    fn ln_gemm_bias_matches_unfused() {
+        let (m, h, n) = (3, 16, 24);
+        let x = Tensor::randn(&[m, h], 1.0, 1);
+        let g = Tensor::randn(&[h], 0.3, 2);
+        let b = Tensor::randn(&[h], 0.1, 3);
+        let w = Tensor::randn(&[h, n], 0.5, 4);
+        let bias = Tensor::randn(&[n], 0.1, 5);
+        let mut want = ops::matmul(&ops::layernorm(&x, &g, &b, 1e-5), &w);
+        ops::add_bias(&mut want, &bias);
+        let pw = PackedB::pack(&w);
+        let mut normed = vec![0.0f32; h];
+        let mut got = Tensor::zeros(&[m, n]);
+        ln_matmul_bias_into(
+            x.data(), m, g.data(), b.data(), 1e-5, &pw, bias.data(),
+            &mut normed, got.data_mut(),
+        );
+        assert!(got.allclose(&want, 1e-5), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn ln_gemm_bias_gelu_matches_unfused() {
+        let (m, h, n) = (2, 16, 64);
+        let x = Tensor::randn(&[m, h], 1.0, 11);
+        let g = Tensor::from_vec(&[h], vec![1.0; h]);
+        let b = Tensor::zeros(&[h]);
+        let w = Tensor::randn(&[h, n], 0.5, 12);
+        let bias = Tensor::randn(&[n], 0.1, 13);
+        let mut want = ops::matmul(&ops::layernorm(&x, &g, &b, 1e-5), &w);
+        ops::add_bias(&mut want, &bias);
+        ops::gelu(&mut want);
+        let pw = PackedB::pack(&w);
+        let mut normed = vec![0.0f32; h];
+        let mut got = Tensor::zeros(&[m, n]);
+        ln_matmul_bias_gelu_into(
+            x.data(), m, g.data(), b.data(), 1e-5, &pw, bias.data(),
+            &mut normed, got.data_mut(),
+        );
+        assert!(got.allclose(&want, 1e-5), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn bias_gelu_pass_matches_unfused() {
+        let mut x = Tensor::randn(&[3, 8], 1.0, 21);
+        let bias = Tensor::randn(&[8], 0.5, 22);
+        let mut want = x.clone();
+        ops::add_bias(&mut want, &bias);
+        ops::gelu(&mut want);
+        bias_gelu_inplace(x.data_mut(), bias.data());
+        assert!(x.allclose(&want, 1e-6));
+    }
+
+    #[test]
+    fn bias_residual_pass_matches_unfused() {
+        let mut x = Tensor::randn(&[3, 8], 1.0, 31);
+        let bias = Tensor::randn(&[8], 0.5, 32);
+        let res = Tensor::randn(&[3, 8], 1.0, 33);
+        let mut want = x.clone();
+        ops::add_bias(&mut want, &bias);
+        ops::add_inplace(&mut want, &res);
+        bias_residual_inplace(x.data_mut(), bias.data(), res.data());
+        assert!(x.allclose(&want, 1e-6));
+    }
+
+    #[test]
+    fn streaming_attention_matches_reference() {
+        for (t_new, t_ctx, heads, off) in [(1, 1, 1, 0), (1, 9, 2, 8), (4, 4, 4, 0), (3, 7, 2, 4)] {
+            let h = 8 * heads;
+            let q = Tensor::randn(&[t_new, h], 1.0, 41);
+            let k = Tensor::randn(&[t_ctx, h], 1.0, 42);
+            let v = Tensor::randn(&[t_ctx, h], 1.0, 43);
+            let want = ops::attention(&q, &k, &v, heads, off);
+            let mut got = Tensor::zeros(&[t_new, h]);
+            attention_into(q.data(), t_new, &k, &v, heads, off, got.data_mut());
+            assert!(
+                got.allclose(&want, 1e-5),
+                "({t_new},{t_ctx},{heads},{off}) diff {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_attention_propagates_nan() {
+        // A NaN key must poison the affected query's output — the seed's
+        // `w == 0.0` skip could silently drop it.
+        let q = Tensor::randn(&[1, 8], 1.0, 51);
+        let mut k = Tensor::randn(&[3, 8], 1.0, 52);
+        k.data_mut()[0] = f32::NAN;
+        let v = Tensor::randn(&[3, 8], 1.0, 53);
+        let mut got = Tensor::zeros(&[1, 8]);
+        attention_into(q.data(), 1, &k, &v, 1, 2, got.data_mut());
+        assert!(got.data().iter().all(|x| x.is_nan()));
+    }
+}

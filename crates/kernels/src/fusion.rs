@@ -279,7 +279,7 @@ mod tests {
         let fused = fuse(&ops, &FusionPlan::deepspeed_small_batch(), DType::Fp16).unwrap();
         let region = &fused[2];
         assert!(region.name.contains("attn_bias_residual"));
-        let m_h_bytes = (1 * 512 * 2) as f64;
+        let m_h_bytes = (512 * 2) as f64;
         // reads: gemm input (m×h) + residual (m×h).
         assert!(region.cost.act_read >= 2.0 * m_h_bytes);
     }

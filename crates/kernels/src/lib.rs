@@ -19,8 +19,20 @@
 //!   [`cost::gemm_policy`] supplies the batch-size-dependent efficiency
 //!   curves that distinguish cuBLAS from SBI-GeMM from CUTLASS-INT8.
 
+//!
+//! The *executed* counterpart of the fusion planner is the fast functional
+//! path: [`blocked`] provides cache-blocked GEMM over panel-packed (pack
+//! once, reuse every token) weights with fused epilogues, and [`fused`]
+//! provides single-pass kernels for the four Fig. 1(c) small-batch fusion
+//! regions, including a zero-allocation streaming-softmax attention. Both
+//! write into caller-provided scratch so steady-state decode allocates
+//! nothing per token.
+
+pub mod blocked;
+pub mod simd;
 pub mod cost;
 pub mod exec;
+pub mod fused;
 pub mod fusion;
 pub mod graph;
 pub mod ops;
@@ -29,6 +41,7 @@ pub mod quant;
 pub mod sbi;
 pub mod tensor;
 
+pub use blocked::PackedB;
 pub use cost::{ExecConfig, GemmImpl, KernelCost};
 pub use fusion::{FusedKernel, FusionPlan};
 pub use graph::{Axis, OpDesc, OpKind};

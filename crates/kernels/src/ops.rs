@@ -19,10 +19,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         .par_chunks_mut(n)
         .zip(a.data().par_chunks(k))
         .for_each(|(orow, arow)| {
+            // No data-dependent skip on `av == 0.0`: the branch stalls the
+            // inner loop on real data (activations are almost never exactly
+            // zero) and silently drops NaN/Inf propagation for zero inputs.
             for (kk, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
                 let brow = &bd[kk * n..(kk + 1) * n];
                 for (o, &bv) in orow.iter_mut().zip(brow) {
                     *o += av * bv;
@@ -152,14 +152,19 @@ pub fn attention(q: &Tensor, k: &Tensor, v: &Tensor, n_heads: usize, causal_offs
             for i in 0..t_new {
                 let qi = &q.row(i)[lo..lo + d];
                 let limit = causal_offset + i; // inclusive highest position
-                let mut scores = vec![f32::NEG_INFINITY; t_ctx];
-                for (j, s) in scores.iter_mut().enumerate().take(t_ctx) {
-                    if j <= limit {
-                        let kj = &k.row(j)[lo..lo + d];
-                        *s = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
-                    }
+                // Causal masking by iteration bound: scores exist only for
+                // the attendable prefix `0..=limit`, which both avoids the
+                // masked -inf entries and removes the data-dependent
+                // `w == 0.0` skip the weighted sum previously used (that
+                // branch also broke NaN propagation: a NaN weight must
+                // poison the output, not be skipped).
+                let visible = (limit + 1).min(t_ctx);
+                let mut scores = vec![0.0f32; visible];
+                for (j, s) in scores.iter_mut().enumerate() {
+                    let kj = &k.row(j)[lo..lo + d];
+                    *s = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
                 }
-                // softmax
+                // softmax over the visible prefix
                 let m = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
                 let mut sum = 0.0;
                 for s in scores.iter_mut() {
@@ -169,12 +174,9 @@ pub fn attention(q: &Tensor, k: &Tensor, v: &Tensor, n_heads: usize, causal_offs
                 for s in scores.iter_mut() {
                     *s /= sum;
                 }
-                // weighted sum of values
+                // weighted sum of visible values
                 let orow = &mut ho[i * d..(i + 1) * d];
                 for (j, &w) in scores.iter().enumerate() {
-                    if w == 0.0 {
-                        continue;
-                    }
                     let vj = &v.row(j)[lo..lo + d];
                     for (o, &vv) in orow.iter_mut().zip(vj) {
                         *o += w * vv;
@@ -204,12 +206,13 @@ pub fn embedding(table: &Tensor, ids: &[usize]) -> Tensor {
     out
 }
 
-/// Row-wise argmax (greedy decoding).
+/// Row-wise argmax (greedy decoding), rows in parallel.
 pub fn argmax_rows(x: &Tensor) -> Vec<usize> {
-    (0..x.rows())
-        .map(|r| {
-            x.row(r)
-                .iter()
+    let n = x.cols();
+    x.data()
+        .par_chunks(n)
+        .map(|row| {
+            row.iter()
                 .enumerate()
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                 .map(|(i, _)| i)

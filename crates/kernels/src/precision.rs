@@ -172,13 +172,13 @@ mod tests {
         let x = 1.0 + 2f32.powi(-9);
         assert!((to_bf16(x) - x).abs() > 0.0, "bf16 must drop low mantissa bits");
         // Relative error bound ~2^-8.
-        let v = 3.14159f32;
+        let v = std::f32::consts::PI;
         assert!(((to_bf16(v) - v) / v).abs() <= 1.0 / 256.0);
     }
 
     #[test]
     fn idempotent() {
-        for v in [3.14159f32, -0.007, 123.456] {
+        for v in [std::f32::consts::PI, -0.007, 123.456] {
             let once = to_fp16(v);
             assert_eq!(to_fp16(once), once);
             let once = to_bf16(v);

@@ -147,6 +147,52 @@ impl Tensor {
         self.shape == other.shape && self.max_abs_diff(other) <= tol
     }
 
+    /// Empty `[0, cols]` tensor with backing storage for `rows_cap` rows
+    /// already reserved, so subsequent [`Tensor::push_rows`] calls up to the
+    /// capacity never reallocate. This is the allocation contract behind the
+    /// amortized KV cache: reserve once at session start, append per token.
+    pub fn with_capacity_rows(rows_cap: usize, cols: usize) -> Self {
+        Tensor {
+            shape: vec![0, cols],
+            data: Vec::with_capacity(rows_cap * cols),
+        }
+    }
+
+    /// Reserve storage for `additional` more rows without changing the shape.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional * self.cols());
+    }
+
+    /// Rows that fit in the current backing storage without reallocating.
+    pub fn capacity_rows(&self) -> usize {
+        let c = self.cols();
+        self.data.capacity().checked_div(c).unwrap_or(0)
+    }
+
+    /// Append `src`'s rows in place (2-D view; trailing dims must agree).
+    ///
+    /// Unlike [`Tensor::cat_rows`] — which copies *both* operands into a
+    /// fresh allocation, making a T-step decode loop O(T²) in copied bytes —
+    /// this grows the existing buffer, so appending T single rows costs
+    /// amortized O(T·cols) total (and exactly zero reallocations when
+    /// capacity was reserved up front).
+    pub fn push_rows(&mut self, src: &Tensor) {
+        let c = self.cols();
+        assert_eq!(src.cols(), c, "push_rows: trailing dim mismatch");
+        self.data.extend_from_slice(src.data());
+        let new_rows = self.rows(); // derived from data.len(), already grown
+        self.shape = vec![new_rows, c];
+    }
+
+    /// Append one raw row in place (`row.len()` must equal `cols`).
+    pub fn push_row_slice(&mut self, row: &[f32]) {
+        let c = self.cols();
+        assert_eq!(row.len(), c, "push_row_slice: length mismatch");
+        self.data.extend_from_slice(row);
+        let new_rows = self.rows();
+        self.shape = vec![new_rows, c];
+    }
+
     /// Concatenate along the first axis; trailing dims must agree.
     pub fn cat_rows(parts: &[&Tensor]) -> Tensor {
         assert!(!parts.is_empty());
@@ -253,6 +299,46 @@ mod tests {
     #[should_panic(expected = "shape")]
     fn from_vec_checks_len() {
         Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn push_rows_matches_cat_rows() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[1, 3], vec![7., 8., 9.]);
+        let want = Tensor::cat_rows(&[&a, &b]);
+        let mut got = Tensor::with_capacity_rows(4, 3);
+        got.push_rows(&a);
+        got.push_rows(&b);
+        assert!(got.allclose(&want, 0.0));
+        assert_eq!(got.shape(), &[3, 3]);
+    }
+
+    #[test]
+    fn reserved_capacity_prevents_reallocation() {
+        let mut t = Tensor::with_capacity_rows(8, 4);
+        assert!(t.capacity_rows() >= 8);
+        let ptr = t.data().as_ptr();
+        for i in 0..8 {
+            t.push_row_slice(&[i as f32; 4]);
+        }
+        // All appends fit in the reserved buffer: same backing allocation.
+        assert_eq!(t.data().as_ptr(), ptr);
+        assert_eq!(t.rows(), 8);
+        assert_eq!(t.row(5), &[5.0; 4]);
+    }
+
+    #[test]
+    fn reserve_rows_grows_capacity() {
+        let mut t = Tensor::zeros(&[1, 4]);
+        t.reserve_rows(16);
+        assert!(t.capacity_rows() >= 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing dim")]
+    fn push_rows_checks_cols() {
+        let mut t = Tensor::zeros(&[1, 4]);
+        t.push_rows(&Tensor::zeros(&[1, 3]));
     }
 
     #[test]

@@ -13,10 +13,17 @@
 //!   `dsi-kernels`. It is the ground truth that tensor-parallel sharding,
 //!   MoE routing rewrites, and fused kernels are verified against.
 
+//! * [`fast`] — the executed Deep-Fusion path: the same decoder built from
+//!   packed-weight blocked GEMMs, the four Fig. 1(c) fused region kernels,
+//!   an amortized in-place KV cache, and reusable scratch, so steady-state
+//!   decode allocates nothing per token. Verified token-for-token against
+//!   [`reference`].
+
 pub mod batched;
 pub mod beam;
 pub mod config;
 pub mod encoder;
+pub mod fast;
 pub mod io;
 pub mod quantized;
 pub mod reference;
@@ -27,6 +34,7 @@ pub use batched::BatchSession;
 pub use beam::beam_search;
 pub use encoder::BertModel;
 pub use config::{BertConfig, GptConfig, MoeConfig};
+pub use fast::{FastSession, PackedLayer, PackedModel};
 pub use quantized::QuantizedGptModel;
 pub use reference::{GptModel, KvCache, LayerKv, LayerWeights};
 pub use sampling::{Sampler, SamplerConfig};

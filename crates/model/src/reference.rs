@@ -72,6 +72,16 @@ impl LayerKv {
         }
     }
 
+    /// Empty cache with storage for `capacity` context rows reserved, so
+    /// appends up to the capacity never reallocate (decode reserves the full
+    /// prompt+generation budget once, then appends in place per token).
+    pub fn with_capacity(hidden: usize, capacity: usize) -> Self {
+        LayerKv {
+            k: Tensor::with_capacity_rows(capacity, hidden),
+            v: Tensor::with_capacity_rows(capacity, hidden),
+        }
+    }
+
     /// Context length cached so far.
     pub fn len(&self) -> usize {
         self.k.rows()
@@ -81,10 +91,22 @@ impl LayerKv {
         self.len() == 0
     }
 
-    /// Append this step's keys/values.
+    /// Append this step's keys/values, in place.
+    ///
+    /// Amortized O(rows added): grows the existing buffers (doubling, or
+    /// zero reallocation when capacity was reserved). The seed implementation
+    /// rebuilt both tensors with `cat_rows`, copying the entire context every
+    /// token — O(T²) bytes over a T-token decode.
     pub fn append(&mut self, k: &Tensor, v: &Tensor) {
-        self.k = Tensor::cat_rows(&[&self.k, k]);
-        self.v = Tensor::cat_rows(&[&self.v, v]);
+        self.k.push_rows(k);
+        self.v.push_rows(v);
+    }
+
+    /// Append one step's key/value rows given as raw slices (the fast
+    /// path's zero-allocation variant).
+    pub fn append_row_slices(&mut self, k: &[f32], v: &[f32]) {
+        self.k.push_row_slice(k);
+        self.v.push_row_slice(v);
     }
 
     /// Bytes held (f32 storage; the capacity pressure of Sec. IV-B3).
@@ -103,6 +125,16 @@ impl KvCache {
     pub fn new(layers: usize, hidden: usize) -> Self {
         KvCache {
             layers: (0..layers).map(|_| LayerKv::empty(hidden)).collect(),
+        }
+    }
+
+    /// Cache with `capacity` context rows reserved per layer (see
+    /// [`LayerKv::with_capacity`]).
+    pub fn with_capacity(layers: usize, hidden: usize, capacity: usize) -> Self {
+        KvCache {
+            layers: (0..layers)
+                .map(|_| LayerKv::with_capacity(hidden, capacity))
+                .collect(),
         }
     }
 
@@ -207,10 +239,11 @@ impl GptModel {
             "sequence exceeds max_seq"
         );
         let mut x = ops::embedding(&self.wte, ids);
-        // Position embedding for the absolute positions of these tokens.
+        // Position embedding for the absolute positions of these tokens
+        // (added straight from the table row; no temporary copy).
         for (i, row) in (offset..offset + ids.len()).enumerate() {
-            let pos = self.wpe.row(row).to_vec();
-            for (a, b) in x.row_mut(i).iter_mut().zip(pos) {
+            let pos = self.wpe.row(row);
+            for (a, &b) in x.row_mut(i).iter_mut().zip(pos) {
                 *a += b;
             }
         }

@@ -163,7 +163,7 @@ mod tests {
     fn dropped_tokens_get_zero_output() {
         // Tiny capacity forces drops; dropped tokens combine nothing.
         let tokens = Tensor::randn(&[16, 8], 1.0, 80);
-        let logits = Tensor::from_vec(&[16, 2], vec![1.0, 0.0].repeat(16));
+        let logits = Tensor::from_vec(&[16, 2], [1.0, 0.0].repeat(16));
         let gate = top_k_gating(&logits, 1, 2);
         assert!(!gate.dropped.is_empty());
         let d = dispatch_dense(&tokens, &gate);

@@ -42,7 +42,7 @@ fn schedules_export_valid_traces() {
         }
         // The Gantt chart covers all compute lanes.
         let chart = gantt(&graph, &s, 60);
-        assert!(chart.lines().count() >= 4 + 1);
+        assert!(chart.lines().count() > 4);
     }
 }
 

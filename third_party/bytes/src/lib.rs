@@ -1,0 +1,141 @@
+//! Offline, API-compatible subset of the `bytes` crate.
+//!
+//! The workspace only reads from `&[u8]` cursors and writes into `Vec<u8>`,
+//! so this stand-in provides exactly the [`Buf`] / [`BufMut`] surface the
+//! checkpoint codec uses, little-endian accessors included.
+
+/// Read-side cursor over a byte source.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    /// The readable contiguous byte run at the cursor.
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write-side sink for bytes.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_u16_le(300);
+        out.put_u32_le(70_000);
+        out.put_u64_le(1 << 40);
+        out.put_f32_le(1.5);
+        out.put_slice(b"abc");
+
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u16_le(), 300);
+        assert_eq!(buf.get_u32_le(), 70_000);
+        assert_eq!(buf.get_u64_le(), 1 << 40);
+        assert_eq!(buf.get_f32_le(), 1.5);
+        let mut tail = [0u8; 3];
+        buf.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"abc");
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    fn advance_and_chunk() {
+        let data = [1u8, 2, 3, 4];
+        let mut buf: &[u8] = &data;
+        buf.advance(2);
+        assert_eq!(buf.chunk(), &[3, 4]);
+        assert_eq!(buf.remaining(), 2);
+    }
+}

@@ -1,0 +1,340 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Supports the shape this workspace uses: the `proptest!` block macro with
+//! an optional `#![proptest_config(...)]` header, range strategies over the
+//! numeric primitives, `prop::collection::vec`, `Just`, and the
+//! `prop_assert!` / `prop_assert_eq!` family. Case generation is a
+//! deterministic SplitMix64 stream seeded from the test name, so failures
+//! reproduce across runs. Shrinking is not implemented: a failing case
+//! reports its inputs via the assertion message instead.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Per-test configuration. Only `cases` is consulted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case (what `prop_assert!` returns early with).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Deterministic generator behind case synthesis (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift; bias is negligible for test-case generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Seed a [`TestRng`] from a test name (FNV-1a), so each property gets a
+/// stable, independent stream.
+pub fn test_rng(name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    TestRng::new(h)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128).max(1) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u64, u32, u16, u8, i64, i32, isize);
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`prop::collection::vec`].
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.len.generate(rng);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use super::super::{Range, VecStrategy};
+
+        /// `prop::collection::vec(element_strategy, size_range)`.
+        pub fn vec<S>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, len }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)*)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` ({:?} vs {:?})",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` ({:?} vs {:?}): {}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}` (both {:?})",
+                stringify!($a),
+                stringify!($b),
+                __a
+            )));
+        }
+    }};
+}
+
+/// The `proptest!` block macro: wraps each `fn name(arg in strategy, ..)`
+/// into a `#[test]`-compatible zero-arg fn that runs `cases` synthesized
+/// inputs through the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)*
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)* ""),
+                        $(&$arg),*
+                    );
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(__e) = __result {
+                        panic!(
+                            "proptest {} failed at case {}/{} [{}]: {}",
+                            stringify!($name), __case + 1, __cfg.cases, __inputs, __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        let mut c = crate::test_rng("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_rng("bounds");
+        for _ in 0..1000 {
+            let f = Strategy::generate(&(1.5f64..2.5), &mut rng);
+            assert!((1.5..2.5).contains(&f));
+            let u = Strategy::generate(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&u));
+            let i = Strategy::generate(&(-5i64..5), &mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = crate::test_rng("vecs");
+        let s = prop::collection::vec(0.0f64..1.0, 2..7);
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: generated args obey strategies, asserts pass.
+        #[test]
+        fn macro_smoke(
+            n in 1usize..10,
+            x in -1.0f32..1.0,
+            xs in prop::collection::vec(0u64..100, 1..5),
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&x), "x = {x}");
+            prop_assert!(xs.iter().all(|&v| v < 100));
+            prop_assert_ne!(xs.len(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(n in 0usize..3) {
+                prop_assert!(n > 100, "n was {n}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,161 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no network and no registry cache, so the real
+//! `rand` cannot be fetched. This vendored stand-in implements exactly the
+//! surface this workspace uses — [`RngCore`], [`SeedableRng`], and
+//! `distributions::{Distribution, Uniform}` — with the same call signatures.
+//! Streams are deterministic per seed but are **not** bit-identical to the
+//! upstream crate; nothing in the workspace depends on upstream streams.
+
+/// Core random-number source: a stream of `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn unit_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: a small, fast, statistically solid 64-bit generator
+    /// (Steele et al., "Fast splittable pseudorandom number generators").
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SplitMix64 {
+        state: u64,
+    }
+
+    impl SeedableRng for SplitMix64 {
+        fn seed_from_u64(state: u64) -> Self {
+            SplitMix64 { state }
+        }
+    }
+
+    impl RngCore for SplitMix64 {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution that can be sampled with any generator.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<X> {
+        low: X,
+        high: X,
+    }
+
+    impl<X: Copy + PartialOrd> Uniform<X> {
+        pub fn new(low: X, high: X) -> Self {
+            assert!(low < high, "Uniform::new requires low < high");
+            Uniform { low, high }
+        }
+    }
+
+    impl Distribution<f32> for Uniform<f32> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            self.low + (self.high - self.low) * rng.unit_f32()
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            self.low + (self.high - self.low) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Uniform<$t> {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    let span = (self.high - self.low) as u64;
+                    // Multiply-shift bounded sampling (Lemire); bias is
+                    // negligible for the span sizes used here.
+                    let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    self.low + v as $t
+                }
+            }
+        )*};
+    }
+    uniform_int!(usize, u64, u32, i64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::SplitMix64;
+    use super::{RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::seed_from_u64(1);
+        let mut b = SplitMix64::seed_from_u64(1);
+        let mut c = SplitMix64::seed_from_u64(2);
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn uniform_f32_in_range() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        let d = Uniform::new(-1.0f32, 1.0);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_f64_covers_mass() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        let d = Uniform::new(0.0f64, 1.0);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_usize_in_range() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let d = Uniform::new(5usize, 10);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((5..10).contains(&v));
+        }
+    }
+}

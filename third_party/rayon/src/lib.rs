@@ -1,0 +1,167 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! The build environment has no network access, so the real `rayon` cannot
+//! be fetched. This stand-in keeps the *parallel-iterator API shape* used by
+//! the workspace (`par_iter`, `par_iter_mut`, `par_chunks`, `par_chunks_mut`,
+//! `into_par_iter`, plus the `map`/`zip`/`enumerate`/`for_each`/`sum`/
+//! `collect` combinators) but executes sequentially. The deployment target
+//! of this reproduction is a single-core container, where a work-stealing
+//! pool only adds overhead; on a multi-core host, swapping this crate back
+//! to upstream rayon re-enables real data parallelism with no source
+//! changes in the workspace.
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator that
+/// mirrors rayon's combinator surface.
+pub struct ParIter<I>(pub(crate) I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        compare: F,
+    ) -> Option<I::Item> {
+        self.0.max_by(compare)
+    }
+}
+
+/// Conversion into a parallel iterator (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    type Item;
+    type SeqIter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type SeqIter = T::IntoIter;
+    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Shared-slice views (rayon's `ParallelSlice` + `IntoParallelRefIterator`).
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParIter(self.chunks(size))
+    }
+
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+}
+
+/// Mutable-slice views (rayon's `ParallelSliceMut` + `IntoParallelRefMutIterator`).
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParIter(self.chunks_mut(size))
+    }
+
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+}
+
+/// Run two closures "in parallel" (sequentially here), returning both
+/// results — rayon's `join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_zip_for_each() {
+        let mut out = vec![0i32; 6];
+        let src = [1i32, 2, 3, 4, 5, 6];
+        out.par_chunks_mut(2)
+            .zip(src.par_chunks(2))
+            .for_each(|(o, s)| {
+                for (a, b) in o.iter_mut().zip(s) {
+                    *a = b * 10;
+                }
+            });
+        assert_eq!(out, vec![10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn into_par_iter_map_collect() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn par_iter_mut_and_sum() {
+        let mut v = [1.0f32, 2.0, 3.0];
+        v.par_iter_mut().for_each(|x| *x *= 2.0);
+        let s: f32 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 12.0);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x");
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+}

@@ -1,0 +1,373 @@
+//! Derive macros for the vendored offline `serde` subset.
+//!
+//! `syn`/`quote` are unavailable offline, so the item is parsed directly
+//! from the `proc_macro::TokenStream` and the impl is emitted as a source
+//! string. Supports the shapes this workspace uses: structs with named
+//! fields, tuple structs, and enums with unit / tuple / struct variants
+//! (externally tagged, matching serde's default representation). Generic
+//! types and `#[serde(...)]` attributes are intentionally unsupported and
+//! panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Number of positional fields.
+    TupleStruct(usize),
+    Enum(Vec<(String, VariantShape)>),
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Skip a leading `#[...]` attribute if present; returns whether one was
+/// consumed.
+fn skip_attr(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    if let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() == '#' {
+            *pos += 1;
+            // Optional `!` for inner attributes (not expected, but harmless).
+            if let Some(TokenTree::Punct(p2)) = tokens.get(*pos) {
+                if p2.as_char() == '!' {
+                    *pos += 1;
+                }
+            }
+            if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                *pos += 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in …)`.
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(tt) if is_ident(tt, "pub")) {
+        *pos += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *pos += 1;
+            }
+        }
+    }
+}
+
+/// Parse named fields inside a brace group: `vis name: Type, ...`.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        while skip_attr(&tokens, &mut pos) {}
+        skip_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected ':' after field `{name}`, found {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.get(pos) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count positional fields in a paren group (top-level commas + 1,
+/// ignoring a trailing comma).
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    for (i, tt) in tokens.iter().enumerate() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 && i + 1 < tokens.len() => {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_enum_variants(group: &proc_macro::Group) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        while skip_attr(&tokens, &mut pos) {}
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g);
+                pos += 1;
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g);
+                pos += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip to the comma separating variants (covers `= discriminant`).
+        while let Some(tt) = tokens.get(pos) {
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    while skip_attr(&tokens, &mut pos) {}
+    skip_vis(&tokens, &mut pos);
+    let is_enum = match tokens.get(pos) {
+        Some(tt) if is_ident(tt, "struct") => false,
+        Some(tt) if is_ident(tt, "enum") => true,
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+    let shape = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Shape::Enum(parse_enum_variants(g))
+            } else {
+                Shape::Struct(parse_named_fields(g))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            Shape::TupleStruct(count_tuple_fields(g))
+        }
+        other => panic!("serde_derive: unsupported item body for `{name}`: {other:?}"),
+    };
+    (name, shape)
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\
+                 {pushes} ::serde::Value::Object(__fields)"
+            )
+        }
+        Shape::TupleStruct(n) => {
+            if *n == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, vs)| match vs {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"
+                    ),
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),",
+                            binders.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders = fields.join(", ");
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binders} }} => ::serde::Value::Object(vec![\
+                             (\"{v}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                            pushes.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         __v.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected array for {name}\"))?;\
+                 if __a.len() != {n} {{ return Err(::serde::DeError::new(\
+                 \"wrong tuple arity for {name}\")); }}\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, vs)| matches!(vs, VariantShape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => return Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|(v, vs)| match vs {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(1) => Some(format!(
+                        "if let Some(__inner) = __v.get(\"{v}\") {{ \
+                         return Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)); }}"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "if let Some(__inner) = __v.get(\"{v}\") {{ \
+                             let __a = __inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected array for {name}::{v}\"))?;\
+                             if __a.len() != {n} {{ return Err(::serde::DeError::new(\
+                             \"wrong arity for {name}::{v}\")); }}\
+                             return Ok({name}::{v}({})); }}",
+                            inits.join(", ")
+                        ))
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     __inner.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "if let Some(__inner) = __v.get(\"{v}\") {{ \
+                             return Ok({name}::{v} {{ {} }}); }}",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(__s) = __v.as_str() {{ \
+                 match __s {{ {unit_arms} _ => {{}} }} }}\
+                 {tagged_arms}\
+                 Err(::serde::DeError::new(format!(\
+                 \"no variant of {name} matches {{__v:?}}\")))"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("serde_derive: generated Deserialize impl must parse")
+}
