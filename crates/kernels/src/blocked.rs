@@ -67,10 +67,15 @@ mod avx {
     pub unsafe fn gemv(a: &[f32], k: usize, panels: &[f32], out: &mut [f32]) {
         let n = out.len();
         let n_panels = n.div_ceil(PANEL);
+        // Contract checks: the SAFETY arguments below all reduce to these
+        // two equalities (the `PackedB` layout invariant).
         debug_assert_eq!(a.len(), k);
         debug_assert_eq!(panels.len(), n_panels * k * PANEL);
         for jp in 0..n_panels {
-            let p = panels.as_ptr().add(jp * k * PANEL);
+            // SAFETY: `jp < n_panels` and `panels.len() == n_panels * k *
+            // PANEL`, so the panel base stays in bounds (`add` lands at most
+            // one-past-the-end when `k == 0`).
+            let p = unsafe { panels.as_ptr().add(jp * k * PANEL) };
             // Four independent FMA chains: one register per 8 output
             // columns, alive across the whole k loop.
             let mut acc0 = _mm256_setzero_ps();
@@ -78,28 +83,41 @@ mod avx {
             let mut acc2 = _mm256_setzero_ps();
             let mut acc3 = _mm256_setzero_ps();
             for i in 0..k {
-                let av = _mm256_set1_ps(*a.get_unchecked(i));
-                let row = p.add(i * PANEL);
-                acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(row), acc0);
-                acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(row.add(8)), acc1);
-                acc2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(row.add(16)), acc2);
-                acc3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(row.add(24)), acc3);
+                // SAFETY: `i < k == a.len()` bounds the `get_unchecked`;
+                // `i * PANEL + 24 + 8 <= k * PANEL` keeps all four 8-wide
+                // loads inside panel `jp` of `panels`.
+                unsafe {
+                    let av = _mm256_set1_ps(*a.get_unchecked(i));
+                    let row = p.add(i * PANEL);
+                    acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(row), acc0);
+                    acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(row.add(8)), acc1);
+                    acc2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(row.add(16)), acc2);
+                    acc3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(row.add(24)), acc3);
+                }
             }
             let j0 = jp * PANEL;
             if j0 + PANEL <= n {
-                let o = out.as_mut_ptr().add(j0);
-                _mm256_storeu_ps(o, acc0);
-                _mm256_storeu_ps(o.add(8), acc1);
-                _mm256_storeu_ps(o.add(16), acc2);
-                _mm256_storeu_ps(o.add(24), acc3);
+                // SAFETY: `j0 + PANEL <= n == out.len()`, so the four
+                // stores cover exactly `out[j0..j0 + 32]`.
+                unsafe {
+                    let o = out.as_mut_ptr().add(j0);
+                    _mm256_storeu_ps(o, acc0);
+                    _mm256_storeu_ps(o.add(8), acc1);
+                    _mm256_storeu_ps(o.add(16), acc2);
+                    _mm256_storeu_ps(o.add(24), acc3);
+                }
             } else {
                 // Tail panel: spill the padded lanes, store only the real
                 // columns.
                 let mut tmp = [0.0f32; PANEL];
-                _mm256_storeu_ps(tmp.as_mut_ptr(), acc0);
-                _mm256_storeu_ps(tmp.as_mut_ptr().add(8), acc1);
-                _mm256_storeu_ps(tmp.as_mut_ptr().add(16), acc2);
-                _mm256_storeu_ps(tmp.as_mut_ptr().add(24), acc3);
+                // SAFETY: `tmp` is exactly `PANEL == 32` floats, matching
+                // the four 8-wide stores at offsets 0/8/16/24.
+                unsafe {
+                    _mm256_storeu_ps(tmp.as_mut_ptr(), acc0);
+                    _mm256_storeu_ps(tmp.as_mut_ptr().add(8), acc1);
+                    _mm256_storeu_ps(tmp.as_mut_ptr().add(16), acc2);
+                    _mm256_storeu_ps(tmp.as_mut_ptr().add(24), acc3);
+                }
                 out[j0..n].copy_from_slice(&tmp[..n - j0]);
             }
         }

@@ -202,6 +202,9 @@ mod attn_avx {
     use std::arch::x86_64::*;
 
     /// Horizontal sum of one YMM register.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA.
     #[inline]
     #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn hsum(v: __m256) -> f32 {
@@ -233,6 +236,12 @@ mod attn_avx {
         acc: &mut [f32],
     ) {
         let d = qi.len();
+        // Contract checks: every SAFETY argument below reduces to these.
+        debug_assert!(d.is_multiple_of(8), "head_dim must be a multiple of 8");
+        debug_assert_eq!(acc.len(), d);
+        debug_assert!(lo + d <= h, "head slice must fit inside the hidden dim");
+        debug_assert!(visible * h <= kd.len(), "visible rows exceed K data");
+        debug_assert!(visible * h <= vd.len(), "visible rows exceed V data");
         acc.fill(0.0);
         let mut m_run = f32::NEG_INFINITY;
         let mut sum = 0.0f32;
@@ -241,18 +250,24 @@ mod attn_avx {
         let mut j = 0;
         while j + 8 <= visible {
             for (jr, sb) in sbuf.iter_mut().enumerate() {
-                let kj = kd.as_ptr().add((j + jr) * h + lo);
-                let mut dv = _mm256_setzero_ps();
-                let mut t = 0;
-                while t < d {
-                    dv = _mm256_fmadd_ps(
-                        _mm256_loadu_ps(qi.as_ptr().add(t)),
-                        _mm256_loadu_ps(kj.add(t)),
-                        dv,
-                    );
-                    t += 8;
+                // SAFETY: `j + jr < visible`, `visible * h <= kd.len()` and
+                // `lo + d <= h` keep `kj.add(t)` (t < d, 8-aligned strides)
+                // inside `kd`; `t + 8 <= d == qi.len()` bounds the q loads;
+                // `hsum` requires AVX2+FMA, guaranteed by this fn.
+                unsafe {
+                    let kj = kd.as_ptr().add((j + jr) * h + lo);
+                    let mut dv = _mm256_setzero_ps();
+                    let mut t = 0;
+                    while t < d {
+                        dv = _mm256_fmadd_ps(
+                            _mm256_loadu_ps(qi.as_ptr().add(t)),
+                            _mm256_loadu_ps(kj.add(t)),
+                            dv,
+                        );
+                        t += 8;
+                    }
+                    *sb = hsum(dv) * scale;
                 }
-                *sb = hsum(dv) * scale;
             }
             // Block max via `>` so a NaN score leaves `m_run` alone and
             // poisons the weights (and thus `sum`) instead — identical to
@@ -269,29 +284,44 @@ mod attn_avx {
                 let cv = _mm256_set1_ps(corr);
                 let mut t = 0;
                 while t < d {
-                    let p = acc.as_mut_ptr().add(t);
-                    _mm256_storeu_ps(p, _mm256_mul_ps(cv, _mm256_loadu_ps(p)));
+                    // SAFETY: `t + 8 <= d == acc.len()` bounds the
+                    // read-modify-write of `acc[t..t + 8]`.
+                    unsafe {
+                        let p = acc.as_mut_ptr().add(t);
+                        _mm256_storeu_ps(p, _mm256_mul_ps(cv, _mm256_loadu_ps(p)));
+                    }
                     t += 8;
                 }
                 m_run = bm;
             }
-            let w = exp_ps(_mm256_sub_ps(
-                _mm256_loadu_ps(sbuf.as_ptr()),
-                _mm256_set1_ps(m_run),
-            ));
-            _mm256_storeu_ps(wbuf.as_mut_ptr(), w);
-            sum += hsum(w);
+            // SAFETY: `sbuf`/`wbuf` are exactly 8 floats; `exp_ps` and
+            // `hsum` require AVX2+FMA, guaranteed by this fn's contract.
+            let w_sum = unsafe {
+                let w = exp_ps(_mm256_sub_ps(
+                    _mm256_loadu_ps(sbuf.as_ptr()),
+                    _mm256_set1_ps(m_run),
+                ));
+                _mm256_storeu_ps(wbuf.as_mut_ptr(), w);
+                hsum(w)
+            };
+            sum += w_sum;
             for (jr, &wv) in wbuf.iter().enumerate() {
                 let wv = _mm256_set1_ps(wv);
-                let vj = vd.as_ptr().add((j + jr) * h + lo);
-                let mut t = 0;
-                while t < d {
-                    let p = acc.as_mut_ptr().add(t);
-                    _mm256_storeu_ps(
-                        p,
-                        _mm256_fmadd_ps(wv, _mm256_loadu_ps(vj.add(t)), _mm256_loadu_ps(p)),
-                    );
-                    t += 8;
+                // SAFETY: same bounds as the K pass — `j + jr < visible`,
+                // `visible * h <= vd.len()`, `lo + d <= h` keep the V loads
+                // in bounds; `t + 8 <= d == acc.len()` bounds the
+                // accumulator update.
+                unsafe {
+                    let vj = vd.as_ptr().add((j + jr) * h + lo);
+                    let mut t = 0;
+                    while t < d {
+                        let p = acc.as_mut_ptr().add(t);
+                        _mm256_storeu_ps(
+                            p,
+                            _mm256_fmadd_ps(wv, _mm256_loadu_ps(vj.add(t)), _mm256_loadu_ps(p)),
+                        );
+                        t += 8;
+                    }
                 }
             }
             j += 8;

@@ -32,16 +32,31 @@ pub struct FusionPlan {
 pub enum FusionError {
     /// Regions don't tile `0..n` contiguously.
     BadPartition,
-    /// Ops at these adjacent indices share no tileable axis.
-    NoSharedAxis(usize, usize),
+    /// Adjacent ops in a region share no tileable axis. Carries both the op
+    /// indices and their names, so the error is actionable without the op
+    /// list at hand.
+    NoSharedAxis {
+        left: usize,
+        right: usize,
+        left_name: &'static str,
+        right_name: &'static str,
+    },
 }
 
 impl std::fmt::Display for FusionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FusionError::BadPartition => write!(f, "regions do not partition the op list"),
-            FusionError::NoSharedAxis(a, b) => {
-                write!(f, "ops {a} and {b} share no tileable axis; cannot fuse")
+            FusionError::NoSharedAxis {
+                left,
+                right,
+                left_name,
+                right_name,
+            } => {
+                write!(
+                    f,
+                    "ops {left} (`{left_name}`) and {right} (`{right_name}`) share no tileable axis; cannot fuse"
+                )
             }
         }
     }
@@ -130,26 +145,28 @@ fn shares_axis(a: &OpDesc, b: &OpDesc) -> bool {
     a.tile_axes.iter().any(|ax| b.tile_axes.contains(ax))
 }
 
-/// Apply a fusion plan to an op list, checking legality and producing fused
-/// kernels with boundary-only activation traffic.
-pub fn fuse(
-    ops: &[OpDesc],
-    plan: &FusionPlan,
-    act_dtype: DType,
-) -> Result<Vec<FusedKernel>, FusionError> {
-    // Partition check.
+/// Check a plan against an op list and return **all** legality violations
+/// (an empty vector means the plan is legal). `fuse` keeps its fail-fast
+/// `Result` API on top of this; static tooling (`dsi-verify`) wants the
+/// complete list.
+pub fn validate(ops: &[OpDesc], plan: &FusionPlan) -> Vec<FusionError> {
+    let mut errs = Vec::new();
+    // Partition check: regions must tile `0..ops.len()` contiguously. A
+    // broken partition makes per-region axis checks meaningless, so report
+    // it alone.
     let mut expect = 0usize;
+    let mut partition_ok = true;
     for &(lo, hi) in &plan.regions {
         if lo != expect || hi <= lo || hi > ops.len() {
-            return Err(FusionError::BadPartition);
+            partition_ok = false;
+            break;
         }
         expect = hi;
     }
-    if expect != ops.len() {
-        return Err(FusionError::BadPartition);
+    if !partition_ok || expect != ops.len() {
+        errs.push(FusionError::BadPartition);
+        return errs;
     }
-
-    let mut out = Vec::with_capacity(plan.regions.len());
     for &(lo, hi) in &plan.regions {
         let region = &ops[lo..hi];
         // Legality: each adjacent producer→consumer pair must share a tile
@@ -159,10 +176,32 @@ pub fn fuse(
         // as the paper's transposition+attention region does.
         for i in 0..region.len() - 1 {
             if !shares_axis(&region[i], &region[i + 1]) {
-                return Err(FusionError::NoSharedAxis(lo + i, lo + i + 1));
+                errs.push(FusionError::NoSharedAxis {
+                    left: lo + i,
+                    right: lo + i + 1,
+                    left_name: region[i].name,
+                    right_name: region[i + 1].name,
+                });
             }
         }
+    }
+    errs
+}
 
+/// Apply a fusion plan to an op list, checking legality and producing fused
+/// kernels with boundary-only activation traffic.
+pub fn fuse(
+    ops: &[OpDesc],
+    plan: &FusionPlan,
+    act_dtype: DType,
+) -> Result<Vec<FusedKernel>, FusionError> {
+    if let Some(err) = validate(ops, plan).into_iter().next() {
+        return Err(err);
+    }
+
+    let mut out = Vec::with_capacity(plan.regions.len());
+    for &(lo, hi) in &plan.regions {
+        let region = &ops[lo..hi];
         let mut cost = KernelCost::default();
         let mut eager = 0usize;
         let mut gemm_rows = None;
@@ -305,7 +344,40 @@ mod tests {
             regions: vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 6), (6, 12)],
         };
         let err = fuse(&ops, &bad, DType::Fp16).unwrap_err();
-        assert!(matches!(err, FusionError::NoSharedAxis(4, 5)));
+        assert!(matches!(
+            err,
+            FusionError::NoSharedAxis {
+                left: 4,
+                right: 5,
+                left_name: "attention",
+                right_name: "attn_out_gemm",
+            }
+        ));
+        assert!(err.to_string().contains("attention"), "{err}");
+    }
+
+    #[test]
+    fn validate_returns_all_violations() {
+        use crate::graph::Axis;
+        let op = |name: &'static str, axes: &'static [Axis]| OpDesc {
+            name,
+            kind: OpKind::Elementwise { elems: 8, extra_input: false },
+            tile_axes: axes,
+            micro_launches: 1,
+        };
+        // Token|Head|Token fused into one region: both adjacencies break.
+        let chain = [
+            op("a", &[Axis::Token]),
+            op("b", &[Axis::Head]),
+            op("c", &[Axis::Token]),
+        ];
+        let errs = validate(&chain, &FusionPlan { regions: vec![(0, 3)] });
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(matches!(errs[0], FusionError::NoSharedAxis { left: 0, right: 1, .. }));
+        assert!(matches!(errs[1], FusionError::NoSharedAxis { left: 1, right: 2, .. }));
+        // A partition defect is reported alone.
+        let gap = FusionPlan { regions: vec![(0, 5), (6, 12)] };
+        assert_eq!(validate(&ops(), &gap), vec![FusionError::BadPartition]);
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //! write into caller-provided scratch so steady-state decode allocates
 //! nothing per token.
 
+// Unsafe hygiene contract (enforced by `cargo xtask unsafe-audit` on the
+// comment side): every unsafe *operation* must sit in an explicit `unsafe`
+// block with a `// SAFETY:` justification, even inside `unsafe fn`.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod blocked;
 pub mod simd;
 pub mod cost;

@@ -70,7 +70,9 @@ pub(crate) mod avx {
     /// Requires AVX2+FMA.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn tanh_ps(x: __m256) -> __m256 {
-        let e2x = exp_ps(_mm256_add_ps(x, x));
+        // SAFETY: `exp_ps` requires AVX2+FMA, which this fn's own contract
+        // already guarantees.
+        let e2x = unsafe { exp_ps(_mm256_add_ps(x, x)) };
         let one = _mm256_set1_ps(1.0);
         _mm256_sub_ps(
             one,
@@ -88,7 +90,9 @@ pub(crate) mod avx {
         let c = _mm256_set1_ps(0.797_884_6); // sqrt(2/pi)
         let u3 = _mm256_mul_ps(_mm256_mul_ps(u, u), u);
         let inner = _mm256_mul_ps(c, _mm256_fmadd_ps(_mm256_set1_ps(0.044715), u3, u));
-        let t = tanh_ps(inner);
+        // SAFETY: `tanh_ps` requires AVX2+FMA, guaranteed by this fn's own
+        // contract.
+        let t = unsafe { tanh_ps(inner) };
         _mm256_mul_ps(
             _mm256_mul_ps(_mm256_set1_ps(0.5), u),
             _mm256_add_ps(_mm256_set1_ps(1.0), t),
@@ -103,13 +107,19 @@ pub(crate) mod avx {
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn bias_gelu_row(row: &mut [f32], bias: &[f32]) {
         let n = row.len();
+        debug_assert_eq!(bias.len(), n, "bias/row length mismatch");
         let mut j = 0;
         while j + 8 <= n {
-            let v = _mm256_add_ps(
-                _mm256_loadu_ps(row.as_ptr().add(j)),
-                _mm256_loadu_ps(bias.as_ptr().add(j)),
-            );
-            _mm256_storeu_ps(row.as_mut_ptr().add(j), gelu_ps(v));
+            // SAFETY: `j + 8 <= n == row.len() == bias.len()` bounds both
+            // loads and the store; `gelu_ps` requires AVX2+FMA, guaranteed
+            // by this fn's own contract.
+            unsafe {
+                let v = _mm256_add_ps(
+                    _mm256_loadu_ps(row.as_ptr().add(j)),
+                    _mm256_loadu_ps(bias.as_ptr().add(j)),
+                );
+                _mm256_storeu_ps(row.as_mut_ptr().add(j), gelu_ps(v));
+            }
             j += 8;
         }
         for jj in j..n {

@@ -130,18 +130,28 @@ pub struct Scratch {
     logits: Vec<f32>,
 }
 
+/// The scratch arena's layout: `(buffer name, capacity in floats)` for `m`
+/// concurrent rows, in declaration order. [`Scratch::new`] allocates from
+/// this table and the static verifier (`dsi-verify::scratch`) analyses
+/// aliasing/lifetimes against it, so the two cannot drift apart.
+pub fn scratch_layout(c: &GptConfig, m: usize) -> [(&'static str, usize); 7] {
+    let h = c.hidden;
+    [
+        ("normed", h),
+        ("x", m * h),
+        ("qkv", m * 3 * h),
+        ("attn", m * h),
+        ("y", m * h),
+        ("ff", m * 4 * h),
+        ("logits", m * c.vocab),
+    ]
+}
+
 impl Scratch {
     fn new(c: &GptConfig, m: usize) -> Self {
-        let h = c.hidden;
-        Scratch {
-            normed: vec![0.0; h],
-            x: vec![0.0; m * h],
-            qkv: vec![0.0; m * 3 * h],
-            attn: vec![0.0; m * h],
-            y: vec![0.0; m * h],
-            ff: vec![0.0; m * 4 * h],
-            logits: vec![0.0; m * c.vocab],
-        }
+        let [normed, x, qkv, attn, y, ff, logits] =
+            scratch_layout(c, m).map(|(_, len)| vec![0.0; len]);
+        Scratch { normed, x, qkv, attn, y, ff, logits }
     }
 
     /// Grow (never shrink) to fit `m` rows.

@@ -1,0 +1,330 @@
+//! Pass 1 — IR verifier: static shape/dtype inference over op lists.
+//!
+//! [`dsi_kernels::graph::OpDesc`] op lists carry enough shape information to
+//! run full inference without executing anything: a GEMM declares `[m, k] ×
+//! [k, n]`, a reduction `[rows, cols]`, an attention op its
+//! `(batch, heads, t_new, t_ctx, head_dim)` geometry. Walking the list and
+//! chaining each op's output shape into the next op's expected input shape
+//! statically rejects exactly the plans whose dynamic execution would trip a
+//! size assert — but for *every* configuration, not the one a test runs.
+//!
+//! Three defect classes:
+//! * `inner-dim-mismatch` / `shape-mismatch` / `elem-count-mismatch` — the
+//!   dataflow chain is inconsistent (e.g. a GEMM whose `k` does not match
+//!   the incoming activation width);
+//! * `dtype-mix` — a fused region mixes weight precisions: one fused launch
+//!   has one weight-streaming pipeline, so INT8 and FP16 GEMMs cannot share
+//!   a region (they may neighbour across a region boundary);
+//! * fusion legality re-checked through [`dsi_kernels::fusion::validate`]
+//!   (`bad-partition` / `no-shared-axis`), so one verifier call subsumes the
+//!   `FusionPlan` rules and the shape rules.
+
+use crate::{Diagnostic, Pass};
+use dsi_kernels::fusion::{validate as validate_fusion, FusionError, FusionPlan};
+use dsi_kernels::graph::{OpDesc, OpKind};
+use dsi_sim::hw::DType;
+use serde::Serialize;
+
+/// The activation tensor flowing between ops, as a logical 2-D shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Shape {
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl Shape {
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Shape { rows, cols }
+    }
+
+    pub fn elems(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// What an op requires of its incoming activation.
+enum Expect {
+    /// Exact 2-D shape (GEMM lhs, reduction input).
+    Exact(Shape),
+    /// Element count only (element-wise, layout transforms, attention QKV).
+    Elems(usize),
+}
+
+/// Expected input and produced output of one op. Layout transforms and
+/// element-wise ops preserve the incoming shape.
+fn op_io(op: &OpDesc, incoming: Shape) -> (Expect, Shape) {
+    match op.kind {
+        OpKind::Gemm { m, k, n, .. } => (Expect::Exact(Shape::new(m, k)), Shape::new(m, n)),
+        OpKind::Elementwise { elems, .. } => (Expect::Elems(elems), incoming),
+        OpKind::Reduction { rows, cols } => {
+            (Expect::Exact(Shape::new(rows, cols)), Shape::new(rows, cols))
+        }
+        OpKind::DataLayout { elems } => (Expect::Elems(elems), incoming),
+        OpKind::Attention {
+            batch,
+            heads,
+            t_new,
+            t_ctx: _,
+            head_dim,
+        } => (
+            // Input is the transposed QKV block: 3 tensors of
+            // [batch*t_new, heads*head_dim].
+            Expect::Elems(batch * t_new * 3 * heads * head_dim),
+            Shape::new(batch * t_new, heads * head_dim),
+        ),
+    }
+}
+
+/// Derive the layer-input shape the first op expects (used when the caller
+/// does not pin one).
+pub fn infer_input_shape(ops: &[OpDesc]) -> Option<Shape> {
+    let first = ops.first()?;
+    match op_io(first, Shape::new(1, 1)).0 {
+        Expect::Exact(s) => Some(s),
+        Expect::Elems(e) => Some(Shape::new(1, e)),
+    }
+}
+
+/// Verify the dataflow chain of an op list: every op's expected input must
+/// match the previous op's output. Returns **all** violations, with op-name
+/// provenance. After a mismatch the walk resynchronizes on the offending
+/// op's declared shape so downstream defects are still reported.
+pub fn verify_ops(ops: &[OpDesc], input: Option<Shape>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let Some(mut cur) = input.or_else(|| infer_input_shape(ops)) else {
+        return diags;
+    };
+    for (i, op) in ops.iter().enumerate() {
+        let expect = op_io(op, cur).0;
+        match expect {
+            Expect::Exact(want) => {
+                if want != cur {
+                    let code = if want.rows == cur.rows && want.cols != cur.cols {
+                        // The GEMM/reduction row count lines up but the
+                        // contraction width does not: the classic inner-dim
+                        // break.
+                        "inner-dim-mismatch"
+                    } else {
+                        "shape-mismatch"
+                    };
+                    diags.push(Diagnostic::new(
+                        Pass::Ir,
+                        code,
+                        format!("op {i} (`{}`)", op.name),
+                        format!(
+                            "expects input [{}, {}] but receives [{}, {}]",
+                            want.rows, want.cols, cur.rows, cur.cols
+                        ),
+                    ));
+                    // Resynchronize on the op's own declared input.
+                    cur = want;
+                }
+            }
+            Expect::Elems(want) => {
+                if want != cur.elems() {
+                    diags.push(Diagnostic::new(
+                        Pass::Ir,
+                        "elem-count-mismatch",
+                        format!("op {i} (`{}`)", op.name),
+                        format!(
+                            "expects {want} elements but receives [{}, {}] = {}",
+                            cur.rows,
+                            cur.cols,
+                            cur.elems()
+                        ),
+                    ));
+                }
+            }
+        }
+        // Recompute the output against the (possibly resynchronized) input.
+        cur = op_io(op, cur).1;
+    }
+    diags
+}
+
+/// Weight dtypes of the GEMMs inside one region, with op names.
+fn region_weight_dtypes(region: &[OpDesc]) -> Vec<(&'static str, DType)> {
+    region
+        .iter()
+        .filter_map(|op| match op.kind {
+            OpKind::Gemm { weight_dtype, .. } => Some((op.name, weight_dtype)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Check that no fused region mixes weight precisions: one fused launch has
+/// one weight-streaming pipeline (Sec. III-C ties the GEMM schedule to the
+/// weight dtype), so INT8 and FP16 GEMMs may only meet at region boundaries.
+pub fn verify_region_dtypes(ops: &[OpDesc], plan: &FusionPlan) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for &(lo, hi) in &plan.regions {
+        if lo >= hi || hi > ops.len() {
+            continue; // partition defects are reported by the fusion check
+        }
+        let gemms = region_weight_dtypes(&ops[lo..hi]);
+        if let Some(&(first_name, first_dt)) = gemms.first() {
+            for &(name, dt) in &gemms[1..] {
+                if dt != first_dt {
+                    diags.push(Diagnostic::new(
+                        Pass::Ir,
+                        "dtype-mix",
+                        format!("region ({lo}, {hi})"),
+                        format!(
+                            "`{first_name}` streams {first_dt:?} weights but `{name}` streams \
+                             {dt:?} in the same fused region; split the region at the precision \
+                             boundary"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Full IR verification of one layer plan: dataflow chain, fusion legality
+/// (partition + shared-tileable-axis), and region dtype purity. Returns all
+/// violations; an empty vector proves the plan legal.
+pub fn verify_layer_plan(ops: &[OpDesc], plan: &FusionPlan, input: Option<Shape>) -> Vec<Diagnostic> {
+    let mut diags = verify_ops(ops, input);
+    for err in validate_fusion(ops, plan) {
+        let code = match err {
+            FusionError::BadPartition => "bad-partition",
+            FusionError::NoSharedAxis { .. } => "no-shared-axis",
+        };
+        diags.push(Diagnostic::new(Pass::Ir, code, "fusion plan", err.to_string()));
+    }
+    diags.extend(verify_region_dtypes(ops, plan));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_kernels::graph::{transformer_layer_ops, transformer_layer_ops_tp, Axis};
+
+    fn ops() -> Vec<OpDesc> {
+        transformer_layer_ops(2, 4, 4, 64, 4, DType::Fp16)
+    }
+
+    #[test]
+    fn canonical_layer_is_clean() {
+        for plan in [
+            FusionPlan::unfused(12),
+            FusionPlan::deepspeed_small_batch(),
+            FusionPlan::deepspeed_large_batch(),
+            FusionPlan::faster_transformer(),
+        ] {
+            let d = verify_layer_plan(&ops(), &plan, None);
+            assert!(d.is_empty(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn tp_layer_is_clean_for_all_divisors() {
+        for tp in [1, 2, 4] {
+            let ops = transformer_layer_ops_tp(2, 1, 16, 64, 4, tp, DType::Fp16);
+            let d = verify_layer_plan(&ops, &FusionPlan::deepspeed_small_batch(), None);
+            assert!(d.is_empty(), "tp={tp}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn inner_dim_mismatch_detected_with_op_name() {
+        let mut ops = ops();
+        // Corrupt the FF2 contraction width (as a bad TP shard would).
+        if let OpKind::Gemm { k, .. } = &mut ops[10].kind {
+            *k += 8;
+        }
+        let d = verify_ops(&ops, None);
+        assert!(
+            d.iter().any(|x| x.code == "inner-dim-mismatch" && x.site.contains("ff2_gemm")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn elem_count_mismatch_detected() {
+        let mut ops = ops();
+        if let OpKind::Elementwise { elems, .. } = &mut ops[2].kind {
+            *elems /= 2; // qkv_bias covers only half the projection
+        }
+        let d = verify_ops(&ops, None);
+        assert!(d.iter().any(|x| x.code == "elem-count-mismatch" && x.site.contains("qkv_bias")), "{d:?}");
+    }
+
+    #[test]
+    fn all_violations_reported_not_just_first() {
+        let mut ops = ops();
+        if let OpKind::Gemm { k, .. } = &mut ops[1].kind {
+            *k += 1;
+        }
+        if let OpKind::Gemm { k, .. } = &mut ops[10].kind {
+            *k += 1;
+        }
+        let d = verify_ops(&ops, None);
+        assert!(d.len() >= 2, "{d:?}");
+    }
+
+    #[test]
+    fn dtype_mix_inside_region_detected() {
+        let mut ops = ops();
+        // ff1 in INT8 while ff2 stays FP16 is fine across a boundary...
+        if let OpKind::Gemm { weight_dtype, .. } = &mut ops[8].kind {
+            *weight_dtype = DType::Int8;
+        }
+        let boundary = verify_region_dtypes(&ops, &FusionPlan::deepspeed_small_batch());
+        assert!(boundary.is_empty(), "{boundary:?}");
+        // ...but a region containing both qkv (FP16) and another INT8 GEMM
+        // must be rejected. Build a region spanning ops 0..12.
+        let one_region = FusionPlan { regions: vec![(0, 12)] };
+        let d = verify_region_dtypes(&ops, &one_region);
+        assert!(d.iter().any(|x| x.code == "dtype-mix"), "{d:?}");
+    }
+
+    #[test]
+    fn fusion_violations_surface_through_ir_pass() {
+        let ops = ops();
+        let bad = FusionPlan {
+            regions: vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 6), (6, 12)],
+        };
+        let d = verify_layer_plan(&ops, &bad, None);
+        assert!(
+            d.iter().any(|x| x.code == "no-shared-axis" && x.message.contains("attention")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn attention_geometry_break_detected() {
+        // Halving attention heads (a bad TP shard that forgot to shrink the
+        // surrounding GEMMs) breaks the element-count chain.
+        let mut ops = ops();
+        if let OpKind::Attention { heads, .. } = &mut ops[4].kind {
+            *heads /= 2;
+        }
+        let d = verify_ops(&ops, None);
+        assert!(d.iter().any(|x| x.site.contains("attention") || x.site.contains("attn_out_gemm")), "{d:?}");
+    }
+
+    #[test]
+    fn custom_op_list_with_any_axis_is_checked() {
+        // A minimal two-op chain with a deliberate break.
+        let a = OpDesc {
+            name: "gemm_a",
+            kind: OpKind::Gemm { m: 2, k: 8, n: 16, weight_dtype: DType::Fp16 },
+            tile_axes: &[Axis::Token],
+            micro_launches: 1,
+        };
+        let b = OpDesc {
+            name: "gemm_b",
+            kind: OpKind::Gemm { m: 2, k: 12, n: 4, weight_dtype: DType::Fp16 },
+            tile_axes: &[Axis::Token],
+            micro_launches: 1,
+        };
+        let d = verify_ops(&[a, b], None);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "inner-dim-mismatch");
+    }
+}

@@ -1,0 +1,438 @@
+//! Pass 2 — scratch-arena aliasing and lifetime analysis.
+//!
+//! The fast decode path (`dsi-model::fast`) runs every fused region out of a
+//! preallocated [`Scratch`](dsi_model::fast::Scratch) arena: seven named
+//! buffers whose slices are handed to kernels as read and write operands.
+//! The whole point of the arena is aggressive reuse — which is exactly what
+//! makes it dangerous: a plan that hands one kernel overlapping read and
+//! write slices of the same buffer computes a silently wrong answer, not a
+//! crash.
+//!
+//! This pass checks a *step trace* — the sequence of kernel launches with
+//! their declared buffer accesses — for three defect classes:
+//! * `scratch-alias` — one step's write range overlaps another operand
+//!   (read or write) of the same step on the same buffer;
+//! * `use-before-init` — a step reads a range no earlier step (nor the
+//!   assumed-initialized set) has fully written;
+//! * `scratch-oob` — an access extends past the buffer's reserved capacity
+//!   (the arena never reallocates mid-decode, so out-of-bounds here means a
+//!   panic — or, for a hand-built plan, a quiet neighbour overwrite).
+//!
+//! [`decode_step_trace`] builds the trace of one `FastSession::forward`
+//! call from the model configuration alone, against the arena layout
+//! published by [`dsi_model::fast::scratch_layout`] — so the verifier and
+//! the executor derive buffer capacities from the same source and cannot
+//! drift silently.
+
+use crate::{Diagnostic, Pass};
+use dsi_model::config::GptConfig;
+use dsi_model::fast::scratch_layout;
+use serde::Serialize;
+
+/// A half-open range of one named buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SliceRef {
+    pub buf: &'static str,
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl SliceRef {
+    pub fn new(buf: &'static str, lo: usize, hi: usize) -> Self {
+        SliceRef { buf, lo, hi }
+    }
+
+    fn overlaps(&self, other: &SliceRef) -> bool {
+        self.buf == other.buf && self.lo < other.hi && other.lo < self.hi
+    }
+}
+
+/// One kernel launch: what it reads and what it writes.
+#[derive(Debug, Clone, Serialize)]
+pub struct Step {
+    pub name: String,
+    pub reads: Vec<SliceRef>,
+    pub writes: Vec<SliceRef>,
+}
+
+impl Step {
+    pub fn new(name: impl Into<String>, reads: Vec<SliceRef>, writes: Vec<SliceRef>) -> Self {
+        Step { name: name.into(), reads, writes }
+    }
+}
+
+/// The arena: named buffers with fixed capacities (in elements).
+#[derive(Debug, Clone, Serialize)]
+pub struct Arena {
+    pub buffers: Vec<(&'static str, usize)>,
+}
+
+impl Arena {
+    fn capacity(&self, buf: &str) -> Option<usize> {
+        self.buffers.iter().find(|(n, _)| *n == buf).map(|&(_, c)| c)
+    }
+}
+
+/// Sorted, disjoint initialized intervals of one buffer.
+#[derive(Debug, Default)]
+struct IntervalSet {
+    ivs: Vec<(usize, usize)>,
+}
+
+impl IntervalSet {
+    fn insert(&mut self, lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        self.ivs.push((lo, hi));
+        self.ivs.sort_unstable();
+        let mut merged: Vec<(usize, usize)> = Vec::with_capacity(self.ivs.len());
+        for &(lo, hi) in &self.ivs {
+            match merged.last_mut() {
+                Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        self.ivs = merged;
+    }
+
+    fn covers(&self, lo: usize, hi: usize) -> bool {
+        if lo >= hi {
+            return true;
+        }
+        self.ivs.iter().any(|&(a, b)| a <= lo && hi <= b)
+    }
+}
+
+/// Check a step trace against an arena. `assume_init` names ranges that are
+/// live before the trace starts (e.g. KV rows appended by earlier forward
+/// calls). Returns all violations.
+pub fn check_trace(arena: &Arena, steps: &[Step], assume_init: &[SliceRef]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut init: std::collections::BTreeMap<&'static str, IntervalSet> =
+        std::collections::BTreeMap::new();
+    for s in assume_init {
+        init.entry(s.buf).or_default().insert(s.lo, s.hi);
+    }
+
+    let bounds = |site: &str, s: &SliceRef, diags: &mut Vec<Diagnostic>| match arena.capacity(s.buf) {
+        None => {
+            diags.push(Diagnostic::new(
+                Pass::Scratch,
+                "scratch-oob",
+                site.to_string(),
+                format!("references unknown buffer `{}`", s.buf),
+            ));
+            false
+        }
+        Some(cap) if s.hi > cap => {
+            diags.push(Diagnostic::new(
+                Pass::Scratch,
+                "scratch-oob",
+                site.to_string(),
+                format!("`{}`[{}..{}] exceeds reserved capacity {}", s.buf, s.lo, s.hi, cap),
+            ));
+            false
+        }
+        Some(_) => true,
+    };
+
+    for step in steps {
+        for r in &step.reads {
+            if bounds(&step.name, r, &mut diags) {
+                let covered = init.get(r.buf).map(|s| s.covers(r.lo, r.hi)).unwrap_or(false);
+                if !covered {
+                    diags.push(Diagnostic::new(
+                        Pass::Scratch,
+                        "use-before-init",
+                        step.name.clone(),
+                        format!("reads `{}`[{}..{}] before any step wrote it", r.buf, r.lo, r.hi),
+                    ));
+                }
+            }
+        }
+        for w in &step.writes {
+            bounds(&step.name, w, &mut diags);
+        }
+        // Intra-step aliasing: a kernel's write operand must not overlap any
+        // *other* operand — a fused kernel streams its inputs while writing
+        // its output, so overlap means reading half-updated data.
+        for (wi, w) in step.writes.iter().enumerate() {
+            for r in &step.reads {
+                if w.overlaps(r) {
+                    diags.push(Diagnostic::new(
+                        Pass::Scratch,
+                        "scratch-alias",
+                        step.name.clone(),
+                        format!(
+                            "write `{}`[{}..{}] overlaps read `{}`[{}..{}]",
+                            w.buf, w.lo, w.hi, r.buf, r.lo, r.hi
+                        ),
+                    ));
+                }
+            }
+            for w2 in &step.writes[wi + 1..] {
+                if w.overlaps(w2) {
+                    diags.push(Diagnostic::new(
+                        Pass::Scratch,
+                        "scratch-alias",
+                        step.name.clone(),
+                        format!(
+                            "writes `{}`[{}..{}] and `{}`[{}..{}] overlap",
+                            w.buf, w.lo, w.hi, w2.buf, w2.lo, w2.hi
+                        ),
+                    ));
+                }
+            }
+        }
+        for w in &step.writes {
+            init.entry(w.buf).or_default().insert(w.lo, w.hi);
+        }
+    }
+    diags
+}
+
+/// Build the step trace of one `FastSession::forward(ids)` call with `m`
+/// tokens entering at KV offset `offset`, mirroring the region sequence of
+/// `dsi-model::fast` (embed → per-layer regions 1–5 with the x/y
+/// double-buffer swap → final layer-norm + logits).
+///
+/// The arena combines the scratch buffers of [`scratch_layout`] with the
+/// per-layer KV tensors (capacity `max_seq × hidden` each, matching
+/// `KvCache::with_capacity`).
+pub fn decode_step_trace(c: &GptConfig, m: usize, offset: usize) -> (Arena, Vec<Step>) {
+    let h = c.hidden;
+    let mut buffers: Vec<(&'static str, usize)> = scratch_layout(c, m).to_vec();
+    // KV tensors: one K and one V per layer. Names are leaked once per
+    // (layer, side) — traces are built a handful of times per process.
+    for l in 0..c.layers {
+        let k_name: &'static str = Box::leak(format!("kv{l}.k").into_boxed_str());
+        let v_name: &'static str = Box::leak(format!("kv{l}.v").into_boxed_str());
+        buffers.push((k_name, c.max_seq * h));
+        buffers.push((v_name, c.max_seq * h));
+    }
+    let kv_name = |l: usize, side: &str| -> &'static str {
+        let want = format!("kv{l}.{side}");
+        buffers
+            .iter()
+            .map(|&(n, _)| n)
+            .find(|n| **n == *want)
+            .expect("kv buffer registered above")
+    };
+
+    let mut steps = Vec::new();
+    // Embedding writes the first activation buffer.
+    steps.push(Step::new(
+        "embed",
+        vec![],
+        vec![SliceRef::new("x", 0, m * h)],
+    ));
+    // The x/y swap: `cur` holds the live activations, `alt` the spare.
+    let (mut cur, mut alt) = ("x", "y");
+    for l in 0..c.layers {
+        let kn = kv_name(l, "k");
+        let vn = kv_name(l, "v");
+        // Region 1: layer-norm → QKV GEMM → bias. `normed` is the interior
+        // scratch row.
+        steps.push(Step::new(
+            format!("l{l}.r1.ln_qkv"),
+            vec![SliceRef::new(cur, 0, m * h)],
+            vec![SliceRef::new("normed", 0, h), SliceRef::new("qkv", 0, m * 3 * h)],
+        ));
+        // KV append in place at the context offset.
+        steps.push(Step::new(
+            format!("l{l}.kv_append"),
+            vec![SliceRef::new("qkv", 0, m * 3 * h)],
+            vec![
+                SliceRef::new(kn, offset * h, (offset + m) * h),
+                SliceRef::new(vn, offset * h, (offset + m) * h),
+            ],
+        ));
+        // Region 2: attention over the cache. Multi-row prompts gather the
+        // strided query rows into the spare buffer first.
+        if m == 1 {
+            steps.push(Step::new(
+                format!("l{l}.r2.attention"),
+                vec![
+                    SliceRef::new("qkv", 0, h),
+                    SliceRef::new(kn, 0, (offset + m) * h),
+                    SliceRef::new(vn, 0, (offset + m) * h),
+                ],
+                vec![SliceRef::new("attn", 0, m * h)],
+            ));
+        } else {
+            steps.push(Step::new(
+                format!("l{l}.r2.q_gather"),
+                vec![SliceRef::new("qkv", 0, m * 3 * h)],
+                vec![SliceRef::new(alt, 0, m * h)],
+            ));
+            steps.push(Step::new(
+                format!("l{l}.r2.attention"),
+                vec![
+                    SliceRef::new(alt, 0, m * h),
+                    SliceRef::new(kn, 0, (offset + m) * h),
+                    SliceRef::new(vn, 0, (offset + m) * h),
+                ],
+                vec![SliceRef::new("attn", 0, m * h)],
+            ));
+        }
+        // Region 3: output projection + bias + residual (reads the residual
+        // stream from `cur`, writes the spare).
+        steps.push(Step::new(
+            format!("l{l}.r3.attn_out"),
+            vec![SliceRef::new("attn", 0, m * h), SliceRef::new(cur, 0, m * h)],
+            vec![SliceRef::new(alt, 0, m * h)],
+        ));
+        std::mem::swap(&mut cur, &mut alt);
+        // Region 4: layer-norm → FF1 GEMM → bias → GeLU.
+        steps.push(Step::new(
+            format!("l{l}.r4.ln_ff1"),
+            vec![SliceRef::new(cur, 0, m * h)],
+            vec![SliceRef::new("normed", 0, h), SliceRef::new("ff", 0, m * 4 * h)],
+        ));
+        // Region 5: FF2 GEMM + bias + residual.
+        steps.push(Step::new(
+            format!("l{l}.r5.ff2"),
+            vec![SliceRef::new("ff", 0, m * 4 * h), SliceRef::new(cur, 0, m * h)],
+            vec![SliceRef::new(alt, 0, m * h)],
+        ));
+        std::mem::swap(&mut cur, &mut alt);
+    }
+    steps.push(Step::new(
+        "final_ln",
+        vec![SliceRef::new(cur, 0, m * h)],
+        vec![SliceRef::new("normed", 0, h)],
+    ));
+    steps.push(Step::new(
+        "logits",
+        vec![SliceRef::new("normed", 0, h)],
+        vec![SliceRef::new("logits", 0, m * c.vocab)],
+    ));
+    (Arena { buffers }, steps)
+}
+
+/// Assumed-initialized KV rows for a trace entering at `offset > 0`: rows
+/// `0..offset` of every layer's K and V were appended by earlier calls.
+pub fn kv_preinit(arena: &Arena, c: &GptConfig, offset: usize) -> Vec<SliceRef> {
+    if offset == 0 {
+        return Vec::new();
+    }
+    arena
+        .buffers
+        .iter()
+        .filter(|(n, _)| n.starts_with("kv"))
+        .map(|&(n, _)| SliceRef::new(n, 0, offset * c.hidden))
+        .collect()
+}
+
+/// Verify the fast decode path of one model config for both phases:
+/// multi-row prompt ingestion and steady-state single-token decode.
+pub fn verify_decode_plan(c: &GptConfig, prompt_len: usize) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let (arena, steps) = decode_step_trace(c, prompt_len.max(1), 0);
+    diags.extend(check_trace(&arena, &steps, &[]));
+    let (arena, steps) = decode_step_trace(c, 1, prompt_len);
+    let pre = kv_preinit(&arena, c, prompt_len);
+    diags.extend(check_trace(&arena, &steps, &pre));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_model::zoo;
+
+    #[test]
+    fn fast_path_trace_is_clean() {
+        for (m, off) in [(1usize, 0usize), (4, 0), (1, 7), (8, 0)] {
+            let c = zoo::tiny(3);
+            let (arena, steps) = decode_step_trace(&c, m, off);
+            let pre = kv_preinit(&arena, &c, off);
+            let d = check_trace(&arena, &steps, &pre);
+            assert!(d.is_empty(), "m={m} off={off}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn verify_decode_plan_clean_for_zoo_models() {
+        let d = verify_decode_plan(&zoo::tiny(2), 8);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn aliased_write_is_rejected() {
+        // A kernel writing its own residual input: the classic scratch-reuse
+        // bug the pass exists for.
+        let arena = Arena { buffers: vec![("x", 64), ("y", 64)] };
+        let steps = vec![
+            Step::new("init", vec![], vec![SliceRef::new("x", 0, 64)]),
+            Step::new(
+                "bad_residual",
+                vec![SliceRef::new("x", 0, 64)],
+                vec![SliceRef::new("x", 0, 64)],
+            ),
+        ];
+        let d = check_trace(&arena, &steps, &[]);
+        assert!(d.iter().any(|x| x.code == "scratch-alias" && x.site == "bad_residual"), "{d:?}");
+    }
+
+    #[test]
+    fn partial_overlap_is_rejected() {
+        let arena = Arena { buffers: vec![("buf", 100)] };
+        let steps = vec![
+            Step::new("init", vec![], vec![SliceRef::new("buf", 0, 100)]),
+            Step::new(
+                "shifted",
+                vec![SliceRef::new("buf", 0, 60)],
+                vec![SliceRef::new("buf", 40, 100)],
+            ),
+        ];
+        let d = check_trace(&arena, &steps, &[]);
+        assert!(d.iter().any(|x| x.code == "scratch-alias"), "{d:?}");
+    }
+
+    #[test]
+    fn disjoint_reuse_is_legal() {
+        let arena = Arena { buffers: vec![("buf", 100)] };
+        let steps = vec![
+            Step::new("init", vec![], vec![SliceRef::new("buf", 0, 50)]),
+            Step::new(
+                "pack",
+                vec![SliceRef::new("buf", 0, 50)],
+                vec![SliceRef::new("buf", 50, 100)],
+            ),
+        ];
+        let d = check_trace(&arena, &steps, &[]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn use_before_init_is_rejected() {
+        let arena = Arena { buffers: vec![("a", 10), ("b", 10)] };
+        let steps = vec![Step::new("consume", vec![SliceRef::new("a", 0, 10)], vec![SliceRef::new("b", 0, 10)])];
+        let d = check_trace(&arena, &steps, &[]);
+        assert!(d.iter().any(|x| x.code == "use-before-init"), "{d:?}");
+    }
+
+    #[test]
+    fn out_of_bounds_is_rejected() {
+        let arena = Arena { buffers: vec![("a", 10)] };
+        let steps = vec![Step::new("w", vec![], vec![SliceRef::new("a", 0, 11)])];
+        let d = check_trace(&arena, &steps, &[]);
+        assert!(d.iter().any(|x| x.code == "scratch-oob"), "{d:?}");
+        let steps = vec![Step::new("w", vec![], vec![SliceRef::new("ghost", 0, 1)])];
+        let d = check_trace(&arena, &steps, &[]);
+        assert!(d.iter().any(|x| x.code == "scratch-oob"), "{d:?}");
+    }
+
+    #[test]
+    fn oversized_prompt_trace_is_flagged_oob() {
+        // A prompt longer than the scratch arena was sized for: the trace
+        // built with the *small* arena must flag the overflow statically.
+        let c = zoo::tiny(1);
+        let (small_arena, _) = decode_step_trace(&c, 2, 0);
+        let (_, big_steps) = decode_step_trace(&c, 8, 0);
+        let d = check_trace(&small_arena, &big_steps, &[]);
+        assert!(d.iter().any(|x| x.code == "scratch-oob"), "{d:?}");
+    }
+}

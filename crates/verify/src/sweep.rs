@@ -1,0 +1,329 @@
+//! The `cargo xtask verify` entry point: run every static pass over every
+//! configuration the paper-reproduction binaries actually execute, plus
+//! negative controls proving the detectors still detect.
+//!
+//! [`verify_all`] sweeps:
+//! * **IR** — every Table I model × {prompt, generation} phase × batch sizes
+//!   × the model's TP degrees (1, its Fig. 6 degree, its Fig. 8 degree) ×
+//!   all four canonical fusion plans;
+//! * **Scratch** — the fast decode path of each dense model (prompt
+//!   ingestion + steady-state decode against the real arena layout);
+//! * **Collective** — tensor-parallel all-reduce programs for each Fig. 6
+//!   mapping, pipeline p2p programs and task-graph structure for the Fig. 8
+//!   mappings, expert-parallel all-to-all programs for each Table II model;
+//! * **Audit** — runs separately in xtask (it needs the source tree).
+//!
+//! [`negative_controls`] seeds one defect of each class the verifier claims
+//! to catch — a dtype-mixed region, a corrupted GEMM contraction, an illegal
+//! fusion boundary, an aliased scratch write, a rank skipping an all-reduce,
+//! a cyclic task graph, an undocumented `unsafe` block — and returns the
+//! diagnostics each produced. CI fails if any control comes back clean: a
+//! verifier that stops detecting is worse than none.
+
+use crate::collective::{
+    check_pipeline, check_programs, ep_alltoall_programs, find_cycle, pp_p2p_programs,
+    simulate_rendezvous, tp_allreduce_programs, DiGraph,
+};
+use crate::ir::verify_layer_plan;
+use crate::scratch::{check_trace, Arena, SliceRef, Step};
+use crate::{Diagnostic, Pass};
+use dsi_kernels::fusion::FusionPlan;
+use dsi_kernels::graph::{transformer_layer_ops_tp, OpKind};
+use dsi_model::zoo;
+use dsi_parallel::mapping::Mapping3D;
+use dsi_parallel::pipeline::{PipelineSchedule, PipelineSpec};
+use dsi_sim::hw::DType;
+
+/// Outcome of one sweep: how much was checked, and everything found.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Number of (model, phase, batch, tp, plan) IR combinations verified.
+    pub ir_plans: usize,
+    /// Number of decode traces analysed.
+    pub scratch_traces: usize,
+    /// Number of collective program sets / pipeline graphs checked.
+    pub collective_programs: usize,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl SweepReport {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+fn canonical_plans() -> Vec<(&'static str, FusionPlan)> {
+    vec![
+        ("unfused", FusionPlan::unfused(12)),
+        ("deepspeed_small_batch", FusionPlan::deepspeed_small_batch()),
+        ("deepspeed_large_batch", FusionPlan::deepspeed_large_batch()),
+        ("faster_transformer", FusionPlan::faster_transformer()),
+    ]
+}
+
+/// TP degrees this entry is actually run at by the figure binaries.
+fn tp_degrees(e: &zoo::DenseEntry) -> Vec<usize> {
+    let mut tps = vec![1];
+    if e.fig6_tp > 1 {
+        tps.push(e.fig6_tp);
+    }
+    if let Some((tp, _)) = e.fig8 {
+        if !tps.contains(&tp) {
+            tps.push(tp);
+        }
+    }
+    tps.retain(|&tp| e.config.hidden.is_multiple_of(tp) && e.config.heads.is_multiple_of(tp));
+    tps
+}
+
+/// Pipeline spec used for the Fig. 8 structural checks (representative
+/// timings; the structure, not the numbers, is what is verified).
+fn fig8_spec(pp: usize) -> PipelineSpec {
+    PipelineSpec {
+        stages: pp,
+        prompt_microbatches: 2 * pp,
+        gen_microbatches: pp,
+        gen_tokens: 8,
+        stage_prompt_time_full: 40e-3,
+        stage_gen_time: 2e-3,
+        microbatch_overhead: 0.1e-3,
+        p2p_time: 0.05e-3,
+    }
+}
+
+/// Run every static pass over every zoo model × figure configuration.
+pub fn verify_all() -> SweepReport {
+    let mut report = SweepReport {
+        ir_plans: 0,
+        scratch_traces: 0,
+        collective_programs: 0,
+        diagnostics: Vec::new(),
+    };
+    let plans = canonical_plans();
+    let prompt = 128usize;
+    let gen_ctx = prompt + 8;
+
+    for e in zoo::table1() {
+        let c = &e.config;
+        let site = |what: &str| format!("{} {what}", c.name);
+
+        // --- Pass 1: IR over both phases × batches × TP × plans. ---
+        for tp in tp_degrees(&e) {
+            for batch in [1usize, 8, 32] {
+                // (t_new, t_ctx): prompt ingestion and steady-state decode.
+                for (t_new, t_ctx) in [(prompt, prompt), (1, gen_ctx)] {
+                    let ops = transformer_layer_ops_tp(
+                        batch, t_new, t_ctx, c.hidden, c.heads, tp, DType::Fp16,
+                    );
+                    for (pname, plan) in &plans {
+                        let d = verify_layer_plan(&ops, plan, None);
+                        report.ir_plans += 1;
+                        report.diagnostics.extend(d.into_iter().map(|mut x| {
+                            x.site = format!(
+                                "{} tp={tp} b={batch} t=({t_new},{t_ctx}) plan={pname}: {}",
+                                c.name, x.site
+                            );
+                            x
+                        }));
+                    }
+                }
+            }
+        }
+
+        // --- Pass 2: scratch arena of the fast decode path. ---
+        // Trace a 16-token prompt: long enough to exercise multi-row
+        // gather, cheap enough to run for the 530B layer count.
+        let d = crate::scratch::verify_decode_plan(c, 16);
+        report.scratch_traces += 2; // prompt + decode trace
+        report.diagnostics.extend(d.into_iter().map(|mut x| {
+            x.site = format!("{}: {}", site("decode"), x.site);
+            x
+        }));
+
+        // --- Pass 3a: Fig. 6 tensor-parallel all-reduce programs. ---
+        if e.fig6_tp > 1 {
+            let m = Mapping3D::new(1, 1, e.fig6_tp);
+            let (groups, progs) = tp_allreduce_programs(&m, c.layers, 2 * c.hidden as u64);
+            report.collective_programs += 1;
+            report.diagnostics.extend(check_programs(&groups, &progs));
+        }
+
+        // --- Pass 3b: Fig. 8 pipeline structure + p2p rendezvous. ---
+        if let Some((tp, pp)) = e.fig8 {
+            let spec = fig8_spec(pp);
+            for sched in [PipelineSchedule::TrainingStyle, PipelineSchedule::InferenceQueue] {
+                report.collective_programs += 1;
+                report.diagnostics.extend(check_pipeline(&spec, sched));
+            }
+            let m = Mapping3D::new(1, pp, tp);
+            let progs = pp_p2p_programs(&m, spec.prompt_microbatches, 2 * c.hidden as u64);
+            report.collective_programs += 1;
+            report.diagnostics.extend(simulate_rendezvous(&progs));
+        }
+    }
+
+    // --- Pass 3c: Table II expert-parallel all-to-all programs. ---
+    for moe in zoo::table2() {
+        let bytes = 2 * moe.base.hidden as u64;
+        let (groups, progs) =
+            ep_alltoall_programs(moe.gpus, moe.ep_degree, moe.moe_layers, bytes);
+        report.collective_programs += 1;
+        report.diagnostics.extend(check_programs(&groups, &progs).into_iter().map(|mut x| {
+            x.site = format!("{}: {}", moe.name, x.site);
+            x
+        }));
+    }
+
+    report
+}
+
+/// One seeded defect and what the verifier said about it.
+#[derive(Debug, Clone)]
+pub struct Control {
+    pub name: &'static str,
+    /// The diagnostic code this defect must produce.
+    pub expect_code: &'static str,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Control {
+    /// Did the verifier catch the seeded defect?
+    pub fn fired(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.code == self.expect_code)
+    }
+}
+
+/// Seed one illegal plan per defect class and collect what the passes say.
+/// Every control must fire; [`controls_all_fire`] is the CI gate.
+pub fn negative_controls() -> Vec<Control> {
+    let mut out = Vec::new();
+    let base = || transformer_layer_ops_tp(2, 4, 4, 64, 4, 1, DType::Fp16);
+
+    // IR: corrupted FF2 contraction width (a bad TP shard).
+    let mut ops = base();
+    if let OpKind::Gemm { k, .. } = &mut ops[10].kind {
+        *k += 8;
+    }
+    out.push(Control {
+        name: "inner-dim mismatch (corrupted ff2 k)",
+        expect_code: "inner-dim-mismatch",
+        diagnostics: verify_layer_plan(&ops, &FusionPlan::unfused(12), None),
+    });
+
+    // IR: INT8 and FP16 GEMMs fused into one region.
+    let mut ops = base();
+    if let OpKind::Gemm { weight_dtype, .. } = &mut ops[8].kind {
+        *weight_dtype = DType::Int8; // ff1 INT8, ff2 stays FP16
+    }
+    let ff_region = FusionPlan {
+        regions: vec![(0, 3), (3, 5), (5, 7), (7, 12)],
+    };
+    out.push(Control {
+        name: "dtype mix inside fused region (int8 ff1 + fp16 ff2)",
+        expect_code: "dtype-mix",
+        diagnostics: verify_layer_plan(&ops, &ff_region, None),
+    });
+
+    // IR: fusing attention (Head-tiled) with the output GEMM (Token/OutputCol).
+    let bad_fuse = FusionPlan {
+        regions: vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 6), (6, 12)],
+    };
+    out.push(Control {
+        name: "no shared tileable axis (attention+attn_out_gemm)",
+        expect_code: "no-shared-axis",
+        diagnostics: verify_layer_plan(&base(), &bad_fuse, None),
+    });
+
+    // Scratch: a kernel writing over its own residual input.
+    let arena = Arena { buffers: vec![("x", 64), ("y", 64)] };
+    let steps = vec![
+        Step::new("init", vec![], vec![SliceRef::new("x", 0, 64)]),
+        Step::new(
+            "residual_in_place",
+            vec![SliceRef::new("x", 0, 64)],
+            vec![SliceRef::new("x", 0, 64)],
+        ),
+    ];
+    out.push(Control {
+        name: "aliased scratch write (in-place residual)",
+        expect_code: "scratch-alias",
+        diagnostics: check_trace(&arena, &steps, &[]),
+    });
+
+    // Collective: one rank skips its layer-0 FF2 all-reduce.
+    let m = Mapping3D::new(1, 1, 4);
+    let (groups, mut progs) = tp_allreduce_programs(&m, 2, 4096);
+    progs.get_mut(&2).unwrap().remove(1);
+    out.push(Control {
+        name: "unmatched collective (rank 2 skips an all-reduce)",
+        expect_code: "collective-mismatch",
+        diagnostics: check_programs(&groups, &progs),
+    });
+
+    // Collective: the same defect must also be a deadlock under rendezvous.
+    out.push(Control {
+        name: "deadlock from skipped all-reduce",
+        expect_code: "deadlock",
+        diagnostics: check_programs(&groups, &progs),
+    });
+
+    // Pipeline: a cyclic dependency graph.
+    let cyclic = DiGraph { n: 4, edges: vec![(0, 1), (1, 2), (2, 0), (2, 3)] };
+    let diag = find_cycle(&cyclic)
+        .map(|cyc| {
+            vec![Diagnostic::new(
+                Pass::Collective,
+                "pipeline-cycle",
+                "seeded digraph",
+                format!("dependency cycle through tasks {cyc:?}"),
+            )]
+        })
+        .unwrap_or_default();
+    out.push(Control {
+        name: "cyclic pipeline task graph",
+        expect_code: "pipeline-cycle",
+        diagnostics: diag,
+    });
+
+    // Audit: an unsafe block with no SAFETY comment.
+    out.push(Control {
+        name: "undocumented unsafe block",
+        expect_code: "missing-safety-comment",
+        diagnostics: crate::audit::scan_unsafe(
+            "seeded.rs",
+            "fn f(x: &[f32]) -> f32 {\n    unsafe { *x.get_unchecked(0) }\n}\n",
+        ),
+    });
+
+    out
+}
+
+/// CI gate: every seeded defect must be detected.
+pub fn controls_all_fire(controls: &[Control]) -> bool {
+    controls.iter().all(Control::fired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sweep_is_clean() {
+        let r = verify_all();
+        assert!(r.is_clean(), "sweep found defects: {:#?}", r.diagnostics);
+        // Sanity: the sweep actually covered things.
+        assert!(r.ir_plans >= 9 * 2 * 3 * 4, "ir_plans = {}", r.ir_plans);
+        assert!(r.scratch_traces >= 18);
+        assert!(r.collective_programs >= 10);
+    }
+
+    #[test]
+    fn every_negative_control_fires() {
+        let controls = negative_controls();
+        assert_eq!(controls.len(), 8);
+        for c in &controls {
+            assert!(c.fired(), "control `{}` produced {:?}", c.name, c.diagnostics);
+        }
+        assert!(controls_all_fire(&controls));
+    }
+}

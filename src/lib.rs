@@ -34,4 +34,5 @@ pub use dsi_model as model;
 pub use dsi_moe as moe;
 pub use dsi_parallel as parallel;
 pub use dsi_sim as sim;
+pub use dsi_verify as verify;
 pub use dsi_zero as zero;
