@@ -180,8 +180,7 @@ impl Tensor {
         let c = self.cols();
         assert_eq!(src.cols(), c, "push_rows: trailing dim mismatch");
         self.data.extend_from_slice(src.data());
-        let new_rows = self.rows(); // derived from data.len(), already grown
-        self.shape = vec![new_rows, c];
+        self.set_rows_2d(c);
     }
 
     /// Append one raw row in place (`row.len()` must equal `cols`).
@@ -189,8 +188,16 @@ impl Tensor {
         let c = self.cols();
         assert_eq!(row.len(), c, "push_row_slice: length mismatch");
         self.data.extend_from_slice(row);
-        let new_rows = self.rows();
-        self.shape = vec![new_rows, c];
+        self.set_rows_2d(c);
+    }
+
+    /// Collapse the shape to 2-D `[rows, cols]` after a data append, reusing
+    /// the shape vector's storage: per-token KV appends must not allocate.
+    fn set_rows_2d(&mut self, cols: usize) {
+        let new_rows = self.rows(); // derived from data.len(), already grown
+        self.shape.clear();
+        self.shape.push(new_rows);
+        self.shape.push(cols);
     }
 
     /// Concatenate along the first axis; trailing dims must agree.

@@ -105,6 +105,7 @@ impl<'m> PackedModel<'m> {
             pm: self,
             cache: KvCache::with_capacity(c.layers, c.hidden, c.max_seq),
             scratch: Scratch::new(c, max_prompt.max(1)),
+            last_m: 0,
         }
     }
 }
@@ -181,12 +182,27 @@ pub struct FastSession<'p, 'm> {
     pm: &'p PackedModel<'m>,
     pub cache: KvCache,
     scratch: Scratch,
+    /// Row count of the most recent [`FastSession::forward`] call; selects
+    /// the sampling row inside the scratch logits buffer.
+    last_m: usize,
 }
 
 impl FastSession<'_, '_> {
     /// Context length consumed so far.
     pub fn context_len(&self) -> usize {
         self.cache.context_len()
+    }
+
+    /// The `[vocab]` logits row of the most recently forwarded position —
+    /// the row greedy sampling reads. Centralizes the
+    /// `(m - 1) * vocab` slice math so session front-ends (this one and
+    /// `dsi-parallel`'s `TpSession`) never duplicate it.
+    ///
+    /// Panics if no `forward` has run yet.
+    pub fn last_logits(&self) -> &[f32] {
+        assert!(self.last_m > 0, "last_logits() before any forward()");
+        let vocab = self.pm.config().vocab;
+        &self.scratch.logits[(self.last_m - 1) * vocab..self.last_m * vocab]
     }
 
     /// Forward `ids` through all layers, extending the KV cache; leaves
@@ -269,22 +285,21 @@ impl FastSession<'_, '_> {
             );
             blocked::matmul_into(&s.normed, 1, wte, &mut s.logits[i * c.vocab..(i + 1) * c.vocab]);
         }
-        &s.logits[..m * c.vocab]
+        self.last_m = m;
+        &self.scratch.logits[..m * c.vocab]
     }
 
     /// Greedy generation: process `prompt`, then emit `n_tokens` tokens.
     /// Matches [`GptModel::generate`] token-for-token (up to f32
     /// reassociation in the GEMMs).
     pub fn generate(&mut self, prompt: &[usize], n_tokens: usize) -> Vec<usize> {
-        let vocab = self.pm.config().vocab;
-        let logits = self.forward(prompt);
-        let last = &logits[(prompt.len() - 1) * vocab..prompt.len() * vocab];
-        let mut next = argmax(last);
+        self.forward(prompt);
+        let mut next = argmax(self.last_logits());
         let mut out = Vec::with_capacity(n_tokens);
         out.push(next);
         for _ in 1..n_tokens {
-            let logits = self.forward(&[next]);
-            next = argmax(&logits[..vocab]);
+            self.forward(&[next]);
+            next = argmax(self.last_logits());
             out.push(next);
         }
         out
@@ -318,8 +333,10 @@ impl FastSession<'_, '_> {
     }
 }
 
+/// Greedy sampling over one logits row, shared by every session front-end
+/// (fast path, TP engine, benches) so tie-breaking cannot drift.
 #[inline]
-fn argmax(row: &[f32]) -> usize {
+pub fn argmax(row: &[f32]) -> usize {
     let mut best = 0;
     let mut bv = f32::NEG_INFINITY;
     // `>=` keeps the *last* maximum on exact ties, matching the reference

@@ -8,6 +8,12 @@
 //!   Implemented *functionally* over per-rank weight shards and verified to
 //!   reproduce the unsharded reference bit-for-bit (up to f32 accumulation
 //!   order).
+//! * [`tp_exec`] — the *executed* counterpart: the fast path's packed
+//!   weights sharded per rank at pack time, each rank decoding on its own
+//!   pinned OS thread with rank-private scratch/KV, meeting the group at
+//!   the two per-layer all-reduces through `dsi-sim`'s shared-memory
+//!   barrier/all-reduce backend. Token-identical to the single-thread
+//!   fast path at every TP degree, zero allocations per decoded token.
 //! * [`pipeline`] — inference-optimized pipeline parallelism (Sec. IV-B/C):
 //!   the training-style schedule with its token-boundary bubbles (Fig. 2a),
 //!   the dynamic token-queue schedule that hides them (Fig. 2b), and the
@@ -22,8 +28,10 @@ pub mod offload;
 pub mod pipeline;
 pub mod pp_exec;
 pub mod tp;
+pub mod tp_exec;
 
 pub use mapping::Mapping3D;
 pub use pipeline::{PipelineSchedule, PipelineSpec};
 pub use pp_exec::PipelinedModel;
-pub use tp::{tp_layer_forward, TpLayer};
+pub use tp::{tp_layer_forward, tp_layer_forward_into, TpLayer};
+pub use tp_exec::{TpPackedModel, TpSession};

@@ -9,14 +9,16 @@
 //! communication").
 //!
 //! The implementation is functional: [`shard_layer`] really splits the
-//! weight tensors, [`tp_layer_forward`] really runs every rank's shard and
-//! really sums the partials through a [`CommGroup`] all-reduce, and the test
-//! suite proves the result equals the unsharded reference.
+//! weight tensors, [`tp_layer_forward_into`] really runs every rank's shard
+//! and really sums the partials through an in-place
+//! [`allreduce_sum_slices`] all-reduce, and the test suite proves the result
+//! equals the unsharded reference. It remains the sequential correctness
+//! oracle; the *threaded* engine lives in [`tp_exec`](crate::tp_exec).
 
 use dsi_kernels::ops;
 use dsi_kernels::tensor::Tensor;
 use dsi_model::reference::{LayerKv, LayerWeights};
-use dsi_sim::collectives::CommGroup;
+use dsi_sim::collectives::allreduce_sum_slices;
 use dsi_sim::hw::DType;
 
 /// One rank's shard of a transformer layer.
@@ -126,35 +128,52 @@ fn rank_ffn_partial(shard: &TpLayer, x: &Tensor) -> Tensor {
     y
 }
 
-/// Execute a tensor-parallel layer across all shards, with the two
-/// per-layer all-reduces done through the functional [`CommGroup`].
-/// `kvs[r]` is rank `r`'s KV cache shard (each rank caches only its heads —
-/// the memory saving that lets TP hold longer contexts).
-pub fn tp_layer_forward(shards: &[TpLayer], x: &Tensor, kvs: &mut [LayerKv]) -> Tensor {
+/// Execute a tensor-parallel layer across all shards, reducing into the
+/// caller-provided `out` tensor (`x`'s shape, overwritten). The two
+/// per-layer all-reduces run in place over the rank partials via
+/// [`allreduce_sum_slices`] — no `CommGroup` construction (which would move
+/// every partial into its buffer list) and no `buffers[0].clone()` back out,
+/// the double copy per block the sequential path used to pay. `kvs[r]` is
+/// rank `r`'s KV cache shard (each rank caches only its heads — the memory
+/// saving that lets TP hold longer contexts).
+///
+/// This stays the slow *reference oracle* for the threaded engine
+/// (`tp_exec`): internally it still runs every rank sequentially through
+/// the allocating reference ops.
+pub fn tp_layer_forward_into(shards: &[TpLayer], x: &Tensor, kvs: &mut [LayerKv], out: &mut Tensor) {
     assert_eq!(shards.len(), kvs.len());
-    let shape = x.shape().to_vec();
+    assert_eq!(out.shape(), x.shape(), "out must match x's shape");
 
-    // Attention block: every rank computes its partial, then all-reduce.
-    let partials: Vec<Vec<f32>> = shards
+    // Attention block: every rank computes its partial, then all-reduce in
+    // place and add the replicated residual into `out`.
+    let mut partials: Vec<Vec<f32>> = shards
         .iter()
         .zip(kvs.iter_mut())
         .map(|(s, kv)| rank_attention_partial(s, x, kv).into_data())
         .collect();
-    let mut comm = CommGroup::new(partials);
-    comm.allreduce_sum();
-    let mut attn_out = Tensor::from_vec(&shape, comm.buffers[0].clone());
-    ops::add_inplace(&mut attn_out, x); // residual, replicated on every rank
+    let mut views: Vec<&mut [f32]> = partials.iter_mut().map(|p| p.as_mut_slice()).collect();
+    allreduce_sum_slices(&mut views);
+    for ((o, &p), &xv) in out.data_mut().iter_mut().zip(&partials[0]).zip(x.data()) {
+        *o = p + xv;
+    }
 
-    // FFN block: partials + all-reduce.
-    let partials: Vec<Vec<f32>> = shards
+    // FFN block: partials + in-place all-reduce + residual.
+    let mut partials: Vec<Vec<f32>> = shards
         .iter()
-        .map(|s| rank_ffn_partial(s, &attn_out).into_data())
+        .map(|s| rank_ffn_partial(s, out).into_data())
         .collect();
-    let mut comm = CommGroup::new(partials);
-    comm.allreduce_sum();
-    let mut y = Tensor::from_vec(&shape, comm.buffers[0].clone());
-    ops::add_inplace(&mut y, &attn_out);
-    y
+    let mut views: Vec<&mut [f32]> = partials.iter_mut().map(|p| p.as_mut_slice()).collect();
+    allreduce_sum_slices(&mut views);
+    for (o, &p) in out.data_mut().iter_mut().zip(&partials[0]) {
+        *o += p;
+    }
+}
+
+/// Allocating convenience wrapper around [`tp_layer_forward_into`].
+pub fn tp_layer_forward(shards: &[TpLayer], x: &Tensor, kvs: &mut [LayerKv]) -> Tensor {
+    let mut out = Tensor::zeros(x.shape());
+    tp_layer_forward_into(shards, x, kvs, &mut out);
+    out
 }
 
 /// Bytes all-reduced per layer per forward: two reduces of the `[tokens, h]`

@@ -1,0 +1,606 @@
+//! Executed tensor parallelism: threaded TP ranks over the fast path.
+//!
+//! [`tp`](crate::tp) proves the Megatron sharding math (Sec. IV-A) but runs
+//! every rank sequentially through the slow reference ops, so it can never
+//! show a *speedup* — the whole point of Fig. 8's scaling story. This module
+//! is the executed counterpart:
+//!
+//! * **Pack-time sharding** — [`TpPackedModel::shard`] splits every layer
+//!   with [`tp::shard_layer`](crate::tp::shard_layer) (column-parallel
+//!   QKV/FF1, row-parallel W_o/FF2, heads contiguous per rank) and packs
+//!   each shard into the panel layout of `dsi_kernels::blocked::PackedB`,
+//!   exactly like `PackedModel` packs the full weights. The output biases
+//!   are kept *full* and applied once after the all-reduce (the functional
+//!   path instead pre-divides them by `tp`; summing `tp` rounded copies of
+//!   `b/tp` is not bit-stable, applying `b` once is).
+//! * **One OS thread per rank** — [`TpSession`] runs rank 0 inline on the
+//!   caller's thread and spawns ranks `1..tp` as worker threads, each with
+//!   its own scratch arena and KV shard (`h/tp` columns — the KV memory
+//!   saving of Sec. IV-A). Workers are pinned to distinct cores when the
+//!   host has enough of them (best-effort `sched_setaffinity`).
+//! * **Shared-memory collectives** — the two per-layer all-reduces run on
+//!   [`dsi_sim::shmem::ShmRank::allreduce_sum`]: a sense-reversing barrier
+//!   plus a chunked in-place reduce over published buffer pointers. No
+//!   per-token allocation, no full-buffer clones, reduction in rank order.
+//! * **Lock-step command protocol** — the driver publishes a command
+//!   (prompt / decode / shutdown) and crosses the group barrier; every rank
+//!   then runs the same forward step and meets again at the next step
+//!   barrier. The barrier's release/acquire chain makes the command and the
+//!   decoded token visible without locks in the steady state.
+//!
+//! Greedy decode is **token-identical** to the single-thread
+//! [`FastSession`]: column shards of a panel GEMM produce bit-identical
+//! columns (each output column has its own accumulator chain), attention
+//! heads are disjoint, and the row-parallel partial sums only reassociate
+//! the same f32 additions the fused epilogue performs — the property suite
+//! asserts exact token equality across random configs.
+//!
+//! A rank that panics poisons the group barrier (via a drop guard), so the
+//! remaining ranks fail loudly instead of spinning on a dead rendezvous.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use dsi_kernels::blocked::{self, PackedB};
+use dsi_kernels::fused;
+use dsi_model::config::GptConfig;
+use dsi_model::fast::argmax;
+use dsi_model::reference::{GptModel, KvCache};
+use dsi_kernels::tensor::Tensor;
+use dsi_sim::shmem::{ShmComm, ShmPoisoner, ShmRank};
+
+use crate::tp::shard_layer;
+
+/// One rank's shard of one layer, in execution layout (packed GEMM panels,
+/// bias vectors as plain slices). Mirrors `dsi_model::fast::PackedLayer`,
+/// but with `w_qkv`/`w_ff1` column-sharded, `w_o`/`w_ff2` row-sharded, and
+/// the two output biases full-width (applied once post-reduce).
+#[derive(Debug)]
+pub struct TpPackedShard {
+    pub ln1_g: Vec<f32>,
+    pub ln1_b: Vec<f32>,
+    /// `[h, 3h/tp]` column shard (this rank's q|k|v columns), packed.
+    pub w_qkv: PackedB,
+    pub b_qkv: Vec<f32>,
+    /// `[h/tp, h]` row shard of the output projection, packed.
+    pub w_o: PackedB,
+    /// Full `[h]` output bias, applied once after the all-reduce.
+    pub b_o: Vec<f32>,
+    pub ln2_g: Vec<f32>,
+    pub ln2_b: Vec<f32>,
+    /// `[h, 4h/tp]` column shard, packed.
+    pub w_ff1: PackedB,
+    pub b_ff1: Vec<f32>,
+    /// `[4h/tp, h]` row shard, packed.
+    pub w_ff2: PackedB,
+    /// Full `[h]` FF2 bias, applied once after the all-reduce.
+    pub b_ff2: Vec<f32>,
+}
+
+/// A model sharded and packed for `tp` executed ranks. Owns everything the
+/// rank threads touch (replicated embeddings, final layer-norm, per-rank
+/// packed shards), so it can sit behind an `Arc` shared across threads.
+#[derive(Debug)]
+pub struct TpPackedModel {
+    config: GptConfig,
+    tp: usize,
+    /// `shards[rank][layer]`.
+    shards: Vec<Vec<TpPackedShard>>,
+    /// Replicated `[vocab, h]` token embedding (also the logits operand).
+    wte: Tensor,
+    /// Replicated `[max_seq, h]` position embedding.
+    wpe: Tensor,
+    lnf_g: Vec<f32>,
+    lnf_b: Vec<f32>,
+    /// `wteᵀ` panel-packed as the `[h, vocab]` logits projection (rank 0
+    /// computes logits; the projection is not sharded).
+    wte_packed: PackedB,
+}
+
+impl TpPackedModel {
+    /// Shard `model` across `tp` ranks and pack every shard. Requires
+    /// `tp | heads` (and therefore `tp | hidden`).
+    pub fn shard(model: &GptModel, tp: usize) -> Self {
+        let c = model.config.clone();
+        let mut shards: Vec<Vec<TpPackedShard>> =
+            (0..tp).map(|_| Vec::with_capacity(c.layers)).collect();
+        for lw in &model.layers {
+            for (r, s) in shard_layer(lw, c.heads, tp).iter().enumerate() {
+                shards[r].push(TpPackedShard {
+                    ln1_g: s.ln1_g.data().to_vec(),
+                    ln1_b: s.ln1_b.data().to_vec(),
+                    w_qkv: PackedB::pack(&s.w_qkv),
+                    b_qkv: s.b_qkv.data().to_vec(),
+                    w_o: PackedB::pack(&s.w_o),
+                    b_o: lw.b_o.data().to_vec(),
+                    ln2_g: s.ln2_g.data().to_vec(),
+                    ln2_b: s.ln2_b.data().to_vec(),
+                    w_ff1: PackedB::pack(&s.w_ff1),
+                    b_ff1: s.b_ff1.data().to_vec(),
+                    w_ff2: PackedB::pack(&s.w_ff2),
+                    b_ff2: lw.b_ff2.data().to_vec(),
+                });
+            }
+        }
+        TpPackedModel {
+            tp,
+            shards,
+            wte: model.wte.clone(),
+            wpe: model.wpe.clone(),
+            lnf_g: model.lnf_g.data().to_vec(),
+            lnf_b: model.lnf_b.data().to_vec(),
+            wte_packed: PackedB::from_pre_transposed(&model.wte),
+            config: c,
+        }
+    }
+
+    pub fn config(&self) -> &GptConfig {
+        &self.config
+    }
+
+    pub fn tp(&self) -> usize {
+        self.tp
+    }
+
+    /// Start a decode session: spawns the `tp - 1` worker rank threads and
+    /// sizes every rank's scratch/KV for `max_prompt` prompt tokens plus
+    /// generation up to the model's `max_seq`.
+    pub fn session(self: &Arc<Self>, max_prompt: usize) -> TpSession {
+        TpSession::new(Arc::clone(self), max_prompt)
+    }
+}
+
+// --- command protocol -------------------------------------------------------
+
+const CMD_PROMPT: u8 = 1;
+const CMD_DECODE: u8 = 2;
+const CMD_SHUTDOWN: u8 = 3;
+
+/// Step descriptor published by the driver before each step barrier and read
+/// by every worker after it. The barrier's release/acquire chain orders the
+/// plain atomic stores against the reads, so the steady-state decode step
+/// touches no locks (the mutex only guards the prompt hand-off).
+#[derive(Debug)]
+struct TpShared {
+    cmd: AtomicU8,
+    /// The token id to decode (valid when `cmd == CMD_DECODE`).
+    token: AtomicUsize,
+    /// The prompt to ingest (valid when `cmd == CMD_PROMPT`).
+    prompt: Mutex<Vec<usize>>,
+}
+
+/// Poisons the group barrier if its rank thread unwinds, so peer ranks
+/// panic out of their spin loops instead of hanging on a dead rendezvous.
+struct PoisonGuard(ShmPoisoner);
+
+impl Drop for PoisonGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+// --- per-rank execution state ----------------------------------------------
+
+/// One rank's private buffers: KV shard plus a scratch arena mirroring
+/// `dsi_model::fast::Scratch`, sized once at session start so the
+/// steady-state decode loop performs zero heap allocations (alloc-guard
+/// tested).
+struct RankState {
+    rank: usize,
+    /// Max prompt rows the scratch is sized for.
+    m_max: usize,
+    /// KV shard: `h/tp` columns per layer.
+    kv: KvCache,
+    /// `[m, h]` replicated activations.
+    x: Vec<f32>,
+    /// `[h]` layer-norm row (interior of the fused regions).
+    normed: Vec<f32>,
+    /// `[m, 3h/tp]` sharded QKV output.
+    qkv: Vec<f32>,
+    /// `[m, h/tp]` query rows gathered for multi-row prompts.
+    q: Vec<f32>,
+    /// `[m, h/tp]` attention context over this rank's heads.
+    attn: Vec<f32>,
+    /// `[m, h]` row-parallel partial output; the all-reduce buffer.
+    part: Vec<f32>,
+    /// `[m, 4h/tp]` sharded FF1 activation.
+    ff: Vec<f32>,
+    /// `[m, vocab]` logits (rank 0 only; empty on workers).
+    logits: Vec<f32>,
+    /// Workers' private copy of the prompt (filled under the hand-off lock,
+    /// released before compute starts so ranks never serialize on it).
+    ids_buf: Vec<usize>,
+    /// Row count of the most recent forward (selects the sampling row).
+    last_m: usize,
+}
+
+impl RankState {
+    fn new(model: &TpPackedModel, rank: usize, max_prompt: usize) -> Self {
+        let c = &model.config;
+        let m = max_prompt.max(1);
+        let hs = c.hidden / model.tp;
+        RankState {
+            rank,
+            m_max: m,
+            kv: KvCache::with_capacity(c.layers, hs, c.max_seq),
+            x: vec![0.0; m * c.hidden],
+            normed: vec![0.0; c.hidden],
+            qkv: vec![0.0; m * 3 * hs],
+            q: vec![0.0; m * hs],
+            attn: vec![0.0; m * hs],
+            part: vec![0.0; m * c.hidden],
+            ff: vec![0.0; m * 4 * hs],
+            logits: if rank == 0 { vec![0.0; m * c.vocab] } else { Vec::new() },
+            ids_buf: Vec::with_capacity(m),
+            last_m: 0,
+        }
+    }
+
+    /// Forward `ids` through this rank's layer shards, meeting the group at
+    /// the two per-layer all-reduces. Every rank computes the full `[m, h]`
+    /// activations (replicated, as in Megatron) but only its own slice of
+    /// heads / FF neurons; rank 0 additionally computes logits.
+    fn forward(&mut self, model: &TpPackedModel, comm: &mut ShmRank, ids: &[usize]) {
+        let c = &model.config;
+        let (h, tp) = (c.hidden, model.tp);
+        let hs = h / tp;
+        let heads = c.heads / tp;
+        let m = ids.len();
+        let offset = self.kv.context_len();
+        assert!(m <= self.m_max, "step of {m} rows exceeds scratch capacity");
+        assert!(offset + m <= c.max_seq, "sequence exceeds max_seq");
+        let s = self;
+
+        // Replicated embedding: token row + position row.
+        for (i, &id) in ids.iter().enumerate() {
+            assert!(id < c.vocab, "token id {id} out of vocab");
+            let te = model.wte.row(id);
+            let pe = model.wpe.row(offset + i);
+            for (x, (&t, &p)) in s.x[i * h..(i + 1) * h].iter_mut().zip(te.iter().zip(pe)) {
+                *x = t + p;
+            }
+        }
+
+        for (l, pl) in model.shards[s.rank].iter().enumerate() {
+            let kv = &mut s.kv.layers[l];
+            // Region 1: layer-norm → sharded QKV GEMM → bias.
+            fused::ln_matmul_bias_into(
+                &s.x[..m * h], m, &pl.ln1_g, &pl.ln1_b, 1e-5,
+                &pl.w_qkv, &pl.b_qkv, &mut s.normed, &mut s.qkv[..m * 3 * hs],
+            );
+            // KV shard append in place (this rank's heads only).
+            for i in 0..m {
+                let row = &s.qkv[i * 3 * hs..(i + 1) * 3 * hs];
+                kv.append_row_slices(&row[hs..2 * hs], &row[2 * hs..3 * hs]);
+            }
+            // Region 2: streaming-softmax attention over this rank's heads.
+            if m == 1 {
+                fused::attention_into(
+                    &s.qkv[..hs], 1, &kv.k, &kv.v, heads, offset, &mut s.attn[..hs],
+                );
+            } else {
+                for i in 0..m {
+                    s.q[i * hs..(i + 1) * hs]
+                        .copy_from_slice(&s.qkv[i * 3 * hs..i * 3 * hs + hs]);
+                }
+                fused::attention_into(
+                    &s.q[..m * hs], m, &kv.k, &kv.v, heads, offset, &mut s.attn[..m * hs],
+                );
+            }
+            // Region 3: row-parallel output projection → all-reduce →
+            // bias + residual (applied once, post-reduce).
+            blocked::matmul_into(&s.attn[..m * hs], m, &pl.w_o, &mut s.part[..m * h]);
+            comm.allreduce_sum(&mut s.part[..m * h]);
+            fused::bias_residual_inplace(&mut s.part[..m * h], &pl.b_o, &s.x[..m * h]);
+            std::mem::swap(&mut s.x, &mut s.part);
+            // Region 4: layer-norm → sharded FF1 GEMM → bias → GeLU.
+            fused::ln_matmul_bias_gelu_into(
+                &s.x[..m * h], m, &pl.ln2_g, &pl.ln2_b, 1e-5,
+                &pl.w_ff1, &pl.b_ff1, &mut s.normed, &mut s.ff[..m * 4 * hs],
+            );
+            // Region 5: row-parallel FF2 → all-reduce → bias + residual.
+            blocked::matmul_into(&s.ff[..m * 4 * hs], m, &pl.w_ff2, &mut s.part[..m * h]);
+            comm.allreduce_sum(&mut s.part[..m * h]);
+            fused::bias_residual_inplace(&mut s.part[..m * h], &pl.b_ff2, &s.x[..m * h]);
+            std::mem::swap(&mut s.x, &mut s.part);
+        }
+
+        // Logits on rank 0 only: final layer-norm + tied-embedding GEMM
+        // (replicated activations make the projection rank-local).
+        if s.rank == 0 {
+            for i in 0..m {
+                fused::layernorm_row_into(
+                    &s.x[i * h..(i + 1) * h], &model.lnf_g, &model.lnf_b, 1e-5, &mut s.normed,
+                );
+                blocked::matmul_into(
+                    &s.normed, 1, &model.wte_packed,
+                    &mut s.logits[i * c.vocab..(i + 1) * c.vocab],
+                );
+            }
+        }
+        s.last_m = m;
+    }
+}
+
+// --- thread pinning ---------------------------------------------------------
+
+/// Best-effort pin of the calling thread to `cpu` (Linux/x86-64 only; other
+/// targets report `false`). Uses the raw `sched_setaffinity` syscall — the
+/// repo links no libc crate.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub fn pin_current_thread(cpu: usize) -> bool {
+    let mut mask = [0u64; 16]; // 1024-cpu affinity set
+    if cpu >= mask.len() * 64 {
+        return false;
+    }
+    mask[cpu / 64] = 1u64 << (cpu % 64);
+    let ret: isize;
+    // Raw syscall 203 (sched_setaffinity) on x86-64 Linux with pid 0
+    // (= the calling thread), the size of, and a pointer to, a stack-owned
+    // cpu_set_t bitmask that outlives the call.
+    //
+    // SAFETY: the kernel only reads the mask and mutates scheduler state;
+    // registers follow the syscall ABI (rax in/out, rdi/rsi/rdx arguments,
+    // rcx/r11 clobbered), and `nostack` holds — no stack red-zone use.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203isize => ret,
+            in("rdi") 0usize,
+            in("rsi") std::mem::size_of_val(&mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+/// Non-Linux / non-x86-64 fallback: pinning unavailable.
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+pub fn pin_current_thread(_cpu: usize) -> bool {
+    false
+}
+
+// --- the session ------------------------------------------------------------
+
+/// A threaded tensor-parallel decode session with the same `generate`
+/// surface as [`dsi_model::fast::FastSession`]. Rank 0 runs inline on the
+/// caller's thread; ranks `1..tp` run on their own (best-effort pinned)
+/// OS threads and rendezvous at the shared-memory barrier each step.
+pub struct TpSession {
+    model: Arc<TpPackedModel>,
+    shared: Arc<TpShared>,
+    comm: ShmRank,
+    rank0: RankState,
+    workers: Vec<JoinHandle<()>>,
+    /// True between publishing a step command and rank 0 completing its
+    /// forward. If rank 0 unwinds mid-step, the workers may not have read
+    /// the command yet — a graceful shutdown rendezvous would race the
+    /// in-flight command, so `Drop` must poison instead.
+    inflight: bool,
+}
+
+impl TpSession {
+    pub fn new(model: Arc<TpPackedModel>, max_prompt: usize) -> Self {
+        let tp = model.tp;
+        let shared = Arc::new(TpShared {
+            cmd: AtomicU8::new(0),
+            token: AtomicUsize::new(0),
+            prompt: Mutex::new(Vec::with_capacity(max_prompt.max(1))),
+        });
+        let mut ranks = ShmComm::create(tp);
+        // Pin only when the host actually has a core per rank; on smaller
+        // hosts the barrier's yield path keeps correctness via the scheduler.
+        let pin = std::thread::available_parallelism().is_ok_and(|n| n.get() >= tp);
+        let workers = ranks
+            .drain(1..)
+            .map(|mut rank_comm| {
+                let model = Arc::clone(&model);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let _guard = PoisonGuard(rank_comm.poisoner());
+                    let r = rank_comm.rank();
+                    if pin {
+                        pin_current_thread(r);
+                    }
+                    let mut state = RankState::new(&model, r, max_prompt);
+                    loop {
+                        // Step barrier: the driver has published the command.
+                        rank_comm.barrier();
+                        match shared.cmd.load(Ordering::Relaxed) {
+                            CMD_SHUTDOWN => break,
+                            CMD_PROMPT => {
+                                {
+                                    let p = shared.prompt.lock().unwrap();
+                                    state.ids_buf.clear();
+                                    state.ids_buf.extend_from_slice(&p);
+                                } // drop the guard before compute
+                                let ids = std::mem::take(&mut state.ids_buf);
+                                state.forward(&model, &mut rank_comm, &ids);
+                                state.ids_buf = ids;
+                            }
+                            CMD_DECODE => {
+                                let id = shared.token.load(Ordering::Relaxed);
+                                state.forward(&model, &mut rank_comm, &[id]);
+                            }
+                            other => panic!("tp_exec: invalid step command {other}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        let comm = ranks.pop().expect("rank 0 handle");
+        let rank0 = RankState::new(&model, 0, max_prompt);
+        TpSession { model, shared, comm, rank0, workers, inflight: false }
+    }
+
+    pub fn tp(&self) -> usize {
+        self.model.tp
+    }
+
+    /// Context length consumed so far.
+    pub fn context_len(&self) -> usize {
+        self.rank0.kv.context_len()
+    }
+
+    /// The `[vocab]` logits row of the most recently forwarded position
+    /// (same contract as [`FastSession::last_logits`]).
+    ///
+    /// [`FastSession::last_logits`]: dsi_model::fast::FastSession::last_logits
+    pub fn last_logits(&self) -> &[f32] {
+        assert!(self.rank0.last_m > 0, "last_logits() before any step");
+        let vocab = self.model.config.vocab;
+        &self.rank0.logits[(self.rank0.last_m - 1) * vocab..self.rank0.last_m * vocab]
+    }
+
+    /// Run one group step: publish the command, cross the step barrier, and
+    /// execute rank 0's share inline.
+    fn step(&mut self, cmd: u8, ids: &[usize]) {
+        assert!(
+            !self.comm.is_poisoned(),
+            "tp_exec: a rank panicked; the session is dead"
+        );
+        self.inflight = true;
+        self.shared.cmd.store(cmd, Ordering::Relaxed);
+        self.comm.barrier();
+        self.rank0.forward(&self.model, &mut self.comm, ids);
+        // The workers have read the command (they joined this step's
+        // all-reduces), so a later shutdown store cannot race it.
+        self.inflight = false;
+    }
+
+    /// Greedy generation with the exact [`FastSession`] semantics: process
+    /// `prompt`, then emit `n_tokens` tokens.
+    ///
+    /// [`FastSession`]: dsi_model::fast::FastSession
+    pub fn generate(&mut self, prompt: &[usize], n_tokens: usize) -> Vec<usize> {
+        assert!(!prompt.is_empty(), "empty prompt");
+        assert!(prompt.len() <= self.rank0.m_max, "prompt exceeds session max_prompt");
+        {
+            let mut p = self.shared.prompt.lock().unwrap();
+            p.clear();
+            p.extend_from_slice(prompt);
+        }
+        self.step(CMD_PROMPT, prompt);
+        let mut next = argmax(self.last_logits());
+        let mut out = Vec::with_capacity(n_tokens);
+        out.push(next);
+        for _ in 1..n_tokens {
+            self.shared.token.store(next, Ordering::Relaxed);
+            self.step(CMD_DECODE, &[next]);
+            next = argmax(self.last_logits());
+            out.push(next);
+        }
+        out
+    }
+}
+
+impl Drop for TpSession {
+    fn drop(&mut self) {
+        if self.inflight || self.comm.is_poisoned() || std::thread::panicking() {
+            // A rank (possibly this one) is already dead: make sure every
+            // spinning peer unblocks, then reap without double-panicking.
+            self.comm.poison();
+        } else {
+            self.shared.cmd.store(CMD_SHUTDOWN, Ordering::Relaxed);
+            // A worker can still die between the check above and the
+            // rendezvous; a poisoned shutdown barrier then means "group
+            // already dead", not a new failure worth panicking out of Drop.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.comm.barrier();
+            }));
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_model::fast::PackedModel;
+    use dsi_model::zoo;
+
+    fn model(layers: usize, seed: u64) -> GptModel {
+        GptModel::random(zoo::tiny(layers), seed)
+    }
+
+    #[test]
+    fn tp1_generate_matches_fast_session_exactly() {
+        let m = model(2, 42);
+        let pm = PackedModel::pack(&m);
+        let want = pm.session(4).generate(&[1, 2, 3, 4], 8);
+        let tpm = Arc::new(TpPackedModel::shard(&m, 1));
+        let got = tpm.session(4).generate(&[1, 2, 3, 4], 8);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tp2_and_tp4_generate_match_fast_session() {
+        for seed in [7u64, 21] {
+            let m = model(2, seed);
+            let pm = PackedModel::pack(&m);
+            let want = pm.session(4).generate(&[5, 6, 7], 10);
+            for tp in [2usize, 4] {
+                let tpm = Arc::new(TpPackedModel::shard(&m, tp));
+                let got = tpm.session(4).generate(&[5, 6, 7], 10);
+                assert_eq!(got, want, "tp {tp} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn session_reuse_continues_context() {
+        // Two generate calls on one session share the KV context, exactly
+        // like FastSession.
+        let m = model(2, 9);
+        let pm = PackedModel::pack(&m);
+        let mut fast = pm.session(4);
+        let f1 = fast.generate(&[1, 2], 3);
+        let f2 = fast.generate(&[8, 9], 3);
+        let tpm = Arc::new(TpPackedModel::shard(&m, 2));
+        let mut sess = tpm.session(4);
+        assert_eq!(sess.generate(&[1, 2], 3), f1);
+        assert_eq!(sess.generate(&[8, 9], 3), f2);
+    }
+
+    #[test]
+    fn last_logits_exposes_sampling_row() {
+        let m = model(1, 3);
+        let tpm = Arc::new(TpPackedModel::shard(&m, 2));
+        let mut sess = tpm.session(2);
+        let toks = sess.generate(&[1, 2], 1);
+        assert_eq!(toks[0], argmax(sess.last_logits()));
+        assert_eq!(sess.last_logits().len(), tpm.config().vocab);
+    }
+
+    #[test]
+    fn worker_panic_poisons_instead_of_hanging() {
+        // An out-of-vocab token makes every rank's forward assert; the
+        // workers' poison guards must fail the group loudly (and Drop must
+        // reap the dead threads without hanging).
+        let m = model(1, 5);
+        let tpm = Arc::new(TpPackedModel::shard(&m, 2));
+        let mut sess = tpm.session(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sess.generate(&[1_000_000], 1);
+        }));
+        assert!(caught.is_err());
+        drop(sess); // must not deadlock
+    }
+
+    #[test]
+    fn indivisible_tp_rejected() {
+        let m = model(1, 1);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            TpPackedModel::shard(&m, 3); // tiny() has 4 heads
+        }));
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Allocation guard for the executed TP engine: steady-state decode must not
+//! allocate per token, on any rank. All per-rank buffers (activations, KV,
+//! scratch, the prompt hand-off vector) are reserved at session creation;
+//! the only allocation a `generate` call may make is its own output `Vec`.
+//!
+//! This file holds exactly one test so the process-global counting allocator
+//! is not polluted by concurrently running tests in the same binary.
+
+use dsi_model::reference::GptModel;
+use dsi_model::zoo;
+use dsi_parallel::tp_exec::TpPackedModel;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    /// # Safety
+    /// Same contract as [`GlobalAlloc::alloc`]; this impl only counts and
+    /// forwards to the system allocator.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarding the exact layout to the system allocator; the
+        // caller upholds GlobalAlloc's contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    /// # Safety
+    /// Same contract as [`GlobalAlloc::dealloc`].
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was returned by `alloc` above with this `layout`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_decode_does_not_allocate() {
+    let model = GptModel::random(zoo::tiny(2), 11);
+    let tpm = Arc::new(TpPackedModel::shard(&model, 2));
+    let mut sess = tpm.session(8);
+
+    // Warm-up: prompt ingestion plus a few decode steps touches every lazy
+    // path once (worker thread startup, prompt vector growth, first KV rows).
+    sess.generate(&[1, 2, 3], 4);
+
+    // Two more generate calls of different lengths on the same session. Each
+    // may allocate a constant amount (its output Vec); the per-token marginal
+    // cost must be zero, so the deltas must be equal.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let a = sess.generate(&[5], 5);
+    let mid = ALLOCS.load(Ordering::SeqCst);
+    let b = sess.generate(&[7], 25);
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(a.len(), 5);
+    assert_eq!(b.len(), 25);
+
+    let short = mid - before;
+    let long = after - mid;
+    assert_eq!(
+        short, long,
+        "decoding 25 tokens allocated {long} times vs {short} for 5: per-token allocation"
+    );
+    assert!(
+        short <= 2,
+        "steady-state generate made {short} allocations; only the output Vec is allowed"
+    );
+}

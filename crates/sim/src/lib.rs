@@ -15,7 +15,11 @@
 //!   an explicit hierarchical topology, plus *functional* collectives that
 //!   actually move data between rank-local buffers so that communication
 //!   rewrites (e.g. the PCC all-to-all of Sec. V-B) can be verified for
-//!   correctness, not just costed.
+//!   correctness, not just costed,
+//! * [`shmem`] — *executed* collectives for threaded ranks on one host: a
+//!   sense-reversing barrier and a chunked in-place all-reduce over
+//!   published per-rank buffers, used by the executed tensor-parallel
+//!   engine (`dsi-parallel::tp_exec`) as its NCCL stand-in.
 //!
 //! The models here are rooflines: a kernel's execution time is
 //! `max(flops / peak, bytes / bandwidth) + launch overhead`, and a message's
@@ -27,10 +31,12 @@
 pub mod collectives;
 pub mod engine;
 pub mod hw;
+pub mod shmem;
 pub mod topology;
 pub mod trace;
 
-pub use collectives::{CollectiveCost, CommGroup};
+pub use collectives::{allreduce_sum_slices, CollectiveCost, CommGroup};
+pub use shmem::{SenseBarrier, ShmComm, ShmPoisoner, ShmRank};
 pub use engine::{Resource, Schedule, Task, TaskGraph, TaskId};
 pub use hw::{ClusterSpec, GpuSpec, LinkSpec, NodeSpec};
 pub use topology::Topology;

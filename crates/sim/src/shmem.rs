@@ -1,0 +1,437 @@
+//! Shared-memory collectives: the *executed* counterpart of
+//! [`crate::collectives`].
+//!
+//! [`CommGroup`](crate::collectives::CommGroup) is a functional oracle: it
+//! owns every rank's buffer, runs on one thread, and clones freely. That is
+//! the right tool for verifying schedule rewrites, but it cannot demonstrate
+//! a tensor-parallel *speedup* — the paper's per-layer all-reduces
+//! (Sec. IV-A) only pay off because ranks run concurrently and synchronize
+//! through a fast intra-node fabric. On a multi-core CPU host the fabric is
+//! the cache-coherent memory system, so this module provides the NCCL-role
+//! equivalent for threaded ranks:
+//!
+//! * [`SenseBarrier`] — a sense-reversing centralized barrier: one atomic
+//!   counter plus one atomic sense flag, reusable every round with no
+//!   per-round state reset (each participant keeps a thread-local sense bit
+//!   that flips per crossing). Waiters spin briefly then yield, so the
+//!   barrier stays correct (if slow) even when ranks share one core.
+//! * [`ShmComm`] / [`ShmRank`] — a communicator over `world` threads where
+//!   each rank *publishes* a pointer to its own buffer and the group runs a
+//!   chunked all-reduce in place: rank `r` owns chunk `r`, sums that chunk
+//!   across every rank's published buffer (reduce-scatter), then copies the
+//!   other owners' reduced chunks back (all-gather). Three barrier
+//!   crossings, zero heap allocation, no full-buffer clone — each element
+//!   is read `world` times and written twice, independent of `world`.
+//!
+//! The reduction order is fixed (rank 0, 1, …, world−1 per element), so a
+//! shared-memory all-reduce is bit-identical to
+//! [`CommGroup::allreduce_sum`](crate::collectives::CommGroup::allreduce_sum)
+//! on the same inputs — the tests hold the two against each other.
+//!
+//! The collective *program* this engine executes per buffer —
+//! barrier / reduce-scatter / barrier / all-gather / barrier — is modelled
+//! statically in `dsi-verify::collective::tp_exec_allreduce_programs`, so
+//! the race detector can prove the per-layer schedule deadlock-free (and a
+//! seeded missing-barrier control proves the detector still fires).
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How many busy spins to burn before yielding the core. Small: on a
+/// saturated or single-core host the barrier degrades to cooperative
+/// scheduling instead of burning a quantum per crossing.
+const SPINS_BEFORE_YIELD: u32 = 64;
+
+/// Sense-reversing centralized barrier for a fixed party count.
+///
+/// Every participant holds its own sense bit (see [`ShmRank`]) and flips it
+/// each crossing; the last arriver resets the counter and publishes the new
+/// global sense, releasing the spinners. Unlike `std::sync::Barrier` there
+/// is no generation bookkeeping or mutex — two atomics, both on one cache
+/// line, reused forever.
+///
+/// A participant that panics would strand the others mid-spin, so the
+/// barrier carries a poison flag: [`SenseBarrier::poison`] makes every
+/// current and future waiter panic instead of spinning on a dead group.
+#[derive(Debug)]
+pub struct SenseBarrier {
+    parties: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+    poisoned: AtomicBool,
+}
+
+impl SenseBarrier {
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1, "barrier needs at least one party");
+        SenseBarrier {
+            parties,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Cross the barrier. `local_sense` is the caller's thread-local sense
+    /// bit (start every participant at `false` and pass the same variable to
+    /// every crossing).
+    ///
+    /// # Panics
+    /// Panics if the barrier is [poisoned](Self::poison) — a peer died and
+    /// the rendezvous can never complete.
+    pub fn wait(&self, local_sense: &mut bool) {
+        let target = !*local_sense;
+        *local_sense = target;
+        // AcqRel: the arrival both publishes this thread's writes (release)
+        // and, for the last arriver, observes every peer's writes (acquire)
+        // before it releases them all via the sense store.
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(target, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != target {
+                if self.poisoned.load(Ordering::Relaxed) {
+                    panic!("shmem barrier poisoned: a peer rank panicked");
+                }
+                if spins < SPINS_BEFORE_YIELD {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Mark the group dead: every rank currently or subsequently spinning in
+    /// [`wait`](Self::wait) panics instead of hanging. Called from rank
+    /// panic guards so one failing rank fails the whole group loudly.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+}
+
+/// One rank's published buffer window: base pointer + length, written by the
+/// owner before the publish barrier and read by peers between barriers.
+#[derive(Debug)]
+struct Slot {
+    ptr: AtomicPtr<f32>,
+    len: AtomicUsize,
+}
+
+/// Shared state of a thread group: one slot per rank plus the barrier.
+/// Create with [`ShmComm::create`], which hands out one [`ShmRank`] per
+/// rank; the `ShmComm` itself stays behind an `Arc` inside the handles.
+#[derive(Debug)]
+pub struct ShmComm {
+    slots: Vec<Slot>,
+    barrier: SenseBarrier,
+}
+
+impl ShmComm {
+    /// Build a `world`-rank communicator and return the per-rank handles,
+    /// in rank order. Each handle must move to (at most) one thread.
+    pub fn create(world: usize) -> Vec<ShmRank> {
+        assert!(world >= 1, "communicator needs at least one rank");
+        let comm = Arc::new(ShmComm {
+            slots: (0..world)
+                .map(|_| Slot {
+                    ptr: AtomicPtr::new(std::ptr::null_mut()),
+                    len: AtomicUsize::new(0),
+                })
+                .collect(),
+            barrier: SenseBarrier::new(world),
+        });
+        (0..world)
+            .map(|rank| ShmRank { comm: Arc::clone(&comm), rank, sense: false })
+            .collect()
+    }
+}
+
+/// A rank's handle on a [`ShmComm`]: carries the rank id and the
+/// thread-local barrier sense. Not `Clone` — exactly one handle per rank,
+/// so each collective call is one arrival per rank.
+#[derive(Debug)]
+pub struct ShmRank {
+    comm: Arc<ShmComm>,
+    rank: usize,
+    sense: bool,
+}
+
+/// A cloneable poison-only handle on a group's barrier. Panic guards hold
+/// one so a dying rank thread can fail the whole group without owning the
+/// (non-`Clone`) [`ShmRank`].
+#[derive(Debug, Clone)]
+pub struct ShmPoisoner(Arc<ShmComm>);
+
+impl ShmPoisoner {
+    /// Poison the group barrier (see [`SenseBarrier::poison`]).
+    pub fn poison(&self) {
+        self.0.barrier.poison();
+    }
+}
+
+impl ShmRank {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn world(&self) -> usize {
+        self.comm.slots.len()
+    }
+
+    /// Cross the group barrier (one arrival for this rank).
+    pub fn barrier(&mut self) {
+        self.comm.barrier.wait(&mut self.sense);
+    }
+
+    /// Poison the group barrier (see [`SenseBarrier::poison`]).
+    pub fn poison(&self) {
+        self.comm.barrier.poison();
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.comm.barrier.is_poisoned()
+    }
+
+    /// A detached poison-only handle for panic guards.
+    pub fn poisoner(&self) -> ShmPoisoner {
+        ShmPoisoner(Arc::clone(&self.comm))
+    }
+
+    /// `[start, end)` of the chunk owned by `rank` when `len` elements are
+    /// split across the world: near-even contiguous chunks, remainder spread
+    /// over the leading ranks.
+    fn chunk(&self, owner: usize, len: usize) -> (usize, usize) {
+        let world = self.world();
+        let q = len / world;
+        let rem = len % world;
+        let start = owner * q + owner.min(rem);
+        let width = q + usize::from(owner < rem);
+        (start, start + width)
+    }
+
+    /// In-place all-reduce (sum) of `buf` across all ranks: every rank calls
+    /// this with its own equal-length buffer; on return every buffer holds
+    /// the element-wise sum in rank order (bit-identical to
+    /// [`CommGroup::allreduce_sum`](crate::collectives::CommGroup::allreduce_sum)).
+    ///
+    /// Performs zero heap allocations and no full-buffer copy: rank `r`
+    /// reduces chunk `r` across the published peers (reduce-scatter), then
+    /// copies each foreign owner's reduced chunk home (all-gather), with
+    /// barriers separating publish / reduce / gather so no rank reads a
+    /// chunk before its owner finished writing it, and no rank reclaims its
+    /// buffer while a peer may still be reading.
+    pub fn allreduce_sum(&mut self, buf: &mut [f32]) {
+        let world = self.world();
+        if world == 1 {
+            return;
+        }
+        let len = buf.len();
+        // Publish this rank's window.
+        let slot = &self.comm.slots[self.rank];
+        slot.ptr.store(buf.as_mut_ptr(), Ordering::Relaxed);
+        slot.len.store(len, Ordering::Relaxed);
+        // Barrier 1: every window is published; all pre-collective writes
+        // to every buffer are visible.
+        self.comm.barrier.wait(&mut self.sense);
+        for (r, s) in self.comm.slots.iter().enumerate() {
+            assert_eq!(
+                s.len.load(Ordering::Relaxed),
+                len,
+                "allreduce requires equal buffer lengths (rank {r})"
+            );
+        }
+
+        let (lo, hi) = self.chunk(self.rank, len);
+        // Reduce-scatter: sum this rank's owned chunk across every rank's
+        // published window, in rank order, writing the result into our own
+        // window. Every pointer was published by a live `&mut [f32]` of
+        // length `len` (checked above) and stays valid until barrier 3
+        // releases the owners; `i < len` bounds every access.
+        //
+        // SAFETY: the only locations written between barriers 1 and 2 are
+        // `own[lo..hi]`, disjoint from every peer's owned chunk, so no
+        // unsynchronized access conflicts; reads of peer chunks race with
+        // nothing because peers only write inside their own chunk.
+        unsafe {
+            let own = slot.ptr.load(Ordering::Relaxed);
+            for i in lo..hi {
+                let mut s = 0.0f32;
+                for peer in &self.comm.slots {
+                    s += *peer.ptr.load(Ordering::Relaxed).add(i);
+                }
+                *own.add(i) = s;
+            }
+        }
+        // Barrier 2: every owned chunk is fully reduced.
+        self.comm.barrier.wait(&mut self.sense);
+        // All-gather: copy each foreign owner's reduced chunk from its
+        // window into ours. Same pointer validity as the reduce-scatter.
+        //
+        // SAFETY: between barriers 2 and 3 this rank writes only
+        // `own[c_lo..c_hi]` for owners != rank — regions no peer touches
+        // (peers read only their own chunk of this window, and write only
+        // foreign chunks of their own windows).
+        unsafe {
+            let own = slot.ptr.load(Ordering::Relaxed);
+            for (owner, peer) in self.comm.slots.iter().enumerate() {
+                if owner == self.rank {
+                    continue;
+                }
+                let (c_lo, c_hi) = self.chunk(owner, len);
+                std::ptr::copy_nonoverlapping(
+                    peer.ptr.load(Ordering::Relaxed).add(c_lo),
+                    own.add(c_lo),
+                    c_hi - c_lo,
+                );
+            }
+        }
+        // Barrier 3: no rank may reuse (or free) its buffer until every
+        // peer has finished gathering from it.
+        self.comm.barrier.wait(&mut self.sense);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::CommGroup;
+    use std::sync::Mutex;
+
+    /// Run `world` threads, rank `r` executing `f(rank_handle, r)`.
+    fn run_ranks<F>(world: usize, f: F)
+    where
+        F: Fn(ShmRank, usize) + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let handles: Vec<_> = ShmComm::create(world)
+            .into_iter()
+            .enumerate()
+            .map(|(r, h)| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || f(h, r))
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("rank thread panicked");
+        }
+    }
+
+    #[test]
+    fn allreduce_matches_comm_group_oracle() {
+        for world in [1usize, 2, 3, 4] {
+            for len in [1usize, 7, 32, 101] {
+                let bufs: Vec<Vec<f32>> = (0..world)
+                    .map(|r| (0..len).map(|i| ((r * len + i) as f32).sin()).collect())
+                    .collect();
+                let mut oracle = CommGroup::new(bufs.clone());
+                oracle.allreduce_sum();
+                let results = Arc::new(Mutex::new(vec![Vec::new(); world]));
+                let results2 = Arc::clone(&results);
+                run_ranks(world, move |mut h, r| {
+                    let mut buf = bufs[r].clone();
+                    h.allreduce_sum(&mut buf);
+                    results2.lock().unwrap()[r] = buf;
+                });
+                let got = results.lock().unwrap();
+                for r in 0..world {
+                    assert_eq!(got[r], oracle.buffers[r], "world {world} len {len} rank {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_allreduce_reuses_sense_correctly() {
+        // Many rounds over the same communicator: a broken sense reversal
+        // (or stale counter) would deadlock or mix rounds. Each round's
+        // expected sum depends on the previous, so any cross-round leak
+        // shows up numerically.
+        let world = 4;
+        let rounds = 200;
+        run_ranks(world, move |mut h, r| {
+            let mut buf = vec![r as f32 + 1.0; 16];
+            for round in 0..rounds {
+                h.allreduce_sum(&mut buf);
+                let want = expected(world, round);
+                assert!(
+                    buf.iter().all(|&v| v == want),
+                    "rank {r} round {round}: {} != {want}",
+                    buf[0]
+                );
+                // Diverge again for the next round.
+                for v in buf.iter_mut() {
+                    *v = *v / want * (r as f32 + 1.0) + round as f32;
+                }
+            }
+        });
+        fn expected(world: usize, round: usize) -> f32 {
+            // Closed form of the recurrence above: after the reduce every
+            // rank holds sum(1..=world) (+ world * round' corrections).
+            let base: f32 = (1..=world).map(|r| r as f32).sum();
+            if round == 0 {
+                base
+            } else {
+                base + world as f32 * (round - 1) as f32
+            }
+        }
+    }
+
+    #[test]
+    fn world_one_is_identity() {
+        let mut h = ShmComm::create(1).pop().unwrap();
+        let mut buf = vec![3.0, 4.0];
+        h.allreduce_sum(&mut buf);
+        assert_eq!(buf, vec![3.0, 4.0]);
+        h.barrier(); // trivially passes at world 1
+    }
+
+    #[test]
+    fn uneven_chunks_cover_buffer() {
+        // len not divisible by world: remainder chunks must still tile the
+        // buffer exactly (the reduce result proves full coverage).
+        for (world, len) in [(3usize, 10usize), (4, 5), (2, 1), (4, 3)] {
+            let bufs: Vec<Vec<f32>> = (0..world).map(|r| vec![(r + 1) as f32; len]).collect();
+            let want: f32 = (1..=world).map(|r| r as f32).sum();
+            let results = Arc::new(Mutex::new(vec![Vec::new(); world]));
+            let results2 = Arc::clone(&results);
+            run_ranks(world, move |mut h, r| {
+                let mut buf = bufs[r].clone();
+                h.allreduce_sum(&mut buf);
+                results2.lock().unwrap()[r] = buf;
+            });
+            for b in results.lock().unwrap().iter() {
+                assert!(b.iter().all(|&v| v == want), "world {world} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_barrier_panics_waiters() {
+        let mut handles = ShmComm::create(2);
+        let waiter = handles.pop().unwrap();
+        let poisoner = handles.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut w = waiter;
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                w.barrier();
+            }));
+            caught.is_err()
+        });
+        // Give the waiter time to park in the spin loop, then poison
+        // instead of arriving.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        poisoner.poison();
+        assert!(t.join().unwrap(), "waiter must panic on poisoned barrier");
+    }
+}

@@ -38,6 +38,9 @@ pub enum CollKind {
     ReduceScatter,
     AllToAll,
     Broadcast,
+    /// Pure synchronization, no payload (the shared-memory engine's
+    /// sense-reversing barrier). `bytes` is 0 by convention.
+    Barrier,
 }
 
 /// One communication call issued by a rank.
@@ -298,6 +301,51 @@ pub fn tp_allreduce_programs(mapping: &Mapping3D, layers: usize, bytes: u64) -> 
     (groups, programs)
 }
 
+/// The shared-memory backend's expansion of one in-place all-reduce
+/// (`dsi_sim::shmem::ShmRank::allreduce_sum`): a publish barrier so every
+/// rank's buffer pointer is visible, a chunked reduce-scatter where rank *r*
+/// reduces chunk *r* of every buffer in place, a barrier so all chunks are
+/// final before anyone reads a remote one, an all-gather copying the reduced
+/// chunks into each local buffer, and a release barrier so no rank unpublishes
+/// a buffer another rank is still reading.
+pub fn shmem_allreduce_ops(group: &[usize], bytes: u64, tag: &str) -> Vec<Op> {
+    vec![
+        Op::coll(CollKind::Barrier, group.to_vec(), 0, format!("{tag}.publish")),
+        Op::coll(CollKind::ReduceScatter, group.to_vec(), bytes, format!("{tag}.reduce")),
+        Op::coll(CollKind::Barrier, group.to_vec(), 0, format!("{tag}.reduced")),
+        Op::coll(CollKind::AllGather, group.to_vec(), bytes, format!("{tag}.gather")),
+        Op::coll(CollKind::Barrier, group.to_vec(), 0, format!("{tag}.release")),
+    ]
+}
+
+/// The collective program the *executed* tensor-parallel engine
+/// (`dsi-parallel::tp_exec::TpSession`) runs per forward step over its
+/// `world` threaded ranks: one step-dispatch barrier (the driver publishes
+/// the command/token, workers pick it up), then per layer the two
+/// row-parallel all-reduces of Sec. IV-A (attention output and FF2), each
+/// expanded into the shared-memory backend's barrier-fenced
+/// reduce-scatter + all-gather sequence. With `world == 1` the engine's
+/// all-reduce is a no-op early return, so only the step barrier remains.
+pub fn tp_exec_allreduce_programs(
+    world: usize,
+    layers: usize,
+    bytes: u64,
+) -> (Vec<Vec<usize>>, Programs) {
+    let group: Vec<usize> = (0..world).collect();
+    let mut programs = Programs::new();
+    for rank in 0..world {
+        let mut ops = vec![Op::coll(CollKind::Barrier, group.clone(), 0, "step.dispatch")];
+        if world > 1 {
+            for l in 0..layers {
+                ops.extend(shmem_allreduce_ops(&group, bytes, &format!("layer{l}.attn_out")));
+                ops.extend(shmem_allreduce_ops(&group, bytes, &format!("layer{l}.ff2")));
+            }
+        }
+        programs.insert(rank, ops);
+    }
+    (vec![group], programs)
+}
+
 /// The pipeline point-to-point program: within each (dp, tp) pipeline
 /// group, stage `s` receives each micro-batch's activation from stage `s-1`,
 /// then sends its own output to stage `s+1`.
@@ -510,6 +558,37 @@ mod tests {
             let d = check_programs(&groups, &progs);
             assert!(d.is_empty(), "({dp},{pp},{tp}): {d:?}");
         }
+    }
+
+    #[test]
+    fn tp_exec_programs_are_clean() {
+        for world in [1usize, 2, 4, 8] {
+            let (groups, progs) = tp_exec_allreduce_programs(world, 3, 4 * 256);
+            let d = check_programs(&groups, &progs);
+            assert!(d.is_empty(), "world {world}: {d:?}");
+            // The expansion really is barrier-fenced: 1 step barrier plus
+            // 5 ops per all-reduce, 2 all-reduces per layer.
+            let want_len = if world > 1 { 1 + 3 * 2 * 5 } else { 1 };
+            assert_eq!(progs[&0].len(), want_len);
+        }
+    }
+
+    #[test]
+    fn tp_exec_missing_barrier_detected() {
+        // Rank 1 skips the `.reduced` barrier between reduce-scatter and
+        // all-gather of layer 0's attention-output all-reduce: the lock-step
+        // check flags the shorter program and the rendezvous simulation
+        // reports the resulting stall.
+        let (groups, mut progs) = tp_exec_allreduce_programs(4, 2, 512);
+        let victim = progs.get_mut(&1).unwrap();
+        let idx = victim
+            .iter()
+            .position(|op| matches!(op, Op::Coll { tag, .. } if tag == "layer0.attn_out.reduced"))
+            .expect("barrier op present");
+        victim.remove(idx);
+        let d = check_programs(&groups, &progs);
+        assert!(d.iter().any(|x| x.code == "collective-mismatch"), "{d:?}");
+        assert!(d.iter().any(|x| x.code == "deadlock"), "{d:?}");
     }
 
     #[test]

@@ -9,20 +9,23 @@
 //! * **Scratch** — the fast decode path of each dense model (prompt
 //!   ingestion + steady-state decode against the real arena layout);
 //! * **Collective** — tensor-parallel all-reduce programs for each Fig. 6
-//!   mapping, pipeline p2p programs and task-graph structure for the Fig. 8
-//!   mappings, expert-parallel all-to-all programs for each Table II model;
+//!   mapping, the executed TP engine's barrier-fenced shared-memory
+//!   all-reduce schedule at its bench degrees, pipeline p2p programs and
+//!   task-graph structure for the Fig. 8 mappings, expert-parallel
+//!   all-to-all programs for each Table II model;
 //! * **Audit** — runs separately in xtask (it needs the source tree).
 //!
 //! [`negative_controls`] seeds one defect of each class the verifier claims
 //! to catch — a dtype-mixed region, a corrupted GEMM contraction, an illegal
 //! fusion boundary, an aliased scratch write, a rank skipping an all-reduce,
-//! a cyclic task graph, an undocumented `unsafe` block — and returns the
+//! a rank skipping a shared-memory barrier crossing, a cyclic task graph,
+//! an undocumented `unsafe` block — and returns the
 //! diagnostics each produced. CI fails if any control comes back clean: a
 //! verifier that stops detecting is worse than none.
 
 use crate::collective::{
     check_pipeline, check_programs, ep_alltoall_programs, find_cycle, pp_p2p_programs,
-    simulate_rendezvous, tp_allreduce_programs, DiGraph,
+    simulate_rendezvous, tp_allreduce_programs, tp_exec_allreduce_programs, DiGraph, Op,
 };
 use crate::ir::verify_layer_plan;
 use crate::scratch::{check_trace, Arena, SliceRef, Step};
@@ -162,7 +165,20 @@ pub fn verify_all() -> SweepReport {
         }
     }
 
-    // --- Pass 3c: Table II expert-parallel all-to-all programs. ---
+    // --- Pass 3c: executed TP engine's barrier-fenced shmem programs. ---
+    // The threaded engine (dsi-parallel::tp_exec) runs at the bench degrees
+    // {1, 2, 4}; verify its per-step barrier/reduce-scatter/all-gather
+    // schedule is deadlock-free at each.
+    for world in [1usize, 2, 4] {
+        let (groups, progs) = tp_exec_allreduce_programs(world, 4, 4 * 256);
+        report.collective_programs += 1;
+        report.diagnostics.extend(check_programs(&groups, &progs).into_iter().map(|mut x| {
+            x.site = format!("tp_exec world={world}: {}", x.site);
+            x
+        }));
+    }
+
+    // --- Pass 3d: Table II expert-parallel all-to-all programs. ---
     for moe in zoo::table2() {
         let bytes = 2 * moe.base.hidden as u64;
         let (groups, progs) =
@@ -267,6 +283,21 @@ pub fn negative_controls() -> Vec<Control> {
         diagnostics: check_programs(&groups, &progs),
     });
 
+    // Collective: the executed TP engine with one barrier crossing missing
+    // (rank 1 races past the reduce-scatter/all-gather fence).
+    let (groups, mut progs) = tp_exec_allreduce_programs(4, 2, 512);
+    let victim = progs.get_mut(&1).unwrap();
+    let idx = victim
+        .iter()
+        .position(|op| matches!(op, Op::Coll { tag, .. } if tag == "layer0.attn_out.reduced"))
+        .expect("barrier op present");
+    victim.remove(idx);
+    out.push(Control {
+        name: "missing barrier in shmem all-reduce (rank 1 skips the fence)",
+        expect_code: "deadlock",
+        diagnostics: check_programs(&groups, &progs),
+    });
+
     // Pipeline: a cyclic dependency graph.
     let cyclic = DiGraph { n: 4, edges: vec![(0, 1), (1, 2), (2, 0), (2, 3)] };
     let diag = find_cycle(&cyclic)
@@ -320,7 +351,7 @@ mod tests {
     #[test]
     fn every_negative_control_fires() {
         let controls = negative_controls();
-        assert_eq!(controls.len(), 8);
+        assert_eq!(controls.len(), 9);
         for c in &controls {
             assert!(c.fired(), "control `{}` produced {:?}", c.name, c.diagnostics);
         }

@@ -9,7 +9,8 @@ use deepspeed_inference::kernels::ops;
 use deepspeed_inference::model::reference::{layer_forward, GptModel, KvCache, LayerKv};
 use deepspeed_inference::model::zoo;
 use deepspeed_inference::moe::layer::{ep_forward, MoeLayer};
-use deepspeed_inference::parallel::tp::{shard_layer, tp_layer_forward};
+use deepspeed_inference::parallel::tp::{shard_layer, tp_layer_forward, tp_layer_forward_into};
+use deepspeed_inference::parallel::tp_exec::TpPackedModel;
 use deepspeed_inference::DType;
 
 /// Full-model tensor parallelism: shard every layer, run the whole stack
@@ -42,8 +43,12 @@ fn tensor_parallel_full_model_equivalence() {
             *a += b;
         }
     }
+    // Ping-pong between `x` and one caller-owned output buffer: the layer
+    // reduces into `out` in place, no per-layer CommGroup or clone.
+    let mut out = Tensor::zeros(x.shape());
     for l in 0..cfg.layers {
-        x = tp_layer_forward(&shards[l], &x, &mut kvs[l]);
+        tp_layer_forward_into(&shards[l], &x, &mut kvs[l], &mut out);
+        std::mem::swap(&mut x, &mut out);
     }
     let x = ops::layernorm(&x, &model.lnf_g, &model.lnf_b, 1e-5);
     let got = ops::matmul_transb(&x, &model.wte);
@@ -55,6 +60,25 @@ fn tensor_parallel_full_model_equivalence() {
     );
     // Greedy decisions must agree exactly.
     assert_eq!(ops::argmax_rows(&got), ops::argmax_rows(&want));
+}
+
+/// The executed (threaded) TP engine decodes token-identically to the
+/// single-thread fast path, which itself matches the reference — closing
+/// the loop reference → fast → tp_exec at every TP degree.
+#[test]
+fn tp_exec_session_matches_fast_session_tokens() {
+    use deepspeed_inference::model::fast::PackedModel;
+    use std::sync::Arc;
+
+    let model = GptModel::random(zoo::tiny(2), 123);
+    let pm = PackedModel::pack(&model);
+    let want = pm.session(4).generate(&[3, 14, 15, 92], 12);
+    assert_eq!(want, model.generate(&[3, 14, 15, 92], 12));
+    for tp in [1usize, 2, 4] {
+        let tpm = Arc::new(TpPackedModel::shard(&model, tp));
+        let got = tpm.session(4).generate(&[3, 14, 15, 92], 12);
+        assert_eq!(got, want, "tp {tp}");
+    }
 }
 
 /// KV-cached generation equals full recomputation across multiple steps.
