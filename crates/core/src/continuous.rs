@@ -11,7 +11,7 @@
 //! removes, on the same engine cost model.
 
 use crate::engine::InferenceEngine;
-use crate::serving::{ServingReport, Workload};
+use crate::serving::{FaultProfile, ServingReport, Workload};
 use rand::distributions::Distribution;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -28,6 +28,7 @@ struct Request {
     arrival: f64,
     remaining: usize,
     prompt_done: bool,
+    retries_left: usize,
 }
 
 /// Simulate continuous batching for `workload` on `engine`. Time advances in
@@ -39,9 +40,25 @@ pub fn simulate_continuous(
     workload: &Workload,
     policy: ContinuousPolicy,
 ) -> ServingReport {
+    simulate_continuous_with_faults(engine, workload, policy, FaultProfile::NONE)
+}
+
+/// [`simulate_continuous`] with a request-level [`FaultProfile`]. A request's
+/// attempt fails (with probability `failure_rate`) at the moment it would
+/// retire; a failed request with retry budget left restarts in place —
+/// re-prefilled and regenerated while holding its batch slot — and one that
+/// exhausts the budget is evicted and counted, never silently dropped.
+pub fn simulate_continuous_with_faults(
+    engine: &InferenceEngine,
+    workload: &Workload,
+    policy: ContinuousPolicy,
+    faults: FaultProfile,
+) -> ServingReport {
     assert!(workload.requests > 0 && policy.max_batch > 0);
+    assert!((0.0..=1.0).contains(&faults.failure_rate));
     let mut rng = ChaCha8Rng::seed_from_u64(workload.seed);
     let exp = rand::distributions::Uniform::new(0.0f64, 1.0);
+    let mut fault_rng = ChaCha8Rng::seed_from_u64(faults.seed);
     let mut arrivals = Vec::with_capacity(workload.requests);
     let mut t = 0.0;
     for _ in 0..workload.requests {
@@ -77,8 +94,11 @@ pub fn simulate_continuous(
     let mut next = 0usize;
     let mut latencies: Vec<f64> = Vec::new();
     let mut batch_sizes: Vec<f64> = Vec::new();
+    let mut failed_attempts = 0usize;
+    let mut retried = 0usize;
+    let mut evicted = 0usize;
 
-    while latencies.len() < workload.requests {
+    while latencies.len() + evicted < workload.requests {
         // Admit arrivals into free slots.
         while next < arrivals.len()
             && running.len() < policy.max_batch
@@ -88,6 +108,7 @@ pub fn simulate_continuous(
                 arrival: arrivals[next],
                 remaining: workload.gen,
                 prompt_done: false,
+                retries_left: faults.max_retries,
             });
             next += 1;
         }
@@ -116,20 +137,40 @@ pub fn simulate_continuous(
         for r in running.iter_mut() {
             r.remaining -= 1;
         }
-        // Retire finished requests.
-        running.retain(|r| {
-            if r.remaining == 0 {
-                latencies.push(now - r.arrival);
-                false
-            } else {
-                true
+        // Retire finished requests. A request's attempt fails at the moment
+        // it would retire: with budget left it restarts in place (fresh
+        // prompt + generation, same batch slot), otherwise it is evicted.
+        running.retain_mut(|r| {
+            if r.remaining > 0 {
+                return true;
             }
+            if exp.sample(&mut fault_rng) < faults.failure_rate {
+                failed_attempts += 1;
+                if r.retries_left > 0 {
+                    r.retries_left -= 1;
+                    retried += 1;
+                    r.remaining = workload.gen;
+                    r.prompt_done = false;
+                    return true;
+                }
+                evicted += 1;
+                return false;
+            }
+            latencies.push(now - r.arrival);
+            false
         });
     }
 
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let pct = |p: f64| latencies[((latencies.len() as f64 * p) as usize).min(latencies.len() - 1)];
+    let pct = |p: f64| {
+        if latencies.is_empty() {
+            0.0
+        } else {
+            latencies[((latencies.len() as f64 * p) as usize).min(latencies.len() - 1)]
+        }
+    };
     let wall = now.max(*arrivals.last().unwrap());
+    debug_assert_eq!(latencies.len() + evicted, workload.requests);
     ServingReport {
         completed: latencies.len(),
         p50: pct(0.50),
@@ -138,6 +179,9 @@ pub fn simulate_continuous(
         mean_batch: batch_sizes.iter().sum::<f64>() / batch_sizes.len().max(1) as f64,
         goodput: latencies.len() as f64 / wall,
         utilization: busy / wall,
+        failed_attempts,
+        retried,
+        evicted,
     }
 }
 
@@ -226,5 +270,67 @@ mod tests {
         let cont = simulate_continuous(&e, &w, ContinuousPolicy { max_batch: 4 });
         assert!(cont.mean_batch <= 4.0 + 1e-9);
         assert!(cont.utilization > 0.9);
+    }
+
+    #[test]
+    fn fault_free_profile_is_the_identity() {
+        let e = engine();
+        let p = ContinuousPolicy { max_batch: 16 };
+        let plain = simulate_continuous(&e, &workload(20.0), p);
+        let faulty =
+            simulate_continuous_with_faults(&e, &workload(20.0), p, FaultProfile::NONE);
+        assert_eq!(plain.p99, faulty.p99);
+        assert_eq!(plain.completed, faulty.completed);
+        assert_eq!(faulty.failed_attempts, 0);
+        assert_eq!(faulty.evicted, 0);
+    }
+
+    #[test]
+    fn faults_are_never_silently_dropped() {
+        let e = engine();
+        let p = ContinuousPolicy { max_batch: 16 };
+        for (rate, max_retries) in [(0.3, 0), (0.3, 2), (1.0, 2)] {
+            let f = FaultProfile { failure_rate: rate, max_retries, seed: 9 };
+            let r = simulate_continuous_with_faults(&e, &workload(20.0), p, f);
+            assert_eq!(
+                r.completed + r.evicted,
+                150,
+                "rate {rate} retries {max_retries}: {} completed, {} evicted",
+                r.completed,
+                r.evicted
+            );
+            assert_eq!(r.failed_attempts, r.retried + r.evicted);
+            if rate >= 1.0 {
+                assert_eq!(r.evicted, 150);
+                assert_eq!(r.retried, 150 * max_retries);
+            } else {
+                assert!(r.failed_attempts > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn retries_hold_batch_slots_and_save_requests() {
+        // A retried request re-runs in place: eviction drops with budget,
+        // and the re-execution shows up as extra engine busy time.
+        let e = engine();
+        let p = ContinuousPolicy { max_batch: 16 };
+        let w = workload(20.0);
+        let none = simulate_continuous_with_faults(
+            &e,
+            &w,
+            p,
+            FaultProfile { failure_rate: 0.3, max_retries: 0, seed: 4 },
+        );
+        let some = simulate_continuous_with_faults(
+            &e,
+            &w,
+            p,
+            FaultProfile { failure_rate: 0.3, max_retries: 6, seed: 4 },
+        );
+        assert!(none.evicted > 0);
+        assert!(some.evicted < none.evicted);
+        assert!(some.completed > none.completed);
+        assert!(some.retried > 0);
     }
 }

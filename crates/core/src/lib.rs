@@ -30,6 +30,9 @@ pub use dsi_sim::hw::{ClusterSpec, DType, GpuSpec, NodeSpec};
 pub use dsi_zero::engine::ZeroInference;
 pub use engine::{EngineConfig, InferenceEngine, RunReport};
 pub use planner::{plan, Objective, Plan};
-pub use continuous::{simulate_continuous, ContinuousPolicy};
-pub use serving::{simulate_serving, BatchPolicy, ServingReport, Workload};
+pub use continuous::{simulate_continuous, simulate_continuous_with_faults, ContinuousPolicy};
+pub use serving::{
+    simulate_serving, simulate_serving_with_faults, BatchPolicy, FaultProfile, ServingReport,
+    Workload,
+};
 pub use whatif::{scale_cluster, sensitivities, Knob, Sensitivity};

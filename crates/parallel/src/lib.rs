@@ -22,16 +22,22 @@
 //! * [`offload`] — KV-cache offload to host memory with the odd/even layer
 //!   scheduling that avoids PCIe contention between GPUs sharing a link
 //!   (Sec. IV-C2/3).
+//! * [`supervisor`] — fault-tolerant TP decoding: heartbeat/timeout
+//!   detection of dead ranks, bounded retry-with-backoff for transient
+//!   faults, graceful degradation to a smaller TP degree (with KV-shard
+//!   salvage) for permanent ones — decoding resumes token-identically.
 
 pub mod mapping;
 pub mod offload;
 pub mod pipeline;
 pub mod pp_exec;
+pub mod supervisor;
 pub mod tp;
 pub mod tp_exec;
 
 pub use mapping::Mapping3D;
 pub use pipeline::{PipelineSchedule, PipelineSpec};
 pub use pp_exec::PipelinedModel;
+pub use supervisor::{FaultError, FtConfig, FtReport, FtSession, RetryPolicy};
 pub use tp::{tp_layer_forward, tp_layer_forward_into, TpLayer};
-pub use tp_exec::{TpPackedModel, TpSession};
+pub use tp_exec::{Dismantled, RankFailure, RankFailureCause, TpPackedModel, TpSession};

@@ -19,9 +19,10 @@
 //!   saving of Sec. IV-A). Workers are pinned to distinct cores when the
 //!   host has enough of them (best-effort `sched_setaffinity`).
 //! * **Shared-memory collectives** — the two per-layer all-reduces run on
-//!   [`dsi_sim::shmem::ShmRank::allreduce_sum`]: a sense-reversing barrier
-//!   plus a chunked in-place reduce over published buffer pointers. No
-//!   per-token allocation, no full-buffer clones, reduction in rank order.
+//!   [`dsi_sim::shmem::ShmRank::try_allreduce_sum`]: a sense-reversing
+//!   barrier plus a chunked in-place reduce over published buffer pointers.
+//!   No per-token allocation, no full-buffer clones, reduction in rank
+//!   order.
 //! * **Lock-step command protocol** — the driver publishes a command
 //!   (prompt / decode / shutdown) and crosses the group barrier; every rank
 //!   then runs the same forward step and meets again at the next step
@@ -35,20 +36,39 @@
 //! the same f32 additions the fused epilogue performs — the property suite
 //! asserts exact token equality across random configs.
 //!
-//! A rank that panics poisons the group barrier (via a drop guard), so the
-//! remaining ranks fail loudly instead of spinning on a dead rendezvous.
+//! ## Failure handling
+//!
+//! Every rendezvous is bounded (the `dsi-sim` collectives carry a timeout),
+//! so a dead or wedged rank surfaces as a typed
+//! [`CollectiveError`] through [`TpSession::try_prompt`] /
+//! [`TpSession::try_decode`] instead of a hang. Worker threads run their
+//! rank loop under `catch_unwind`: on any exit — clean shutdown, collective
+//! failure, scripted crash, or panic — they report a [`WorkerExit`] over a
+//! salvage channel carrying their KV shard (when their memory is still
+//! trustworthy) and the failure cause (including the panic payload).
+//! [`TpSession::dismantle`] tears the group down with a *deadline* join —
+//! never hanging on a wedged thread — and returns everything salvaged, so a
+//! supervisor (see [`supervisor`](crate::supervisor)) can re-pack the KV to
+//! a smaller TP degree and resume decoding token-identically.
+//!
+//! [`FastSession`]: dsi_model::fast::FastSession
+//! [`CollectiveError`]: dsi_sim::CollectiveError
 
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use dsi_kernels::blocked::{self, PackedB};
 use dsi_kernels::fused;
+use dsi_kernels::tensor::Tensor;
 use dsi_model::config::GptConfig;
 use dsi_model::fast::argmax;
 use dsi_model::reference::{GptModel, KvCache};
-use dsi_kernels::tensor::Tensor;
-use dsi_sim::shmem::{ShmComm, ShmPoisoner, ShmRank};
+use dsi_sim::fault::{apply_stall, FaultKind};
+use dsi_sim::shmem::{CommConfig, ShmComm, ShmRank};
+use dsi_sim::{CollectiveError, CollectiveErrorKind};
 
 use crate::tp::shard_layer;
 
@@ -149,6 +169,19 @@ impl TpPackedModel {
     pub fn session(self: &Arc<Self>, max_prompt: usize) -> TpSession {
         TpSession::new(Arc::clone(self), max_prompt)
     }
+
+    /// [`TpPackedModel::session`] with an explicit collective configuration
+    /// (timeout / checksum / fault injection) and optionally one pre-seeded
+    /// KV shard per rank (salvaged from a previous group — the supervisor's
+    /// recovery path).
+    pub fn session_with(
+        self: &Arc<Self>,
+        max_prompt: usize,
+        cfg: CommConfig,
+        kv: Option<Vec<KvCache>>,
+    ) -> TpSession {
+        TpSession::with_options(Arc::clone(self), max_prompt, cfg, kv)
+    }
 }
 
 // --- command protocol -------------------------------------------------------
@@ -156,6 +189,11 @@ impl TpPackedModel {
 const CMD_PROMPT: u8 = 1;
 const CMD_DECODE: u8 = 2;
 const CMD_SHUTDOWN: u8 = 3;
+
+/// Grace added to the collective timeout when joining worker threads: long
+/// enough for a worker stuck in a rendezvous to observe its own timeout and
+/// exit, short enough that teardown stays bounded.
+const JOIN_GRACE: Duration = Duration::from_secs(2);
 
 /// Step descriptor published by the driver before each step barrier and read
 /// by every worker after it. The barrier's release/acquire chain orders the
@@ -170,16 +208,60 @@ struct TpShared {
     prompt: Mutex<Vec<usize>>,
 }
 
-/// Poisons the group barrier if its rank thread unwinds, so peer ranks
-/// panic out of their spin loops instead of hanging on a dead rendezvous.
-struct PoisonGuard(ShmPoisoner);
+// --- worker exit reporting --------------------------------------------------
 
-impl Drop for PoisonGuard {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            self.0.poison();
+/// Why a rank left the group.
+#[derive(Debug)]
+pub enum RankFailureCause {
+    /// A collective call failed typed (timeout / poison / corrupt chunk /
+    /// scripted crash).
+    Collective(CollectiveError),
+    /// The rank's thread panicked; the payload is preserved.
+    Panicked(String),
+    /// The rank's thread did not exit within the join deadline (wedged);
+    /// it was detached, its state abandoned.
+    Unjoined,
+}
+
+impl std::fmt::Display for RankFailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RankFailureCause::Collective(e) => write!(f, "collective failure: {e}"),
+            RankFailureCause::Panicked(p) => write!(f, "panicked: {p}"),
+            RankFailureCause::Unjoined => write!(f, "thread wedged past the join deadline"),
         }
     }
+}
+
+/// One rank's failure, as reported by [`TpSession::dismantle`].
+#[derive(Debug)]
+pub struct RankFailure {
+    pub rank: usize,
+    pub cause: RankFailureCause,
+}
+
+/// A worker thread's exit report, sent over the salvage channel.
+#[derive(Debug)]
+struct WorkerExit {
+    rank: usize,
+    /// The rank's KV shard, when its memory is still trustworthy (clean
+    /// shutdown or typed collective failure). `None` models a crashed
+    /// process whose memory is gone (scripted exit, panic).
+    kv: Option<KvCache>,
+    cause: Option<RankFailureCause>,
+}
+
+/// Everything [`TpSession::dismantle`] could salvage from a (possibly
+/// failed) group: per-rank KV shards and the per-rank failure causes. The
+/// supervisor re-packs the shards to a smaller TP degree when every column
+/// survived, or falls back to re-prefilling from the token history.
+#[derive(Debug)]
+pub struct Dismantled {
+    /// `kv[rank]` is the rank's salvaged KV shard, `None` if the rank's
+    /// memory was lost (crash / panic / wedged thread).
+    pub kv: Vec<Option<KvCache>>,
+    /// Every failure observed during the group's lifetime and teardown.
+    pub failures: Vec<RankFailure>,
 }
 
 // --- per-rank execution state ----------------------------------------------
@@ -218,14 +300,21 @@ struct RankState {
 }
 
 impl RankState {
-    fn new(model: &TpPackedModel, rank: usize, max_prompt: usize) -> Self {
+    fn new(model: &TpPackedModel, rank: usize, max_prompt: usize, kv: Option<KvCache>) -> Self {
         let c = &model.config;
         let m = max_prompt.max(1);
         let hs = c.hidden / model.tp;
+        let kv = match kv {
+            Some(kv) => {
+                assert_eq!(kv.layers.len(), c.layers, "seeded KV layer count");
+                kv
+            }
+            None => KvCache::with_capacity(c.layers, hs, c.max_seq),
+        };
         RankState {
             rank,
             m_max: m,
-            kv: KvCache::with_capacity(c.layers, hs, c.max_seq),
+            kv,
             x: vec![0.0; m * c.hidden],
             normed: vec![0.0; c.hidden],
             qkv: vec![0.0; m * 3 * hs],
@@ -243,7 +332,18 @@ impl RankState {
     /// the two per-layer all-reduces. Every rank computes the full `[m, h]`
     /// activations (replicated, as in Megatron) but only its own slice of
     /// heads / FF neurons; rank 0 additionally computes logits.
-    fn forward(&mut self, model: &TpPackedModel, comm: &mut ShmRank, ids: &[usize]) {
+    ///
+    /// Fails typed when a collective rendezvous fails (the error names the
+    /// reporting rank, failure kind, and collective epoch) or when the fault
+    /// injector scripts a crash at a layer site; an injected panic at a
+    /// layer site panics here (the worker's `catch_unwind` converts it to a
+    /// [`RankFailureCause::Panicked`] report).
+    fn try_forward(
+        &mut self,
+        model: &TpPackedModel,
+        comm: &mut ShmRank,
+        ids: &[usize],
+    ) -> Result<(), CollectiveError> {
         let c = &model.config;
         let (h, tp) = (c.hidden, model.tp);
         let hs = h / tp;
@@ -265,6 +365,26 @@ impl RankState {
         }
 
         for (l, pl) in model.shards[s.rank].iter().enumerate() {
+            // Layer-site fault hook: one `Option` check when no injector is
+            // installed. The site key is the sequence-position range this
+            // step covers, so a "token 5, layer 2" script fires whether
+            // position 5 arrives in the prompt batch or as a decode step.
+            if let Some(inj) = comm.injector() {
+                match inj.at_layer(s.rank, offset, offset + m, l) {
+                    Some(FaultKind::Stall { millis }) => apply_stall(millis),
+                    Some(FaultKind::Exit) => {
+                        return Err(CollectiveError {
+                            rank: s.rank,
+                            kind: CollectiveErrorKind::InjectedExit,
+                            epoch: comm.epoch(),
+                        });
+                    }
+                    Some(FaultKind::Panic) => {
+                        panic!("injected fault: rank {} panics at layer {l}", s.rank)
+                    }
+                    Some(FaultKind::Corrupt) | None => {}
+                }
+            }
             let kv = &mut s.kv.layers[l];
             // Region 1: layer-norm → sharded QKV GEMM → bias.
             fused::ln_matmul_bias_into(
@@ -293,7 +413,7 @@ impl RankState {
             // Region 3: row-parallel output projection → all-reduce →
             // bias + residual (applied once, post-reduce).
             blocked::matmul_into(&s.attn[..m * hs], m, &pl.w_o, &mut s.part[..m * h]);
-            comm.allreduce_sum(&mut s.part[..m * h]);
+            comm.try_allreduce_sum(&mut s.part[..m * h])?;
             fused::bias_residual_inplace(&mut s.part[..m * h], &pl.b_o, &s.x[..m * h]);
             std::mem::swap(&mut s.x, &mut s.part);
             // Region 4: layer-norm → sharded FF1 GEMM → bias → GeLU.
@@ -303,7 +423,7 @@ impl RankState {
             );
             // Region 5: row-parallel FF2 → all-reduce → bias + residual.
             blocked::matmul_into(&s.ff[..m * 4 * hs], m, &pl.w_ff2, &mut s.part[..m * h]);
-            comm.allreduce_sum(&mut s.part[..m * h]);
+            comm.try_allreduce_sum(&mut s.part[..m * h])?;
             fused::bias_residual_inplace(&mut s.part[..m * h], &pl.b_ff2, &s.x[..m * h]);
             std::mem::swap(&mut s.x, &mut s.part);
         }
@@ -322,6 +442,7 @@ impl RankState {
             }
         }
         s.last_m = m;
+        Ok(())
     }
 }
 
@@ -366,34 +487,115 @@ pub fn pin_current_thread(_cpu: usize) -> bool {
     false
 }
 
+// --- the worker loop --------------------------------------------------------
+
+/// A worker rank's lock-step loop: barrier, read command, execute, repeat.
+/// Returns `Ok` on a clean shutdown command, `Err` when any collective (or
+/// the layer fault hook) fails typed.
+fn worker_loop(
+    state: &mut RankState,
+    model: &TpPackedModel,
+    shared: &TpShared,
+    comm: &mut ShmRank,
+) -> Result<(), CollectiveError> {
+    loop {
+        // Step barrier: the driver has published the command.
+        comm.try_barrier()?;
+        match shared.cmd.load(Ordering::Relaxed) {
+            CMD_SHUTDOWN => return Ok(()),
+            CMD_PROMPT => {
+                {
+                    let p = shared.prompt.lock().unwrap();
+                    state.ids_buf.clear();
+                    state.ids_buf.extend_from_slice(&p);
+                } // drop the guard before compute
+                let ids = std::mem::take(&mut state.ids_buf);
+                let r = state.try_forward(model, comm, &ids);
+                state.ids_buf = ids;
+                r?;
+            }
+            CMD_DECODE => {
+                let id = shared.token.load(Ordering::Relaxed);
+                state.try_forward(model, comm, &[id])?;
+            }
+            other => panic!("tp_exec: invalid step command {other}"),
+        }
+    }
+}
+
+pub(crate) fn panic_payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 // --- the session ------------------------------------------------------------
 
 /// A threaded tensor-parallel decode session with the same `generate`
 /// surface as [`dsi_model::fast::FastSession`]. Rank 0 runs inline on the
 /// caller's thread; ranks `1..tp` run on their own (best-effort pinned)
 /// OS threads and rendezvous at the shared-memory barrier each step.
+///
+/// The fallible surface ([`TpSession::try_prompt`],
+/// [`TpSession::try_decode`], [`TpSession::dismantle`]) reports collective
+/// failures typed and salvages surviving state; the legacy surface
+/// ([`TpSession::generate`]) panics on failure, including any worker panic
+/// payloads in the message.
 pub struct TpSession {
     model: Arc<TpPackedModel>,
     shared: Arc<TpShared>,
     comm: ShmRank,
     rank0: RankState,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<(usize, JoinHandle<()>)>,
+    exits: Receiver<WorkerExit>,
     /// True between publishing a step command and rank 0 completing its
     /// forward. If rank 0 unwinds mid-step, the workers may not have read
     /// the command yet — a graceful shutdown rendezvous would race the
-    /// in-flight command, so `Drop` must poison instead.
+    /// in-flight command, so teardown must poison instead.
     inflight: bool,
+    /// The failure that killed the session, if any. Once set, every further
+    /// step refuses with a clone of it.
+    failed: Option<CollectiveError>,
+    /// Rank 0's memory is not trustworthy (scripted crash or a panic the
+    /// supervisor caught): `dismantle` reports its KV as lost.
+    rank0_lost: bool,
+    /// `dismantle` ran: `Drop` has nothing left to do.
+    done: bool,
 }
 
 impl TpSession {
     pub fn new(model: Arc<TpPackedModel>, max_prompt: usize) -> Self {
+        Self::with_options(model, max_prompt, CommConfig::default(), None)
+    }
+
+    /// [`TpSession::new`] with an explicit collective configuration and
+    /// optionally one pre-seeded KV shard per rank (in rank order; the
+    /// supervisor's recovery path hands salvaged shards back in here).
+    pub fn with_options(
+        model: Arc<TpPackedModel>,
+        max_prompt: usize,
+        cfg: CommConfig,
+        kv: Option<Vec<KvCache>>,
+    ) -> Self {
         let tp = model.tp;
+        let mut seeded: Vec<Option<KvCache>> = match kv {
+            Some(v) => {
+                assert_eq!(v.len(), tp, "need one seeded KV shard per rank");
+                v.into_iter().map(Some).collect()
+            }
+            None => (0..tp).map(|_| None).collect(),
+        };
         let shared = Arc::new(TpShared {
             cmd: AtomicU8::new(0),
             token: AtomicUsize::new(0),
             prompt: Mutex::new(Vec::with_capacity(max_prompt.max(1))),
         });
-        let mut ranks = ShmComm::create(tp);
+        let (tx, exits) = std::sync::mpsc::channel::<WorkerExit>();
+        let mut ranks = ShmComm::create_with(tp, cfg);
         // Pin only when the host actually has a core per rank; on smaller
         // hosts the barrier's yield path keeps correctness via the scheduler.
         let pin = std::thread::available_parallelism().is_ok_and(|n| n.get() >= tp);
@@ -402,41 +604,78 @@ impl TpSession {
             .map(|mut rank_comm| {
                 let model = Arc::clone(&model);
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || {
-                    let _guard = PoisonGuard(rank_comm.poisoner());
-                    let r = rank_comm.rank();
+                let tx: Sender<WorkerExit> = tx.clone();
+                let r = rank_comm.rank();
+                let seed_kv = seeded[r].take();
+                let handle = std::thread::spawn(move || {
+                    let poisoner = rank_comm.poisoner();
                     if pin {
                         pin_current_thread(r);
                     }
-                    let mut state = RankState::new(&model, r, max_prompt);
-                    loop {
-                        // Step barrier: the driver has published the command.
-                        rank_comm.barrier();
-                        match shared.cmd.load(Ordering::Relaxed) {
-                            CMD_SHUTDOWN => break,
-                            CMD_PROMPT => {
-                                {
-                                    let p = shared.prompt.lock().unwrap();
-                                    state.ids_buf.clear();
-                                    state.ids_buf.extend_from_slice(&p);
-                                } // drop the guard before compute
-                                let ids = std::mem::take(&mut state.ids_buf);
-                                state.forward(&model, &mut rank_comm, &ids);
-                                state.ids_buf = ids;
+                    // The rank loop runs under `catch_unwind` so that even a
+                    // panicking worker reports an exit (with its payload)
+                    // instead of silently dying; the state comes back out so
+                    // its KV shard can be salvaged.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        move || {
+                            let mut state = RankState::new(&model, r, max_prompt, seed_kv);
+                            let res = worker_loop(&mut state, &model, &shared, &mut rank_comm);
+                            (state.kv, res)
+                        },
+                    ));
+                    let exit = match outcome {
+                        Ok((kv, Ok(()))) => WorkerExit { rank: r, kv: Some(kv), cause: None },
+                        // A scripted crash models a dead process: its memory
+                        // is gone, and it does NOT poison — peers must detect
+                        // the loss through the timeout/heartbeat path.
+                        Ok((_, Err(e))) if e.kind == CollectiveErrorKind::InjectedExit => {
+                            WorkerExit {
+                                rank: r,
+                                kv: None,
+                                cause: Some(RankFailureCause::Collective(e)),
                             }
-                            CMD_DECODE => {
-                                let id = shared.token.load(Ordering::Relaxed);
-                                state.forward(&model, &mut rank_comm, &[id]);
-                            }
-                            other => panic!("tp_exec: invalid step command {other}"),
                         }
-                    }
-                })
+                        // A typed collective failure leaves the rank's own
+                        // memory intact: salvage the KV, poison so every
+                        // peer unblocks promptly.
+                        Ok((kv, Err(e))) => {
+                            poisoner.poison();
+                            WorkerExit {
+                                rank: r,
+                                kv: Some(kv),
+                                cause: Some(RankFailureCause::Collective(e)),
+                            }
+                        }
+                        Err(payload) => {
+                            poisoner.poison();
+                            WorkerExit {
+                                rank: r,
+                                kv: None,
+                                cause: Some(RankFailureCause::Panicked(panic_payload_to_string(
+                                    payload,
+                                ))),
+                            }
+                        }
+                    };
+                    let _ = tx.send(exit);
+                });
+                (r, handle)
             })
             .collect();
         let comm = ranks.pop().expect("rank 0 handle");
-        let rank0 = RankState::new(&model, 0, max_prompt);
-        TpSession { model, shared, comm, rank0, workers, inflight: false }
+        let rank0 = RankState::new(&model, 0, max_prompt, seeded[0].take());
+        TpSession {
+            model,
+            shared,
+            comm,
+            rank0,
+            workers,
+            exits,
+            inflight: false,
+            failed: None,
+            rank0_lost: false,
+            done: false,
+        }
     }
 
     pub fn tp(&self) -> usize {
@@ -446,6 +685,11 @@ impl TpSession {
     /// Context length consumed so far.
     pub fn context_len(&self) -> usize {
         self.rank0.kv.context_len()
+    }
+
+    /// The failure that killed this session, if any.
+    pub fn failure(&self) -> Option<&CollectiveError> {
+        self.failed.as_ref()
     }
 
     /// The `[vocab]` logits row of the most recently forwarded position
@@ -458,27 +702,10 @@ impl TpSession {
         &self.rank0.logits[(self.rank0.last_m - 1) * vocab..self.rank0.last_m * vocab]
     }
 
-    /// Run one group step: publish the command, cross the step barrier, and
-    /// execute rank 0's share inline.
-    fn step(&mut self, cmd: u8, ids: &[usize]) {
-        assert!(
-            !self.comm.is_poisoned(),
-            "tp_exec: a rank panicked; the session is dead"
-        );
-        self.inflight = true;
-        self.shared.cmd.store(cmd, Ordering::Relaxed);
-        self.comm.barrier();
-        self.rank0.forward(&self.model, &mut self.comm, ids);
-        // The workers have read the command (they joined this step's
-        // all-reduces), so a later shutdown store cannot race it.
-        self.inflight = false;
-    }
-
-    /// Greedy generation with the exact [`FastSession`] semantics: process
-    /// `prompt`, then emit `n_tokens` tokens.
-    ///
-    /// [`FastSession`]: dsi_model::fast::FastSession
-    pub fn generate(&mut self, prompt: &[usize], n_tokens: usize) -> Vec<usize> {
+    /// Feed a multi-token prompt step. On failure the session is dead:
+    /// every later call refuses with the same error, and
+    /// [`TpSession::dismantle`] salvages what survives.
+    pub fn try_prompt(&mut self, prompt: &[usize]) -> Result<(), CollectiveError> {
         assert!(!prompt.is_empty(), "empty prompt");
         assert!(prompt.len() <= self.rank0.m_max, "prompt exceeds session max_prompt");
         {
@@ -486,38 +713,205 @@ impl TpSession {
             p.clear();
             p.extend_from_slice(prompt);
         }
-        self.step(CMD_PROMPT, prompt);
+        self.try_step(CMD_PROMPT, prompt)
+    }
+
+    /// Feed one decode token. Same failure contract as
+    /// [`TpSession::try_prompt`].
+    pub fn try_decode(&mut self, token: usize) -> Result<(), CollectiveError> {
+        self.shared.token.store(token, Ordering::Relaxed);
+        let ids = [token];
+        self.try_step(CMD_DECODE, &ids)
+    }
+
+    /// Run one group step: publish the command, cross the step barrier, and
+    /// execute rank 0's share inline.
+    fn try_step(&mut self, cmd: u8, ids: &[usize]) -> Result<(), CollectiveError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        if self.comm.is_poisoned() {
+            let e = CollectiveError {
+                rank: 0,
+                kind: CollectiveErrorKind::Poisoned,
+                epoch: self.comm.epoch(),
+            };
+            return Err(self.fail(e));
+        }
+        self.inflight = true;
+        self.shared.cmd.store(cmd, Ordering::Relaxed);
+        if let Err(e) = self.comm.try_barrier() {
+            return Err(self.fail(e));
+        }
+        match self.rank0.try_forward(&self.model, &mut self.comm, ids) {
+            Ok(()) => {
+                // The workers have read the command (they joined this step's
+                // all-reduces), so a later shutdown store cannot race it.
+                self.inflight = false;
+                Ok(())
+            }
+            Err(e) => Err(self.fail(e)),
+        }
+    }
+
+    /// Record a fatal step failure: poison the group so every worker
+    /// unblocks promptly (they salvage their KV on the way out), remember
+    /// the error, classify rank 0's own memory.
+    fn fail(&mut self, e: CollectiveError) -> CollectiveError {
+        self.comm.poison();
+        if e.rank == 0 && e.kind == CollectiveErrorKind::InjectedExit {
+            self.rank0_lost = true;
+        }
+        self.failed = Some(e.clone());
+        e
+    }
+
+    /// Record that the driver (rank 0) panicked out of a step — called by a
+    /// supervisor that caught the unwind. Poisons the group and marks rank
+    /// 0's memory untrustworthy, so [`TpSession::dismantle`] reports its KV
+    /// as lost.
+    pub fn note_rank0_panic(&mut self) {
+        self.comm.poison();
+        self.rank0_lost = true;
+        self.inflight = true;
+    }
+
+    /// Greedy generation with the exact [`FastSession`] semantics: process
+    /// `prompt`, then emit `n_tokens` tokens.
+    ///
+    /// Panics on any collective failure; the panic message carries the typed
+    /// error plus any worker panic payloads collected before the deadline.
+    ///
+    /// [`FastSession`]: dsi_model::fast::FastSession
+    pub fn generate(&mut self, prompt: &[usize], n_tokens: usize) -> Vec<usize> {
+        if let Err(e) = self.try_prompt(prompt) {
+            self.panic_with_failures(e);
+        }
         let mut next = argmax(self.last_logits());
         let mut out = Vec::with_capacity(n_tokens);
         out.push(next);
         for _ in 1..n_tokens {
-            self.shared.token.store(next, Ordering::Relaxed);
-            self.step(CMD_DECODE, &[next]);
+            if let Err(e) = self.try_decode(next) {
+                self.panic_with_failures(e);
+            }
             next = argmax(self.last_logits());
             out.push(next);
         }
         out
     }
+
+    /// Join the dead group (with the deadline) and panic with the collected
+    /// failure detail — the legacy surface's error report.
+    fn panic_with_failures(&mut self, e: CollectiveError) -> ! {
+        let deadline = self.comm.config().timeout + JOIN_GRACE;
+        let _ = join_with_deadline(&mut self.workers, deadline);
+        let mut msg = format!("tp_exec group failed: {e}");
+        while let Ok(exit) = self.exits.try_recv() {
+            if let Some(cause) = exit.cause {
+                msg.push_str(&format!("; rank {}: {cause}", exit.rank));
+            }
+        }
+        panic!("{msg}");
+    }
+
+    /// Tear the group down and salvage what survives. Clean sessions get a
+    /// graceful shutdown rendezvous; failed ones are poisoned. Workers are
+    /// joined with a deadline (collective timeout + grace) — a wedged thread
+    /// is detached and reported [`RankFailureCause::Unjoined`], never
+    /// hung on. Worker panic payloads come back in
+    /// [`Dismantled::failures`].
+    pub fn dismantle(mut self) -> Dismantled {
+        let tp = self.model.tp;
+        let clean = self.failed.is_none()
+            && !self.inflight
+            && !self.rank0_lost
+            && !self.comm.is_poisoned();
+        if clean {
+            self.shared.cmd.store(CMD_SHUTDOWN, Ordering::Relaxed);
+            if self.comm.try_barrier().is_err() {
+                self.comm.poison();
+            }
+        } else {
+            self.comm.poison();
+        }
+        let deadline = self.comm.config().timeout + JOIN_GRACE;
+        let mut failures = Vec::new();
+        if let Some(e) = self.failed.take() {
+            failures.push(RankFailure { rank: e.rank, cause: RankFailureCause::Collective(e) });
+        }
+        for rank in join_with_deadline(&mut self.workers, deadline) {
+            failures.push(RankFailure { rank, cause: RankFailureCause::Unjoined });
+        }
+        let mut kv: Vec<Option<KvCache>> = (0..tp).map(|_| None).collect();
+        while let Ok(exit) = self.exits.try_recv() {
+            kv[exit.rank] = exit.kv;
+            if let Some(cause) = exit.cause {
+                failures.push(RankFailure { rank: exit.rank, cause });
+            }
+        }
+        if !self.rank0_lost {
+            kv[0] = Some(std::mem::replace(
+                &mut self.rank0.kv,
+                KvCache::with_capacity(0, 1, 0),
+            ));
+        }
+        self.done = true;
+        Dismantled { kv, failures }
+    }
+}
+
+/// Poll-join every handle until `deadline` elapses; handles that never
+/// finish are detached (dropped) and their ranks returned. `JoinHandle` has
+/// no native timed join, and blocking forever on a wedged worker is exactly
+/// the hang this layer exists to prevent.
+fn join_with_deadline(
+    workers: &mut Vec<(usize, JoinHandle<()>)>,
+    deadline: Duration,
+) -> Vec<usize> {
+    let start = std::time::Instant::now();
+    while !workers.is_empty() && start.elapsed() < deadline {
+        if workers.iter().all(|(_, h)| h.is_finished()) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut unjoined = Vec::new();
+    for (rank, handle) in workers.drain(..) {
+        if handle.is_finished() {
+            // The worker caught its own panic, so this join cannot panic.
+            let _ = handle.join();
+        } else {
+            unjoined.push(rank);
+        }
+    }
+    unjoined
 }
 
 impl Drop for TpSession {
     fn drop(&mut self) {
-        if self.inflight || self.comm.is_poisoned() || std::thread::panicking() {
+        if self.done {
+            return;
+        }
+        if self.inflight
+            || self.failed.is_some()
+            || self.comm.is_poisoned()
+            || std::thread::panicking()
+        {
             // A rank (possibly this one) is already dead: make sure every
             // spinning peer unblocks, then reap without double-panicking.
             self.comm.poison();
         } else {
             self.shared.cmd.store(CMD_SHUTDOWN, Ordering::Relaxed);
             // A worker can still die between the check above and the
-            // rendezvous; a poisoned shutdown barrier then means "group
-            // already dead", not a new failure worth panicking out of Drop.
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.comm.barrier();
-            }));
+            // rendezvous; the typed result means a failed shutdown barrier
+            // is "group already dead", not a new panic out of Drop.
+            if self.comm.try_barrier().is_err() {
+                self.comm.poison();
+            }
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        // Deadline join: Drop must never hang, even on a wedged worker.
+        let deadline = self.comm.config().timeout + JOIN_GRACE;
+        let _ = join_with_deadline(&mut self.workers, deadline);
     }
 }
 
@@ -526,6 +920,7 @@ mod tests {
     use super::*;
     use dsi_model::fast::PackedModel;
     use dsi_model::zoo;
+    use dsi_sim::fault::{FaultPlan, FaultSite, FaultSpec};
 
     fn model(layers: usize, seed: u64) -> GptModel {
         GptModel::random(zoo::tiny(layers), seed)
@@ -583,7 +978,7 @@ mod tests {
     #[test]
     fn worker_panic_poisons_instead_of_hanging() {
         // An out-of-vocab token makes every rank's forward assert; the
-        // workers' poison guards must fail the group loudly (and Drop must
+        // workers' catch_unwind must fail the group loudly (and Drop must
         // reap the dead threads without hanging).
         let m = model(1, 5);
         let tpm = Arc::new(TpPackedModel::shard(&m, 2));
@@ -602,5 +997,133 @@ mod tests {
             TpPackedModel::shard(&m, 3); // tiny() has 4 heads
         }));
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn clean_dismantle_salvages_every_kv_shard() {
+        let m = model(2, 11);
+        let tpm = Arc::new(TpPackedModel::shard(&m, 2));
+        let mut sess = tpm.session(4);
+        let out = sess.generate(&[1, 2, 3], 4);
+        let ctx = 3 + out.len() - 1; // prompt rows + decode rows
+        let d = sess.dismantle();
+        assert!(d.failures.is_empty(), "{:?}", d.failures);
+        assert_eq!(d.kv.len(), 2);
+        for (r, kv) in d.kv.iter().enumerate() {
+            let kv = kv.as_ref().unwrap_or_else(|| panic!("rank {r} kv lost"));
+            assert_eq!(kv.context_len(), ctx, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_payload_surfaces_in_dismantle() {
+        // Script rank 1 to panic at a layer site: the step fails typed on
+        // rank 0 (timeout or poison), and dismantle carries rank 1's panic
+        // payload back to the caller.
+        let m = model(2, 13);
+        let tpm = Arc::new(TpPackedModel::shard(&m, 2));
+        let plan = FaultPlan::new(vec![FaultSpec {
+            rank: 1,
+            site: FaultSite::Layer { token: 0, layer: 0 },
+            kind: FaultKind::Panic,
+        }]);
+        let cfg = CommConfig {
+            timeout: Duration::from_millis(500),
+            injector: Some(Arc::new(plan.injector())),
+            ..CommConfig::default()
+        };
+        let mut sess = tpm.session_with(4, cfg, None);
+        let err = sess.try_prompt(&[1, 2]).expect_err("group must fail typed");
+        assert!(
+            matches!(
+                err.kind,
+                CollectiveErrorKind::Poisoned | CollectiveErrorKind::Timeout { .. }
+            ),
+            "{err}"
+        );
+        let d = sess.dismantle();
+        assert!(d.kv[1].is_none(), "panicked rank's memory must not be salvaged");
+        let payload = d.failures.iter().find_map(|f| match &f.cause {
+            RankFailureCause::Panicked(p) if f.rank == 1 => Some(p.clone()),
+            _ => None,
+        });
+        let payload = payload.expect("rank 1 panic payload must surface");
+        assert!(payload.contains("injected fault"), "{payload}");
+    }
+
+    #[test]
+    fn scripted_worker_exit_times_out_and_salvage_drops_its_kv() {
+        // Rank 1 "crashes" (drops its arrival): rank 0 must observe a typed
+        // timeout naming rank 1, and dismantle must salvage rank 0's KV but
+        // not rank 1's.
+        let m = model(1, 17);
+        let tpm = Arc::new(TpPackedModel::shard(&m, 2));
+        let plan = FaultPlan::new(vec![FaultSpec {
+            rank: 1,
+            site: FaultSite::Barrier { epoch: 0 },
+            kind: FaultKind::Exit,
+        }]);
+        let cfg = CommConfig {
+            timeout: Duration::from_millis(200),
+            injector: Some(Arc::new(plan.injector())),
+            ..CommConfig::default()
+        };
+        let mut sess = tpm.session_with(4, cfg, None);
+        let err = sess.try_prompt(&[1, 2]).expect_err("lost rank must surface");
+        match &err.kind {
+            CollectiveErrorKind::Timeout { stalled } => assert_eq!(stalled, &[1], "{err}"),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        let d = sess.dismantle();
+        assert!(d.kv[0].is_some(), "rank 0 survives");
+        assert!(d.kv[1].is_none(), "crashed rank's memory is gone");
+        assert!(
+            d.failures.iter().any(|f| f.rank == 1
+                && matches!(&f.cause, RankFailureCause::Collective(e)
+                    if e.kind == CollectiveErrorKind::InjectedExit)),
+            "{:?}",
+            d.failures
+        );
+    }
+
+    #[test]
+    fn failed_session_refuses_further_steps_with_same_error() {
+        let m = model(1, 19);
+        let tpm = Arc::new(TpPackedModel::shard(&m, 2));
+        let plan = FaultPlan::new(vec![FaultSpec {
+            rank: 1,
+            site: FaultSite::Barrier { epoch: 0 },
+            kind: FaultKind::Exit,
+        }]);
+        let cfg = CommConfig {
+            timeout: Duration::from_millis(200),
+            injector: Some(Arc::new(plan.injector())),
+            ..CommConfig::default()
+        };
+        let mut sess = tpm.session_with(4, cfg, None);
+        let e1 = sess.try_prompt(&[1]).expect_err("first failure");
+        let e2 = sess.try_decode(1).expect_err("dead session refuses");
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn seeded_kv_resumes_decoding_token_identically() {
+        // Decode a few tokens, dismantle, rebuild a session at the same tp
+        // from the salvaged shards, and continue: the continuation must
+        // match an uninterrupted run token-for-token.
+        let m = model(2, 23);
+        let tpm = Arc::new(TpPackedModel::shard(&m, 2));
+        let mut uninterrupted = tpm.session(4);
+        let want_a = uninterrupted.generate(&[3, 1, 4], 3);
+        let want_b = uninterrupted.generate(&[want_a[2]], 4);
+
+        let mut first = tpm.session(4);
+        let got_a = first.generate(&[3, 1, 4], 3);
+        assert_eq!(got_a, want_a);
+        let d = first.dismantle();
+        let kv: Vec<KvCache> = d.kv.into_iter().map(|k| k.unwrap()).collect();
+        let mut second = tpm.session_with(4, CommConfig::default(), Some(kv));
+        let got_b = second.generate(&[got_a[2]], 4);
+        assert_eq!(got_b, want_b);
     }
 }

@@ -19,7 +19,13 @@
 //! * [`shmem`] — *executed* collectives for threaded ranks on one host: a
 //!   sense-reversing barrier and a chunked in-place all-reduce over
 //!   published per-rank buffers, used by the executed tensor-parallel
-//!   engine (`dsi-parallel::tp_exec`) as its NCCL stand-in.
+//!   engine (`dsi-parallel::tp_exec`) as its NCCL stand-in. Every
+//!   rendezvous is bounded (spin, then yield with a deadline) and fails
+//!   typed instead of hanging,
+//! * [`fault`] — deterministic, seed-driven fault injection
+//!   ([`fault::FaultPlan`]) and the typed [`fault::CollectiveError`] the
+//!   hardened collectives report: rank stalls, dropped arrivals, scripted
+//!   panics, and corrupted reduce-scatter chunks, each fired at most once.
 //!
 //! The models here are rooflines: a kernel's execution time is
 //! `max(flops / peak, bytes / bandwidth) + launch overhead`, and a message's
@@ -30,13 +36,15 @@
 
 pub mod collectives;
 pub mod engine;
+pub mod fault;
 pub mod hw;
 pub mod shmem;
 pub mod topology;
 pub mod trace;
 
 pub use collectives::{allreduce_sum_slices, CollectiveCost, CommGroup};
-pub use shmem::{SenseBarrier, ShmComm, ShmPoisoner, ShmRank};
+pub use fault::{CollectiveError, CollectiveErrorKind, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpec};
+pub use shmem::{CommConfig, SenseBarrier, ShmComm, ShmPoisoner, ShmRank};
 pub use engine::{Resource, Schedule, Task, TaskGraph, TaskId};
 pub use hw::{ClusterSpec, GpuSpec, LinkSpec, NodeSpec};
 pub use topology::Topology;

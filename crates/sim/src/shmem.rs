@@ -28,19 +28,65 @@
 //! [`CommGroup::allreduce_sum`](crate::collectives::CommGroup::allreduce_sum)
 //! on the same inputs — the tests hold the two against each other.
 //!
+//! ## Fault tolerance
+//!
+//! Every rendezvous is **bounded**: [`ShmRank::try_barrier`] and
+//! [`ShmRank::try_allreduce_sum`] spin briefly, then yield with a deadline,
+//! and return a typed [`CollectiveError`] instead of hanging when a peer
+//! never arrives ([`CollectiveErrorKind::Timeout`], naming the stalled
+//! peers via the barrier's per-rank arrival heartbeats), when the group is
+//! poisoned by a dead peer ([`CollectiveErrorKind::Poisoned`] — previously a
+//! follow-on panic), or when the optional per-chunk checksum catches a
+//! corrupted reduce-scatter chunk ([`CollectiveErrorKind::Corrupt`]). The
+//! legacy panicking wrappers ([`ShmRank::barrier`],
+//! [`ShmRank::allreduce_sum`]) remain for callers without a recovery path.
+//!
+//! A [`CommConfig`] can also install a [`FaultInjector`]: a deterministic,
+//! fire-once fault script (stalls, dropped arrivals, panics, chunk
+//! corruption) threaded through the same hooks — one `Option` check per
+//! call when disabled, so the fault path costs nothing in production.
+//!
 //! The collective *program* this engine executes per buffer —
 //! barrier / reduce-scatter / barrier / all-gather / barrier — is modelled
 //! statically in `dsi-verify::collective::tp_exec_allreduce_programs`, so
 //! the race detector can prove the per-layer schedule deadlock-free (and a
 //! seeded missing-barrier control proves the detector still fires).
 
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use crate::fault::{apply_stall, CollectiveError, CollectiveErrorKind, FaultInjector, FaultKind};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How many busy spins to burn before yielding the core. Small: on a
 /// saturated or single-core host the barrier degrades to cooperative
 /// scheduling instead of burning a quantum per crossing.
 const SPINS_BEFORE_YIELD: u32 = 64;
+
+/// How many yields between deadline checks: `Instant::now()` per yield would
+/// dominate a contended crossing, so the timeout is only probed every
+/// `YIELDS_PER_CLOCK_CHECK` rounds (timeouts are coarse by design).
+const YIELDS_PER_CLOCK_CHECK: u32 = 256;
+
+/// Group-wide collective configuration: rendezvous timeout, optional
+/// per-chunk checksums on the all-reduce, optional fault injection.
+#[derive(Debug, Clone)]
+pub struct CommConfig {
+    /// Bound on every barrier rendezvous. A peer that has not arrived by the
+    /// deadline produces [`CollectiveErrorKind::Timeout`] instead of a hang.
+    pub timeout: Duration,
+    /// Verify every gathered reduce-scatter chunk against the owner's
+    /// published checksum (catches corruption between reduce and gather).
+    pub checksum: bool,
+    /// Deterministic fault script consulted at each hook; `None` disables
+    /// injection at the cost of one pointer check per collective call.
+    pub injector: Option<Arc<FaultInjector>>,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig { timeout: Duration::from_secs(5), checksum: false, injector: None }
+    }
+}
 
 /// Sense-reversing centralized barrier for a fixed party count.
 ///
@@ -51,14 +97,21 @@ const SPINS_BEFORE_YIELD: u32 = 64;
 /// line, reused forever.
 ///
 /// A participant that panics would strand the others mid-spin, so the
-/// barrier carries a poison flag: [`SenseBarrier::poison`] makes every
-/// current and future waiter panic instead of spinning on a dead group.
+/// barrier carries a poison flag: [`SenseBarrier::poison`] fails every
+/// current and future waiter — as a panic through [`SenseBarrier::wait`], or
+/// as a typed [`CollectiveErrorKind::Poisoned`] through
+/// [`SenseBarrier::try_wait`]. Each party also publishes an arrival
+/// heartbeat (its crossing count), which [`SenseBarrier::try_wait`] reads on
+/// timeout to name the stalled peers.
 #[derive(Debug)]
 pub struct SenseBarrier {
     parties: usize,
     count: AtomicUsize,
     sense: AtomicBool,
     poisoned: AtomicBool,
+    /// Per-party arrival heartbeat: the number of crossings the party has
+    /// *arrived* at. Written at each arrival, read by peers on timeout.
+    arrivals: Vec<AtomicU64>,
 }
 
 impl SenseBarrier {
@@ -69,6 +122,7 @@ impl SenseBarrier {
             count: AtomicUsize::new(0),
             sense: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
+            arrivals: (0..parties).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -79,6 +133,9 @@ impl SenseBarrier {
     /// Cross the barrier. `local_sense` is the caller's thread-local sense
     /// bit (start every participant at `false` and pass the same variable to
     /// every crossing).
+    ///
+    /// Unbounded: waits forever for missing peers. Prefer
+    /// [`SenseBarrier::try_wait`] where a recovery path exists.
     ///
     /// # Panics
     /// Panics if the barrier is [poisoned](Self::poison) — a peer died and
@@ -108,9 +165,71 @@ impl SenseBarrier {
         }
     }
 
-    /// Mark the group dead: every rank currently or subsequently spinning in
-    /// [`wait`](Self::wait) panics instead of hanging. Called from rank
-    /// panic guards so one failing rank fails the whole group loudly.
+    /// Cross the barrier with a bounded wait. `party` is the caller's party
+    /// index (for the arrival heartbeat), `epoch` its count of *previous*
+    /// crossings. Fails typed instead of spinning forever:
+    /// [`CollectiveErrorKind::Poisoned`] if a peer died,
+    /// [`CollectiveErrorKind::Timeout`] (naming the peers whose heartbeat
+    /// still lags) if the rendezvous misses the deadline.
+    pub fn try_wait(
+        &self,
+        party: usize,
+        epoch: u64,
+        local_sense: &mut bool,
+        timeout: Duration,
+    ) -> Result<(), CollectiveErrorKind> {
+        let target = !*local_sense;
+        *local_sense = target;
+        self.arrivals[party].store(epoch + 1, Ordering::Relaxed);
+        // AcqRel: as in `wait` — publish our writes, and for the releaser,
+        // observe everyone's.
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(target, Ordering::Release);
+            return Ok(());
+        }
+        let mut spins = 0u32;
+        let mut yields = 0u32;
+        let mut deadline: Option<Instant> = None;
+        while self.sense.load(Ordering::Acquire) != target {
+            if self.poisoned.load(Ordering::Relaxed) {
+                return Err(CollectiveErrorKind::Poisoned);
+            }
+            if spins < SPINS_BEFORE_YIELD {
+                spins += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            std::thread::yield_now();
+            yields += 1;
+            if !yields.is_multiple_of(YIELDS_PER_CLOCK_CHECK) {
+                continue;
+            }
+            let now = Instant::now();
+            match deadline {
+                // First clock check: arm the deadline (keeps `Instant::now`
+                // entirely off the spin-release fast path).
+                None => deadline = now.checked_add(timeout),
+                Some(d) if now >= d => {
+                    let stalled = self
+                        .arrivals
+                        .iter()
+                        .enumerate()
+                        .filter(|&(p, a)| p != party && a.load(Ordering::Relaxed) <= epoch)
+                        .map(|(p, _)| p)
+                        .collect();
+                    return Err(CollectiveErrorKind::Timeout { stalled });
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Mark the group dead: every rank currently or subsequently waiting
+    /// fails (typed via [`try_wait`](Self::try_wait), by panic via
+    /// [`wait`](Self::wait)) instead of hanging. Called from rank panic
+    /// guards so one failing rank fails the whole group loudly.
     pub fn poison(&self) {
         self.poisoned.store(true, Ordering::Relaxed);
     }
@@ -121,50 +240,75 @@ impl SenseBarrier {
 }
 
 /// One rank's published buffer window: base pointer + length, written by the
-/// owner before the publish barrier and read by peers between barriers.
+/// owner before the publish barrier and read by peers between barriers, plus
+/// the owner's chunk checksum when [`CommConfig::checksum`] is on.
 #[derive(Debug)]
 struct Slot {
     ptr: AtomicPtr<f32>,
     len: AtomicUsize,
+    /// Order-sensitive fold of the owner's reduced chunk bits, published
+    /// between the reduce and gather phases.
+    sum: AtomicU64,
 }
 
 /// Shared state of a thread group: one slot per rank plus the barrier.
-/// Create with [`ShmComm::create`], which hands out one [`ShmRank`] per
-/// rank; the `ShmComm` itself stays behind an `Arc` inside the handles.
+/// Create with [`ShmComm::create`] (default config) or
+/// [`ShmComm::create_with`], which hand out one [`ShmRank`] per rank; the
+/// `ShmComm` itself stays behind an `Arc` inside the handles.
 #[derive(Debug)]
 pub struct ShmComm {
     slots: Vec<Slot>,
     barrier: SenseBarrier,
+    cfg: CommConfig,
 }
 
 impl ShmComm {
-    /// Build a `world`-rank communicator and return the per-rank handles,
-    /// in rank order. Each handle must move to (at most) one thread.
+    /// Build a `world`-rank communicator with the default [`CommConfig`] and
+    /// return the per-rank handles, in rank order. Each handle must move to
+    /// (at most) one thread.
     pub fn create(world: usize) -> Vec<ShmRank> {
+        Self::create_with(world, CommConfig::default())
+    }
+
+    /// [`ShmComm::create`] with an explicit timeout/checksum/injection
+    /// configuration.
+    pub fn create_with(world: usize, cfg: CommConfig) -> Vec<ShmRank> {
         assert!(world >= 1, "communicator needs at least one rank");
         let comm = Arc::new(ShmComm {
             slots: (0..world)
                 .map(|_| Slot {
                     ptr: AtomicPtr::new(std::ptr::null_mut()),
                     len: AtomicUsize::new(0),
+                    sum: AtomicU64::new(0),
                 })
                 .collect(),
             barrier: SenseBarrier::new(world),
+            cfg,
         });
         (0..world)
-            .map(|rank| ShmRank { comm: Arc::clone(&comm), rank, sense: false })
+            .map(|rank| ShmRank { comm: Arc::clone(&comm), rank, sense: false, epoch: 0 })
             .collect()
     }
 }
 
-/// A rank's handle on a [`ShmComm`]: carries the rank id and the
-/// thread-local barrier sense. Not `Clone` — exactly one handle per rank,
+/// Order-sensitive fold of a chunk's f32 bit patterns: cheap enough to run
+/// inline with the reduce, sensitive to any single-element flip or swap.
+fn chunk_checksum(chunk: &[f32]) -> u64 {
+    chunk
+        .iter()
+        .fold(0u64, |acc, v| acc.rotate_left(1) ^ u64::from(v.to_bits()))
+}
+
+/// A rank's handle on a [`ShmComm`]: carries the rank id, the thread-local
+/// barrier sense, and the rank's collective epoch (barrier crossings
+/// attempted — its heartbeat). Not `Clone` — exactly one handle per rank,
 /// so each collective call is one arrival per rank.
 #[derive(Debug)]
 pub struct ShmRank {
     comm: Arc<ShmComm>,
     rank: usize,
     sense: bool,
+    epoch: u64,
 }
 
 /// A cloneable poison-only handle on a group's barrier. Panic guards hold
@@ -189,9 +333,56 @@ impl ShmRank {
         self.comm.slots.len()
     }
 
-    /// Cross the group barrier (one arrival for this rank).
+    /// The rank's collective epoch: barrier crossings attempted so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The group's fault injector, if one is installed.
+    pub fn injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.comm.cfg.injector.as_ref()
+    }
+
+    /// The group's collective configuration.
+    pub fn config(&self) -> &CommConfig {
+        &self.comm.cfg
+    }
+
+    /// Cross the group barrier (one arrival for this rank), panicking on
+    /// poison — the legacy wrapper over [`ShmRank::try_barrier`].
     pub fn barrier(&mut self) {
-        self.comm.barrier.wait(&mut self.sense);
+        if let Err(e) = self.try_barrier() {
+            panic!("shmem barrier failed: {e}");
+        }
+    }
+
+    /// Cross the group barrier with the configured timeout. Consults the
+    /// fault injector first (stall → sleep then arrive; dropped arrival →
+    /// typed [`CollectiveErrorKind::InjectedExit`] without arriving, so
+    /// peers observe a timeout naming this rank; panic → panics here).
+    pub fn try_barrier(&mut self) -> Result<(), CollectiveError> {
+        let epoch = self.epoch;
+        if let Some(inj) = &self.comm.cfg.injector {
+            match inj.at_barrier(self.rank, epoch) {
+                Some(FaultKind::Stall { millis }) => apply_stall(millis),
+                Some(FaultKind::Exit) => {
+                    return Err(self.err(CollectiveErrorKind::InjectedExit, epoch));
+                }
+                Some(FaultKind::Panic) => {
+                    panic!("injected fault: rank {} panics at barrier epoch {epoch}", self.rank)
+                }
+                Some(FaultKind::Corrupt) | None => {}
+            }
+        }
+        self.epoch += 1;
+        self.comm
+            .barrier
+            .try_wait(self.rank, epoch, &mut self.sense, self.comm.cfg.timeout)
+            .map_err(|kind| self.err(kind, epoch))
+    }
+
+    fn err(&self, kind: CollectiveErrorKind, epoch: u64) -> CollectiveError {
+        CollectiveError { rank: self.rank, kind, epoch }
     }
 
     /// Poison the group barrier (see [`SenseBarrier::poison`]).
@@ -220,8 +411,16 @@ impl ShmRank {
         (start, start + width)
     }
 
+    /// In-place all-reduce (sum), panicking on failure — the legacy wrapper
+    /// over [`ShmRank::try_allreduce_sum`].
+    pub fn allreduce_sum(&mut self, buf: &mut [f32]) {
+        if let Err(e) = self.try_allreduce_sum(buf) {
+            panic!("shmem allreduce failed: {e}");
+        }
+    }
+
     /// In-place all-reduce (sum) of `buf` across all ranks: every rank calls
-    /// this with its own equal-length buffer; on return every buffer holds
+    /// this with its own equal-length buffer; on success every buffer holds
     /// the element-wise sum in rank order (bit-identical to
     /// [`CommGroup::allreduce_sum`](crate::collectives::CommGroup::allreduce_sum)).
     ///
@@ -231,19 +430,30 @@ impl ShmRank {
     /// barriers separating publish / reduce / gather so no rank reads a
     /// chunk before its owner finished writing it, and no rank reclaims its
     /// buffer while a peer may still be reading.
-    pub fn allreduce_sum(&mut self, buf: &mut [f32]) {
+    ///
+    /// Every rendezvous is bounded by the configured timeout; with
+    /// [`CommConfig::checksum`] on, each gathered chunk is verified against
+    /// the owner's published checksum and a mismatch fails the group with
+    /// [`CollectiveErrorKind::Corrupt`] instead of propagating silent wrong
+    /// numbers.
+    pub fn try_allreduce_sum(&mut self, buf: &mut [f32]) -> Result<(), CollectiveError> {
         let world = self.world();
         if world == 1 {
-            return;
+            return Ok(());
         }
+        // Epoch of this all-reduce's first crossing: the reduce-site key for
+        // the fault injector.
+        let epoch0 = self.epoch;
         let len = buf.len();
-        // Publish this rank's window.
-        let slot = &self.comm.slots[self.rank];
+        // Publish this rank's window. (Cloning the Arc keeps the slot borrow
+        // disjoint from the `&mut self` the barrier crossings need.)
+        let comm = Arc::clone(&self.comm);
+        let slot = &comm.slots[self.rank];
         slot.ptr.store(buf.as_mut_ptr(), Ordering::Relaxed);
         slot.len.store(len, Ordering::Relaxed);
         // Barrier 1: every window is published; all pre-collective writes
         // to every buffer are visible.
-        self.comm.barrier.wait(&mut self.sense);
+        self.try_barrier()?;
         for (r, s) in self.comm.slots.iter().enumerate() {
             assert_eq!(
                 s.len.load(Ordering::Relaxed),
@@ -272,12 +482,43 @@ impl ShmRank {
                 }
                 *own.add(i) = s;
             }
+            if self.comm.cfg.checksum {
+                // Publish the owned chunk's checksum before anyone gathers.
+                // SAFETY: `own[lo..hi]` is this rank's exclusive window
+                // region until barrier 3, published at length `len` above.
+                let chunk = std::slice::from_raw_parts(own.add(lo), hi - lo);
+                slot.sum.store(chunk_checksum(chunk), Ordering::Relaxed);
+            }
+            if let Some(inj) = &self.comm.cfg.injector {
+                match inj.at_reduce(self.rank, epoch0) {
+                    Some(FaultKind::Corrupt) if hi > lo => {
+                        // Flip one element of the reduced chunk *after* the
+                        // checksum was published — the "corrupted transfer"
+                        // model the gather-side verification must catch.
+                        let p = own.add(lo);
+                        *p = f32::from_bits((*p).to_bits() ^ 0x0040_0000);
+                    }
+                    Some(FaultKind::Corrupt) => {}
+                    Some(FaultKind::Stall { millis }) => apply_stall(millis),
+                    Some(FaultKind::Exit) => {
+                        return Err(self.err(CollectiveErrorKind::InjectedExit, epoch0));
+                    }
+                    Some(FaultKind::Panic) => {
+                        panic!(
+                            "injected fault: rank {} panics in reduce at epoch {epoch0}",
+                            self.rank
+                        )
+                    }
+                    None => {}
+                }
+            }
         }
         // Barrier 2: every owned chunk is fully reduced.
-        self.comm.barrier.wait(&mut self.sense);
+        self.try_barrier()?;
         // All-gather: copy each foreign owner's reduced chunk from its
-        // window into ours. Same pointer validity as the reduce-scatter.
-        //
+        // window into ours, verifying checksums when enabled. Same pointer
+        // validity as the reduce-scatter.
+        let mut corrupt: Option<usize> = None;
         // SAFETY: between barriers 2 and 3 this rank writes only
         // `own[c_lo..c_hi]` for owners != rank — regions no peer touches
         // (peers read only their own chunk of this window, and write only
@@ -294,11 +535,27 @@ impl ShmRank {
                     own.add(c_lo),
                     c_hi - c_lo,
                 );
+                if self.comm.cfg.checksum && corrupt.is_none() {
+                    // SAFETY: `own[c_lo..c_hi]` was just written by this
+                    // rank and no peer touches it (see region argument
+                    // above).
+                    let got = std::slice::from_raw_parts(own.add(c_lo), c_hi - c_lo);
+                    if chunk_checksum(got) != peer.sum.load(Ordering::Relaxed) {
+                        corrupt = Some(owner);
+                    }
+                }
             }
+        }
+        if let Some(owner) = corrupt {
+            // The data plane is compromised: fail the whole group rather
+            // than let one rank decode on corrupt activations.
+            self.poison();
+            return Err(self.err(CollectiveErrorKind::Corrupt { owner }, epoch0));
         }
         // Barrier 3: no rank may reuse (or free) its buffer until every
         // peer has finished gathering from it.
-        self.comm.barrier.wait(&mut self.sense);
+        self.try_barrier()?;
+        Ok(())
     }
 }
 
@@ -306,6 +563,7 @@ impl ShmRank {
 mod tests {
     use super::*;
     use crate::collectives::CommGroup;
+    use crate::fault::{FaultPlan, FaultSite, FaultSpec};
     use std::sync::Mutex;
 
     /// Run `world` threads, rank `r` executing `f(rank_handle, r)`.
@@ -313,8 +571,15 @@ mod tests {
     where
         F: Fn(ShmRank, usize) + Send + Sync + 'static,
     {
+        run_ranks_with(world, CommConfig::default(), f);
+    }
+
+    fn run_ranks_with<F>(world: usize, cfg: CommConfig, f: F)
+    where
+        F: Fn(ShmRank, usize) + Send + Sync + 'static,
+    {
         let f = Arc::new(f);
-        let handles: Vec<_> = ShmComm::create(world)
+        let handles: Vec<_> = ShmComm::create_with(world, cfg)
             .into_iter()
             .enumerate()
             .map(|(r, h)| {
@@ -348,6 +613,30 @@ mod tests {
                     assert_eq!(got[r], oracle.buffers[r], "world {world} len {len} rank {r}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn checksummed_allreduce_is_bit_identical_to_plain() {
+        // Checksums are pure observation: the reduced values must not change.
+        let world = 4;
+        let len = 37;
+        let bufs: Vec<Vec<f32>> = (0..world)
+            .map(|r| (0..len).map(|i| ((r * len + i) as f32).cos()).collect())
+            .collect();
+        let mut oracle = CommGroup::new(bufs.clone());
+        oracle.allreduce_sum();
+        let results = Arc::new(Mutex::new(vec![Vec::new(); world]));
+        let results2 = Arc::clone(&results);
+        let cfg = CommConfig { checksum: true, ..CommConfig::default() };
+        run_ranks_with(world, cfg, move |mut h, r| {
+            let mut buf = bufs[r].clone();
+            h.try_allreduce_sum(&mut buf).expect("clean run");
+            results2.lock().unwrap()[r] = buf;
+        });
+        let got = results.lock().unwrap();
+        for r in 0..world {
+            assert_eq!(got[r], oracle.buffers[r], "rank {r}");
         }
     }
 
@@ -433,5 +722,136 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         poisoner.poison();
         assert!(t.join().unwrap(), "waiter must panic on poisoned barrier");
+    }
+
+    #[test]
+    fn poisoned_barrier_is_a_typed_error_not_a_panic() {
+        // Satellite fix: the poison flag surfaces as CollectiveError through
+        // the try path instead of a follow-on panic.
+        let mut handles = ShmComm::create(2);
+        let waiter = handles.pop().unwrap();
+        let poisoner = handles.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut w = waiter;
+            w.try_barrier()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        poisoner.poison();
+        let err = t.join().expect("no panic").expect_err("typed error");
+        assert_eq!(err.kind, CollectiveErrorKind::Poisoned);
+        assert_eq!(err.rank, 1);
+    }
+
+    #[test]
+    fn barrier_timeout_names_the_stalled_peer() {
+        // Rank 0 never arrives: ranks 1 and 2 must time out within the
+        // bound, each naming rank 0 (and only rank 0) as stalled.
+        let cfg = CommConfig { timeout: Duration::from_millis(100), ..CommConfig::default() };
+        let mut handles = ShmComm::create_with(3, cfg);
+        let _absent = handles.remove(0); // rank 0 drops its arrival
+        let threads: Vec<_> = handles
+            .into_iter()
+            .map(|mut h| {
+                std::thread::spawn(move || {
+                    let start = Instant::now();
+                    let err = h.try_barrier().expect_err("must time out");
+                    (err, start.elapsed())
+                })
+            })
+            .collect();
+        for t in threads {
+            let (err, waited) = t.join().unwrap();
+            match err.kind {
+                CollectiveErrorKind::Timeout { ref stalled } => {
+                    assert_eq!(stalled, &[0], "{err}");
+                }
+                ref k => panic!("expected Timeout, got {k:?}"),
+            }
+            assert_eq!(err.epoch, 0);
+            assert!(waited < Duration::from_secs(5), "bounded wait, took {waited:?}");
+        }
+    }
+
+    #[test]
+    fn injected_exit_drops_arrival_and_peers_time_out() {
+        // The scripted "crashed rank" model: rank 1 observes InjectedExit,
+        // rank 0 observes a timeout naming rank 1.
+        let plan = FaultPlan::new(vec![FaultSpec {
+            rank: 1,
+            site: FaultSite::Barrier { epoch: 0 },
+            kind: crate::fault::FaultKind::Exit,
+        }]);
+        let cfg = CommConfig {
+            timeout: Duration::from_millis(100),
+            injector: Some(Arc::new(plan.injector())),
+            ..CommConfig::default()
+        };
+        let mut handles = ShmComm::create_with(2, cfg);
+        let mut r1 = handles.pop().unwrap();
+        let mut r0 = handles.pop().unwrap();
+        let t = std::thread::spawn(move || r1.try_barrier());
+        let e0 = r0.try_barrier().expect_err("peer never arrives");
+        let e1 = t.join().unwrap().expect_err("scripted exit");
+        assert_eq!(e1.kind, CollectiveErrorKind::InjectedExit);
+        assert!(
+            matches!(e0.kind, CollectiveErrorKind::Timeout { ref stalled } if stalled == &[1]),
+            "{e0}"
+        );
+    }
+
+    #[test]
+    fn injected_corruption_is_caught_by_checksum() {
+        // Rank 0's owned chunk is flipped after its checksum is published:
+        // every gathering peer must fail typed with Corrupt{owner: 0}, and
+        // nobody may return Ok with silently wrong numbers.
+        let plan = FaultPlan::new(vec![FaultSpec {
+            rank: 0,
+            site: FaultSite::Reduce { epoch: 0 },
+            kind: crate::fault::FaultKind::Corrupt,
+        }]);
+        let cfg = CommConfig {
+            timeout: Duration::from_millis(500),
+            checksum: true,
+            injector: Some(Arc::new(plan.injector())),
+        };
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let results2 = Arc::clone(&results);
+        run_ranks_with(2, cfg, move |mut h, r| {
+            let mut buf = vec![r as f32 + 1.0; 8];
+            let out = h.try_allreduce_sum(&mut buf);
+            results2.lock().unwrap().push((r, out));
+        });
+        let got = results.lock().unwrap();
+        let rank1 = got.iter().find(|(r, _)| *r == 1).unwrap();
+        match &rank1.1 {
+            Err(CollectiveError { kind: CollectiveErrorKind::Corrupt { owner: 0 }, .. }) => {}
+            other => panic!("rank 1 must detect rank 0's corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_stall_delays_but_completes() {
+        // A stall shorter than the timeout is transparent: the all-reduce
+        // completes with correct sums.
+        let plan = FaultPlan::new(vec![FaultSpec {
+            rank: 1,
+            site: FaultSite::Barrier { epoch: 0 },
+            kind: crate::fault::FaultKind::Stall { millis: 20 },
+        }]);
+        let cfg = CommConfig {
+            timeout: Duration::from_secs(2),
+            injector: Some(Arc::new(plan.injector())),
+            ..CommConfig::default()
+        };
+        let results = Arc::new(Mutex::new(vec![Vec::new(); 2]));
+        let results2 = Arc::clone(&results);
+        run_ranks_with(2, cfg, move |mut h, r| {
+            let mut buf = vec![r as f32 + 1.0; 8];
+            h.try_allreduce_sum(&mut buf).expect("stall is transient");
+            results2.lock().unwrap()[r] = buf;
+        });
+        for b in results.lock().unwrap().iter() {
+            assert!(b.iter().all(|&v| v == 3.0));
+        }
     }
 }

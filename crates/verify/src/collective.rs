@@ -28,7 +28,7 @@ use dsi_parallel::mapping::Mapping3D;
 use dsi_parallel::pipeline::{PipelineSchedule, PipelineSpec};
 use dsi_sim::engine::{Resource, TaskGraph};
 use serde::Serialize;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Group collectives (matched across all members of `group`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -148,8 +148,41 @@ pub fn check_lockstep(group: &[usize], programs: &Programs) -> Vec<Diagnostic> {
 /// blocked at quiescence is a deadlock, reported with every stuck rank and
 /// the op it waits on.
 pub fn simulate_rendezvous(programs: &Programs) -> Vec<Diagnostic> {
+    simulate_rendezvous_with_exits(programs, &ExitPlan::new())
+}
+
+/// Rank exit script for [`simulate_rendezvous_with_exits`]: rank → op index
+/// at which the rank dies. The rank executes ops `0..idx` normally and
+/// never issues another (modelling "rank exits at epoch *e*" — a worker
+/// panic, scripted `FaultKind::Exit`, or a crashed process).
+pub type ExitPlan = BTreeMap<usize, usize>;
+
+fn rank_dead(
+    dead: &BTreeSet<usize>,
+    exits: &ExitPlan,
+    pc: &BTreeMap<usize, usize>,
+    r: usize,
+) -> bool {
+    dead.contains(&r)
+        || exits
+            .get(&r)
+            .is_some_and(|&at| pc.get(&r).is_some_and(|&i| i >= at))
+}
+
+/// [`simulate_rendezvous`] extended with the hardened runtime's abort
+/// semantics: ranks listed in `exits` die at the scripted op index, and any
+/// survivor blocked on a collective / send / recv involving a dead rank does
+/// **not** hang — its bounded-timeout wait converts the loss into a typed
+/// `collective-abort` diagnostic (mirroring `CollectiveError` in
+/// `dsi_sim::fault`) and the survivor stops issuing ops, exactly like a
+/// worker returning an error. Only ranks left *silently* blocked at
+/// quiescence — stuck on live peers — are reported as deadlocks.
+pub fn simulate_rendezvous_with_exits(programs: &Programs, exits: &ExitPlan) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let mut pc: BTreeMap<usize, usize> = programs.keys().map(|&r| (r, 0)).collect();
+    // Ranks that stopped issuing ops: scripted exits (checked via
+    // `rank_dead`) plus survivors whose wait aborted with a typed error.
+    let mut dead: BTreeSet<usize> = BTreeSet::new();
     let head = |pc: &BTreeMap<usize, usize>, r: usize| -> Option<&Op> {
         programs.get(&r).and_then(|ops| ops.get(*pc.get(&r)?))
     };
@@ -158,6 +191,9 @@ pub fn simulate_rendezvous(programs: &Programs) -> Vec<Diagnostic> {
         let mut progressed = false;
         let ranks: Vec<usize> = pc.keys().copied().collect();
         for &r in &ranks {
+            if rank_dead(&dead, exits, &pc, r) {
+                continue;
+            }
             let Some(op) = head(&pc, r) else { continue };
             match op {
                 Op::Coll { kind, group, bytes, tag } => {
@@ -169,6 +205,27 @@ pub fn simulate_rendezvous(programs: &Programs) -> Vec<Diagnostic> {
                             format!("issues a collective over group {group:?} it is not a member of"),
                         ));
                         *pc.get_mut(&r).unwrap() += 1;
+                        progressed = true;
+                        continue;
+                    }
+                    // A dead member never arrives: the survivor's bounded
+                    // spin times out and surfaces a typed error.
+                    let lost: Vec<usize> = group
+                        .iter()
+                        .copied()
+                        .filter(|&g| rank_dead(&dead, exits, &pc, g))
+                        .collect();
+                    if !lost.is_empty() {
+                        diags.push(Diagnostic::new(
+                            Pass::Collective,
+                            "collective-abort",
+                            format!("rank {r} (`{tag}`)"),
+                            format!(
+                                "peer(s) {lost:?} exited before this collective; the timeout \
+                                 converts the wait into a typed CollectiveError instead of a hang"
+                            ),
+                        ));
+                        dead.insert(r);
                         progressed = true;
                         continue;
                     }
@@ -218,6 +275,17 @@ pub fn simulate_rendezvous(programs: &Programs) -> Vec<Diagnostic> {
                 }
                 Op::Send { to, bytes, tag } => {
                     let (to, bytes, tag) = (*to, *bytes, tag.clone());
+                    if rank_dead(&dead, exits, &pc, to) {
+                        diags.push(Diagnostic::new(
+                            Pass::Collective,
+                            "collective-abort",
+                            format!("rank {r} (`{tag}`)"),
+                            format!("peer {to} exited before the matching recv; send times out with a typed error"),
+                        ));
+                        dead.insert(r);
+                        progressed = true;
+                        continue;
+                    }
                     if let Some(Op::Recv { from, bytes: rb, tag: rt }) = head(&pc, to) {
                         if *from == r {
                             if *rb != bytes {
@@ -236,7 +304,20 @@ pub fn simulate_rendezvous(programs: &Programs) -> Vec<Diagnostic> {
                         }
                     }
                 }
-                Op::Recv { .. } => {} // fired from the sending side
+                Op::Recv { from, tag, .. } => {
+                    // Normally fired from the sending side; a dead sender
+                    // never arrives, so the recv times out typed.
+                    if rank_dead(&dead, exits, &pc, *from) {
+                        diags.push(Diagnostic::new(
+                            Pass::Collective,
+                            "collective-abort",
+                            format!("rank {r} (`{tag}`)"),
+                            format!("sender {from} exited before the matching send; recv times out with a typed error"),
+                        ));
+                        dead.insert(r);
+                        progressed = true;
+                    }
+                }
             }
         }
         if !progressed {
@@ -247,6 +328,9 @@ pub fn simulate_rendezvous(programs: &Programs) -> Vec<Diagnostic> {
     let stuck: Vec<String> = pc
         .iter()
         .filter_map(|(&r, &i)| {
+            if rank_dead(&dead, exits, &pc, r) {
+                return None; // exited or typed-aborted, not silently stuck
+            }
             programs.get(&r).and_then(|ops| ops.get(i)).map(|op| format!("rank {r} blocked at op {i}: {}", op.describe()))
         })
         .collect();
@@ -270,6 +354,19 @@ pub fn check_programs(groups: &[Vec<usize>], programs: &Programs) -> Vec<Diagnos
     }
     diags.extend(simulate_rendezvous(programs));
     diags
+}
+
+/// Exit-safety proof obligation: under the scripted `exits`, every surviving
+/// rank must either drain its program or surface a **typed**
+/// `collective-abort` — those aborts are the *expected* outcome of the
+/// hardened runtime and are filtered out; everything else (above all
+/// `deadlock`: a survivor silently blocked on live peers) is returned as a
+/// defect.
+pub fn check_exit_safety(programs: &Programs, exits: &ExitPlan) -> Vec<Diagnostic> {
+    simulate_rendezvous_with_exits(programs, exits)
+        .into_iter()
+        .filter(|d| d.code != "collective-abort")
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -658,6 +755,67 @@ mod tests {
         // and so transitively does rank 0.
         let d = simulate_rendezvous(&progs);
         assert!(d.iter().any(|x| x.code == "deadlock"), "{d:?}");
+    }
+
+    #[test]
+    fn exit_before_collective_aborts_survivors_typed() {
+        // Rank 1 dies mid-schedule: every survivor must reach a typed abort
+        // (the timeout path), and *nobody* may be reported silently stuck.
+        let (_, progs) = tp_exec_allreduce_programs(4, 2, 512);
+        let len = progs[&0].len();
+        for at in [0usize, 1, 7, len - 1] {
+            let exits = ExitPlan::from([(1usize, at)]);
+            let d = simulate_rendezvous_with_exits(&progs, &exits);
+            assert!(
+                d.iter().any(|x| x.code == "collective-abort"),
+                "exit at {at}: {d:?}"
+            );
+            assert!(
+                d.iter().all(|x| x.code != "deadlock"),
+                "exit at {at} must abort typed, not deadlock: {d:?}"
+            );
+            assert!(check_exit_safety(&progs, &exits).is_empty());
+        }
+    }
+
+    #[test]
+    fn exit_after_program_end_is_harmless() {
+        let (_, progs) = tp_exec_allreduce_programs(2, 1, 128);
+        let exits = ExitPlan::from([(1usize, progs[&1].len())]);
+        let d = simulate_rendezvous_with_exits(&progs, &exits);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn no_exits_matches_plain_rendezvous() {
+        let (_, progs) = tp_exec_allreduce_programs(4, 2, 512);
+        assert!(simulate_rendezvous_with_exits(&progs, &ExitPlan::new()).is_empty());
+        assert!(simulate_rendezvous(&progs).is_empty());
+    }
+
+    #[test]
+    fn dead_sender_times_out_the_recv() {
+        let mut progs = Programs::new();
+        progs.insert(0, vec![Op::Recv { from: 1, bytes: 8, tag: "act".into() }]);
+        progs.insert(1, vec![Op::Send { to: 0, bytes: 8, tag: "act".into() }]);
+        let exits = ExitPlan::from([(1usize, 0)]);
+        let d = simulate_rendezvous_with_exits(&progs, &exits);
+        assert!(d.iter().any(|x| x.code == "collective-abort" && x.message.contains("sender 1")), "{d:?}");
+        assert!(d.iter().all(|x| x.code != "deadlock"), "{d:?}");
+    }
+
+    #[test]
+    fn exits_do_not_mask_real_deadlocks() {
+        // Ranks 0 and 1 deadlock among themselves (send/send); rank 2's
+        // scripted exit elsewhere must not excuse it.
+        let mut progs = Programs::new();
+        progs.insert(0, vec![Op::Send { to: 1, bytes: 8, tag: "a".into() }]);
+        progs.insert(1, vec![Op::Send { to: 0, bytes: 8, tag: "b".into() }]);
+        progs.insert(2, vec![Op::Send { to: 3, bytes: 8, tag: "c".into() }]);
+        progs.insert(3, vec![Op::Recv { from: 2, bytes: 8, tag: "c".into() }]);
+        let exits = ExitPlan::from([(2usize, 0)]);
+        let d = check_exit_safety(&progs, &exits);
+        assert!(d.iter().any(|x| x.code == "deadlock" && x.message.contains("rank 0")), "{d:?}");
     }
 
     #[test]

@@ -19,13 +19,16 @@
 //! to catch — a dtype-mixed region, a corrupted GEMM contraction, an illegal
 //! fusion boundary, an aliased scratch write, a rank skipping an all-reduce,
 //! a rank skipping a shared-memory barrier crossing, a cyclic task graph,
-//! an undocumented `unsafe` block — and returns the
+//! an undocumented `unsafe` block, a rank exiting mid-schedule (survivors
+//! must abort typed), a recv stranded by a dead sender, and a survivor
+//! deadlock that an unrelated exit must not mask — and returns the
 //! diagnostics each produced. CI fails if any control comes back clean: a
 //! verifier that stops detecting is worse than none.
 
 use crate::collective::{
-    check_pipeline, check_programs, ep_alltoall_programs, find_cycle, pp_p2p_programs,
-    simulate_rendezvous, tp_allreduce_programs, tp_exec_allreduce_programs, DiGraph, Op,
+    check_exit_safety, check_pipeline, check_programs, ep_alltoall_programs, find_cycle,
+    pp_p2p_programs, simulate_rendezvous, simulate_rendezvous_with_exits, tp_allreduce_programs,
+    tp_exec_allreduce_programs, DiGraph, ExitPlan, Op, Programs,
 };
 use crate::ir::verify_layer_plan;
 use crate::scratch::{check_trace, Arena, SliceRef, Step};
@@ -190,6 +193,32 @@ pub fn verify_all() -> SweepReport {
         }));
     }
 
+    // --- Pass 3e: exit-safety of the executed TP engine's schedule. ---
+    // Model "rank r exits at op e" for every rank × a sample of epochs: the
+    // hardened runtime's bounded timeouts must convert every such loss into
+    // a typed abort on the survivors — never a silent deadlock. The typed
+    // aborts are the expected outcome; `check_exit_safety` returns only
+    // what is left silently stuck.
+    for world in [2usize, 4] {
+        let (_, progs) = tp_exec_allreduce_programs(world, 2, 512);
+        let len = progs[&0].len();
+        for rank in 0..world {
+            for at in [0usize, 1, len / 2, len - 1] {
+                let exits = ExitPlan::from([(rank, at)]);
+                report.collective_programs += 1;
+                report.diagnostics.extend(
+                    check_exit_safety(&progs, &exits).into_iter().map(|mut x| {
+                        x.site = format!(
+                            "tp_exec world={world}, rank {rank} exits at op {at}: {}",
+                            x.site
+                        );
+                        x
+                    }),
+                );
+            }
+        }
+    }
+
     report
 }
 
@@ -326,6 +355,40 @@ pub fn negative_controls() -> Vec<Control> {
         ),
     });
 
+    // Exit modelling: a rank dying mid-schedule must surface as a *typed*
+    // abort on every survivor (the timeout path), not a hang.
+    let (_, progs) = tp_exec_allreduce_programs(2, 1, 512);
+    out.push(Control {
+        name: "rank exit mid-schedule (survivors abort typed)",
+        expect_code: "collective-abort",
+        diagnostics: simulate_rendezvous_with_exits(&progs, &ExitPlan::from([(1usize, 3)])),
+    });
+
+    // Exit modelling, p2p edge: a receiver stranded by a dead sender must
+    // time out typed as well.
+    let mut progs = Programs::new();
+    progs.insert(0, vec![Op::Recv { from: 1, bytes: 8, tag: "act".into() }]);
+    progs.insert(1, vec![Op::Send { to: 0, bytes: 8, tag: "act".into() }]);
+    out.push(Control {
+        name: "recv from exited sender (typed timeout)",
+        expect_code: "collective-abort",
+        diagnostics: simulate_rendezvous_with_exits(&progs, &ExitPlan::from([(1usize, 0)])),
+    });
+
+    // Exit safety: a genuine deadlock among *survivors* (send/send cycle)
+    // must still be reported even when an unrelated rank exits — the abort
+    // semantics must not excuse real schedule bugs.
+    let mut progs = Programs::new();
+    progs.insert(0, vec![Op::Send { to: 1, bytes: 8, tag: "a".into() }]);
+    progs.insert(1, vec![Op::Send { to: 0, bytes: 8, tag: "b".into() }]);
+    progs.insert(2, vec![Op::Send { to: 3, bytes: 8, tag: "c".into() }]);
+    progs.insert(3, vec![Op::Recv { from: 2, bytes: 8, tag: "c".into() }]);
+    out.push(Control {
+        name: "survivor deadlock not masked by an exit elsewhere",
+        expect_code: "deadlock",
+        diagnostics: check_exit_safety(&progs, &ExitPlan::from([(2usize, 0)])),
+    });
+
     out
 }
 
@@ -351,7 +414,7 @@ mod tests {
     #[test]
     fn every_negative_control_fires() {
         let controls = negative_controls();
-        assert_eq!(controls.len(), 9);
+        assert_eq!(controls.len(), 12);
         for c in &controls {
             assert!(c.fired(), "control `{}` produced {:?}", c.name, c.diagnostics);
         }
