@@ -289,11 +289,15 @@ impl FastSession<'_, '_> {
         &self.scratch.logits[..m * c.vocab]
     }
 
-    /// Greedy generation: process `prompt`, then emit `n_tokens` tokens.
-    /// Matches [`GptModel::generate`] token-for-token (up to f32
-    /// reassociation in the GEMMs).
+    /// Greedy generation: process `prompt`, then emit `n_tokens` tokens
+    /// (`n_tokens == 0` ingests the prompt and returns no tokens). Matches
+    /// [`GptModel::generate`] token-for-token (up to f32 reassociation in
+    /// the GEMMs).
     pub fn generate(&mut self, prompt: &[usize], n_tokens: usize) -> Vec<usize> {
         self.forward(prompt);
+        if n_tokens == 0 {
+            return Vec::new();
+        }
         let mut next = argmax(self.last_logits());
         let mut out = Vec::with_capacity(n_tokens);
         out.push(next);

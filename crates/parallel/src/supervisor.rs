@@ -261,6 +261,9 @@ impl FtSession {
     pub fn generate(&mut self, prompt: &[usize], n_tokens: usize) -> Result<Vec<usize>, FaultError> {
         assert!(!prompt.is_empty(), "empty prompt");
         self.step_committed(prompt)?;
+        if n_tokens == 0 {
+            return Ok(Vec::new());
+        }
         let mut next = argmax(self.sess.as_ref().expect("live session").last_logits());
         let mut out = Vec::with_capacity(n_tokens);
         out.push(next);

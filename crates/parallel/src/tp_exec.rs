@@ -777,7 +777,8 @@ impl TpSession {
     }
 
     /// Greedy generation with the exact [`FastSession`] semantics: process
-    /// `prompt`, then emit `n_tokens` tokens.
+    /// `prompt`, then emit `n_tokens` tokens (`n_tokens == 0` ingests the
+    /// prompt and returns no tokens).
     ///
     /// Panics on any collective failure; the panic message carries the typed
     /// error plus any worker panic payloads collected before the deadline.
@@ -786,6 +787,9 @@ impl TpSession {
     pub fn generate(&mut self, prompt: &[usize], n_tokens: usize) -> Vec<usize> {
         if let Err(e) = self.try_prompt(prompt) {
             self.panic_with_failures(e);
+        }
+        if n_tokens == 0 {
+            return Vec::new();
         }
         let mut next = argmax(self.last_logits());
         let mut out = Vec::with_capacity(n_tokens);
@@ -839,14 +843,23 @@ impl TpSession {
         if let Some(e) = self.failed.take() {
             failures.push(RankFailure { rank: e.rank, cause: RankFailureCause::Collective(e) });
         }
-        for rank in join_with_deadline(&mut self.workers, deadline) {
-            failures.push(RankFailure { rank, cause: RankFailureCause::Unjoined });
-        }
+        let unjoined = join_with_deadline(&mut self.workers, deadline);
         let mut kv: Vec<Option<KvCache>> = (0..tp).map(|_| None).collect();
+        let mut exited = vec![false; tp];
         while let Ok(exit) = self.exits.try_recv() {
+            exited[exit.rank] = true;
             kv[exit.rank] = exit.kv;
             if let Some(cause) = exit.cause {
                 failures.push(RankFailure { rank: exit.rank, cause });
+            }
+        }
+        // A worker that finished just past the join deadline may still have
+        // delivered its exit report (the channel send precedes the thread's
+        // actual exit): it is not a lost rank, and its salvage stands. Only
+        // ranks with no report are truly wedged.
+        for rank in unjoined {
+            if !exited[rank] {
+                failures.push(RankFailure { rank, cause: RankFailureCause::Unjoined });
             }
         }
         if !self.rank0_lost {
@@ -948,6 +961,24 @@ mod tests {
                 assert_eq!(got, want, "tp {tp} seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn zero_token_generate_returns_empty_after_ingesting_prompt() {
+        // n_tokens == 0 must not emit a token; the prompt is still ingested
+        // (context advances and last_logits covers its final position), so
+        // a later generate continues exactly like an uninterrupted one.
+        let m = model(2, 9);
+        let pm = PackedModel::pack(&m);
+        let mut fast = pm.session(4);
+        assert!(fast.generate(&[1, 2], 0).is_empty());
+        let want = fast.generate(&[3], 3);
+        let tpm = Arc::new(TpPackedModel::shard(&m, 2));
+        let mut sess = tpm.session(4);
+        assert!(sess.generate(&[1, 2], 0).is_empty());
+        assert_eq!(sess.context_len(), 2);
+        assert_eq!(sess.last_logits().len(), tpm.config().vocab); // prompt row is live
+        assert_eq!(sess.generate(&[3], 3), want);
     }
 
     #[test]

@@ -16,12 +16,14 @@
 //!   that flips per crossing). Waiters spin briefly then yield, so the
 //!   barrier stays correct (if slow) even when ranks share one core.
 //! * [`ShmComm`] / [`ShmRank`] — a communicator over `world` threads where
-//!   each rank *publishes* a pointer to its own buffer and the group runs a
-//!   chunked all-reduce in place: rank `r` owns chunk `r`, sums that chunk
-//!   across every rank's published buffer (reduce-scatter), then copies the
-//!   other owners' reduced chunks back (all-gather). Three barrier
-//!   crossings, zero heap allocation, no full-buffer clone — each element
-//!   is read `world` times and written twice, independent of `world`.
+//!   each rank *stages* its buffer into a **group-owned window** (owned by
+//!   the `ShmComm`, so it outlives any individual rank's failure) and the
+//!   group runs a chunked all-reduce in the windows: rank `r` owns chunk
+//!   `r`, sums that chunk across every rank's window (reduce-scatter), then
+//!   copies the other owners' reduced chunks back (all-gather), and finally
+//!   copies the result home. Three barrier crossings, no steady-state heap
+//!   allocation (windows are reused across calls) — each element is read
+//!   `world + 1` times and written three times, independent of `world`.
 //!
 //! The reduction order is fixed (rank 0, 1, …, world−1 per element), so a
 //! shared-memory all-reduce is bit-identical to
@@ -41,6 +43,13 @@
 //! legacy panicking wrappers ([`ShmRank::barrier`],
 //! [`ShmRank::allreduce_sum`]) remain for callers without a recovery path.
 //!
+//! Failure never leaves dangling pointers behind: a timed-out rendezvous
+//! poisons the group (so a straggler cannot complete it late and run ahead
+//! alone), and the data windows peers read during an all-reduce are owned
+//! by the `ShmComm` itself — kept alive by every rank handle's `Arc`, even
+//! a detached one — so a rank that errors out and frees its caller-side
+//! buffers can never invalidate memory a slow peer is still reading.
+//!
 //! A [`CommConfig`] can also install a [`FaultInjector`]: a deterministic,
 //! fire-once fault script (stalls, dropped arrivals, panics, chunk
 //! corruption) threaded through the same hooks — one `Option` check per
@@ -53,6 +62,7 @@
 //! seeded missing-barrier control proves the detector still fires).
 
 use crate::fault::{apply_stall, CollectiveError, CollectiveErrorKind, FaultInjector, FaultKind};
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -100,9 +110,12 @@ impl Default for CommConfig {
 /// barrier carries a poison flag: [`SenseBarrier::poison`] fails every
 /// current and future waiter — as a panic through [`SenseBarrier::wait`], or
 /// as a typed [`CollectiveErrorKind::Poisoned`] through
-/// [`SenseBarrier::try_wait`]. Each party also publishes an arrival
-/// heartbeat (its crossing count), which [`SenseBarrier::try_wait`] reads on
-/// timeout to name the stalled peers.
+/// [`SenseBarrier::try_wait`]. A bounded waiter that times out poisons the
+/// barrier itself on the way out, so one departed party fails the whole
+/// group instead of leaving a half-counted crossing a straggler could
+/// complete alone. Each party also publishes an arrival heartbeat (its
+/// crossing count), which [`SenseBarrier::try_wait`] reads on timeout to
+/// name the stalled peers.
 #[derive(Debug)]
 pub struct SenseBarrier {
     parties: usize,
@@ -147,6 +160,9 @@ impl SenseBarrier {
         // and, for the last arriver, observes every peer's writes (acquire)
         // before it releases them all via the sense store.
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            if self.poisoned.load(Ordering::Relaxed) {
+                panic!("shmem barrier poisoned: a peer rank panicked");
+            }
             self.count.store(0, Ordering::Relaxed);
             self.sense.store(target, Ordering::Release);
         } else {
@@ -171,6 +187,12 @@ impl SenseBarrier {
     /// [`CollectiveErrorKind::Poisoned`] if a peer died,
     /// [`CollectiveErrorKind::Timeout`] (naming the peers whose heartbeat
     /// still lags) if the rendezvous misses the deadline.
+    ///
+    /// A timeout **poisons** the barrier before the waiter departs: a
+    /// timed-out rendezvous can never validly complete, so a straggler that
+    /// finally arrives must observe the failure (and fail typed itself)
+    /// rather than complete the crossing with already-departed peers and
+    /// proceed alone.
     pub fn try_wait(
         &self,
         party: usize,
@@ -184,6 +206,12 @@ impl SenseBarrier {
         // AcqRel: as in `wait` — publish our writes, and for the releaser,
         // observe everyone's.
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Never release peers into a poisoned crossing: if any party
+            // timed out (or died) here, it has already departed — a late
+            // completion would let the survivors run ahead without it.
+            if self.poisoned.load(Ordering::Relaxed) {
+                return Err(CollectiveErrorKind::Poisoned);
+            }
             self.count.store(0, Ordering::Relaxed);
             self.sense.store(target, Ordering::Release);
             return Ok(());
@@ -211,6 +239,12 @@ impl SenseBarrier {
                 // entirely off the spin-release fast path).
                 None => deadline = now.checked_add(timeout),
                 Some(d) if now >= d => {
+                    // Poison *before* departing: the count increment above
+                    // stays behind, so a straggler arriving later could
+                    // otherwise complete the rendezvous without us and run
+                    // ahead alone (the poison check on the releaser path
+                    // turns that into a typed failure instead).
+                    self.poison();
                     let stalled = self
                         .arrivals
                         .iter()
@@ -239,11 +273,24 @@ impl SenseBarrier {
     }
 }
 
-/// One rank's published buffer window: base pointer + length, written by the
-/// owner before the publish barrier and read by peers between barriers, plus
-/// the owner's chunk checksum when [`CommConfig::checksum`] is on.
+/// One rank's published window for the in-flight all-reduce: base pointer +
+/// length, published by the owner before the publish barrier and read by
+/// peers between barriers, plus the owner's chunk checksum when
+/// [`CommConfig::checksum`] is on.
+///
+/// The backing store (`win`) is **group-owned**: it lives inside the
+/// [`ShmComm`], which every rank handle — including a detached, wedged
+/// worker thread — keeps alive through its `Arc`. A rank that errors out of
+/// a collective and drops its caller-side buffers therefore can never
+/// invalidate the window a slow peer is still reading; windows are freed
+/// only when the last handle drops.
 #[derive(Debug)]
 struct Slot {
+    /// Group-owned backing store for the window. Resized and staged only by
+    /// the owner rank, strictly outside the barrier-fenced shared phases
+    /// (see the protocol on [`ShmRank::try_allreduce_sum`]); peers access it
+    /// exclusively through the published `ptr`.
+    win: UnsafeCell<Vec<f32>>,
     ptr: AtomicPtr<f32>,
     len: AtomicUsize,
     /// Order-sensitive fold of the owner's reduced chunk bits, published
@@ -262,6 +309,18 @@ pub struct ShmComm {
     cfg: CommConfig,
 }
 
+// SAFETY: `Slot::win` is the only non-`Sync` field. Access to it is
+// synchronized by the collective protocol rather than a lock: the owner
+// rank mutates its own window (resize + staging copy + result copy-out)
+// only outside the barrier-fenced shared phases, and peers read it (through
+// the published raw pointer, never a reference) only between barriers 1
+// and 3 of an all-reduce the owner entered — the barrier's release/acquire
+// chain orders the staging writes before every peer read. A failed
+// rendezvous poisons the group (see `SenseBarrier::try_wait`), so no rank
+// can start a new collective — and thus restage or reallocate a window —
+// while a straggler from a failed one may still be reading.
+unsafe impl Sync for ShmComm {}
+
 impl ShmComm {
     /// Build a `world`-rank communicator with the default [`CommConfig`] and
     /// return the per-rank handles, in rank order. Each handle must move to
@@ -277,6 +336,7 @@ impl ShmComm {
         let comm = Arc::new(ShmComm {
             slots: (0..world)
                 .map(|_| Slot {
+                    win: UnsafeCell::new(Vec::new()),
                     ptr: AtomicPtr::new(std::ptr::null_mut()),
                     len: AtomicUsize::new(0),
                     sum: AtomicU64::new(0),
@@ -424,18 +484,23 @@ impl ShmRank {
     /// the element-wise sum in rank order (bit-identical to
     /// [`CommGroup::allreduce_sum`](crate::collectives::CommGroup::allreduce_sum)).
     ///
-    /// Performs zero heap allocations and no full-buffer copy: rank `r`
-    /// reduces chunk `r` across the published peers (reduce-scatter), then
-    /// copies each foreign owner's reduced chunk home (all-gather), with
-    /// barriers separating publish / reduce / gather so no rank reads a
-    /// chunk before its owner finished writing it, and no rank reclaims its
-    /// buffer while a peer may still be reading.
+    /// The reduction runs in the group-owned windows: each rank stages `buf`
+    /// into its window and publishes it, then rank `r` reduces chunk `r`
+    /// across every published window (reduce-scatter), copies each foreign
+    /// owner's reduced chunk into its own window (all-gather), and finally
+    /// copies the result home, with barriers separating publish / reduce /
+    /// gather so no rank reads a chunk before its owner finished writing it,
+    /// and no rank restages its window while a peer may still be reading.
+    /// Steady state performs no heap allocation (windows are reused across
+    /// calls); group ownership of the windows means a rank that fails out of
+    /// the collective — even one whose caller then frees `buf` — can never
+    /// dangle a pointer a slow peer still dereferences.
     ///
     /// Every rendezvous is bounded by the configured timeout; with
     /// [`CommConfig::checksum`] on, each gathered chunk is verified against
     /// the owner's published checksum and a mismatch fails the group with
     /// [`CollectiveErrorKind::Corrupt`] instead of propagating silent wrong
-    /// numbers.
+    /// numbers. On any failure `buf` is left unchanged.
     pub fn try_allreduce_sum(&mut self, buf: &mut [f32]) -> Result<(), CollectiveError> {
         let world = self.world();
         if world == 1 {
@@ -445,14 +510,27 @@ impl ShmRank {
         // the fault injector.
         let epoch0 = self.epoch;
         let len = buf.len();
-        // Publish this rank's window. (Cloning the Arc keeps the slot borrow
-        // disjoint from the `&mut self` the barrier crossings need.)
+        // Stage into the group-owned window and publish it. (Cloning the Arc
+        // keeps the slot borrow disjoint from the `&mut self` the barrier
+        // crossings need.)
+        //
+        // SAFETY: `win` is this rank's own window and no collective is in
+        // flight: peers finished reading it at barrier 3 of the previous
+        // call (their reads happen-before that crossing completed), or the
+        // group is poisoned and no peer passes another barrier — either way
+        // the owner has exclusive access here, so mutating (and possibly
+        // reallocating) the Vec is sound.
         let comm = Arc::clone(&self.comm);
         let slot = &comm.slots[self.rank];
-        slot.ptr.store(buf.as_mut_ptr(), Ordering::Relaxed);
+        unsafe {
+            let win = &mut *slot.win.get();
+            win.clear();
+            win.extend_from_slice(buf);
+            slot.ptr.store(win.as_mut_ptr(), Ordering::Relaxed);
+        }
         slot.len.store(len, Ordering::Relaxed);
-        // Barrier 1: every window is published; all pre-collective writes
-        // to every buffer are visible.
+        // Barrier 1: every window is published; all staging writes to every
+        // window are visible.
         self.try_barrier()?;
         for (r, s) in self.comm.slots.iter().enumerate() {
             assert_eq!(
@@ -465,9 +543,10 @@ impl ShmRank {
         let (lo, hi) = self.chunk(self.rank, len);
         // Reduce-scatter: sum this rank's owned chunk across every rank's
         // published window, in rank order, writing the result into our own
-        // window. Every pointer was published by a live `&mut [f32]` of
-        // length `len` (checked above) and stays valid until barrier 3
-        // releases the owners; `i < len` bounds every access.
+        // window. Every pointer targets a group-owned window of length `len`
+        // (checked above) that lives as long as the `ShmComm` — i.e. as long
+        // as any rank handle exists — so it stays valid even if a peer fails
+        // out of the collective mid-phase; `i < len` bounds every access.
         //
         // SAFETY: the only locations written between barriers 1 and 2 are
         // `own[lo..hi]`, disjoint from every peer's owned chunk, so no
@@ -516,8 +595,8 @@ impl ShmRank {
         // Barrier 2: every owned chunk is fully reduced.
         self.try_barrier()?;
         // All-gather: copy each foreign owner's reduced chunk from its
-        // window into ours, verifying checksums when enabled. Same pointer
-        // validity as the reduce-scatter.
+        // window into ours, verifying checksums when enabled. Same
+        // group-ownership pointer validity as the reduce-scatter.
         let mut corrupt: Option<usize> = None;
         // SAFETY: between barriers 2 and 3 this rank writes only
         // `own[c_lo..c_hi]` for owners != rank — regions no peer touches
@@ -552,9 +631,19 @@ impl ShmRank {
             self.poison();
             return Err(self.err(CollectiveErrorKind::Corrupt { owner }, epoch0));
         }
-        // Barrier 3: no rank may reuse (or free) its buffer until every
-        // peer has finished gathering from it.
+        // Barrier 3: no rank may restage its window until every peer has
+        // finished gathering from it.
         self.try_barrier()?;
+        // Copy the fully-reduced vector home, only on success — a failed
+        // rendezvous leaves `buf` untouched.
+        //
+        // SAFETY: the window holds `len` reduced elements; barrier 3
+        // completed, so every peer's reads of it happened-before this point
+        // and nobody touches it until this rank stages its next collective.
+        unsafe {
+            let win = &*slot.win.get();
+            buf.copy_from_slice(&win[..len]);
+        }
         Ok(())
     }
 }
@@ -744,8 +833,11 @@ mod tests {
 
     #[test]
     fn barrier_timeout_names_the_stalled_peer() {
-        // Rank 0 never arrives: ranks 1 and 2 must time out within the
-        // bound, each naming rank 0 (and only rank 0) as stalled.
+        // Rank 0 never arrives: ranks 1 and 2 must fail typed within the
+        // bound. The first to time out poisons the group on the way out, so
+        // each waiter reports either Timeout naming rank 0 (and only rank 0)
+        // or the propagated Poisoned — and at least one observes the
+        // Timeout itself.
         let cfg = CommConfig { timeout: Duration::from_millis(100), ..CommConfig::default() };
         let mut handles = ShmComm::create_with(3, cfg);
         let _absent = handles.remove(0); // rank 0 drops its arrival
@@ -754,22 +846,48 @@ mod tests {
             .map(|mut h| {
                 std::thread::spawn(move || {
                     let start = Instant::now();
-                    let err = h.try_barrier().expect_err("must time out");
+                    let err = h.try_barrier().expect_err("must fail typed");
                     (err, start.elapsed())
                 })
             })
             .collect();
+        let mut timeouts = 0;
         for t in threads {
             let (err, waited) = t.join().unwrap();
             match err.kind {
                 CollectiveErrorKind::Timeout { ref stalled } => {
                     assert_eq!(stalled, &[0], "{err}");
+                    timeouts += 1;
                 }
-                ref k => panic!("expected Timeout, got {k:?}"),
+                CollectiveErrorKind::Poisoned => {}
+                ref k => panic!("expected Timeout or Poisoned, got {k:?}"),
             }
             assert_eq!(err.epoch, 0);
             assert!(waited < Duration::from_secs(5), "bounded wait, took {waited:?}");
         }
+        assert!(timeouts >= 1, "at least one waiter must report the timeout itself");
+    }
+
+    #[test]
+    fn late_arriver_cannot_complete_a_timed_out_rendezvous() {
+        // Regression for the use-after-free window: rank 0 times out (its
+        // count increment stays behind) and departs; rank 1 arrives late as
+        // the nominal "last arriver". It must observe the poison and fail
+        // typed instead of completing the crossing alone and running ahead
+        // into the data phases on a departed peer.
+        let cfg = CommConfig { timeout: Duration::from_millis(50), ..CommConfig::default() };
+        let mut handles = ShmComm::create_with(2, cfg);
+        let mut late = handles.pop().unwrap();
+        let mut early = handles.pop().unwrap();
+        let e0 = early.try_barrier().expect_err("peer is late beyond the deadline");
+        assert!(
+            matches!(e0.kind, CollectiveErrorKind::Timeout { ref stalled } if stalled == &[1]),
+            "{e0}"
+        );
+        // Rank 0 has departed (and in a real group may already be tearing
+        // its buffers down); the straggler's arrival must fail.
+        let e1 = late.try_barrier().expect_err("stale rendezvous must not complete");
+        assert_eq!(e1.kind, CollectiveErrorKind::Poisoned, "{e1}");
     }
 
     #[test]
@@ -826,6 +944,46 @@ mod tests {
         match &rank1.1 {
             Err(CollectiveError { kind: CollectiveErrorKind::Corrupt { owner: 0 }, .. }) => {}
             other => panic!("rank 1 must detect rank 0's corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalled_peer_mid_allreduce_fails_typed_without_running_ahead() {
+        // The review's use-after-free scenario: rank 1 stalls past the
+        // timeout inside the all-reduce (at barrier 2), rank 0 times out,
+        // returns, and immediately frees its buffer. The woken straggler
+        // must fail typed at its next crossing — never complete the
+        // rendezvous alone and gather from the departed rank — and the
+        // group-owned windows keep every published pointer valid while it
+        // gets there. Both ranks' buffers must come back unchanged (a
+        // failed all-reduce writes nothing home).
+        let plan = FaultPlan::new(vec![FaultSpec {
+            rank: 1,
+            site: FaultSite::Barrier { epoch: 1 }, // barrier 2 of the all-reduce
+            kind: crate::fault::FaultKind::Stall { millis: 400 },
+        }]);
+        let cfg = CommConfig {
+            timeout: Duration::from_millis(100),
+            injector: Some(Arc::new(plan.injector())),
+            ..CommConfig::default()
+        };
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let results2 = Arc::clone(&results);
+        run_ranks_with(2, cfg, move |mut h, r| {
+            let mut buf = vec![r as f32 + 1.0; 64];
+            let out = h.try_allreduce_sum(&mut buf);
+            // Rank 0 returns first and `buf` drops right here while rank 1
+            // is still asleep mid-collective — safe, because peers read
+            // group-owned windows, never this Vec.
+            results2.lock().unwrap().push((r, buf.clone(), out));
+        });
+        let got = results.lock().unwrap();
+        for (r, buf, out) in got.iter() {
+            assert!(out.is_err(), "rank {r} must fail typed");
+            assert!(
+                buf.iter().all(|&v| v == *r as f32 + 1.0),
+                "rank {r}: failed all-reduce must leave the buffer unchanged"
+            );
         }
     }
 
