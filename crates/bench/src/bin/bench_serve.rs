@@ -1,0 +1,317 @@
+//! Serving-runtime benchmark: what admission control buys under overload.
+//!
+//! The serving claim is load-shedding's classic trade: under an offered
+//! load beyond capacity, an admit-everything server completes every request
+//! but with unbounded queueing latency, while a bounded-admission server
+//! (small queue + deadlines) keeps tail latency flat at the cost of typed
+//! rejections — and loses (almost) no goodput doing it, because the engine
+//! is the bottleneck either way. `bench_serve` measures exactly that, plus
+//! the circuit breaker's fast-fail value under a fault storm.
+//!
+//! Sections of `BENCH_serve.json`:
+//! * **regimes** — offered load at 0.5× / 1× / 3× of the calibrated service
+//!   rate, each with shedding ON (queue 4, deadline 10× service time) and
+//!   OFF (unbounded queue, no deadline). Each cell records the full
+//!   [`ServeReport`] (goodput, p50/p95/p99, rejection counts).
+//! * **breaker** — a scripted storm of permanent faults served with the
+//!   breaker enabled vs disabled: the enabled arm fast-fails doomed
+//!   requests instead of burning a detection timeout on each.
+//!
+//! Acceptance criteria (asserted in-process, full mode):
+//! * overloaded regime: p99 with shedding ≤ 0.5× p99 without;
+//! * overloaded regime: goodput with shedding ≥ 0.9× without;
+//! * the breaker arm opens and fast-fails at least once.
+//!
+//! Modes: default — full sweep + JSON; `--smoke` — one overloaded run per
+//! arm on a tiny model (no JSON): the CI gate that overload + storm neither
+//! hang nor break the accounting invariants.
+
+use dsi_bench::print_table;
+use dsi_model::reference::GptModel;
+use dsi_model::zoo;
+use dsi_serve::{Outcome, Request, ServeConfig, ServeReport, Server};
+use dsi_sim::fault::{FaultKind, FaultPlan, FaultSite, FaultSpec};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const PROMPT_LEN: usize = 4;
+const GEN_TOKENS: usize = 24;
+const TP: usize = 2;
+const SEED: u64 = 42;
+
+fn request(i: usize) -> Request {
+    Request {
+        prompt: (0..PROMPT_LEN).map(|j| (i + j) % 101).collect(),
+        n_tokens: GEN_TOKENS,
+        deadline: None,
+    }
+}
+
+/// Mean sequential service time: the engine's capacity is 1/service.
+fn calibrate(model: &Arc<GptModel>, reps: usize) -> Duration {
+    let mut cfg = ServeConfig::new(TP);
+    cfg.comm.timeout = Duration::from_secs(5);
+    let srv = Server::start(Arc::clone(model), cfg);
+    // Warm-up: first request builds the TP group.
+    srv.submit(request(0)).unwrap().wait();
+    let t0 = Instant::now();
+    for i in 0..reps {
+        let Outcome::Completed { .. } = srv.submit(request(i)).unwrap().wait() else {
+            panic!("calibration request failed");
+        };
+    }
+    let per = t0.elapsed() / reps as u32;
+    srv.drain(Duration::from_secs(5));
+    per
+}
+
+fn serve_cfg(shedding: bool, service: Duration) -> ServeConfig {
+    let mut cfg = ServeConfig::new(TP);
+    cfg.comm.timeout = Duration::from_secs(5);
+    if shedding {
+        cfg.queue_capacity = 4;
+        cfg.kv_budget_tokens = 4096;
+        cfg.default_deadline = Some(service * 10);
+    } else {
+        cfg.queue_capacity = usize::MAX / 2;
+        cfg.kv_budget_tokens = usize::MAX / 2;
+        cfg.default_deadline = None;
+    }
+    cfg
+}
+
+/// Offer `n` requests at `rate_mult × (1/service)` with seeded exponential
+/// inter-arrivals, wait for every ticket, drain, and return the report.
+fn run_regime(
+    model: &Arc<GptModel>,
+    service: Duration,
+    rate_mult: f64,
+    shedding: bool,
+    n: usize,
+) -> ServeReport {
+    let srv = Server::start(Arc::clone(model), serve_cfg(shedding, service));
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ (rate_mult.to_bits() ^ shedding as u64));
+    let mean_gap = service.as_secs_f64() / rate_mult;
+    let start = Instant::now();
+    let mut next_arrival = 0.0f64;
+    let mut tickets = Vec::new();
+    for i in 0..n {
+        // Exponential inter-arrival against an absolute schedule: oversleep
+        // on one gap is repaid by a burst on the next, so the offered rate
+        // holds even with coarse sleep granularity. (No spinning — on a
+        // single core a spinning submitter starves the engine itself.)
+        next_arrival += -rng.unit_f64().max(1e-12).ln() * mean_gap;
+        let rem = next_arrival - start.elapsed().as_secs_f64();
+        if rem > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(rem));
+        }
+        if let Ok(t) = srv.submit(request(i)) {
+            tickets.push(t);
+        }
+    }
+    for t in tickets {
+        t.wait(); // every admitted ticket resolves; rejections were typed
+    }
+    srv.drain(Duration::from_secs(30))
+}
+
+/// A storm of scripted permanent faults, breaker on/off.
+fn run_storm(model: &Arc<GptModel>, breaker: bool, n: usize) -> ServeReport {
+    let mut cfg = ServeConfig::new(TP);
+    cfg.comm.timeout = Duration::from_millis(100);
+    cfg.retry.max_retries = 0;
+    cfg.retry.backoff_ms = 0;
+    cfg.breaker.enabled = breaker;
+    cfg.breaker.failure_threshold = 1;
+    cfg.breaker.open_window = Duration::from_millis(400);
+    let storm = FaultPlan::new(
+        (0..6)
+            .map(|_| FaultSpec {
+                rank: 1,
+                site: FaultSite::Barrier { epoch: 0 },
+                kind: FaultKind::Exit,
+            })
+            .collect(),
+    );
+    cfg.comm.injector = Some(Arc::new(storm.injector()));
+    let srv = Server::start(Arc::clone(model), cfg);
+    let mut tickets = Vec::new();
+    for i in 0..n {
+        if let Ok(t) = srv.submit(request(i)) {
+            tickets.push(t);
+        }
+        // Paced slower than the engine so breaker state — not queue depth —
+        // decides each admission, and open windows elapse mid-run.
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    for t in tickets {
+        t.wait();
+    }
+    srv.drain(Duration::from_secs(30))
+}
+
+#[derive(Serialize)]
+struct RegimePoint {
+    regime: &'static str,
+    rate_multiplier: f64,
+    shedding: bool,
+    offered_rps: f64,
+    report: ServeReport,
+}
+
+#[derive(Serialize)]
+struct ServeBench {
+    model: String,
+    tp: usize,
+    prompt_tokens: usize,
+    gen_tokens: usize,
+    n_requests: usize,
+    service_time_ms: f64,
+    available_parallelism: usize,
+    regimes: Vec<RegimePoint>,
+    /// Overloaded regime: p99 with shedding / p99 without. Bar: ≤ 0.5.
+    p99_ratio_overloaded: f64,
+    /// Overloaded regime: goodput with shedding / without. Bar: ≥ 0.9.
+    goodput_ratio_overloaded: f64,
+    storm_breaker_on: ServeReport,
+    storm_breaker_off: ServeReport,
+}
+
+fn smoke() {
+    let model = Arc::new(GptModel::random(zoo::tiny(4), SEED));
+    let service = calibrate(&model, 8);
+    // Overload both arms; the invariants are asserted inside drain, the
+    // no-hang criterion by this binary exiting under CI's timeout.
+    let shed = run_regime(&model, service, 3.0, true, 40);
+    let noshed = run_regime(&model, service, 3.0, false, 40);
+    assert!(
+        shed.rejected_total() + shed.deadline_expired > 0,
+        "overload must shed through the bounded queue or deadlines"
+    );
+    assert_eq!(noshed.completed, noshed.admitted, "admit-everything arm completes all");
+    let storm = run_storm(&model, true, 12);
+    assert!(storm.breaker_opens >= 1, "fault storm must open the breaker");
+    println!(
+        "bench_serve --smoke: shed {} of 40 under 3x overload (p99 {:.1} ms vs {:.1} ms unshed); breaker opened {}x",
+        shed.rejected_total() + shed.deadline_expired,
+        shed.p99_latency_s * 1e3,
+        noshed.p99_latency_s * 1e3,
+        storm.breaker_opens,
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
+    let model = Arc::new(GptModel::random(zoo::tiny(4), SEED));
+    let service = calibrate(&model, 24);
+    let n = 150;
+
+    let mut regimes = Vec::new();
+    for (regime, mult) in [("light", 0.5), ("saturated", 1.0), ("overloaded", 3.0)] {
+        for shedding in [true, false] {
+            let report = run_regime(&model, service, mult, shedding, n);
+            regimes.push(RegimePoint {
+                regime,
+                rate_multiplier: mult,
+                shedding,
+                offered_rps: mult / service.as_secs_f64(),
+                report,
+            });
+        }
+    }
+    let over = |shed: bool| {
+        &regimes
+            .iter()
+            .find(|r| r.regime == "overloaded" && r.shedding == shed)
+            .unwrap()
+            .report
+    };
+    let p99_ratio = over(true).p99_latency_s / over(false).p99_latency_s;
+    let goodput_ratio = over(true).goodput_rps / over(false).goodput_rps;
+
+    let storm_on = run_storm(&model, true, 30);
+    let storm_off = run_storm(&model, false, 30);
+
+    let cores = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let bench = ServeBench {
+        model: "tiny-4".into(),
+        tp: TP,
+        prompt_tokens: PROMPT_LEN,
+        gen_tokens: GEN_TOKENS,
+        n_requests: n,
+        service_time_ms: service.as_secs_f64() * 1e3,
+        available_parallelism: cores,
+        regimes,
+        p99_ratio_overloaded: p99_ratio,
+        goodput_ratio_overloaded: goodput_ratio,
+        storm_breaker_on: storm_on,
+        storm_breaker_off: storm_off,
+    };
+
+    println!(
+        "Serving under load: tiny-4 tp={TP}, service {:.2} ms/request, {n} requests/regime, {cores} core(s)\n",
+        bench.service_time_ms
+    );
+    let rows: Vec<Vec<String>> = bench
+        .regimes
+        .iter()
+        .map(|r| {
+            let rep = &r.report;
+            vec![
+                format!("{} ({}x)", r.regime, r.rate_multiplier),
+                if r.shedding { "on" } else { "off" }.into(),
+                format!("{}", rep.completed),
+                format!("{}", rep.rejected_total() + rep.deadline_expired),
+                format!("{:.0}", rep.goodput_rps),
+                format!("{:.1}", rep.p50_latency_s * 1e3),
+                format!("{:.1}", rep.p99_latency_s * 1e3),
+            ]
+        })
+        .collect();
+    print_table(
+        &["regime", "shedding", "completed", "shed", "goodput rps", "p50 ms", "p99 ms"],
+        &rows,
+    );
+    println!(
+        "\noverloaded: p99 shed/unshed = {:.3} (bar ≤ 0.5), goodput ratio = {:.3} (bar ≥ 0.9)",
+        bench.p99_ratio_overloaded, bench.goodput_ratio_overloaded
+    );
+    println!(
+        "fault storm: breaker on  -> {} fast-fails, {} opens, wall {:.2}s",
+        bench.storm_breaker_on.rejected_breaker,
+        bench.storm_breaker_on.breaker_opens,
+        bench.storm_breaker_on.wall_s
+    );
+    println!(
+        "fault storm: breaker off -> {} evicted typed, wall {:.2}s",
+        bench.storm_breaker_off.evicted, bench.storm_breaker_off.wall_s
+    );
+
+    let json = serde_json::to_string_pretty(&bench).expect("serialize");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\n[-> BENCH_serve.json]");
+
+    // Acceptance criteria, enforced in-process.
+    assert!(
+        bench.p99_ratio_overloaded <= 0.5,
+        "shedding must at least halve overloaded p99 (got ratio {:.3})",
+        bench.p99_ratio_overloaded
+    );
+    assert!(
+        bench.goodput_ratio_overloaded >= 0.9,
+        "shedding must preserve goodput within 10% (got ratio {:.3})",
+        bench.goodput_ratio_overloaded
+    );
+    assert!(bench.storm_breaker_on.breaker_opens >= 1, "storm must open the breaker");
+    assert!(
+        bench.storm_breaker_on.rejected_breaker >= 1,
+        "an open breaker must fast-fail at least one admission"
+    );
+}

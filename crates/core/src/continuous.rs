@@ -12,6 +12,7 @@
 
 use crate::engine::InferenceEngine;
 use crate::serving::{FaultProfile, ServingReport, Workload};
+use crate::stats::percentile;
 use rand::distributions::Distribution;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -162,21 +163,25 @@ pub fn simulate_continuous_with_faults(
     }
 
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let pct = |p: f64| {
-        if latencies.is_empty() {
-            0.0
-        } else {
-            latencies[((latencies.len() as f64 * p) as usize).min(latencies.len() - 1)]
-        }
-    };
     let wall = now.max(*arrivals.last().unwrap());
-    debug_assert_eq!(latencies.len() + evicted, workload.requests);
+    // Always-on accounting invariant (mirrors `simulate_serving_with_faults`).
+    assert_eq!(
+        latencies.len() + evicted,
+        workload.requests,
+        "continuous accounting violated: {} completed + {} evicted != {} requests",
+        latencies.len(),
+        evicted,
+        workload.requests
+    );
     ServingReport {
         completed: latencies.len(),
-        p50: pct(0.50),
-        p95: pct(0.95),
-        p99: pct(0.99),
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
         mean_batch: batch_sizes.iter().sum::<f64>() / batch_sizes.len().max(1) as f64,
+        // Continuous retries restart in place inside the running batch;
+        // there are no separate retry waves to measure.
+        mean_retry_batch: 0.0,
         goodput: latencies.len() as f64 / wall,
         utilization: busy / wall,
         failed_attempts,

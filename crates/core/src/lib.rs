@@ -19,6 +19,7 @@ pub mod engine;
 pub mod planner;
 pub mod report;
 pub mod serving;
+pub mod stats;
 pub mod whatif;
 
 pub use dsi_baselines::exec::{ExecStyle, LatencyReport};
@@ -35,4 +36,5 @@ pub use serving::{
     simulate_serving, simulate_serving_with_faults, BatchPolicy, FaultProfile, ServingReport,
     Workload,
 };
+pub use stats::percentile;
 pub use whatif::{scale_cluster, sensitivities, Knob, Sensitivity};

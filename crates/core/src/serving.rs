@@ -10,6 +10,7 @@
 //! parallelism-level wins can be read as serving-level wins.
 
 use crate::engine::InferenceEngine;
+use crate::stats::percentile;
 use rand::distributions::Distribution;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -79,7 +80,17 @@ pub struct ServingReport {
     pub p50: f64,
     pub p95: f64,
     pub p99: f64,
+    /// Mean size of *admission* batches — the batches the dynamic batcher
+    /// formed from fresh arrivals. Retry waves are excluded: they re-run a
+    /// subset of a batch that already ran, so folding them in would deflate
+    /// this figure relative to the batcher's actual behaviour (they are
+    /// reported separately as [`ServingReport::mean_retry_batch`]).
     pub mean_batch: f64,
+    /// Mean size of retry waves (re-executions of failed members), `0.0`
+    /// when no attempt ever failed. In the continuous simulation retries
+    /// restart *in place* inside the running batch rather than forming
+    /// waves, so it reports `0.0` here by construction.
+    pub mean_retry_batch: f64,
     /// Requests per second actually served.
     pub goodput: f64,
     /// Fraction of wall-clock the engine was busy.
@@ -144,6 +155,7 @@ pub fn simulate_serving_with_faults(
     let mut busy = 0.0f64;
     let mut latencies = Vec::with_capacity(workload.requests);
     let mut batches = Vec::new();
+    let mut retry_batches = Vec::new();
     let mut failed_attempts = 0usize;
     let mut retried = 0usize;
     let mut evicted = 0usize;
@@ -172,11 +184,17 @@ pub fn simulate_serving_with_faults(
         let mut wave: Vec<usize> = (i..j).collect();
         let mut end = start;
         let mut budget = faults.max_retries;
+        let mut first_wave = true;
         loop {
             let b = wave.len();
             let dur = exec_latency(b);
             end += dur;
-            batches.push(b as f64);
+            if first_wave {
+                batches.push(b as f64);
+            } else {
+                retry_batches.push(b as f64);
+            }
+            first_wave = false;
             busy += dur;
             let mut failed_wave = Vec::new();
             for &r in &wave {
@@ -203,21 +221,28 @@ pub fn simulate_serving_with_faults(
     }
 
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let pct = |p: f64| {
-        if latencies.is_empty() {
-            0.0
-        } else {
-            latencies[((latencies.len() as f64 * p) as usize).min(latencies.len() - 1)]
-        }
-    };
     let wall = engine_free.max(*arrivals.last().unwrap());
-    debug_assert_eq!(latencies.len() + evicted, workload.requests);
+    // Always-on accounting invariant: release-mode chaos runs must not be
+    // able to silently miscount a request.
+    assert_eq!(
+        latencies.len() + evicted,
+        workload.requests,
+        "serving accounting violated: {} completed + {} evicted != {} requests",
+        latencies.len(),
+        evicted,
+        workload.requests
+    );
     ServingReport {
         completed: latencies.len(),
-        p50: pct(0.50),
-        p95: pct(0.95),
-        p99: pct(0.99),
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
         mean_batch: batches.iter().sum::<f64>() / batches.len() as f64,
+        mean_retry_batch: if retry_batches.is_empty() {
+            0.0
+        } else {
+            retry_batches.iter().sum::<f64>() / retry_batches.len() as f64
+        },
         goodput: latencies.len() as f64 / wall,
         utilization: busy / wall,
         failed_attempts,
@@ -419,6 +444,43 @@ mod tests {
         // Re-execution is real work: the retrying run keeps the engine busy
         // at least as long.
         assert!(with_retry.utilization >= no_retry.utilization - 1e-9);
+    }
+
+    #[test]
+    fn retry_waves_are_reported_separately_from_admission_batches() {
+        let e = engine();
+        let policy = BatchPolicy {
+            max_batch: 8,
+            max_wait: 0.05,
+        };
+        // No faults: no retry waves at all.
+        let clean = simulate_serving(&e, &workload(20.0), policy);
+        assert_eq!(clean.mean_retry_batch, 0.0);
+        // Faults without budget: failures evict immediately, still no waves.
+        let no_budget = simulate_serving_with_faults(
+            &e,
+            &workload(20.0),
+            policy,
+            FaultProfile { failure_rate: 0.3, max_retries: 0, seed: 7 },
+        );
+        assert_eq!(no_budget.mean_retry_batch, 0.0);
+        assert!(no_budget.evicted > 0);
+        // Faults with budget: retry waves exist and are measured on their
+        // own — they are re-runs of failed members, so each wave is no
+        // larger than the admission cap and at least one request wide.
+        let with_budget = simulate_serving_with_faults(
+            &e,
+            &workload(20.0),
+            policy,
+            FaultProfile { failure_rate: 0.3, max_retries: 4, seed: 7 },
+        );
+        assert!(with_budget.retried > 0);
+        assert!(
+            with_budget.mean_retry_batch >= 1.0
+                && with_budget.mean_retry_batch <= policy.max_batch as f64,
+            "mean retry wave {}",
+            with_budget.mean_retry_batch
+        );
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Shared order statistics for every serving report.
+//!
+//! The serving and continuous-batching simulations each carried their own
+//! inline nearest-rank percentile, and both carried the same off-by-one:
+//! `(len as f64 * p) as usize` truncates, which is correct only when
+//! `len * p` is fractional. For exact multiples it lands one element too
+//! high — p50 of 200 sorted samples read `latencies[100]`, the 101st value,
+//! instead of the 100th. The nearest-rank definition is
+//! `index = ceil(p * len) - 1`, which this module implements once; the
+//! simulations and the executed serving runtime's `ServeReport` all call
+//! it, so the definition cannot drift again.
+
+/// Nearest-rank percentile of an **ascending-sorted** slice.
+///
+/// `p` is a fraction in `(0, 1]` (e.g. `0.99` for p99). Returns `0.0` for
+/// an empty slice. For `p = 0` the smallest element is returned (the
+/// nearest-rank index clamps to the first sample).
+///
+/// Panics (debug) if the slice is not sorted — callers sort once and query
+/// many percentiles.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile() input must be sorted ascending"
+    );
+    debug_assert!((0.0..=1.0).contains(&p), "percentile fraction {p} out of [0, 1]");
+    // Nearest-rank: the smallest index i such that (i + 1) / len >= p.
+    let rank = (sorted.len() as f64 * p).ceil() as usize;
+    sorted[rank.max(1).min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1-based nearest-rank oracle by direct definition: the smallest
+    /// sample whose cumulative fraction reaches `p`.
+    fn oracle(sorted: &[f64], p: f64) -> f64 {
+        for (i, &v) in sorted.iter().enumerate() {
+            if (i + 1) as f64 / sorted.len() as f64 >= p - 1e-12 {
+                return v;
+            }
+        }
+        *sorted.last().unwrap()
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn len_one_returns_the_sample() {
+        for p in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[7.25], p), 7.25, "p={p}");
+        }
+    }
+
+    #[test]
+    fn len_two_nearest_rank() {
+        let s = [1.0, 2.0];
+        // p50 of two samples is the first (ceil(1) - 1 = 0) — the old
+        // truncation read the second.
+        assert_eq!(percentile(&s, 0.50), 1.0);
+        assert_eq!(percentile(&s, 0.51), 2.0);
+        assert_eq!(percentile(&s, 0.99), 2.0);
+        assert_eq!(percentile(&s, 1.0), 2.0);
+    }
+
+    #[test]
+    fn exact_multiple_ranks_no_longer_read_one_high() {
+        // len = 200: p50 must be the 100th sample (index 99), p99 the 198th
+        // (index 197). The pre-fix truncation read indices 100 and 198.
+        let s: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        assert_eq!(percentile(&s, 0.50), 99.0);
+        assert_eq!(percentile(&s, 0.95), 189.0);
+        assert_eq!(percentile(&s, 0.99), 197.0);
+        assert_eq!(percentile(&s, 1.0), 199.0);
+    }
+
+    #[test]
+    fn fractional_ranks_match_the_old_behaviour() {
+        // len = 199: 199 * 0.5 = 99.5 → ceil = 100 → index 99, same sample
+        // the truncating version returned — the fix only moves the exact
+        // multiples.
+        let s: Vec<f64> = (0..199).map(|i| i as f64).collect();
+        assert_eq!(percentile(&s, 0.50), 99.0);
+        // 199 * 0.99 = 197.01 → ceil = 198 → the 198th sample, index 197.
+        assert_eq!(percentile(&s, 0.99), 197.0);
+    }
+
+    #[test]
+    fn agrees_with_direct_definition_across_lengths() {
+        for len in [1usize, 2, 3, 7, 100, 199, 200, 1000] {
+            let s: Vec<f64> = (0..len).map(|i| i as f64 * 0.5).collect();
+            for p in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                assert_eq!(percentile(&s, p), oracle(&s, p), "len={len} p={p}");
+            }
+        }
+    }
+}

@@ -106,6 +106,7 @@ impl<'m> PackedModel<'m> {
             cache: KvCache::with_capacity(c.layers, c.hidden, c.max_seq),
             scratch: Scratch::new(c, max_prompt.max(1)),
             last_m: 0,
+            to_feed: None,
         }
     }
 }
@@ -185,6 +186,12 @@ pub struct FastSession<'p, 'm> {
     /// Row count of the most recent [`FastSession::forward`] call; selects
     /// the sampling row inside the scratch logits buffer.
     last_m: usize,
+    /// The token emitted by the last [`FastSession::generate_step`] that has
+    /// not been fed through the model yet. Feeding is deferred to the start
+    /// of the *next* step so a caller that stops early (deadline,
+    /// cancellation) never pays for a forward pass whose logits it will not
+    /// sample.
+    to_feed: Option<usize>,
 }
 
 impl FastSession<'_, '_> {
@@ -289,24 +296,39 @@ impl FastSession<'_, '_> {
         &self.scratch.logits[..m * c.vocab]
     }
 
+    /// Ingest `prompt` and arm step-wise generation: after `begin`, each
+    /// [`FastSession::generate_step`] emits the next greedy token. The
+    /// step-wise pair is token-identical to one-shot
+    /// [`FastSession::generate`] (which is implemented on top of it).
+    pub fn begin(&mut self, prompt: &[usize]) {
+        self.forward(prompt);
+        self.to_feed = None;
+    }
+
+    /// Emit the next greedy token. The previous step's token (if any) is fed
+    /// through the model first, then the fresh logits row is sampled — so a
+    /// caller can stop between any two steps (deadline, cancellation) with
+    /// the tokens emitted so far forming an exact prefix of the full
+    /// generation.
+    ///
+    /// Panics if no [`FastSession::begin`] / [`FastSession::forward`] has
+    /// run yet.
+    pub fn generate_step(&mut self) -> usize {
+        if let Some(t) = self.to_feed.take() {
+            self.forward(&[t]);
+        }
+        let tok = argmax(self.last_logits());
+        self.to_feed = Some(tok);
+        tok
+    }
+
     /// Greedy generation: process `prompt`, then emit `n_tokens` tokens
     /// (`n_tokens == 0` ingests the prompt and returns no tokens). Matches
     /// [`GptModel::generate`] token-for-token (up to f32 reassociation in
     /// the GEMMs).
     pub fn generate(&mut self, prompt: &[usize], n_tokens: usize) -> Vec<usize> {
-        self.forward(prompt);
-        if n_tokens == 0 {
-            return Vec::new();
-        }
-        let mut next = argmax(self.last_logits());
-        let mut out = Vec::with_capacity(n_tokens);
-        out.push(next);
-        for _ in 1..n_tokens {
-            self.forward(&[next]);
-            next = argmax(self.last_logits());
-            out.push(next);
-        }
-        out
+        self.begin(prompt);
+        (0..n_tokens).map(|_| self.generate_step()).collect()
     }
 
     /// Scratch capacity fingerprint (see [`Scratch::reserved_len`]).

@@ -565,6 +565,10 @@ pub struct TpSession {
     rank0_lost: bool,
     /// `dismantle` ran: `Drop` has nothing left to do.
     done: bool,
+    /// Token emitted by the last [`TpSession::try_generate_step`] that has
+    /// not been fed yet (fed lazily at the start of the next step, so an
+    /// early stop never pays for an unsampled forward).
+    to_feed: Option<usize>,
 }
 
 impl TpSession {
@@ -675,6 +679,7 @@ impl TpSession {
             failed: None,
             rank0_lost: false,
             done: false,
+            to_feed: None,
         }
     }
 
@@ -776,6 +781,31 @@ impl TpSession {
         self.inflight = true;
     }
 
+    /// Ingest `prompt` and arm step-wise generation: after `try_begin`,
+    /// each [`TpSession::try_generate_step`] emits the next greedy token.
+    /// Token-identical to one-shot [`TpSession::generate`], which is
+    /// implemented on top of this pair.
+    pub fn try_begin(&mut self, prompt: &[usize]) -> Result<(), CollectiveError> {
+        self.try_prompt(prompt)?;
+        self.to_feed = None;
+        Ok(())
+    }
+
+    /// Emit the next greedy token: feed the previously emitted token (if
+    /// any) through the group, then sample the fresh logits row. A caller
+    /// can stop between any two steps — the emitted tokens form an exact
+    /// prefix of the full generation, and the unfed final token costs no
+    /// group step.
+    pub fn try_generate_step(&mut self) -> Result<usize, CollectiveError> {
+        if let Some(t) = self.to_feed {
+            self.try_decode(t)?;
+            self.to_feed = None;
+        }
+        let tok = argmax(self.last_logits());
+        self.to_feed = Some(tok);
+        Ok(tok)
+    }
+
     /// Greedy generation with the exact [`FastSession`] semantics: process
     /// `prompt`, then emit `n_tokens` tokens (`n_tokens == 0` ingests the
     /// prompt and returns no tokens).
@@ -785,21 +815,15 @@ impl TpSession {
     ///
     /// [`FastSession`]: dsi_model::fast::FastSession
     pub fn generate(&mut self, prompt: &[usize], n_tokens: usize) -> Vec<usize> {
-        if let Err(e) = self.try_prompt(prompt) {
+        if let Err(e) = self.try_begin(prompt) {
             self.panic_with_failures(e);
         }
-        if n_tokens == 0 {
-            return Vec::new();
-        }
-        let mut next = argmax(self.last_logits());
         let mut out = Vec::with_capacity(n_tokens);
-        out.push(next);
-        for _ in 1..n_tokens {
-            if let Err(e) = self.try_decode(next) {
-                self.panic_with_failures(e);
+        for _ in 0..n_tokens {
+            match self.try_generate_step() {
+                Ok(tok) => out.push(tok),
+                Err(e) => self.panic_with_failures(e),
             }
-            next = argmax(self.last_logits());
-            out.push(next);
         }
         out
     }

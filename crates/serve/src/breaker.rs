@@ -1,0 +1,238 @@
+//! Circuit breaker over the supervisor's fault machinery.
+//!
+//! The PR-4 supervisor retries and degrades *within* one request; what it
+//! cannot see is the pattern **across** requests. When the engine is
+//! systematically broken — a fault storm exhausting every retry budget —
+//! each admitted request still burns its full retry/backoff budget before
+//! failing, so a queue of doomed requests turns a component fault into a
+//! latency catastrophe for everyone behind it. The breaker is the standard
+//! production answer (and the robustness literature's: under saturation a
+//! server that admits everything degrades for everyone): repeated terminal
+//! [`FaultError`] outcomes **open** the breaker, new admissions fast-fail
+//! with [`Rejected::BreakerOpen`] instead of queueing behind a broken
+//! engine, and after a cool-down window a single **half-open probe**
+//! request is admitted to test recovery — success closes the breaker,
+//! failure re-opens it for another window.
+//!
+//! Time comes from [`dsi_sim::clock::Clock`], so the open-window and
+//! re-probe transitions are deterministic under a manual clock — every
+//! breaker test below is seed-free *and* sleep-free.
+//!
+//! [`FaultError`]: dsi_parallel::supervisor::FaultError
+//! [`Rejected::BreakerOpen`]: crate::server::Rejected::BreakerOpen
+
+use std::time::Duration;
+
+/// Breaker tuning. `enabled: false` turns the breaker into a pass-through
+/// (every admission allowed, no state kept) — the bench's "breaker off"
+/// arm.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    pub enabled: bool,
+    /// Consecutive terminal-fault completions that open the breaker.
+    pub failure_threshold: u32,
+    /// Cool-down window while open; after it, one probe is admitted.
+    pub open_window: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            enabled: true,
+            failure_threshold: 3,
+            open_window: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Breaker state machine. `Closed` counts consecutive failures; `Open`
+/// fast-fails until the window elapses; `HalfOpen` has exactly one probe in
+/// flight and rejects everyone else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    Closed { consecutive_failures: u32 },
+    Open { until_ns: u64 },
+    HalfOpen,
+}
+
+/// Admission verdict from the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerAdmission {
+    /// Normal admission (breaker closed or disabled).
+    Admit,
+    /// Admission as the half-open probe: the caller must report this
+    /// request's outcome via `on_success` / `on_failure`, and must call
+    /// `abort_probe` if it ends up rejecting the request for other reasons
+    /// (queue full, memory) so the probe slot is not leaked.
+    AdmitProbe,
+    /// Fast-fail: the breaker is open (or a probe is already in flight).
+    Reject,
+}
+
+/// The breaker itself. Not internally synchronized — it lives inside the
+/// server's single state mutex (see the lock audit in `dsi-verify`).
+#[derive(Debug, Clone)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Times the breaker transitioned to open (observability).
+    pub opens: u32,
+}
+
+impl Breaker {
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Breaker { cfg, state: BreakerState::Closed { consecutive_failures: 0 }, opens: 0 }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Admission check at `now_ns`. May transition `Open → HalfOpen` when
+    /// the window has elapsed (the caller's request becomes the probe).
+    pub fn admit(&mut self, now_ns: u64) -> BreakerAdmission {
+        if !self.cfg.enabled {
+            return BreakerAdmission::Admit;
+        }
+        match self.state {
+            BreakerState::Closed { .. } => BreakerAdmission::Admit,
+            BreakerState::Open { until_ns } if now_ns >= until_ns => {
+                self.state = BreakerState::HalfOpen;
+                BreakerAdmission::AdmitProbe
+            }
+            BreakerState::Open { .. } | BreakerState::HalfOpen => BreakerAdmission::Reject,
+        }
+    }
+
+    /// The probe admission was revoked before running (e.g. the queue was
+    /// full): return to `Open` with the window already elapsed, so the next
+    /// admission re-probes immediately.
+    pub fn abort_probe(&mut self, now_ns: u64) {
+        if self.cfg.enabled && self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Open { until_ns: now_ns };
+        }
+    }
+
+    /// A request completed successfully: closes a half-open breaker, resets
+    /// the consecutive-failure count.
+    pub fn on_success(&mut self) {
+        if self.cfg.enabled {
+            self.state = BreakerState::Closed { consecutive_failures: 0 };
+        }
+    }
+
+    /// A request ended in a terminal fault: trips the threshold when
+    /// closed, re-opens immediately when half-open (the probe failed).
+    pub fn on_failure(&mut self, now_ns: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let window = self.cfg.open_window.as_nanos() as u64;
+        match self.state {
+            BreakerState::Closed { consecutive_failures } => {
+                let n = consecutive_failures + 1;
+                if n >= self.cfg.failure_threshold {
+                    self.state = BreakerState::Open { until_ns: now_ns + window };
+                    self.opens += 1;
+                } else {
+                    self.state = BreakerState::Closed { consecutive_failures: n };
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open { until_ns: now_ns + window };
+                self.opens += 1;
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_sim::clock::Clock;
+
+    fn breaker(threshold: u32, window_ms: u64) -> Breaker {
+        Breaker::new(BreakerConfig {
+            enabled: true,
+            failure_threshold: threshold,
+            open_window: Duration::from_millis(window_ms),
+        })
+    }
+
+    #[test]
+    fn threshold_failures_open_fast_fail_then_probe_closes() {
+        let (clock, time) = Clock::manual();
+        let mut b = breaker(3, 10);
+        // Two failures: still closed.
+        b.on_failure(clock.now_ns());
+        b.on_failure(clock.now_ns());
+        assert_eq!(b.admit(clock.now_ns()), BreakerAdmission::Admit);
+        // Third: opens.
+        b.on_failure(clock.now_ns());
+        assert_eq!(b.opens, 1);
+        assert_eq!(b.admit(clock.now_ns()), BreakerAdmission::Reject);
+        // Window not yet elapsed: still rejecting.
+        time.advance(Duration::from_millis(9));
+        assert_eq!(b.admit(clock.now_ns()), BreakerAdmission::Reject);
+        // Window elapsed: exactly one probe, everyone else rejected.
+        time.advance(Duration::from_millis(1));
+        assert_eq!(b.admit(clock.now_ns()), BreakerAdmission::AdmitProbe);
+        assert_eq!(b.admit(clock.now_ns()), BreakerAdmission::Reject);
+        // Probe succeeds: closed, failures forgotten.
+        b.on_success();
+        assert_eq!(b.admit(clock.now_ns()), BreakerAdmission::Admit);
+        assert_eq!(b.state(), BreakerState::Closed { consecutive_failures: 0 });
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_window() {
+        let (clock, time) = Clock::manual();
+        let mut b = breaker(1, 10);
+        b.on_failure(clock.now_ns());
+        time.advance(Duration::from_millis(10));
+        assert_eq!(b.admit(clock.now_ns()), BreakerAdmission::AdmitProbe);
+        b.on_failure(clock.now_ns());
+        assert_eq!(b.opens, 2);
+        assert_eq!(b.admit(clock.now_ns()), BreakerAdmission::Reject);
+        time.advance(Duration::from_millis(10));
+        assert_eq!(b.admit(clock.now_ns()), BreakerAdmission::AdmitProbe);
+    }
+
+    #[test]
+    fn successes_reset_the_consecutive_count() {
+        let (clock, _time) = Clock::manual();
+        let mut b = breaker(2, 10);
+        b.on_failure(clock.now_ns());
+        b.on_success();
+        b.on_failure(clock.now_ns());
+        // Never two *consecutive* failures: still closed.
+        assert_eq!(b.admit(clock.now_ns()), BreakerAdmission::Admit);
+        assert_eq!(b.opens, 0);
+    }
+
+    #[test]
+    fn aborted_probe_reprobes_immediately() {
+        let (clock, time) = Clock::manual();
+        let mut b = breaker(1, 10);
+        b.on_failure(clock.now_ns());
+        time.advance(Duration::from_millis(10));
+        assert_eq!(b.admit(clock.now_ns()), BreakerAdmission::AdmitProbe);
+        // The server rejected the probe request for capacity reasons: the
+        // probe slot must not leak (HalfOpen with no probe in flight would
+        // reject forever).
+        b.abort_probe(clock.now_ns());
+        assert_eq!(b.admit(clock.now_ns()), BreakerAdmission::AdmitProbe);
+    }
+
+    #[test]
+    fn disabled_breaker_is_a_passthrough() {
+        let (clock, _time) = Clock::manual();
+        let mut b = Breaker::new(BreakerConfig { enabled: false, ..BreakerConfig::default() });
+        for _ in 0..10 {
+            b.on_failure(clock.now_ns());
+        }
+        assert_eq!(b.admit(clock.now_ns()), BreakerAdmission::Admit);
+        assert_eq!(b.opens, 0);
+    }
+}

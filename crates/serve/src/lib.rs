@@ -1,0 +1,43 @@
+//! # dsi-serve — overload-safe executed serving runtime
+//!
+//! The paper's systems contribution (Sec. VI) is an *inference serving*
+//! system, not a kernel library: DeepSpeed-Inference sits behind a request
+//! boundary, and everything the repo built below this crate — the fast
+//! single-GPU decode path, the executed tensor-parallel engine, the
+//! fault-tolerant supervisor — only earns its keep once real, concurrent,
+//! misbehaving request streams are fronted safely. `dsi-serve` is that
+//! front: a multi-threaded serving runtime over
+//! [`FtSession`](dsi_parallel::supervisor::FtSession) with the four
+//! overload-safety mechanisms a production endpoint needs:
+//!
+//! 1. **Bounded admission** ([`Server::submit`]) — a bounded queue plus a
+//!    KV-memory token budget (the same `kv_bytes_per_token` accounting the
+//!    planner's `InferenceEngine::max_batch` uses), with typed rejection
+//!    ([`Rejected`]) so overload sheds load in O(1) instead of queueing
+//!    unboundedly.
+//! 2. **Deadlines & cancellation** — per-request deadlines and cooperative
+//!    [`Ticket::cancel`], both observed *between* decode steps through the
+//!    supervisor's `StepCtl` surface: an expired or cancelled request
+//!    yields its exact partial token prefix ([`Outcome::DeadlineExpired`],
+//!    [`Outcome::Evicted`]) and never a torn step or a hung engine.
+//! 3. **Circuit breaker** ([`breaker`]) — consecutive terminal faults open
+//!    the breaker; admissions fast-fail ([`Rejected::BreakerOpen`]) while
+//!    the engine is storming, and a half-open probe re-closes it on
+//!    recovery. Driven by the deterministic [`Clock`](dsi_sim::Clock), so
+//!    every transition is testable without sleeps.
+//! 4. **Watchdog & drain** — a progress-heartbeat watchdog cancels wedged
+//!    requests (routing teardown through the supervisor's bounded
+//!    dismantle), and [`Server::drain`] performs a graceful shutdown whose
+//!    final [`ServeReport`] asserts the accounting invariants
+//!    `submitted == admitted + rejected` and
+//!    `admitted == completed + evicted + deadline_expired` — under every
+//!    fault storm the chaos suite can script.
+
+pub mod breaker;
+pub mod server;
+
+pub use breaker::{Breaker, BreakerAdmission, BreakerConfig, BreakerState};
+pub use server::{
+    kv_budget_tokens, EvictReason, Outcome, Rejected, Request, ServeConfig, ServeReport, Server,
+    Ticket,
+};

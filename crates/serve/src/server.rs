@@ -1,0 +1,860 @@
+//! The serving runtime: bounded admission, deadlines, watchdog, drain.
+//!
+//! [`Server`] fronts one fault-tolerant decode engine
+//! ([`FtSession`](dsi_parallel::supervisor::FtSession)) with the overload
+//! machinery a production inference endpoint needs and the underlying
+//! engine alone cannot provide:
+//!
+//! * **Bounded admission** — [`Server::submit`] either admits a request
+//!   into a bounded queue or rejects it *typed* ([`Rejected`]): the queue
+//!   is full, the KV-memory budget is exhausted, the circuit breaker is
+//!   open, or the server is draining. Rejection is O(1) under one lock —
+//!   an overloaded server stays responsive precisely because saying "no"
+//!   is cheap.
+//! * **KV-memory admission** — each request's cost is its context length
+//!   (`prompt + n_tokens`, the KV rows it will pin); admission keeps the
+//!   sum over queued + running requests under `kv_budget_tokens`, the same
+//!   accounting `InferenceEngine::max_batch` derives capacity from
+//!   (`kv_bytes_per_token × context`). [`kv_budget_tokens`] converts a byte
+//!   budget to this unit.
+//! * **Deadlines with partial output** — each request can carry a deadline;
+//!   the step-wise `StepCtl` surface checks it between decode steps, so an
+//!   expired request returns [`Outcome::DeadlineExpired`] with the exact
+//!   prefix of tokens generated so far, never a torn step.
+//! * **Watchdog** — a sidecar thread watches the progress heartbeat the
+//!   decode loop stamps after every token. No progress within
+//!   `progress_timeout` means the engine is wedged (or grinding through
+//!   fault recovery); the watchdog cancels the request, the supervisor's
+//!   bounded collectives guarantee the cancel is observed, and teardown
+//!   routes through `FtSession::reset` → `TpSession::dismantle`.
+//! * **Graceful drain** — [`Server::drain`] stops admissions (typed
+//!   [`Rejected::Draining`]), lets queued work finish within a grace
+//!   period, then evicts the remainder and joins every thread. The final
+//!   [`ServeReport`] carries always-on accounting invariants:
+//!   `submitted == admitted + rejected` and
+//!   `admitted == completed + evicted + deadline_expired` — every ticket
+//!   resolves exactly once, under every fault storm the chaos suite throws.
+//!
+//! Lock discipline: ONE mutex ([`State`]) + two condvars (`work`, `idle`)
+//! both tied to it, plus lock-free atomics (progress heartbeat, cancel
+//! flags). A single-mutex design is trivially deadlock-free; the lock-order
+//! audit in `dsi-verify::locks` encodes this as a regression gate.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dsi_model::reference::GptModel;
+use dsi_model::GptConfig;
+use dsi_parallel::supervisor::{
+    FtConfig, FtReport, FtSession, RetryPolicy, StepAbort, StepCtl, StepError,
+};
+use dsi_sim::clock::{CancelToken, Clock};
+use dsi_sim::hw::DType;
+use dsi_sim::shmem::CommConfig;
+use serde::Serialize;
+
+use crate::breaker::{Breaker, BreakerAdmission, BreakerConfig};
+
+/// Convert a KV byte budget into admission tokens for
+/// [`ServeConfig::kv_budget_tokens`], using the same per-token accounting
+/// as `InferenceEngine::max_batch` (`2 · hidden · layers · dtype_bytes`).
+pub fn kv_budget_tokens(model: &GptConfig, budget_bytes: f64) -> usize {
+    (budget_bytes / model.kv_bytes_per_token(DType::Fp16)).floor() as usize
+}
+
+/// Serving runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Initial TP degree of the engine (degrades on permanent faults).
+    pub tp: usize,
+    /// Collective configuration (timeout, checksums, fault injection).
+    pub comm: CommConfig,
+    /// Per-step fault retry/backoff policy.
+    pub retry: RetryPolicy,
+    /// Longest admissible prompt.
+    pub max_prompt: usize,
+    /// Bounded admission queue depth (requests waiting, excluding running).
+    pub queue_capacity: usize,
+    /// KV-memory budget in tokens of context across queued + running
+    /// requests; see [`kv_budget_tokens`].
+    pub kv_budget_tokens: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Circuit breaker over terminal fault outcomes.
+    pub breaker: BreakerConfig,
+    /// Watchdog: cancel the running request if no token progress within
+    /// this window. `None` disables the watchdog thread entirely.
+    pub progress_timeout: Option<Duration>,
+    /// Watchdog poll period (wall time; bounds cancel latency).
+    pub watchdog_poll: Duration,
+    /// Time source for deadlines, the breaker window, latency accounting.
+    pub clock: Clock,
+}
+
+impl ServeConfig {
+    pub fn new(tp: usize) -> Self {
+        ServeConfig {
+            tp,
+            comm: CommConfig::default(),
+            retry: RetryPolicy::default(),
+            max_prompt: 64,
+            queue_capacity: 16,
+            kv_budget_tokens: 4096,
+            default_deadline: None,
+            breaker: BreakerConfig::default(),
+            progress_timeout: None,
+            watchdog_poll: Duration::from_millis(2),
+            clock: Clock::wall(),
+        }
+    }
+}
+
+/// One inference request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub prompt: Vec<usize>,
+    pub n_tokens: usize,
+    /// Per-request deadline, measured from admission; falls back to
+    /// [`ServeConfig::default_deadline`] when `None`.
+    pub deadline: Option<Duration>,
+}
+
+/// Typed admission rejection. Every variant is counted in the final
+/// [`ServeReport`]; none of them consume engine time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The bounded queue is at capacity.
+    QueueFull,
+    /// Admitting this request would exceed the KV-token budget.
+    MemoryPressure,
+    /// The circuit breaker is open (engine recently fault-storming).
+    BreakerOpen,
+    /// The server is draining; no new work is accepted.
+    Draining,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull => write!(f, "queue full"),
+            Rejected::MemoryPressure => write!(f, "kv memory pressure"),
+            Rejected::BreakerOpen => write!(f, "circuit breaker open"),
+            Rejected::Draining => write!(f, "server draining"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Why an admitted request was evicted without completing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvictReason {
+    /// Terminal engine fault (retries and degradation exhausted).
+    Fault(String),
+    /// Cancelled — by the client, the watchdog, or drain-grace expiry.
+    Cancelled,
+}
+
+/// Terminal outcome of an admitted request. Exactly one `Outcome` is
+/// delivered per admitted ticket — the accounting invariant the report
+/// asserts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Full generation; `latency_s` is admission→completion on the serve
+    /// clock.
+    Completed { tokens: Vec<usize>, latency_s: f64 },
+    /// Deadline passed mid-generation; `partial` is the exact token prefix
+    /// emitted before the stop (token-identical to an unbounded run).
+    DeadlineExpired { partial: Vec<usize> },
+    /// Evicted; `partial` as above.
+    Evicted { partial: Vec<usize>, reason: EvictReason },
+}
+
+/// Handle for one admitted request.
+pub struct Ticket {
+    pub id: u64,
+    cancel: CancelToken,
+    rx: mpsc::Receiver<Outcome>,
+}
+
+impl Ticket {
+    /// Cooperatively cancel this request (observed between decode steps).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Block until the request resolves. Every admitted ticket resolves
+    /// exactly once, even across fault storms and drain.
+    pub fn wait(self) -> Outcome {
+        self.rx.recv().expect("server resolves every admitted ticket")
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<Outcome> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Final report from [`Server::drain`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    pub submitted: u64,
+    pub admitted: u64,
+    pub completed: u64,
+    pub evicted: u64,
+    pub deadline_expired: u64,
+    pub rejected_queue_full: u64,
+    pub rejected_memory: u64,
+    pub rejected_breaker: u64,
+    pub rejected_draining: u64,
+    /// Times the breaker transitioned Closed/HalfOpen → Open.
+    pub breaker_opens: u32,
+    /// Times the watchdog cancelled a request for lack of progress.
+    pub watchdog_fires: u64,
+    /// Serve-clock seconds from `Server::start` to drain completion.
+    pub wall_s: f64,
+    /// Completed requests per serve-clock second.
+    pub goodput_rps: f64,
+    pub mean_latency_s: f64,
+    pub p50_latency_s: f64,
+    pub p95_latency_s: f64,
+    pub p99_latency_s: f64,
+    /// The engine supervisor's own fault accounting.
+    pub ft: FtReport,
+}
+
+impl ServeReport {
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_queue_full
+            + self.rejected_memory
+            + self.rejected_breaker
+            + self.rejected_draining
+    }
+}
+
+struct Job {
+    prompt: Vec<usize>,
+    n_tokens: usize,
+    /// Absolute serve-clock deadline.
+    deadline_ns: Option<u64>,
+    /// KV tokens this job pins (released when its outcome is delivered).
+    cost: usize,
+    cancel: CancelToken,
+    probe: bool,
+    submit_ns: u64,
+    tx: mpsc::Sender<Outcome>,
+}
+
+struct Running {
+    cancel: CancelToken,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    admitted: u64,
+    completed: u64,
+    evicted: u64,
+    deadline_expired: u64,
+    rejected_queue_full: u64,
+    rejected_memory: u64,
+    rejected_breaker: u64,
+    rejected_draining: u64,
+    watchdog_fires: u64,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    /// KV tokens pinned by queued + running jobs.
+    inflight_tokens: usize,
+    running: Option<Running>,
+    draining: bool,
+    worker_done: bool,
+    breaker: Breaker,
+    counters: Counters,
+    latencies_s: Vec<f64>,
+    ft_report: Option<FtReport>,
+    next_id: u64,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Worker parks here when the queue is empty.
+    work: Condvar,
+    /// Drain and the watchdog park here; notified on every job completion.
+    idle: Condvar,
+    /// Progress heartbeat: serve-clock ns of the last emitted token (or job
+    /// start). Written by the worker's `StepCtl`, read by the watchdog.
+    progress_ns: AtomicU64,
+    clock: Clock,
+}
+
+/// The serving runtime. Owns a worker thread (which owns the engine) and an
+/// optional watchdog thread; see the module docs for the full contract.
+pub struct Server {
+    shared: Arc<Shared>,
+    cfg: ServeConfig,
+    start_ns: u64,
+    worker: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawn the runtime over `model`. The engine group itself is built
+    /// lazily on the first request (inside `FtSession`).
+    pub fn start(model: Arc<GptModel>, cfg: ServeConfig) -> Server {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                inflight_tokens: 0,
+                running: None,
+                draining: false,
+                worker_done: false,
+                breaker: Breaker::new(cfg.breaker.clone()),
+                counters: Counters::default(),
+                latencies_s: Vec::new(),
+                ft_report: None,
+                next_id: 0,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            progress_ns: AtomicU64::new(0),
+            clock: cfg.clock.clone(),
+        });
+        let start_ns = cfg.clock.now_ns();
+
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let ft_cfg = FtConfig { tp: cfg.tp, comm: cfg.comm.clone(), retry: cfg.retry.clone() };
+            let max_prompt = cfg.max_prompt;
+            std::thread::Builder::new()
+                .name("dsi-serve-worker".into())
+                .spawn(move || worker_loop(shared, model, max_prompt, ft_cfg))
+                .expect("spawn serve worker")
+        };
+
+        let watchdog = cfg.progress_timeout.map(|timeout| {
+            let shared = Arc::clone(&shared);
+            let poll = cfg.watchdog_poll;
+            std::thread::Builder::new()
+                .name("dsi-serve-watchdog".into())
+                .spawn(move || watchdog_loop(shared, timeout, poll))
+                .expect("spawn serve watchdog")
+        });
+
+        Server { shared, cfg, start_ns, worker: Some(worker), watchdog }
+    }
+
+    /// Admit or reject `req`. Admission is O(1) under one lock: breaker
+    /// check, queue-depth check, KV-budget check, enqueue.
+    pub fn submit(&self, req: Request) -> Result<Ticket, Rejected> {
+        assert!(!req.prompt.is_empty(), "empty prompt");
+        assert!(
+            req.prompt.len() <= self.cfg.max_prompt,
+            "prompt longer than ServeConfig::max_prompt"
+        );
+        let mut st = self.shared.state.lock().unwrap();
+        st.counters.submitted += 1;
+        if st.draining {
+            st.counters.rejected_draining += 1;
+            return Err(Rejected::Draining);
+        }
+        let now = self.shared.clock.now_ns();
+        let probe = match st.breaker.admit(now) {
+            BreakerAdmission::Admit => false,
+            BreakerAdmission::AdmitProbe => true,
+            BreakerAdmission::Reject => {
+                st.counters.rejected_breaker += 1;
+                return Err(Rejected::BreakerOpen);
+            }
+        };
+        if st.queue.len() >= self.cfg.queue_capacity {
+            if probe {
+                st.breaker.abort_probe(now);
+            }
+            st.counters.rejected_queue_full += 1;
+            return Err(Rejected::QueueFull);
+        }
+        let cost = req.prompt.len() + req.n_tokens;
+        if st.inflight_tokens + cost > self.cfg.kv_budget_tokens {
+            if probe {
+                st.breaker.abort_probe(now);
+            }
+            st.counters.rejected_memory += 1;
+            return Err(Rejected::MemoryPressure);
+        }
+
+        st.counters.admitted += 1;
+        st.inflight_tokens += cost;
+        let id = st.next_id;
+        st.next_id += 1;
+        let cancel = CancelToken::new();
+        let (tx, rx) = mpsc::channel();
+        let deadline_ns = req
+            .deadline
+            .or(self.cfg.default_deadline)
+            .map(|d| now + d.as_nanos() as u64);
+        st.queue.push_back(Job {
+            prompt: req.prompt,
+            n_tokens: req.n_tokens,
+            deadline_ns,
+            cost,
+            cancel: cancel.clone(),
+            probe,
+            submit_ns: now,
+            tx,
+        });
+        drop(st);
+        self.shared.work.notify_all();
+        Ok(Ticket { id, cancel, rx })
+    }
+
+    /// Stop admissions, let in-flight + queued work finish within `grace`
+    /// (wall time), evict the rest, join all threads, and return the final
+    /// report. Consumes the server.
+    pub fn drain(mut self, grace: Duration) -> ServeReport {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.draining = true;
+        }
+        self.shared.work.notify_all();
+
+        let grace_deadline = std::time::Instant::now() + grace;
+        let mut grace_expired = false;
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            while !st.worker_done {
+                if !grace_expired && std::time::Instant::now() >= grace_deadline {
+                    grace_expired = true;
+                    // Evict everything still queued; cancel the running job.
+                    while let Some(job) = st.queue.pop_front() {
+                        st.inflight_tokens -= job.cost;
+                        st.counters.evicted += 1;
+                        let _ = job.tx.send(Outcome::Evicted {
+                            partial: Vec::new(),
+                            reason: EvictReason::Cancelled,
+                        });
+                    }
+                    if let Some(run) = &st.running {
+                        run.cancel.cancel();
+                    }
+                    self.shared.work.notify_all();
+                }
+                let wait = if grace_expired {
+                    Duration::from_millis(5)
+                } else {
+                    grace_deadline
+                        .saturating_duration_since(std::time::Instant::now())
+                        .min(Duration::from_millis(5))
+                        .max(Duration::from_micros(100))
+                };
+                st = self.shared.idle.wait_timeout(st, wait).unwrap().0;
+            }
+        }
+        if let Some(w) = self.worker.take() {
+            w.join().expect("serve worker join");
+        }
+        if let Some(w) = self.watchdog.take() {
+            w.join().expect("serve watchdog join");
+        }
+
+        let st = self.shared.state.lock().unwrap();
+        let c = &st.counters;
+        let wall_s = (self.shared.clock.now_ns() - self.start_ns) as f64 / 1e9;
+        let mut lat = st.latencies_s.clone();
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = if lat.is_empty() { 0.0 } else { lat.iter().sum::<f64>() / lat.len() as f64 };
+        let report = ServeReport {
+            submitted: c.submitted,
+            admitted: c.admitted,
+            completed: c.completed,
+            evicted: c.evicted,
+            deadline_expired: c.deadline_expired,
+            rejected_queue_full: c.rejected_queue_full,
+            rejected_memory: c.rejected_memory,
+            rejected_breaker: c.rejected_breaker,
+            rejected_draining: c.rejected_draining,
+            breaker_opens: st.breaker.opens,
+            watchdog_fires: c.watchdog_fires,
+            wall_s,
+            goodput_rps: if wall_s > 0.0 { c.completed as f64 / wall_s } else { 0.0 },
+            mean_latency_s: mean,
+            p50_latency_s: dsi_core::percentile(&lat, 0.50),
+            p95_latency_s: dsi_core::percentile(&lat, 0.95),
+            p99_latency_s: dsi_core::percentile(&lat, 0.99),
+            ft: st.ft_report.clone().unwrap_or_default(),
+        };
+        // Accounting invariants — always on, under every fault storm: no
+        // request is lost, double-counted, or left unresolved.
+        assert_eq!(
+            report.submitted,
+            report.admitted + report.rejected_total(),
+            "serve invariant: submitted == admitted + rejected"
+        );
+        assert_eq!(
+            report.admitted,
+            report.completed + report.evicted + report.deadline_expired,
+            "serve invariant: admitted == completed + evicted + deadline_expired"
+        );
+        assert_eq!(st.inflight_tokens, 0, "serve invariant: all KV tokens released");
+        report
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, model: Arc<GptModel>, max_prompt: usize, ft_cfg: FtConfig) {
+    let mut session = FtSession::new(model, max_prompt, ft_cfg);
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    // Stamp the heartbeat before publishing `running`, so the
+                    // watchdog never reads a stale heartbeat for a fresh job.
+                    shared.progress_ns.store(shared.clock.now_ns(), Ordering::Release);
+                    st.running = Some(Running { cancel: job.cancel.clone() });
+                    break Some(job);
+                }
+                if st.draining {
+                    break None;
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        let Some(job) = job else { break };
+
+        // Fresh context per request (also tears down a faulted group).
+        session.reset();
+        let ctl = StepCtl {
+            cancel: Some(&job.cancel),
+            clock: Some(&shared.clock),
+            deadline_ns: job.deadline_ns,
+            progress_ns: Some(&shared.progress_ns),
+        };
+        let result = session.generate_bounded(&job.prompt, job.n_tokens, &ctl);
+        let now = shared.clock.now_ns();
+
+        let mut st = shared.state.lock().unwrap();
+        st.running = None;
+        st.inflight_tokens -= job.cost;
+        let outcome = match result {
+            Ok(tokens) => {
+                st.counters.completed += 1;
+                let latency_s = (now - job.submit_ns) as f64 / 1e9;
+                st.latencies_s.push(latency_s);
+                st.breaker.on_success();
+                Outcome::Completed { tokens, latency_s }
+            }
+            Err(e) => match e.abort {
+                StepError::Aborted(StepAbort::DeadlineExceeded) => {
+                    st.counters.deadline_expired += 1;
+                    if job.probe {
+                        // The probe proved nothing: re-probe immediately.
+                        st.breaker.abort_probe(now);
+                    }
+                    Outcome::DeadlineExpired { partial: e.partial }
+                }
+                StepError::Aborted(StepAbort::Cancelled) => {
+                    st.counters.evicted += 1;
+                    if job.probe {
+                        st.breaker.abort_probe(now);
+                    }
+                    Outcome::Evicted { partial: e.partial, reason: EvictReason::Cancelled }
+                }
+                StepError::Fault(f) => {
+                    st.counters.evicted += 1;
+                    st.breaker.on_failure(now);
+                    Outcome::Evicted { partial: e.partial, reason: EvictReason::Fault(f.to_string()) }
+                }
+            },
+        };
+        drop(st);
+        // Delivery outside the lock; a dropped ticket is not an error.
+        let _ = job.tx.send(outcome);
+        shared.idle.notify_all();
+    }
+
+    // Tear the group down with bounded joins, then publish the engine's
+    // fault report for the final ServeReport.
+    session.reset();
+    let mut st = shared.state.lock().unwrap();
+    st.ft_report = Some(session.report().clone());
+    st.worker_done = true;
+    drop(st);
+    shared.idle.notify_all();
+}
+
+fn watchdog_loop(shared: Arc<Shared>, timeout: Duration, poll: Duration) {
+    let timeout_ns = timeout.as_nanos() as u64;
+    let mut st = shared.state.lock().unwrap();
+    loop {
+        if st.worker_done {
+            return;
+        }
+        if let Some(run) = &st.running {
+            let now = shared.clock.now_ns();
+            let last = shared.progress_ns.load(Ordering::Acquire);
+            if now.saturating_sub(last) > timeout_ns && !run.cancel.is_cancelled() {
+                run.cancel.cancel();
+                st.counters.watchdog_fires += 1;
+            }
+        }
+        st = shared.idle.wait_timeout(st, poll).unwrap().0;
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_model::zoo;
+    use dsi_sim::fault::{FaultKind, FaultPlan, FaultSite, FaultSpec};
+
+    fn tiny_model() -> Arc<GptModel> {
+        Arc::new(GptModel::random(zoo::tiny(2), 11))
+    }
+
+    fn quiet_cfg(tp: usize) -> ServeConfig {
+        let mut cfg = ServeConfig::new(tp);
+        cfg.comm.timeout = Duration::from_secs(2);
+        cfg
+    }
+
+    /// A plan that wedges rank 1 for `millis` at its `epoch`-th barrier
+    /// crossing — with a comm timeout above `millis` this is "slow", with
+    /// one below it is a detected fault.
+    fn stall_plan(epoch: u64, millis: u64) -> FaultPlan {
+        FaultPlan::new(vec![FaultSpec {
+            rank: 1,
+            site: FaultSite::Barrier { epoch },
+            kind: FaultKind::Stall { millis },
+        }])
+    }
+
+    #[test]
+    fn completes_requests_and_accounts_them() {
+        let srv = Server::start(tiny_model(), quiet_cfg(2));
+        let t1 = srv
+            .submit(Request { prompt: vec![1, 2, 3], n_tokens: 4, deadline: None })
+            .unwrap();
+        let t2 = srv
+            .submit(Request { prompt: vec![5, 6], n_tokens: 3, deadline: None })
+            .unwrap();
+        let Outcome::Completed { tokens, .. } = t1.wait() else { panic!("expected completion") };
+        assert_eq!(tokens.len(), 4);
+        let Outcome::Completed { tokens, .. } = t2.wait() else { panic!("expected completion") };
+        assert_eq!(tokens.len(), 3);
+        let report = srv.drain(Duration::from_secs(5));
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.admitted, 2);
+        assert_eq!(report.rejected_total(), 0);
+        assert!(report.goodput_rps > 0.0);
+    }
+
+    #[test]
+    fn served_tokens_match_direct_generation() {
+        let model = tiny_model();
+        let mut oracle = FtSession::new(Arc::clone(&model), 64, FtConfig::new(1));
+        let expect = oracle.generate(&[1, 2, 3], 5).unwrap();
+
+        let srv = Server::start(model, quiet_cfg(1));
+        let t = srv
+            .submit(Request { prompt: vec![1, 2, 3], n_tokens: 5, deadline: None })
+            .unwrap();
+        let Outcome::Completed { tokens, .. } = t.wait() else { panic!("expected completion") };
+        assert_eq!(tokens, expect);
+        srv.drain(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn queue_full_and_memory_pressure_reject_typed() {
+        let mut cfg = quiet_cfg(2);
+        cfg.queue_capacity = 1;
+        cfg.kv_budget_tokens = 20;
+        // Wedge the first request (slow, not faulted) so admission state is
+        // deterministic while we probe the limits.
+        cfg.comm.injector = Some(Arc::new(stall_plan(0, 150).injector()));
+        let srv = Server::start(tiny_model(), cfg);
+
+        let t = srv
+            .submit(Request { prompt: vec![1; 8], n_tokens: 8, deadline: None })
+            .unwrap();
+        // Let the worker pop it (it is now wedged mid-prompt, queue empty).
+        std::thread::sleep(Duration::from_millis(30));
+        // Another 16-token request would breach the 20-token KV budget.
+        assert_eq!(
+            srv.submit(Request { prompt: vec![1; 8], n_tokens: 8, deadline: None }).err(),
+            Some(Rejected::MemoryPressure)
+        );
+        // Fill the single queue slot, then overflow it.
+        let t2 = srv.submit(Request { prompt: vec![1], n_tokens: 1, deadline: None }).unwrap();
+        assert_eq!(
+            srv.submit(Request { prompt: vec![1], n_tokens: 1, deadline: None }).err(),
+            Some(Rejected::QueueFull)
+        );
+        assert!(matches!(t.wait(), Outcome::Completed { .. }));
+        assert!(matches!(t2.wait(), Outcome::Completed { .. }));
+        let report = srv.drain(Duration::from_secs(5));
+        assert_eq!(report.admitted, 2);
+        assert_eq!(report.rejected_memory, 1);
+        assert_eq!(report.rejected_queue_full, 1);
+    }
+
+    #[test]
+    fn client_cancel_evicts_and_session_survives() {
+        let mut cfg = quiet_cfg(2);
+        cfg.comm.injector = Some(Arc::new(stall_plan(0, 150).injector()));
+        let srv = Server::start(tiny_model(), cfg);
+        let t = srv
+            .submit(Request { prompt: vec![1, 2], n_tokens: 8, deadline: None })
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        t.cancel();
+        let Outcome::Evicted { reason, .. } = t.wait() else { panic!("expected eviction") };
+        assert_eq!(reason, EvictReason::Cancelled);
+        // The engine is reusable after a cancellation.
+        let t2 = srv.submit(Request { prompt: vec![3], n_tokens: 2, deadline: None }).unwrap();
+        assert!(matches!(t2.wait(), Outcome::Completed { .. }));
+        let report = srv.drain(Duration::from_secs(5));
+        assert_eq!(report.evicted, 1);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.watchdog_fires, 0);
+    }
+
+    #[test]
+    fn deadline_expiry_returns_token_identical_partial_prefix() {
+        let model = tiny_model();
+        let mut oracle = FtSession::new(Arc::clone(&model), 64, FtConfig::new(2));
+        let full = oracle.generate(&[1, 2], 40).unwrap();
+
+        let mut cfg = quiet_cfg(2);
+        cfg.default_deadline = Some(Duration::from_millis(40));
+        // Wedge mid-generation (sequence position 12 ≈ 10 tokens in) for
+        // longer than the remaining deadline budget.
+        let plan = FaultPlan::new(vec![FaultSpec {
+            rank: 1,
+            site: FaultSite::Layer { token: 12, layer: 0 },
+            kind: FaultKind::Stall { millis: 150 },
+        }]);
+        cfg.comm.injector = Some(Arc::new(plan.injector()));
+        let srv = Server::start(model, cfg);
+        let t = srv
+            .submit(Request { prompt: vec![1, 2], n_tokens: 40, deadline: None })
+            .unwrap();
+        let Outcome::DeadlineExpired { partial } = t.wait() else {
+            panic!("expected deadline expiry")
+        };
+        assert!(!partial.is_empty() && partial.len() < 40);
+        assert_eq!(&partial[..], &full[..partial.len()]);
+        let report = srv.drain(Duration::from_secs(5));
+        assert_eq!(report.deadline_expired, 1);
+    }
+
+    #[test]
+    fn fault_storm_opens_breaker_then_probe_recovers() {
+        let mut cfg = quiet_cfg(2);
+        cfg.retry.max_retries = 0; // first fault is terminal
+        cfg.retry.backoff_ms = 0;
+        cfg.breaker.failure_threshold = 2;
+        cfg.breaker.open_window = Duration::from_millis(20);
+        cfg.comm.timeout = Duration::from_millis(50);
+        // Two scripted stalls longer than the comm timeout: each request's
+        // fresh group hits one at its first barrier crossing.
+        let plan = FaultPlan::new(vec![
+            FaultSpec {
+                rank: 1,
+                site: FaultSite::Barrier { epoch: 0 },
+                kind: FaultKind::Stall { millis: 200 },
+            },
+            FaultSpec {
+                rank: 1,
+                site: FaultSite::Barrier { epoch: 0 },
+                kind: FaultKind::Stall { millis: 200 },
+            },
+        ]);
+        cfg.comm.injector = Some(Arc::new(plan.injector()));
+        let srv = Server::start(tiny_model(), cfg);
+
+        let mut faulted = 0;
+        for _ in 0..2 {
+            let t = srv.submit(Request { prompt: vec![1, 2], n_tokens: 3, deadline: None }).unwrap();
+            if matches!(t.wait(), Outcome::Evicted { reason: EvictReason::Fault(_), .. }) {
+                faulted += 1;
+            }
+        }
+        assert_eq!(faulted, 2, "both scripted faults should be terminal");
+        // Breaker now open: fast-fail without touching the engine.
+        assert_eq!(
+            srv.submit(Request { prompt: vec![1], n_tokens: 1, deadline: None }).err(),
+            Some(Rejected::BreakerOpen)
+        );
+        // After the window the probe is admitted and (faults consumed)
+        // succeeds, closing the breaker for everyone.
+        std::thread::sleep(Duration::from_millis(25));
+        let probe = srv.submit(Request { prompt: vec![1], n_tokens: 2, deadline: None }).unwrap();
+        assert!(matches!(probe.wait(), Outcome::Completed { .. }));
+        let t = srv.submit(Request { prompt: vec![4], n_tokens: 2, deadline: None }).unwrap();
+        assert!(matches!(t.wait(), Outcome::Completed { .. }));
+
+        let report = srv.drain(Duration::from_secs(5));
+        assert_eq!(report.breaker_opens, 1);
+        assert_eq!(report.rejected_breaker, 1);
+        assert_eq!(report.evicted, 2);
+        assert_eq!(report.completed, 2);
+    }
+
+    #[test]
+    fn watchdog_cancels_wedged_request() {
+        // A scripted stall below an oversized collective timeout wedges the
+        // engine mid-request with no fault detection; the watchdog's
+        // progress timeout fires and turns the wedge into a typed eviction.
+        let mut cfg = quiet_cfg(2);
+        cfg.comm.timeout = Duration::from_secs(30); // detection alone won't save us
+        cfg.progress_timeout = Some(Duration::from_millis(40));
+        cfg.watchdog_poll = Duration::from_millis(2);
+        cfg.comm.injector = Some(Arc::new(stall_plan(0, 300).injector()));
+        let srv = Server::start(tiny_model(), cfg);
+        let t = srv.submit(Request { prompt: vec![1, 2], n_tokens: 50, deadline: None }).unwrap();
+        let Outcome::Evicted { reason, .. } = t.wait() else { panic!("expected eviction") };
+        assert_eq!(reason, EvictReason::Cancelled);
+        let report = srv.drain(Duration::from_secs(5));
+        assert_eq!(report.watchdog_fires, 1);
+        assert_eq!(report.evicted, 1);
+    }
+
+    #[test]
+    fn drain_grace_expiry_evicts_queue_and_running() {
+        let mut cfg = quiet_cfg(2);
+        cfg.queue_capacity = 8;
+        cfg.comm.injector = Some(Arc::new(stall_plan(0, 200).injector()));
+        let srv = Server::start(tiny_model(), cfg);
+        // First request wedges mid-prompt; three more pile up behind it.
+        let slow = srv.submit(Request { prompt: vec![1], n_tokens: 8, deadline: None }).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        let queued: Vec<_> = (0..3)
+            .map(|i| {
+                srv.submit(Request { prompt: vec![i + 1], n_tokens: 8, deadline: None }).unwrap()
+            })
+            .collect();
+        let report = srv.drain(Duration::from_millis(1));
+        assert_eq!(report.admitted, 4);
+        assert_eq!(report.completed + report.evicted + report.deadline_expired, 4);
+        assert_eq!(report.evicted, 4, "grace expiry must evict running + queued");
+        assert!(matches!(slow.wait(), Outcome::Evicted { .. }));
+        for t in queued {
+            assert!(matches!(t.wait(), Outcome::Evicted { .. }));
+        }
+    }
+
+    #[test]
+    fn kv_budget_tokens_matches_engine_accounting() {
+        let m = zoo::tiny(2);
+        // Fp16: 2 bytes/elem × 2 (K,V) × hidden × layers per token.
+        let per_tok = 2.0 * m.hidden as f64 * m.layers as f64 * 2.0;
+        assert_eq!(kv_budget_tokens(&m, per_tok * 10.0), 10);
+        assert_eq!(kv_budget_tokens(&m, per_tok * 10.5), 10);
+    }
+}

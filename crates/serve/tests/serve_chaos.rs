@@ -1,0 +1,291 @@
+//! Chaos sweep for the serving runtime: seeded arrival streams × scripted
+//! fault storms × overload-inducing capacities.
+//!
+//! Every scenario is derived deterministically from its seed — the request
+//! mix, the fault plan, the queue/KV capacities, deadlines, the breaker
+//! tuning, whether a client cancels mid-flight, and how patient the drain
+//! is. The acceptance criteria, asserted for EVERY scenario:
+//!
+//! * **zero hangs** — each scenario completes (CI runs this file under a
+//!   wall-clock timeout; every collective, retry, and drain path is
+//!   bounded);
+//! * **accounting invariants** — `submitted == admitted + rejected` and
+//!   `admitted == completed + evicted + deadline_expired` (the server
+//!   asserts these internally at drain; the harness re-derives them from
+//!   the outcomes the *clients* observed, closing the loop);
+//! * **every ticket resolves exactly once** — no request is lost under any
+//!   storm;
+//! * **bounded tail latency** — when deadlines are armed, completed
+//!   requests finished within deadline + recovery slack.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dsi_model::reference::GptModel;
+use dsi_model::zoo;
+use dsi_serve::{EvictReason, Outcome, Rejected, Request, ServeConfig, Server};
+use dsi_sim::fault::FaultPlan;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Uniform in `[lo, hi)` over the vendored `RngCore` surface.
+fn range(rng: &mut impl RngCore, lo: u64, hi: u64) -> u64 {
+    lo + rng.next_u64() % (hi - lo)
+}
+
+fn chance(rng: &mut impl RngCore, p: f64) -> bool {
+    rng.unit_f64() < p
+}
+
+/// One seeded scenario, fully derived from `seed`.
+struct Scenario {
+    seed: u64,
+    tp: usize,
+    n_requests: usize,
+    n_faults: usize,
+    queue_capacity: usize,
+    kv_budget_tokens: usize,
+    deadline: Option<Duration>,
+    progress_timeout: Option<Duration>,
+    cancel_every: Option<usize>,
+    drain_grace: Duration,
+    checksum: bool,
+}
+
+impl Scenario {
+    fn from_seed(seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Scenario {
+            seed,
+            tp: [1, 2, 2, 4][range(&mut rng, 0, 4) as usize],
+            n_requests: range(&mut rng, 12, 28) as usize,
+            n_faults: range(&mut rng, 0, 5) as usize,
+            queue_capacity: range(&mut rng, 1, 6) as usize,
+            kv_budget_tokens: range(&mut rng, 24, 160) as usize,
+            deadline: if chance(&mut rng, 0.5) {
+                Some(Duration::from_millis(range(&mut rng, 5, 60)))
+            } else {
+                None
+            },
+            progress_timeout: if chance(&mut rng, 0.5) {
+                Some(Duration::from_millis(range(&mut rng, 40, 120)))
+            } else {
+                None
+            },
+            cancel_every: if chance(&mut rng, 0.3) {
+                Some(range(&mut rng, 3, 6) as usize)
+            } else {
+                None
+            },
+            drain_grace: Duration::from_millis([1, 50, 2000][range(&mut rng, 0, 3) as usize]),
+            checksum: chance(&mut rng, 0.5),
+        }
+    }
+
+    fn config(&self) -> ServeConfig {
+        let mut cfg = ServeConfig::new(self.tp);
+        cfg.max_prompt = 8;
+        cfg.queue_capacity = self.queue_capacity;
+        cfg.kv_budget_tokens = self.kv_budget_tokens;
+        cfg.default_deadline = self.deadline;
+        cfg.progress_timeout = self.progress_timeout;
+        cfg.comm.timeout = Duration::from_millis(200);
+        cfg.comm.checksum = self.checksum;
+        cfg.retry.max_retries = 4;
+        cfg.retry.backoff_ms = 1;
+        cfg.breaker.failure_threshold = 2;
+        cfg.breaker.open_window = Duration::from_millis(10);
+        if self.n_faults > 0 {
+            // Stalls in FaultPlan::random are 1–20 ms — below the comm
+            // timeout, so they surface as slowness; Exit/Panic surface as
+            // permanent faults, Corrupt as transient when checksummed.
+            let plan = FaultPlan::random(self.seed, self.n_faults, self.tp.max(2), 24, 2, 8);
+            cfg.comm.injector = Some(Arc::new(plan.injector()));
+        }
+        cfg
+    }
+}
+
+/// Run one scenario end to end; returns (completed, evicted,
+/// deadline_expired, rejected) as observed by the clients.
+fn run_scenario(sc: &Scenario) -> (u64, u64, u64, u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(sc.seed.wrapping_mul(0x9e37_79b9));
+    let model = Arc::new(GptModel::random(zoo::tiny(2), sc.seed ^ 0xabcd));
+    let srv = Server::start(model, sc.config());
+
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0..sc.n_requests {
+        let prompt_len = range(&mut rng, 1, 6) as usize;
+        let req = Request {
+            prompt: (0..prompt_len).map(|j| (i + j) % 101).collect(),
+            n_tokens: range(&mut rng, 1, 10) as usize,
+            deadline: None,
+        };
+        match srv.submit(req) {
+            Ok(t) => {
+                if sc.cancel_every.is_some_and(|k| i % k == k - 1) {
+                    t.cancel();
+                }
+                tickets.push(t);
+            }
+            Err(
+                Rejected::QueueFull
+                | Rejected::MemoryPressure
+                | Rejected::BreakerOpen
+                | Rejected::Draining,
+            ) => rejected += 1,
+        }
+        // Seeded jitter: bursts (no sleep) interleaved with brief pauses so
+        // scenarios exercise both pile-up and steady-state admission.
+        if chance(&mut rng, 0.3) {
+            std::thread::sleep(Duration::from_millis(range(&mut rng, 0, 4)));
+        }
+    }
+
+    let report = srv.drain(sc.drain_grace);
+
+    // Every ticket resolves exactly once; tally what the clients saw.
+    let (mut completed, mut evicted, mut expired) = (0u64, 0u64, 0u64);
+    for t in tickets {
+        match t.wait() {
+            Outcome::Completed { tokens, .. } => {
+                assert!(!tokens.is_empty(), "seed {}: completed with no tokens", sc.seed);
+                completed += 1;
+            }
+            Outcome::Evicted { reason, .. } => {
+                if let EvictReason::Fault(msg) = &reason {
+                    assert!(!msg.is_empty(), "seed {}: fault eviction without a cause", sc.seed);
+                }
+                evicted += 1;
+            }
+            Outcome::DeadlineExpired { .. } => expired += 1,
+        }
+    }
+
+    // Client-observed tallies must equal the server's books exactly.
+    let label = format!("seed {}", sc.seed);
+    assert_eq!(report.completed, completed, "{label}: completed mismatch");
+    assert_eq!(report.evicted, evicted, "{label}: evicted mismatch");
+    assert_eq!(report.deadline_expired, expired, "{label}: deadline mismatch");
+    assert_eq!(report.rejected_total(), rejected, "{label}: rejected mismatch");
+    assert_eq!(report.submitted, sc.n_requests as u64, "{label}: submitted mismatch");
+    assert_eq!(
+        report.admitted,
+        completed + evicted + expired,
+        "{label}: admitted requests must all resolve"
+    );
+
+    // Bounded tail: with a deadline armed, a completed request can overrun
+    // it by at most the in-flight step + recovery slack (collective timeout
+    // × retries), never unboundedly.
+    if let Some(d) = sc.deadline {
+        let slack = 2.0; // comm timeouts + backoff + scheduling, generous
+        assert!(
+            report.p99_latency_s <= d.as_secs_f64() + slack,
+            "{label}: p99 {:.3}s breaches deadline {:?} + slack",
+            report.p99_latency_s,
+            d
+        );
+    }
+    (completed, evicted, expired, rejected)
+}
+
+/// The main sweep: ≥20 seeded scenarios spanning overload, fault storms,
+/// client cancellations, impatient drains, and every TP degree.
+#[test]
+fn chaos_sweep_over_seeded_scenarios() {
+    let mut total_completed = 0;
+    let mut total_rejected = 0;
+    for seed in 0..24u64 {
+        let sc = Scenario::from_seed(seed);
+        let (completed, _evicted, _expired, rejected) = run_scenario(&sc);
+        total_completed += completed;
+        total_rejected += rejected;
+    }
+    // The sweep as a whole must exercise both sides of admission: plenty of
+    // requests served, plenty shed. (Per-scenario counts vary by seed.)
+    assert!(total_completed > 50, "sweep too lenient: only {total_completed} completions");
+    assert!(total_rejected > 0, "sweep never triggered load shedding");
+}
+
+/// Sustained overload against a tiny queue must shed with typed rejections
+/// while the server keeps completing what it admits — and the breaker must
+/// stay closed (overload is not a fault).
+#[test]
+fn overload_sheds_typed_and_keeps_serving() {
+    let model = Arc::new(GptModel::random(zoo::tiny(2), 7));
+    let mut cfg = ServeConfig::new(2);
+    cfg.queue_capacity = 2;
+    cfg.kv_budget_tokens = 40;
+    cfg.comm.timeout = Duration::from_secs(2);
+    let srv = Server::start(model, cfg);
+
+    let mut tickets = Vec::new();
+    let mut rejections = 0u64;
+    for i in 0..200 {
+        match srv.submit(Request { prompt: vec![i % 101], n_tokens: 6, deadline: None }) {
+            Ok(t) => tickets.push(t),
+            Err(Rejected::QueueFull | Rejected::MemoryPressure) => rejections += 1,
+            Err(other) => panic!("unexpected rejection under pure overload: {other}"),
+        }
+    }
+    let report = srv.drain(Duration::from_secs(10));
+    assert!(rejections > 0, "200 burst submissions must overflow a 2-deep queue");
+    assert_eq!(report.breaker_opens, 0, "overload must not trip the fault breaker");
+    for t in tickets {
+        assert!(
+            matches!(t.wait(), Outcome::Completed { .. }),
+            "admitted requests complete under overload"
+        );
+    }
+    assert_eq!(report.completed, report.admitted);
+}
+
+/// A storm of permanent faults must open the breaker and fast-fail
+/// admissions rather than queueing doomed work — and the server must still
+/// drain cleanly with the invariants intact.
+#[test]
+fn fault_storm_fast_fails_through_breaker() {
+    let model = Arc::new(GptModel::random(zoo::tiny(2), 13));
+    let mut cfg = ServeConfig::new(2);
+    cfg.comm.timeout = Duration::from_millis(100);
+    cfg.retry.max_retries = 0;
+    cfg.retry.backoff_ms = 0;
+    cfg.breaker.failure_threshold = 1;
+    cfg.breaker.open_window = Duration::from_secs(60); // stays open for the test
+    // Rank 1 exits at its first barrier crossing, in every group the server
+    // builds, until the specs run out: each admitted request meets a
+    // permanent fault.
+    use dsi_sim::fault::{FaultKind, FaultSite, FaultSpec};
+    let plan = FaultPlan::new(
+        (0..4)
+            .map(|_| FaultSpec {
+                rank: 1,
+                site: FaultSite::Barrier { epoch: 0 },
+                kind: FaultKind::Exit,
+            })
+            .collect(),
+    );
+    cfg.comm.injector = Some(Arc::new(plan.injector()));
+    let srv = Server::start(model, cfg);
+
+    let mut breaker_rejections = 0u64;
+    let mut tickets = Vec::new();
+    for i in 0..20 {
+        match srv.submit(Request { prompt: vec![1, 2], n_tokens: 4, deadline: None }) {
+            Ok(t) => tickets.push(t),
+            Err(Rejected::BreakerOpen) => breaker_rejections += 1,
+            Err(other) => panic!("request {i}: unexpected rejection {other}"),
+        }
+        // Let the in-flight request resolve so breaker state is observable.
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    for t in tickets {
+        t.wait(); // typed outcome either way; no hangs
+    }
+    let report = srv.drain(Duration::from_secs(10));
+    assert!(report.breaker_opens >= 1, "a permanent-fault storm must open the breaker");
+    assert!(breaker_rejections > 0, "an open breaker must fast-fail admissions");
+    assert_eq!(report.submitted, 20);
+}

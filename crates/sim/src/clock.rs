@@ -1,0 +1,138 @@
+//! Deterministic time and cancellation primitives for the serving runtime.
+//!
+//! The overload machinery above the decode engine — request deadlines, the
+//! circuit breaker's open window, the watchdog's progress timeout — is all
+//! *time-conditional* control flow. Testing it against `Instant::now()`
+//! makes every assertion a race against the scheduler; the chaos suite
+//! instead needs the same property the fault injector already has:
+//! **seed-reproducible behaviour**. [`Clock`] provides that split: the
+//! production configuration reads monotonic wall time, while tests install
+//! a [`ManualClock`] they advance explicitly, so "the breaker re-probes
+//! after its open window" is a deterministic statement, not a sleep.
+//!
+//! [`CancelToken`] is the companion primitive: a shared flag a supervisor
+//! (the serve worker's watchdog, a draining server, an impatient client)
+//! sets, and the step-wise generation loop checks between decode steps —
+//! the mechanism that turns "this request is taking too long" into a typed
+//! partial result instead of a hung engine.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic nanosecond clock: wall time in production, manually advanced
+/// in tests. Cloning shares the underlying time source.
+#[derive(Debug, Clone)]
+pub enum Clock {
+    /// Monotonic wall time, measured from the stored origin.
+    Wall(Instant),
+    /// Test time: an explicitly advanced nanosecond counter.
+    Manual(Arc<AtomicU64>),
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::wall()
+    }
+}
+
+impl Clock {
+    /// A wall clock whose epoch is the moment of this call.
+    pub fn wall() -> Self {
+        Clock::Wall(Instant::now())
+    }
+
+    /// A manual clock starting at 0, plus the handle that advances it.
+    pub fn manual() -> (Self, ManualClock) {
+        let cell = Arc::new(AtomicU64::new(0));
+        (Clock::Manual(Arc::clone(&cell)), ManualClock(cell))
+    }
+
+    /// Nanoseconds since this clock's epoch.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            Clock::Wall(origin) => origin.elapsed().as_nanos() as u64,
+            Clock::Manual(cell) => cell.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// The advancing handle of a [`Clock::manual`] pair. Tests hold this and
+/// move time forward; every `Clock` clone observes the jump immediately.
+#[derive(Debug, Clone)]
+pub struct ManualClock(Arc<AtomicU64>);
+
+impl ManualClock {
+    pub fn advance(&self, by: Duration) {
+        self.0.fetch_add(by.as_nanos() as u64, Ordering::AcqRel);
+    }
+
+    pub fn set_ns(&self, ns: u64) {
+        self.0.store(ns, Ordering::Release);
+    }
+
+    pub fn now_ns(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A shared one-way cancellation flag. Once cancelled it stays cancelled;
+/// every clone observes the same flag. Checked by step-wise generation
+/// between decode steps (and between fault-recovery attempts), so the
+/// latency from `cancel()` to the engine yielding is bounded by one step
+/// plus one collective timeout — never a hang.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_deterministic() {
+        let (clock, handle) = Clock::manual();
+        assert_eq!(clock.now_ns(), 0);
+        handle.advance(Duration::from_millis(5));
+        assert_eq!(clock.now_ns(), 5_000_000);
+        handle.set_ns(42);
+        assert_eq!(clock.now_ns(), 42);
+        // Clones share the time source.
+        let c2 = clock.clone();
+        handle.advance(Duration::from_nanos(8));
+        assert_eq!(c2.now_ns(), 50);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = Clock::wall();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        assert!(!t.is_cancelled() && !t2.is_cancelled());
+        t2.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t2.is_cancelled());
+    }
+}

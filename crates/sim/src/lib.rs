@@ -34,6 +34,7 @@
 //! what makes the reproduction faithful in *shape* even though absolute
 //! numbers come from calibration constants rather than silicon.
 
+pub mod clock;
 pub mod collectives;
 pub mod engine;
 pub mod fault;
@@ -42,6 +43,7 @@ pub mod shmem;
 pub mod topology;
 pub mod trace;
 
+pub use clock::{CancelToken, Clock, ManualClock};
 pub use collectives::{allreduce_sum_slices, CollectiveCost, CommGroup};
 pub use fault::{CollectiveError, CollectiveErrorKind, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpec};
 pub use shmem::{CommConfig, SenseBarrier, ShmComm, ShmPoisoner, ShmRank};

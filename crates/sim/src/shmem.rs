@@ -513,15 +513,12 @@ impl ShmRank {
         // Stage into the group-owned window and publish it. (Cloning the Arc
         // keeps the slot borrow disjoint from the `&mut self` the barrier
         // crossings need.)
-        //
-        // SAFETY: `win` is this rank's own window and no collective is in
-        // flight: peers finished reading it at barrier 3 of the previous
-        // call (their reads happen-before that crossing completed), or the
-        // group is poisoned and no peer passes another barrier — either way
-        // the owner has exclusive access here, so mutating (and possibly
-        // reallocating) the Vec is sound.
         let comm = Arc::clone(&self.comm);
         let slot = &comm.slots[self.rank];
+        // SAFETY: `win` is this rank's own window and no collective is in
+        // flight — peers finished reading it at barrier 3 of the previous
+        // call, or the group is poisoned and no peer passes another barrier —
+        // so the owner may mutate (even reallocate) the Vec exclusively.
         unsafe {
             let win = &mut *slot.win.get();
             win.clear();

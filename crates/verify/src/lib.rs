@@ -19,6 +19,9 @@
 //!   mapping, check that every rank of each communication group issues the
 //!   same collective sequence with matching byte counts, that send/recv
 //!   pairs rendezvous, and that pipeline task graphs are acyclic.
+//! * [`locks`] — lock-order / condvar-discipline audit of the serving
+//!   runtime's thread model (`dsi-serve`): the held-while-acquiring graph
+//!   must be acyclic and every condvar wait must hold exactly its mutex.
 //! * [`audit`] — unsafe-kernel audit: every `unsafe` block must carry a
 //!   `// SAFETY:` comment and every `unsafe fn` a `# Safety` doc section.
 //! * [`sweep`] — the `cargo xtask verify` entry point: runs the passes over
@@ -34,6 +37,7 @@ use std::fmt;
 pub mod audit;
 pub mod collective;
 pub mod ir;
+pub mod locks;
 pub mod scratch;
 pub mod sweep;
 

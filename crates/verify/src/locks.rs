@@ -1,0 +1,296 @@
+//! Lock-order and condvar-discipline audit for the serving runtime.
+//!
+//! The serving layer (`dsi-serve`) is the first part of the repo where
+//! multiple *control* threads — submitters, the worker, the watchdog, the
+//! draining caller — contend on shared mutable state, so the classic
+//! deadlock shapes (AB/BA lock inversion, waiting on a condvar while
+//! holding an unrelated lock) become possible. This pass checks the same
+//! property the collective verifier checks for rank programs, one level
+//! up: model each thread's synchronization behaviour as a straight-line
+//! program of [`LockOp`]s and verify
+//!
+//! 1. **acyclic lock order** — the "held-while-acquiring" relation over
+//!    all threads must have no cycle (reusing [`find_cycle`] from the
+//!    pipeline race detector on a lock-indexed [`DiGraph`]);
+//! 2. **balanced acquire/release** — no double-acquire, no release of a
+//!    lock not held, no locks held at thread exit;
+//! 3. **condvar discipline** — a [`LockOp::Wait`] must be executed while
+//!    holding *exactly* the condvar's mutex: waiting with extra locks held
+//!    starves every thread that needs them, and waiting without the mutex
+//!    is UB-by-contract for `std::sync::Condvar`.
+//!
+//! [`serve_runtime_model`] encodes `dsi-serve`'s actual design — one state
+//! mutex, two condvars tied to it — and [`check_lock_order`] over it is a
+//! regression gate: any future change that adds a second lock with an
+//! inconsistent order shows up as a `lock-cycle` diagnostic in the sweep.
+
+use std::collections::BTreeSet;
+
+use crate::collective::{find_cycle, DiGraph};
+use crate::{Diagnostic, Pass};
+
+/// One synchronization action of a modeled thread. Locks are small integer
+/// ids; condvars are identified by the mutex they are tied to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOp {
+    /// Block until lock `id` is held.
+    Acquire(usize),
+    /// Release lock `id`.
+    Release(usize),
+    /// Wait on a condvar tied to mutex `mutex` (atomically releases and
+    /// re-acquires it; legal only while holding exactly that mutex).
+    Wait { mutex: usize },
+}
+
+/// A thread's synchronization behaviour: a name (for diagnostics) and the
+/// sequence of lock operations it can perform.
+#[derive(Debug, Clone)]
+pub struct ThreadModel {
+    pub name: &'static str,
+    pub ops: Vec<LockOp>,
+}
+
+impl ThreadModel {
+    pub fn new(name: &'static str, ops: Vec<LockOp>) -> Self {
+        ThreadModel { name, ops }
+    }
+}
+
+/// Verify the lock discipline of `threads` over `n_locks` locks. Returns
+/// one diagnostic per violation; an empty vector means the model is
+/// deadlock-free by lock ordering.
+pub fn check_lock_order(n_locks: usize, threads: &[ThreadModel]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // Held-while-acquiring edges h -> a, with one witness thread per edge.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut witnesses: Vec<&'static str> = Vec::new();
+
+    for t in threads {
+        let mut held: BTreeSet<usize> = BTreeSet::new();
+        for (i, op) in t.ops.iter().enumerate() {
+            let site = |what: &str| format!("thread {} op {i} ({what})", t.name);
+            match *op {
+                LockOp::Acquire(id) => {
+                    if id >= n_locks {
+                        diags.push(Diagnostic::new(
+                            Pass::Collective,
+                            "unknown-lock",
+                            site("acquire"),
+                            format!("lock {id} out of range (n_locks = {n_locks})"),
+                        ));
+                        continue;
+                    }
+                    if held.contains(&id) {
+                        diags.push(Diagnostic::new(
+                            Pass::Collective,
+                            "double-acquire",
+                            site("acquire"),
+                            format!("lock {id} acquired while already held (std::sync::Mutex is not reentrant)"),
+                        ));
+                        continue;
+                    }
+                    for &h in &held {
+                        if !edges.contains(&(h, id)) {
+                            edges.push((h, id));
+                            witnesses.push(t.name);
+                        }
+                    }
+                    held.insert(id);
+                }
+                LockOp::Release(id) => {
+                    if !held.remove(&id) {
+                        diags.push(Diagnostic::new(
+                            Pass::Collective,
+                            "release-unheld",
+                            site("release"),
+                            format!("lock {id} released but not held"),
+                        ));
+                    }
+                }
+                LockOp::Wait { mutex } => {
+                    if !held.contains(&mutex) {
+                        diags.push(Diagnostic::new(
+                            Pass::Collective,
+                            "wait-without-mutex",
+                            site("wait"),
+                            format!("condvar wait on mutex {mutex} without holding it"),
+                        ));
+                    } else if held.len() > 1 {
+                        let extra: Vec<usize> =
+                            held.iter().copied().filter(|&h| h != mutex).collect();
+                        diags.push(Diagnostic::new(
+                            Pass::Collective,
+                            "wait-holding-lock",
+                            site("wait"),
+                            format!(
+                                "condvar wait on mutex {mutex} while also holding {extra:?}: \
+                                 the extra locks stay held across the sleep and starve their waiters"
+                            ),
+                        ));
+                    }
+                    // The wait itself releases and re-acquires `mutex`; the
+                    // held set is unchanged at this abstraction level.
+                }
+            }
+        }
+        if !held.is_empty() {
+            let leaked: Vec<usize> = held.into_iter().collect();
+            diags.push(Diagnostic::new(
+                Pass::Collective,
+                "lock-leak",
+                format!("thread {} exit", t.name),
+                format!("locks {leaked:?} still held at end of program"),
+            ));
+        }
+    }
+
+    let g = DiGraph { n: n_locks, edges: edges.clone() };
+    if let Some(cycle) = find_cycle(&g) {
+        let involved: Vec<&str> = edges
+            .iter()
+            .zip(&witnesses)
+            .filter(|((a, b), _)| cycle.contains(a) && cycle.contains(b))
+            .map(|(_, w)| *w)
+            .collect();
+        diags.push(Diagnostic::new(
+            Pass::Collective,
+            "lock-cycle",
+            "lock-order graph",
+            format!(
+                "held-while-acquiring cycle through locks {cycle:?} (threads {involved:?}): \
+                 a schedule interleaving them deadlocks"
+            ),
+        ));
+    }
+    diags
+}
+
+/// Lock ids of the serve runtime model. One mutex guards all serving state
+/// (queue, counters, breaker, running-job handle); the two condvars (`work`
+/// and `idle`) are both tied to it, so the runtime's lock graph has a
+/// single node and no edges at all.
+pub const SERVE_STATE: usize = 0;
+
+/// `dsi-serve`'s synchronization design, transcribed thread by thread:
+/// submitters take the state mutex once per admission; the worker holds it
+/// only to pop/account (never across a decode); the watchdog holds it only
+/// to inspect and cancel; drain holds it across a condvar wait on `idle`.
+/// Any future edit that adds a second lock ordered inconsistently against
+/// the state mutex turns this from a clean model into a `lock-cycle`
+/// diagnostic in [`crate::sweep::verify_all`].
+pub fn serve_runtime_model() -> (usize, Vec<ThreadModel>) {
+    use LockOp::*;
+    let threads = vec![
+        // submit(): one critical section — admission checks + enqueue.
+        ThreadModel::new(
+            "submitter",
+            vec![Acquire(SERVE_STATE), Release(SERVE_STATE)],
+        ),
+        // worker: wait for work, pop, run *unlocked*, re-lock to account.
+        ThreadModel::new(
+            "worker",
+            vec![
+                Acquire(SERVE_STATE),
+                Wait { mutex: SERVE_STATE }, // work condvar
+                Release(SERVE_STATE),
+                // decode runs with no serve lock held
+                Acquire(SERVE_STATE),
+                Release(SERVE_STATE),
+            ],
+        ),
+        // watchdog: periodic inspect-and-cancel under the state lock.
+        ThreadModel::new(
+            "watchdog",
+            vec![
+                Acquire(SERVE_STATE),
+                Wait { mutex: SERVE_STATE }, // idle condvar (timed)
+                Release(SERVE_STATE),
+            ],
+        ),
+        // drain: flag under the lock, then wait for the worker on `idle`.
+        ThreadModel::new(
+            "drain",
+            vec![
+                Acquire(SERVE_STATE),
+                Release(SERVE_STATE),
+                Acquire(SERVE_STATE),
+                Wait { mutex: SERVE_STATE }, // idle condvar (timed)
+                Release(SERVE_STATE),
+            ],
+        ),
+    ];
+    (1, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_model_is_clean() {
+        let (n, threads) = serve_runtime_model();
+        let diags = check_lock_order(n, &threads);
+        assert!(diags.is_empty(), "serve lock model: {diags:#?}");
+    }
+
+    #[test]
+    fn ab_ba_inversion_is_a_cycle() {
+        use LockOp::*;
+        let threads = vec![
+            ThreadModel::new("t1", vec![Acquire(0), Acquire(1), Release(1), Release(0)]),
+            ThreadModel::new("t2", vec![Acquire(1), Acquire(0), Release(0), Release(1)]),
+        ];
+        let diags = check_lock_order(2, &threads);
+        assert!(diags.iter().any(|d| d.code == "lock-cycle"), "{diags:#?}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        use LockOp::*;
+        let threads = vec![
+            ThreadModel::new("t1", vec![Acquire(0), Acquire(1), Release(1), Release(0)]),
+            ThreadModel::new("t2", vec![Acquire(0), Acquire(1), Release(1), Release(0)]),
+        ];
+        assert!(check_lock_order(2, &threads).is_empty());
+    }
+
+    #[test]
+    fn wait_while_holding_second_lock_is_flagged() {
+        use LockOp::*;
+        let threads = vec![ThreadModel::new(
+            "t",
+            vec![
+                Acquire(0),
+                Acquire(1),
+                Wait { mutex: 1 },
+                Release(1),
+                Release(0),
+            ],
+        )];
+        let diags = check_lock_order(2, &threads);
+        assert!(diags.iter().any(|d| d.code == "wait-holding-lock"), "{diags:#?}");
+    }
+
+    #[test]
+    fn wait_without_mutex_is_flagged() {
+        use LockOp::*;
+        let threads =
+            vec![ThreadModel::new("t", vec![Wait { mutex: 0 }])];
+        let diags = check_lock_order(1, &threads);
+        assert!(diags.iter().any(|d| d.code == "wait-without-mutex"), "{diags:#?}");
+    }
+
+    #[test]
+    fn unbalanced_programs_are_flagged() {
+        use LockOp::*;
+        let threads = vec![
+            ThreadModel::new("leaker", vec![Acquire(0)]),
+            ThreadModel::new("double", vec![Acquire(0), Acquire(0)]),
+            ThreadModel::new("stray", vec![Release(0)]),
+        ];
+        let diags = check_lock_order(1, &threads);
+        for code in ["lock-leak", "double-acquire", "release-unheld"] {
+            assert!(diags.iter().any(|d| d.code == code), "missing {code}: {diags:#?}");
+        }
+    }
+}

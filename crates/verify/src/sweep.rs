@@ -181,6 +181,22 @@ pub fn verify_all() -> SweepReport {
         }));
     }
 
+    // --- Pass 3c': serving-runtime lock model (dsi-serve). ---
+    // The one multi-threaded control plane in the workspace: its
+    // held-while-acquiring graph must stay acyclic and its condvar waits
+    // disciplined. A future second lock ordered inconsistently against the
+    // state mutex fails the sweep here.
+    {
+        let (n_locks, threads) = crate::locks::serve_runtime_model();
+        report.collective_programs += 1;
+        report.diagnostics.extend(
+            crate::locks::check_lock_order(n_locks, &threads).into_iter().map(|mut x| {
+                x.site = format!("serve runtime: {}", x.site);
+                x
+            }),
+        );
+    }
+
     // --- Pass 3d: Table II expert-parallel all-to-all programs. ---
     for moe in zoo::table2() {
         let bytes = 2 * moe.base.hidden as u64;
@@ -345,6 +361,20 @@ pub fn negative_controls() -> Vec<Control> {
         diagnostics: diag,
     });
 
+    // Locks: the canonical AB/BA inversion must be reported as a cycle.
+    {
+        use crate::locks::{check_lock_order, LockOp::*, ThreadModel};
+        let threads = vec![
+            ThreadModel::new("ab", vec![Acquire(0), Acquire(1), Release(1), Release(0)]),
+            ThreadModel::new("ba", vec![Acquire(1), Acquire(0), Release(0), Release(1)]),
+        ];
+        out.push(Control {
+            name: "AB/BA lock inversion (two-lock deadlock)",
+            expect_code: "lock-cycle",
+            diagnostics: check_lock_order(2, &threads),
+        });
+    }
+
     // Audit: an unsafe block with no SAFETY comment.
     out.push(Control {
         name: "undocumented unsafe block",
@@ -414,7 +444,7 @@ mod tests {
     #[test]
     fn every_negative_control_fires() {
         let controls = negative_controls();
-        assert_eq!(controls.len(), 12);
+        assert_eq!(controls.len(), 13);
         for c in &controls {
             assert!(c.fired(), "control `{}` produced {:?}", c.name, c.diagnostics);
         }

@@ -33,6 +33,7 @@ pub use dsi_kernels as kernels;
 pub use dsi_model as model;
 pub use dsi_moe as moe;
 pub use dsi_parallel as parallel;
+pub use dsi_serve as serve;
 pub use dsi_sim as sim;
 pub use dsi_verify as verify;
 pub use dsi_zero as zero;
