@@ -2,15 +2,26 @@
 //! (per-op allocation, `cat_rows` KV rebuild, unpacked GEMMs) against the
 //! fast path (packed weights, Fig. 1(c) fused region kernels, amortized KV,
 //! scratch reuse), on the same tiny-GPT 64-token greedy decode, in the same
-//! process.
+//! process — plus the batch/precision sweep of the M-row dispatcher: for
+//! each (M ∈ {1, 2, 4, 8, 16}) × (FP32, INT8) the batched session decodes
+//! M sequences per step, streaming the packed weights once per step instead
+//! of once per sequence (Sec. III-C amortization; Sec. III-D INT8 halves
+//! the stream again).
 //!
-//! Prints a table and writes `BENCH_decode.json` with tokens/s for both
-//! paths, the speedup, effective GEMM GFLOP/s, and a token-equality check.
+//! Prints tables and writes `BENCH_decode.json` with the batch-1 results
+//! (unchanged fields), the per-(M, dtype) sweep (aggregate tokens/s,
+//! per-step latency, effective weight-stream GB/s), the INT8/FP32 batch-1
+//! throughput ratio, and the dispatcher's calibrated microkernel choices.
+//!
+//! * `--smoke` — tiny model, M ∈ {1, 2} only, no JSON: a CI gate that the
+//!   batched and quantized paths still decode correctly.
 
 use dsi_bench::print_table;
-use dsi_model::fast::PackedModel;
+use dsi_kernels::blocked::PanelWeights;
+use dsi_kernels::dispatch;
+use dsi_model::fast::{PackedModel, QuantizedPackedModel};
 use dsi_model::reference::GptModel;
-use dsi_model::zoo;
+use dsi_model::{zoo, GptConfig};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -18,6 +29,16 @@ const PROMPT: [usize; 4] = [1, 2, 3, 4];
 const GEN_TOKENS: usize = 60; // prompt 4 + 60 generated = 64-token sequence
 const LAYERS: usize = 4;
 const REPS: usize = 5;
+
+/// Batch sizes the dispatcher distinguishes.
+const SWEEP_M: [usize; 5] = [1, 2, 4, 8, 16];
+/// Generated tokens per sequence in the sweep (timed region is the decode
+/// loop: `gen - 1` single-token steps after the prompt step). Short
+/// contexts keep the per-row attention term small so the sweep isolates
+/// the weight-stream amortization the M-row kernels target.
+const SWEEP_GEN: usize = 16;
+/// INT8 quantization group size for the sweep model.
+const GROUP: usize = 64;
 
 #[derive(Serialize)]
 struct DecodeResult {
@@ -34,6 +55,41 @@ struct DecodeResult {
     seed_gemm_gflops: f64,
     fast_gemm_gflops: f64,
     tokens_equal: bool,
+    sweep_model: String,
+    sweep_hidden: usize,
+    sweep_layers: usize,
+    sweep_gen_tokens: usize,
+    /// Bytes one decode step streams through the packed FP32 weights.
+    weight_stream_bytes_f32: usize,
+    /// Same for the group-quantized INT8 panels (q bytes + scale bytes).
+    weight_stream_bytes_int8: usize,
+    /// INT8 batch-1 aggregate tokens/s over FP32 batch-1 (the Sec. III-D
+    /// claim: memory-bound decode speeds up when the stream shrinks).
+    int8_over_f32_batch1: f64,
+    sweep: Vec<SweepEntry>,
+    /// Calibrated microkernel row-block choice per probed batch size.
+    dispatch: Vec<DispatchEntry>,
+}
+
+#[derive(Serialize)]
+struct SweepEntry {
+    dtype: String,
+    batch: usize,
+    /// Timed decode steps (each advances `batch` sequences by one token).
+    steps: usize,
+    aggregate_tokens_per_s: f64,
+    /// Wall-clock per decode step — the per-token latency each sequence
+    /// observes.
+    step_latency_ms: f64,
+    /// Weight bytes streamed per unit time: `stream_bytes × steps / dt`.
+    effective_gb_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct DispatchEntry {
+    m: usize,
+    f32_mr: usize,
+    int8_mr: usize,
 }
 
 /// GEMM FLOPs of one full greedy decode (prompt + generation), counting the
@@ -45,7 +101,85 @@ fn decode_gemm_flops(c: &dsi_model::GptConfig, prompt: usize, gen: usize) -> f64
     per_row * (prompt + gen - 1) as f64
 }
 
+/// The sweep model: big enough that a decode step is weight-stream-bound
+/// (the regime the M-row amortization targets — the FP32 weights, ~57 MB,
+/// exceed any LLC so every step streams from DRAM), small enough for CI.
+fn sweep_config() -> GptConfig {
+    GptConfig {
+        name: "bench-384".into(),
+        hidden: 384,
+        layers: 8,
+        heads: 8,
+        vocab: 512,
+        max_seq: 64,
+    }
+}
+
+fn sweep_prompts(m: usize) -> Vec<Vec<usize>> {
+    (0..m).map(|i| vec![1 + i % 7, 2 + i % 5, 3 + i % 11, 4 + i % 3]).collect()
+}
+
+/// Time the steady-state decode loop of a batched session: prompt outside
+/// the timer, then step until every sequence hits its cap. Returns
+/// (best seconds, steps per rep, tokens generated in the timed region).
+fn time_batched<B: PanelWeights>(
+    pm: &PackedModel<'_, B>,
+    m: usize,
+    gen: usize,
+    reps: usize,
+) -> (f64, usize, usize) {
+    let prompts = sweep_prompts(m);
+    let mut best = f64::INFINITY;
+    let mut steps = 0usize;
+    for _ in 0..reps {
+        let mut sess = pm.batched_session(&prompts, gen);
+        sess.prompt();
+        let t0 = Instant::now();
+        let mut n = 0usize;
+        while sess.seqs.iter().any(|s| !s.finished) {
+            sess.step();
+            n += 1;
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        for i in 0..m {
+            assert_eq!(sess.output(i).len(), gen, "sequence {i} under-generated");
+        }
+        best = best.min(dt);
+        steps = n;
+    }
+    (best, steps, m * steps)
+}
+
+fn smoke() {
+    let config = zoo::tiny(2);
+    let model = GptModel::random(config, 7);
+    let packed = PackedModel::pack(&model);
+    let quant = QuantizedPackedModel::quantize_pack(&model, 32);
+    for m in [1usize, 2] {
+        let prompts = sweep_prompts(m);
+        let mut sess = packed.batched_session(&prompts, 6);
+        sess.run();
+        // Batched FP32 must be token-identical to per-sequence decode.
+        for (i, p) in prompts.iter().enumerate() {
+            let want = packed.session(p.len()).generate(p, 6);
+            assert_eq!(sess.output(i), &want[..], "batched m={m} seq {i} diverged");
+        }
+        // INT8 must decode to completion (fidelity bounds are proptested).
+        let mut qsess = quant.batched_session(&prompts, 6);
+        qsess.run();
+        for i in 0..m {
+            assert_eq!(qsess.output(i).len(), 6);
+        }
+    }
+    println!("bench_decode --smoke: batched f32 token-identical, int8 decodes (m=1,2)");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
     let config = zoo::tiny(LAYERS);
     let model = GptModel::random(config.clone(), 42);
     let packed = PackedModel::pack(&model);
@@ -78,6 +212,46 @@ fn main() {
         fast_best = fast_best.min(dt);
     }
 
+    // --- Batch/precision sweep over the M-row dispatcher. ---
+    let sc = sweep_config();
+    let sweep_model = GptModel::random(sc.clone(), 123);
+    let sweep_f32 = PackedModel::pack(&sweep_model);
+    let sweep_int8 = QuantizedPackedModel::quantize_pack(&sweep_model, GROUP);
+    let f32_bytes = sweep_f32.weight_stream_bytes();
+    let int8_bytes = sweep_int8.weight_stream_bytes();
+
+    let mut sweep = Vec::new();
+    for (dtype, f32_path) in [("f32", true), ("int8", false)] {
+        for m in SWEEP_M {
+            let (dt, steps, tokens) = if f32_path {
+                time_batched(&sweep_f32, m, SWEEP_GEN, REPS)
+            } else {
+                time_batched(&sweep_int8, m, SWEEP_GEN, REPS)
+            };
+            let bytes = if f32_path { f32_bytes } else { int8_bytes };
+            sweep.push(SweepEntry {
+                dtype: dtype.into(),
+                batch: m,
+                steps,
+                aggregate_tokens_per_s: tokens as f64 / dt,
+                step_latency_ms: dt / steps as f64 * 1e3,
+                effective_gb_per_s: bytes as f64 * steps as f64 / dt / 1e9,
+            });
+        }
+    }
+    let batch1 = |d: &str| {
+        sweep
+            .iter()
+            .find(|e| e.dtype == d && e.batch == 1)
+            .map(|e| e.aggregate_tokens_per_s)
+            .unwrap_or(f64::NAN)
+    };
+    let int8_over_f32_batch1 = batch1("int8") / batch1("f32");
+    let dispatch: Vec<DispatchEntry> = dispatch::summary()
+        .into_iter()
+        .map(|(m, f32_mr, int8_mr)| DispatchEntry { m, f32_mr, int8_mr })
+        .collect();
+
     let flops = decode_gemm_flops(&config, PROMPT.len(), GEN_TOKENS);
     let result = DecodeResult {
         unit: "tokens/s".to_string(),
@@ -93,6 +267,15 @@ fn main() {
         seed_gemm_gflops: flops / seed_best / 1e9,
         fast_gemm_gflops: flops / fast_best / 1e9,
         tokens_equal,
+        sweep_model: sc.name.clone(),
+        sweep_hidden: sc.hidden,
+        sweep_layers: sc.layers,
+        sweep_gen_tokens: SWEEP_GEN,
+        weight_stream_bytes_f32: f32_bytes,
+        weight_stream_bytes_int8: int8_bytes,
+        int8_over_f32_batch1,
+        sweep,
+        dispatch,
     };
 
     println!(
@@ -120,6 +303,40 @@ fn main() {
     println!(
         "\nspeedup: {:.2}x   tokens identical: {}",
         result.speedup, result.tokens_equal
+    );
+
+    println!(
+        "\nBatched decode sweep: {} ({} layers, h={}), {} tokens/sequence\n",
+        result.sweep_model, result.sweep_layers, result.sweep_hidden, SWEEP_GEN
+    );
+    print_table(
+        &["dtype", "M", "agg tokens/s", "step ms", "eff GB/s"],
+        &result
+            .sweep
+            .iter()
+            .map(|e| {
+                vec![
+                    e.dtype.clone(),
+                    format!("{}", e.batch),
+                    format!("{:.0}", e.aggregate_tokens_per_s),
+                    format!("{:.3}", e.step_latency_ms),
+                    format!("{:.2}", e.effective_gb_per_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nint8/f32 batch-1 throughput: {:.2}x   (stream {} -> {} bytes/step)",
+        result.int8_over_f32_batch1, result.weight_stream_bytes_f32,
+        result.weight_stream_bytes_int8
+    );
+    print_table(
+        &["M", "f32 MR", "int8 MR"],
+        &result
+            .dispatch
+            .iter()
+            .map(|d| vec![format!("{}", d.m), format!("{}", d.f32_mr), format!("{}", d.int8_mr)])
+            .collect::<Vec<_>>(),
     );
 
     let json = serde_json::to_string_pretty(&result).expect("serialize");

@@ -122,6 +122,113 @@ mod avx {
             }
         }
     }
+
+    /// `MR`-row register-blocked GEMM over one panel-packed operand:
+    /// `out[0..MR, 0..n] = a[0..MR, 0..k] · B`, with `a` and `out` row-major
+    /// and densely packed (`lda == k`, `ldc == n`).
+    ///
+    /// Each weight panel is streamed from memory **once per column group**
+    /// and broadcast across all `MR` activation rows — the CPU execution of
+    /// the paper's Sec. III-C3 M-row interleaving: for skinny decode GEMMs
+    /// the weight stream dominates, so amortizing it across M rows multiplies
+    /// arithmetic per byte by M. `NR` is the number of 8-wide column
+    /// registers per pass; `MR * NR` accumulators plus `NR` weight registers
+    /// plus one broadcast must fit the 16 YMM registers (MR=16 deliberately
+    /// spills — the dispatcher measures whether that ever wins rather than
+    /// assuming).
+    ///
+    /// Numerics: each output element accumulates over `k` sequentially in a
+    /// single register lane, exactly like [`gemv`] — every `(MR, NR)`
+    /// instantiation is bit-identical to the M=1 kernel, so microkernel
+    /// choice is purely a performance decision.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support; `panels` must be in
+    /// [`super::PackedB`] layout for `k` rows and `n.div_ceil(PANEL)` panels;
+    /// `a.len() == MR * k`; `out.len() == MR * n`; `PANEL % (8 * NR) == 0`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn gemm_block<const MR: usize, const NR: usize>(
+        a: &[f32],
+        k: usize,
+        panels: &[f32],
+        n: usize,
+        out: &mut [f32],
+    ) {
+        let n_panels = n.div_ceil(PANEL);
+        debug_assert_eq!(a.len(), MR * k);
+        debug_assert_eq!(out.len(), MR * n);
+        debug_assert_eq!(panels.len(), n_panels * k * PANEL);
+        debug_assert_eq!(PANEL % (8 * NR), 0);
+        for jp in 0..n_panels {
+            // SAFETY: `jp < n_panels` and `panels.len() == n_panels * k *
+            // PANEL` keep the panel base in bounds (one-past-the-end only
+            // when `k == 0`).
+            let p = unsafe { panels.as_ptr().add(jp * k * PANEL) };
+            // Column-group passes: the panel is re-read once per group, but
+            // it stays L1/L2-resident between passes, so DRAM still streams
+            // it once per block of MR rows.
+            for cg in 0..PANEL / (8 * NR) {
+                let base = cg * 8 * NR;
+                let mut acc = [[_mm256_setzero_ps(); NR]; MR];
+                for i in 0..k {
+                    // SAFETY: `i < k` and `base + 8 * (NR - 1) + 8 <= PANEL`
+                    // keep every 8-wide load inside panel `jp`; `r * k + i <
+                    // MR * k == a.len()` bounds the broadcasts.
+                    unsafe {
+                        let row = p.add(i * PANEL + base);
+                        let mut w = [_mm256_setzero_ps(); NR];
+                        for (t, wt) in w.iter_mut().enumerate() {
+                            *wt = _mm256_loadu_ps(row.add(8 * t));
+                        }
+                        for (r, accr) in acc.iter_mut().enumerate() {
+                            let av = _mm256_set1_ps(*a.get_unchecked(r * k + i));
+                            for (wt, at) in w.iter().zip(accr.iter_mut()) {
+                                *at = _mm256_fmadd_ps(av, *wt, *at);
+                            }
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    for (t, at) in accr.iter().enumerate() {
+                        let j0 = jp * PANEL + base + 8 * t;
+                        if j0 + 8 <= n {
+                            // SAFETY: `r < MR` and `j0 + 8 <= n` keep the
+                            // store inside row `r` of `out` (`MR * n` floats).
+                            unsafe { _mm256_storeu_ps(out.as_mut_ptr().add(r * n + j0), *at) };
+                        } else if j0 < n {
+                            // Tail columns: spill the padded lanes, copy only
+                            // the real ones.
+                            let mut tmp = [0.0f32; 8];
+                            // SAFETY: `tmp` is exactly 8 floats.
+                            unsafe { _mm256_storeu_ps(tmp.as_mut_ptr(), *at) };
+                            out[r * n + j0..r * n + n].copy_from_slice(&tmp[..n - j0]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runtime-`mr` front end over the const-generic block kernels. `mr`
+    /// must be one of the dispatch candidates (1, 2, 4, 8, 16).
+    ///
+    /// # Safety
+    /// Same contract as [`gemm_block`] with `MR == mr`.
+    pub unsafe fn gemm_rows(a: &[f32], mr: usize, k: usize, panels: &[f32], n: usize, out: &mut [f32]) {
+        // SAFETY: forwarded caller contract; each arm fixes MR == mr and an
+        // NR that divides PANEL/8, with MR*NR + NR + 1 <= 16 registers
+        // (except the deliberately-spilling MR=16 candidate).
+        unsafe {
+            match mr {
+                1 => gemv(a, k, panels, out),
+                2 => gemm_block::<2, 4>(a, k, panels, n, out),
+                4 => gemm_block::<4, 2>(a, k, panels, n, out),
+                8 => gemm_block::<8, 1>(a, k, panels, n, out),
+                16 => gemm_block::<16, 1>(a, k, panels, n, out),
+                _ => unreachable!("unsupported microkernel row count {mr}"),
+            }
+        }
+    }
 }
 
 /// Portable fallback row kernel over the same panel layout. The fixed-width
@@ -212,7 +319,7 @@ impl PackedB {
 
 /// How the GEMM finishes each output element (fused epilogue).
 #[derive(Clone, Copy)]
-enum Epilogue<'a> {
+pub enum Epilogue<'a> {
     /// `out = a·B`
     None,
     /// `out = a·B + bias`
@@ -223,6 +330,29 @@ enum Epilogue<'a> {
     BiasAdd(&'a [f32], &'a [f32]),
 }
 
+/// Weight storage a fused region kernel can right-multiply by: panel-packed
+/// FP32 ([`PackedB`]) or group-quantized INT8
+/// ([`crate::quant::QuantizedPackedB`]).
+///
+/// `gemm` computes `out[m, n] = a[m, k] · B` with the epilogue fused into
+/// the output pass; implementations walk the rows in microkernel blocks
+/// chosen per `(remaining rows, dtype)` by [`crate::dispatch`]. Every
+/// microkernel accumulates each output element in the same order, so the
+/// block decomposition never changes results — batched decode stays
+/// bit-identical to one-row-at-a-time decode.
+pub trait PanelWeights {
+    /// Input (reduction) dimension.
+    fn k(&self) -> usize;
+    /// Output dimension.
+    fn n(&self) -> usize;
+    /// Bytes streamed per full traversal of the packed operand (including
+    /// scale metadata for quantized forms) — roofline accounting for the
+    /// decode bench.
+    fn storage_bytes(&self) -> usize;
+    /// `out[m, n] = a[m, k] · B`, epilogue fused into the output pass.
+    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32], ep: Epilogue<'_>);
+}
+
 /// GeLU (tanh approximation), matching [`crate::ops::gelu`].
 #[inline]
 pub fn gelu_scalar(u: f32) -> f32 {
@@ -230,16 +360,19 @@ pub fn gelu_scalar(u: f32) -> f32 {
     0.5 * u * (1.0 + (C * (u + 0.044715 * u * u * u)).tanh())
 }
 
-fn gemm_epilogue(a: &[f32], m: usize, b: &PackedB, out: &mut [f32], ep: Epilogue<'_>) {
-    let (k, n) = (b.k, b.n);
-    assert_eq!(a.len(), m * k, "gemm: lhs size mismatch");
-    assert_eq!(out.len(), m * n, "gemm: out size mismatch");
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
+/// Apply the fused epilogue to rows `r0..r0 + mr` of `out` while they are
+/// still hot in L1 — one extra register pass, no second GEMM-sized
+/// traversal.
+#[inline]
+pub(crate) fn apply_epilogue_rows(
+    out: &mut [f32],
+    n: usize,
+    r0: usize,
+    mr: usize,
+    ep: Epilogue<'_>,
+) {
+    for i in r0..r0 + mr {
         let orow = &mut out[i * n..(i + 1) * n];
-        gemv(arow, k, &b.data, orow);
-        // The epilogue runs while the freshly written row is still hot in
-        // L1 — one extra register pass, no second GEMM-sized traversal.
         match ep {
             Epilogue::None => {}
             Epilogue::Bias(bias) => {
@@ -258,42 +391,119 @@ fn gemm_epilogue(a: &[f32], m: usize, b: &PackedB, out: &mut [f32], ep: Epilogue
     }
 }
 
+/// Dispatch-driven row-blocked GEMM over FP32 panels. `force_mr` pins the
+/// microkernel row count (used by [`crate::dispatch`] calibration, which
+/// must not consult the table it is building); `None` consults the measured
+/// table per remaining-row count.
+pub(crate) fn gemm_f32_with(
+    a: &[f32],
+    m: usize,
+    b: &PackedB,
+    out: &mut [f32],
+    ep: Epilogue<'_>,
+    force_mr: Option<usize>,
+) {
+    let (k, n) = (b.k, b.n);
+    assert_eq!(a.len(), m * k, "gemm: lhs size mismatch");
+    assert_eq!(out.len(), m * n, "gemm: out size mismatch");
+    #[cfg(target_arch = "x86_64")]
+    let use_avx = crate::simd::avx2_fma();
+    #[cfg(not(target_arch = "x86_64"))]
+    let use_avx = false;
+    let mut r = 0;
+    while r < m {
+        let rem = m - r;
+        let mr = if use_avx {
+            match force_mr {
+                Some(c) => crate::dispatch::largest_candidate_le(c.min(rem)),
+                None => crate::dispatch::mr_for(rem, crate::dispatch::GemmDtype::F32),
+            }
+        } else {
+            1
+        };
+        let ablk = &a[r * k..(r + mr) * k];
+        let oblk = &mut out[r * n..(r + mr) * n];
+        if mr == 1 {
+            gemv(ablk, k, &b.data, oblk);
+        } else {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `use_avx` verified AVX2+FMA; slice layout upheld by
+            // `PackedB` (the only producer of `b.data`), block sizes by the
+            // asserts above.
+            unsafe {
+                avx::gemm_rows(ablk, mr, k, &b.data, n, oblk)
+            };
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("mr > 1 requires AVX2");
+        }
+        apply_epilogue_rows(out, n, r, mr, ep);
+        r += mr;
+    }
+}
+
+impl PanelWeights for PackedB {
+    fn k(&self) -> usize {
+        self.k
+    }
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn storage_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32], ep: Epilogue<'_>) {
+        gemm_f32_with(a, m, self, out, ep, None);
+    }
+}
+
 /// `out[m,n] = a[m,k] · B`, into caller storage.
-pub fn matmul_into(a: &[f32], m: usize, b: &PackedB, out: &mut [f32]) {
-    gemm_epilogue(a, m, b, out, Epilogue::None);
+pub fn matmul_into<B: PanelWeights + ?Sized>(a: &[f32], m: usize, b: &B, out: &mut [f32]) {
+    b.gemm(a, m, out, Epilogue::None);
 }
 
 /// `out = a·B + bias` in one output pass.
-pub fn matmul_bias_into(a: &[f32], m: usize, b: &PackedB, bias: &[f32], out: &mut [f32]) {
-    assert_eq!(bias.len(), b.n, "bias length mismatch");
-    gemm_epilogue(a, m, b, out, Epilogue::Bias(bias));
+pub fn matmul_bias_into<B: PanelWeights + ?Sized>(
+    a: &[f32],
+    m: usize,
+    b: &B,
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(bias.len(), b.n(), "bias length mismatch");
+    b.gemm(a, m, out, Epilogue::Bias(bias));
 }
 
 /// `out = gelu(a·B + bias)` in one output pass (Fig. 1(c) region 4 tail).
-pub fn matmul_bias_gelu_into(a: &[f32], m: usize, b: &PackedB, bias: &[f32], out: &mut [f32]) {
-    assert_eq!(bias.len(), b.n, "bias length mismatch");
-    gemm_epilogue(a, m, b, out, Epilogue::BiasGelu(bias));
+pub fn matmul_bias_gelu_into<B: PanelWeights + ?Sized>(
+    a: &[f32],
+    m: usize,
+    b: &B,
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(bias.len(), b.n(), "bias length mismatch");
+    b.gemm(a, m, out, Epilogue::BiasGelu(bias));
 }
 
 /// `out = a·B + bias + residual` in one output pass (Fig. 1(c) regions 3
 /// and 5 tails: projection GEMM, bias add, and residual connection fused).
-pub fn matmul_bias_add_into(
+pub fn matmul_bias_add_into<B: PanelWeights + ?Sized>(
     a: &[f32],
     m: usize,
-    b: &PackedB,
+    b: &B,
     bias: &[f32],
     residual: &[f32],
     out: &mut [f32],
 ) {
-    assert_eq!(bias.len(), b.n, "bias length mismatch");
-    assert_eq!(residual.len(), m * b.n, "residual size mismatch");
-    gemm_epilogue(a, m, b, out, Epilogue::BiasAdd(bias, residual));
+    assert_eq!(bias.len(), b.n(), "bias length mismatch");
+    assert_eq!(residual.len(), m * b.n(), "residual size mismatch");
+    b.gemm(a, m, out, Epilogue::BiasAdd(bias, residual));
 }
 
 /// Allocating convenience wrapper: `a [m,k] · B -> [m,n]`.
-pub fn matmul_packed(a: &Tensor, b: &PackedB) -> Tensor {
+pub fn matmul_packed<B: PanelWeights + ?Sized>(a: &Tensor, b: &B) -> Tensor {
     let m = a.rows();
-    let mut out = Tensor::zeros(&[m, b.n]);
+    let mut out = Tensor::zeros(&[m, b.n()]);
     matmul_into(a.data(), m, b, out.data_mut());
     out
 }
@@ -415,6 +625,31 @@ mod tests {
             got.data_mut(),
         );
         assert!(got.allclose(&want, 1e-4));
+    }
+
+    #[test]
+    fn mrow_blocks_bit_identical_to_per_row() {
+        // Every forced microkernel (and whatever the measured dispatch
+        // picks) must produce bit-identical output to the M=1 row kernel:
+        // per output element the k-reduction runs sequentially in one lane
+        // regardless of the block shape, so dispatch is perf-only.
+        for (m, k, n) in [(2, 48, 77), (4, 64, 192), (8, 33, 12), (16, 64, 101), (5, 16, 32), (11, 20, 37)] {
+            let a = Tensor::randn(&[m, k], 1.0, 81);
+            let b = Tensor::randn(&[k, n], 1.0, 82);
+            let pb = PackedB::pack(&b);
+            let mut want = vec![0.0f32; m * n];
+            for i in 0..m {
+                gemv(&a.data()[i * k..(i + 1) * k], k, &pb.data, &mut want[i * n..(i + 1) * n]);
+            }
+            for force in [1, 2, 4, 8, 16] {
+                let mut got = vec![0.0f32; m * n];
+                gemm_f32_with(a.data(), m, &pb, &mut got, Epilogue::None, Some(force));
+                assert_eq!(got, want, "m={m} k={k} n={n} force={force}");
+            }
+            let mut got = vec![0.0f32; m * n];
+            gemm_f32_with(a.data(), m, &pb, &mut got, Epilogue::None, None);
+            assert_eq!(got, want, "m={m} k={k} n={n} dispatch");
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! All kernels write into caller scratch, so a steady-state decode step
 //! performs zero heap allocations (see `dsi-model::fast`).
 
-use crate::blocked::{dot, matmul_bias_gelu_into, matmul_bias_into, PackedB};
+use crate::blocked::{dot, matmul_bias_gelu_into, matmul_bias_into, PanelWeights};
 use crate::tensor::Tensor;
 
 /// Layer-norm one row into `out` (gamma/beta applied).
@@ -41,48 +41,64 @@ pub fn layernorm_row_into(row: &[f32], gamma: &[f32], beta: &[f32], eps: f32, ou
 }
 
 /// Fig. 1(c) region 1: `out = layernorm(x)·W + bias` for `x = [m, h]`.
-/// `normed` is an `[h]` scratch row (the region's interior tensor).
+/// `normed` is an `[m, h]` scratch block (the region's interior tensor):
+/// all rows are normalized first, then a **single M-row GEMM** streams the
+/// weight panels once for the whole batch instead of once per row — the
+/// Sec. III-C3 amortization that makes batched decode scale.
 #[allow(clippy::too_many_arguments)]
-pub fn ln_matmul_bias_into(
+pub fn ln_matmul_bias_into<B: PanelWeights + ?Sized>(
     x: &[f32],
     m: usize,
     gamma: &[f32],
     beta: &[f32],
     eps: f32,
-    w: &PackedB,
+    w: &B,
     bias: &[f32],
     normed: &mut [f32],
     out: &mut [f32],
 ) {
     let h = w.k();
     assert_eq!(x.len(), m * h, "ln_matmul: input size mismatch");
-    assert_eq!(normed.len(), h, "ln_matmul: scratch row must be [h]");
+    assert_eq!(normed.len(), m * h, "ln_matmul: scratch must be [m*h]");
     for i in 0..m {
-        layernorm_row_into(&x[i * h..(i + 1) * h], gamma, beta, eps, normed);
-        matmul_bias_into(normed, 1, w, bias, &mut out[i * w.n()..(i + 1) * w.n()]);
+        layernorm_row_into(
+            &x[i * h..(i + 1) * h],
+            gamma,
+            beta,
+            eps,
+            &mut normed[i * h..(i + 1) * h],
+        );
     }
+    matmul_bias_into(normed, m, w, bias, out);
 }
 
-/// Fig. 1(c) region 4: `out = gelu(layernorm(x)·W + bias)`.
+/// Fig. 1(c) region 4: `out = gelu(layernorm(x)·W + bias)`; same `[m, h]`
+/// scratch contract and single M-row GEMM as [`ln_matmul_bias_into`].
 #[allow(clippy::too_many_arguments)]
-pub fn ln_matmul_bias_gelu_into(
+pub fn ln_matmul_bias_gelu_into<B: PanelWeights + ?Sized>(
     x: &[f32],
     m: usize,
     gamma: &[f32],
     beta: &[f32],
     eps: f32,
-    w: &PackedB,
+    w: &B,
     bias: &[f32],
     normed: &mut [f32],
     out: &mut [f32],
 ) {
     let h = w.k();
     assert_eq!(x.len(), m * h, "ln_matmul_gelu: input size mismatch");
-    assert_eq!(normed.len(), h, "ln_matmul_gelu: scratch row must be [h]");
+    assert_eq!(normed.len(), m * h, "ln_matmul_gelu: scratch must be [m*h]");
     for i in 0..m {
-        layernorm_row_into(&x[i * h..(i + 1) * h], gamma, beta, eps, normed);
-        matmul_bias_gelu_into(normed, 1, w, bias, &mut out[i * w.n()..(i + 1) * w.n()]);
+        layernorm_row_into(
+            &x[i * h..(i + 1) * h],
+            gamma,
+            beta,
+            eps,
+            &mut normed[i * h..(i + 1) * h],
+        );
     }
+    matmul_bias_gelu_into(normed, m, w, bias, out);
 }
 
 /// Fused `x += bias` then GeLU, one pass over the rows (the eager pair
@@ -124,33 +140,140 @@ pub fn attention_into(
     causal_offset: usize,
     out: &mut [f32],
 ) {
-    let t_ctx = k.rows();
     let h = k.cols();
     assert_eq!(q.len(), t_new * h, "attention: q size mismatch");
+    attention_seq_into(q, h, t_new, k, v, n_heads, causal_offset, out);
+}
+
+/// [`attention_into`] with a **strided** query: row `i`'s query lives at
+/// `q[i * q_stride .. i * q_stride + h]`. This lets the model layer read
+/// queries in place from the fused QKV scratch (`q_stride = 3h`) instead of
+/// gathering them into a contiguous buffer first.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_seq_into(
+    q: &[f32],
+    q_stride: usize,
+    t_new: usize,
+    k: &Tensor,
+    v: &Tensor,
+    n_heads: usize,
+    causal_offset: usize,
+    out: &mut [f32],
+) {
+    let t_ctx = k.rows();
+    let h = k.cols();
+    assert!(q_stride >= h, "attention: q stride narrower than hidden");
+    assert!(
+        t_new == 0 || (t_new - 1) * q_stride + h <= q.len(),
+        "attention: q size mismatch"
+    );
+    assert_eq!(out.len(), t_new * h, "attention: out size mismatch");
+    for i in 0..t_new {
+        let visible = (causal_offset + i + 1).min(t_ctx);
+        attention_row_core(
+            &q[i * q_stride..i * q_stride + h],
+            k,
+            v,
+            n_heads,
+            visible,
+            &mut out[i * h..(i + 1) * h],
+        );
+    }
+}
+
+/// One query row of a **ragged batch**: each sequence carries its own KV
+/// tensors and causal position. The query attends to keys `0..=offset`
+/// (clamped to the cache length).
+pub fn attention_row_into(
+    q: &[f32],
+    k: &Tensor,
+    v: &Tensor,
+    n_heads: usize,
+    offset: usize,
+    out: &mut [f32],
+) {
+    let visible = (offset + 1).min(k.rows());
+    attention_row_core(q, k, v, n_heads, visible, out);
+}
+
+/// One sequence's KV cache plus the causal position of the query row being
+/// decoded against it (ragged-batch attention operand).
+pub struct KvView<'a> {
+    pub k: &'a Tensor,
+    pub v: &'a Tensor,
+    /// The query's position: it attends to keys `0..=offset`.
+    pub offset: usize,
+}
+
+/// Ragged-batch region-2 kernel: row `i` of the strided `q` block attends
+/// over its own `kvs[i]` (per-row KV tensors and per-row sequence length).
+/// This is [`attention_seq_into`] generalized from "one cache, stair-step
+/// offsets" to "one cache *per row*" — the batched-decode shape where every
+/// sequence is at a different position.
+pub fn attention_ragged_into(
+    q: &[f32],
+    q_stride: usize,
+    kvs: &[KvView<'_>],
+    n_heads: usize,
+    out: &mut [f32],
+) {
+    let m = kvs.len();
+    if m == 0 {
+        return;
+    }
+    let h = kvs[0].k.cols();
+    assert!(q_stride >= h, "attention: q stride narrower than hidden");
+    assert!(
+        (m - 1) * q_stride + h <= q.len(),
+        "attention: q size mismatch"
+    );
+    assert_eq!(out.len(), m * h, "attention: out size mismatch");
+    for (i, kv) in kvs.iter().enumerate() {
+        attention_row_into(
+            &q[i * q_stride..i * q_stride + h],
+            kv.k,
+            kv.v,
+            n_heads,
+            kv.offset,
+            &mut out[i * h..(i + 1) * h],
+        );
+    }
+}
+
+/// Shared per-(query row) core: all heads, `visible` keys, AVX2 fast path
+/// when the head dim allows it.
+fn attention_row_core(
+    qrow: &[f32],
+    k: &Tensor,
+    v: &Tensor,
+    n_heads: usize,
+    visible: usize,
+    out: &mut [f32],
+) {
+    let t_ctx = k.rows();
+    let h = k.cols();
+    assert_eq!(qrow.len(), h, "attention: q row size mismatch");
     assert_eq!(v.rows(), t_ctx);
     assert_eq!(v.cols(), h);
-    assert_eq!(out.len(), t_new * h, "attention: out size mismatch");
+    assert_eq!(out.len(), h, "attention: out row size mismatch");
     assert_eq!(h % n_heads, 0, "heads must divide hidden");
+    assert!(visible <= t_ctx, "attention: visible exceeds cache");
     let d = h / n_heads;
     let scale = 1.0 / (d as f32).sqrt();
     let (kd, vd) = (k.data(), v.data());
-
-    for i in 0..t_new {
-        let visible = (causal_offset + i + 1).min(t_ctx);
-        for hd in 0..n_heads {
-            let lo = hd * d;
-            let qi = &q[i * h + lo..i * h + lo + d];
-            let acc = &mut out[i * h + lo..i * h + lo + d];
-            #[cfg(target_arch = "x86_64")]
-            if d.is_multiple_of(8) && crate::simd::avx2_fma() {
-                // SAFETY: feature support checked; `d` divides 8; the
-                // pointer arithmetic stays inside `kd`/`vd` because
-                // `visible <= t_ctx` and `lo + d <= h`.
-                unsafe { attn_avx::head_attention(qi, kd, vd, h, lo, visible, scale, acc) };
-                continue;
-            }
-            head_attention_scalar(qi, kd, vd, h, lo, visible, scale, acc);
+    for hd in 0..n_heads {
+        let lo = hd * d;
+        let qi = &qrow[lo..lo + d];
+        let acc = &mut out[lo..lo + d];
+        #[cfg(target_arch = "x86_64")]
+        if d.is_multiple_of(8) && crate::simd::avx2_fma() {
+            // SAFETY: feature support checked; `d` divides 8; the
+            // pointer arithmetic stays inside `kd`/`vd` because
+            // `visible <= t_ctx` and `lo + d <= h`.
+            unsafe { attn_avx::head_attention(qi, kd, vd, h, lo, visible, scale, acc) };
+            continue;
         }
+        head_attention_scalar(qi, kd, vd, h, lo, visible, scale, acc);
     }
 }
 
@@ -369,7 +492,7 @@ mod tests {
         let mut want = ops::matmul(&ops::layernorm(&x, &g, &b, 1e-5), &w);
         ops::add_bias(&mut want, &bias);
         let pw = PackedB::pack(&w);
-        let mut normed = vec![0.0f32; h];
+        let mut normed = vec![0.0f32; m * h];
         let mut got = Tensor::zeros(&[m, n]);
         ln_matmul_bias_into(
             x.data(), m, g.data(), b.data(), 1e-5, &pw, bias.data(),
@@ -390,7 +513,7 @@ mod tests {
         ops::add_bias(&mut want, &bias);
         ops::gelu(&mut want);
         let pw = PackedB::pack(&w);
-        let mut normed = vec![0.0f32; h];
+        let mut normed = vec![0.0f32; m * h];
         let mut got = Tensor::zeros(&[m, n]);
         ln_matmul_bias_gelu_into(
             x.data(), m, g.data(), b.data(), 1e-5, &pw, bias.data(),
@@ -436,6 +559,57 @@ mod tests {
                 got.allclose(&want, 1e-5),
                 "({t_new},{t_ctx},{heads},{off}) diff {}",
                 got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn strided_query_matches_contiguous() {
+        // Reading queries in place from a QKV-shaped block (stride 3h) must
+        // equal gathering them into a contiguous buffer first.
+        let (t_new, t_ctx, heads, off) = (3, 7, 2, 4);
+        let h = 8 * heads;
+        let qkv = Tensor::randn(&[t_new, 3 * h], 1.0, 61);
+        let k = Tensor::randn(&[t_ctx, h], 1.0, 62);
+        let v = Tensor::randn(&[t_ctx, h], 1.0, 63);
+        let mut gathered = Tensor::zeros(&[t_new, h]);
+        for i in 0..t_new {
+            gathered.row_mut(i).copy_from_slice(&qkv.row(i)[..h]);
+        }
+        let mut want = Tensor::zeros(&[t_new, h]);
+        attention_into(gathered.data(), t_new, &k, &v, heads, off, want.data_mut());
+        let mut got = Tensor::zeros(&[t_new, h]);
+        attention_seq_into(qkv.data(), 3 * h, t_new, &k, &v, heads, off, got.data_mut());
+        assert!(got.allclose(&want, 0.0));
+    }
+
+    #[test]
+    fn ragged_attention_matches_reference_per_row() {
+        // Each row has its own KV length/offset; every row must equal an
+        // independent single-query reference attention over its own cache.
+        let heads = 2;
+        let h = 8 * heads;
+        let lens = [1usize, 5, 3, 9];
+        let q = Tensor::randn(&[lens.len(), 3 * h], 1.0, 71);
+        let ks: Vec<Tensor> = (0..lens.len())
+            .map(|i| Tensor::randn(&[lens[i], h], 1.0, 72 + i as u64))
+            .collect();
+        let vs: Vec<Tensor> = (0..lens.len())
+            .map(|i| Tensor::randn(&[lens[i], h], 1.0, 90 + i as u64))
+            .collect();
+        let kvs: Vec<KvView<'_>> = (0..lens.len())
+            .map(|i| KvView { k: &ks[i], v: &vs[i], offset: lens[i] - 1 })
+            .collect();
+        let mut got = Tensor::zeros(&[lens.len(), h]);
+        attention_ragged_into(q.data(), 3 * h, &kvs, heads, got.data_mut());
+        for i in 0..lens.len() {
+            let qi = Tensor::from_vec(&[1, h], q.row(i)[..h].to_vec());
+            let want = ops::attention(&qi, &ks[i], &vs[i], heads, lens[i] - 1);
+            let gi = Tensor::from_vec(&[1, h], got.row(i).to_vec());
+            assert!(
+                gi.allclose(&want, 1e-5),
+                "row {i} diff {}",
+                gi.max_abs_diff(&want)
             );
         }
     }

@@ -36,6 +36,7 @@
 pub mod blocked;
 pub mod simd;
 pub mod cost;
+pub mod dispatch;
 pub mod exec;
 pub mod fused;
 pub mod fusion;
@@ -46,7 +47,8 @@ pub mod quant;
 pub mod sbi;
 pub mod tensor;
 
-pub use blocked::PackedB;
+pub use blocked::{PackedB, PanelWeights};
+pub use quant::QuantizedPackedB;
 pub use cost::{ExecConfig, GemmImpl, KernelCost};
 pub use fusion::{FusedKernel, FusionPlan};
 pub use graph::{Axis, OpDesc, OpKind};

@@ -7,6 +7,7 @@
 //! along the input dimension shares one `f32` scale, chosen so the group's
 //! max-abs value maps to 127.
 
+use crate::blocked::{Epilogue, PanelWeights, PANEL};
 use crate::ops;
 use crate::tensor::Tensor;
 
@@ -85,27 +86,319 @@ impl QuantizedMatrix {
 /// `x [m,k] × dequant(wq) [k,n]`: the INT8 GEMM of Sec. III-D with the
 /// dequantization epilogue fused (we dequantize on the fly rather than
 /// materializing the f32 weights).
+///
+/// This is the **portable oracle** for the AVX2 dequant-in-register kernels
+/// in [`QuantizedPackedB`]: group-blocked so the scale row is resolved once
+/// per group (not recomputed per element, as the old saxpy form did), with
+/// the per-term operation order `x * (q as f32 * scale)` — two roundings,
+/// plain mul then add — and a strictly sequential k-accumulation per output
+/// element. The AVX kernels perform the *same* three roundings in the same
+/// order, so oracle and kernel are bit-exact equals, not approximations
+/// (enforced by proptest). Deliberately no `x == 0.0` skip: the kernels
+/// don't skip, and `-0.0 + 0.0` normalization would otherwise diverge.
 pub fn matmul_quantized(x: &Tensor, wq: &QuantizedMatrix) -> Tensor {
     let [k, n] = wq.shape;
     assert_eq!(x.cols(), k, "quantized matmul inner-dim mismatch");
     let m = x.rows();
+    let n_groups = k.div_ceil(wq.group_size);
     let mut out = Tensor::zeros(&[m, n]);
     for i in 0..m {
         let xi = x.row(i);
         let orow = out.row_mut(i);
-        for (r, &xv) in xi.iter().enumerate() {
-            if xv == 0.0 {
-                continue;
-            }
-            let g = r / wq.group_size;
-            let qrow = &wq.q[r * n..(r + 1) * n];
+        for g in 0..n_groups {
+            let lo = g * wq.group_size;
+            let hi = (lo + wq.group_size).min(k);
             let srow = &wq.scales[g * n..(g + 1) * n];
-            for ((o, &qv), &s) in orow.iter_mut().zip(qrow).zip(srow) {
-                *o += xv * qv as f32 * s;
+            for (r, &xv) in xi.iter().enumerate().take(hi).skip(lo) {
+                let qrow = &wq.q[r * n..(r + 1) * n];
+                for ((o, &qv), &s) in orow.iter_mut().zip(qrow).zip(srow) {
+                    *o += xv * (qv as f32 * s);
+                }
             }
         }
     }
     out
+}
+
+/// An INT8 weight matrix repacked into [`PANEL`]-column panels for the
+/// executed fast path, with the group scales panel-packed alongside
+/// (`scales[jp * n_groups * PANEL + g * PANEL + jr]`).
+///
+/// The GEMM dequantizes **in registers**: 8 INT8 lanes are widened with
+/// `_mm256_cvtepi8_epi32`, converted via `_mm256_cvtepi32_ps`, and
+/// multiplied by the group's scale register — the FP32 weight row never
+/// exists in memory, so the decode loop streams ~¼ the weight bytes of the
+/// FP32 path (Sec. III-D's bandwidth argument executed on CPU). Padded tail
+/// columns store `q == 0`, `scale == 0.0` and are never written back.
+#[derive(Debug, Clone)]
+pub struct QuantizedPackedB {
+    k: usize,
+    n: usize,
+    group_size: usize,
+    n_groups: usize,
+    q: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedPackedB {
+    /// Repack an already-quantized matrix into panel layout (one-time).
+    pub fn from_matrix(wq: &QuantizedMatrix) -> Self {
+        let [k, n] = wq.shape;
+        let n_groups = k.div_ceil(wq.group_size);
+        let n_panels = n.div_ceil(PANEL);
+        let mut q = vec![0i8; n_panels * k * PANEL];
+        let mut scales = vec![0.0f32; n_panels * n_groups * PANEL];
+        for jp in 0..n_panels {
+            let width = (n - jp * PANEL).min(PANEL);
+            for i in 0..k {
+                for jr in 0..width {
+                    q[jp * k * PANEL + i * PANEL + jr] = wq.q[i * n + jp * PANEL + jr];
+                }
+            }
+            for g in 0..n_groups {
+                for jr in 0..width {
+                    scales[jp * n_groups * PANEL + g * PANEL + jr] =
+                        wq.scales[g * n + jp * PANEL + jr];
+                }
+            }
+        }
+        QuantizedPackedB {
+            k,
+            n,
+            group_size: wq.group_size,
+            n_groups,
+            q,
+            scales,
+        }
+    }
+
+    /// Quantize a `[k, n]` weight matrix and pack it in one step.
+    pub fn quantize_pack(w: &Tensor, group_size: usize) -> Self {
+        Self::from_matrix(&QuantizedMatrix::quantize(w, group_size))
+    }
+
+    /// Quantize a matrix stored transposed (`[n, k]` row-major, e.g. the
+    /// tied embedding used for the logits projection); groups still run
+    /// along the input dimension `k`.
+    pub fn quantize_pack_pre_transposed(bt: &Tensor, group_size: usize) -> Self {
+        let (n, k) = (bt.rows(), bt.cols());
+        let btd = bt.data();
+        let mut w = Tensor::zeros(&[k, n]);
+        for i in 0..k {
+            let row = w.row_mut(i);
+            for (j, o) in row.iter_mut().enumerate() {
+                *o = btd[j * k + i];
+            }
+        }
+        Self::quantize_pack(&w, group_size)
+    }
+
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+}
+
+/// Portable fallback row kernel over the packed INT8 layout. Performs the
+/// identical rounding sequence (`x * (q as f32 * s)`, plain mul/add, group
+/// outer, row inner) as both [`matmul_quantized`] and the AVX kernels.
+fn gemv_int8_scalar(a: &[f32], b: &QuantizedPackedB, out: &mut [f32]) {
+    let (k, n) = (b.k, b.n);
+    debug_assert_eq!(a.len(), k);
+    debug_assert_eq!(out.len(), n);
+    let n_panels = n.div_ceil(PANEL);
+    for jp in 0..n_panels {
+        let qp = &b.q[jp * k * PANEL..(jp + 1) * k * PANEL];
+        let sp = &b.scales[jp * b.n_groups * PANEL..(jp + 1) * b.n_groups * PANEL];
+        let mut acc = [0.0f32; PANEL];
+        for g in 0..b.n_groups {
+            let lo = g * b.group_size;
+            let hi = (lo + b.group_size).min(k);
+            let srow = &sp[g * PANEL..(g + 1) * PANEL];
+            for i in lo..hi {
+                let xv = a[i];
+                let qrow = &qp[i * PANEL..(i + 1) * PANEL];
+                for ((lane, &qv), &s) in acc.iter_mut().zip(qrow).zip(srow) {
+                    *lane += xv * (qv as f32 * s);
+                }
+            }
+        }
+        let j0 = jp * PANEL;
+        let je = (j0 + PANEL).min(n);
+        out[j0..je].copy_from_slice(&acc[..je - j0]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use super::{QuantizedPackedB, PANEL};
+    use std::arch::x86_64::*;
+
+    /// `MR`-row GEMM over panel-packed INT8 weights with dequant in
+    /// registers: per 8-column lane group, `q` bytes are widened
+    /// (`cvtepi8_epi32` → `cvtepi32_ps`), multiplied by the group-scale
+    /// register hoisted outside the group's k-rows, then accumulated with
+    /// **separate mul and add** (not FMA): the scalar oracle performs plain
+    /// two-rounding ops, and bit-exactness with the oracle is part of the
+    /// kernel's contract.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support; `b` must uphold the
+    /// `QuantizedPackedB` layout invariants; `a.len() == MR * b.k`;
+    /// `out.len() == MR * b.n`; `PANEL % (8 * NR) == 0`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn gemm_block_int8<const MR: usize, const NR: usize>(
+        a: &[f32],
+        b: &QuantizedPackedB,
+        out: &mut [f32],
+    ) {
+        let (k, n) = (b.k, b.n);
+        let n_panels = n.div_ceil(PANEL);
+        debug_assert_eq!(a.len(), MR * k);
+        debug_assert_eq!(out.len(), MR * n);
+        debug_assert_eq!(b.q.len(), n_panels * k * PANEL);
+        debug_assert_eq!(b.scales.len(), n_panels * b.n_groups * PANEL);
+        debug_assert_eq!(PANEL % (8 * NR), 0);
+        for jp in 0..n_panels {
+            // SAFETY: `jp < n_panels` with the two length equalities above
+            // keeps both panel bases in bounds.
+            let (qp, sp) = unsafe {
+                (
+                    b.q.as_ptr().add(jp * k * PANEL),
+                    b.scales.as_ptr().add(jp * b.n_groups * PANEL),
+                )
+            };
+            for cg in 0..PANEL / (8 * NR) {
+                let base = cg * 8 * NR;
+                let mut acc = [[_mm256_setzero_ps(); NR]; MR];
+                for g in 0..b.n_groups {
+                    let lo = g * b.group_size;
+                    let hi = (lo + b.group_size).min(k);
+                    // Group scales: NR registers alive for the whole group.
+                    let mut sv = [_mm256_setzero_ps(); NR];
+                    for (t, svt) in sv.iter_mut().enumerate() {
+                        // SAFETY: `g < n_groups`, `base + 8t + 8 <= PANEL`
+                        // keep the load inside scale panel `jp`.
+                        *svt = unsafe { _mm256_loadu_ps(sp.add(g * PANEL + base + 8 * t)) };
+                    }
+                    for i in lo..hi {
+                        // SAFETY: `i < k`, `base + 8t + 8 <= PANEL` keep the
+                        // 8-byte INT8 loads inside q-panel `jp`; `r * k + i
+                        // < MR * k == a.len()` bounds the broadcasts.
+                        unsafe {
+                            let qrow = qp.add(i * PANEL + base);
+                            for (t, svt) in sv.iter().enumerate() {
+                                // Dequantize 8 lanes in registers: i8 → i32
+                                // → f32 → × scale. No FP32 weight memory.
+                                let qi = _mm_loadl_epi64(qrow.add(8 * t) as *const __m128i);
+                                let qf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(qi));
+                                let w = _mm256_mul_ps(qf, *svt);
+                                for (r, accr) in acc.iter_mut().enumerate() {
+                                    let av = _mm256_set1_ps(*a.get_unchecked(r * k + i));
+                                    accr[t] = _mm256_add_ps(accr[t], _mm256_mul_ps(av, w));
+                                }
+                            }
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    for (t, at) in accr.iter().enumerate() {
+                        let j0 = jp * PANEL + base + 8 * t;
+                        if j0 + 8 <= n {
+                            // SAFETY: `r < MR` and `j0 + 8 <= n` keep the
+                            // store inside row `r` of `out`.
+                            unsafe { _mm256_storeu_ps(out.as_mut_ptr().add(r * n + j0), *at) };
+                        } else if j0 < n {
+                            let mut tmp = [0.0f32; 8];
+                            // SAFETY: `tmp` is exactly 8 floats.
+                            unsafe { _mm256_storeu_ps(tmp.as_mut_ptr(), *at) };
+                            out[r * n + j0..r * n + n].copy_from_slice(&tmp[..n - j0]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runtime-`mr` front end; `mr` must be a dispatch candidate.
+    ///
+    /// # Safety
+    /// Same contract as [`gemm_block_int8`] with `MR == mr`.
+    pub unsafe fn gemm_rows_int8(a: &[f32], mr: usize, b: &QuantizedPackedB, out: &mut [f32]) {
+        // SAFETY: forwarded caller contract; each arm fixes MR == mr with an
+        // NR that keeps MR*NR acc + NR scale + 2 temps within 16 YMM regs
+        // (except the deliberately-spilling MR=16 candidate).
+        unsafe {
+            match mr {
+                1 => gemm_block_int8::<1, 4>(a, b, out),
+                2 => gemm_block_int8::<2, 4>(a, b, out),
+                4 => gemm_block_int8::<4, 2>(a, b, out),
+                8 => gemm_block_int8::<8, 1>(a, b, out),
+                16 => gemm_block_int8::<16, 1>(a, b, out),
+                _ => unreachable!("unsupported microkernel row count {mr}"),
+            }
+        }
+    }
+}
+
+/// Dispatch-driven row-blocked GEMM over INT8 panels (mirror of
+/// `blocked::gemm_f32_with`).
+pub(crate) fn gemm_int8_with(
+    a: &[f32],
+    m: usize,
+    b: &QuantizedPackedB,
+    out: &mut [f32],
+    ep: Epilogue<'_>,
+    force_mr: Option<usize>,
+) {
+    let (k, n) = (b.k, b.n);
+    assert_eq!(a.len(), m * k, "int8 gemm: lhs size mismatch");
+    assert_eq!(out.len(), m * n, "int8 gemm: out size mismatch");
+    #[cfg(target_arch = "x86_64")]
+    let use_avx = crate::simd::avx2_fma();
+    #[cfg(not(target_arch = "x86_64"))]
+    let use_avx = false;
+    let mut r = 0;
+    while r < m {
+        let rem = m - r;
+        let mr = if use_avx {
+            match force_mr {
+                Some(c) => crate::dispatch::largest_candidate_le(c.min(rem)),
+                None => crate::dispatch::mr_for(rem, crate::dispatch::GemmDtype::Int8),
+            }
+        } else {
+            1
+        };
+        let ablk = &a[r * k..(r + mr) * k];
+        let oblk = &mut out[r * n..(r + mr) * n];
+        if use_avx {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `use_avx` verified AVX2+FMA; layout invariants upheld
+            // by `QuantizedPackedB` construction; block sizes by the asserts
+            // above.
+            unsafe {
+                avx::gemm_rows_int8(ablk, mr, b, oblk)
+            };
+        } else {
+            gemv_int8_scalar(ablk, b, oblk);
+        }
+        crate::blocked::apply_epilogue_rows(out, n, r, mr, ep);
+        r += mr;
+    }
+}
+
+impl PanelWeights for QuantizedPackedB {
+    fn k(&self) -> usize {
+        self.k
+    }
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn storage_bytes(&self) -> usize {
+        self.q.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32], ep: Epilogue<'_>) {
+        gemm_int8_with(a, m, self, out, ep, None);
+    }
 }
 
 /// Relative Frobenius-norm error between an f32 GEMM and its INT8
@@ -191,5 +484,65 @@ mod tests {
         let w = Tensor::randn(&[10, 4], 0.5, 41);
         let q = QuantizedMatrix::quantize(&w, 4); // groups of 4,4,2
         assert!(w.max_abs_diff(&q.dequantize()) <= q.max_error_bound());
+    }
+
+    #[test]
+    fn oracle_matches_dequantized_gemm() {
+        // The restructured group-blocked oracle must still compute the same
+        // product (allclose; op-order differs from a dense f32 GEMM).
+        let x = Tensor::randn(&[3, 40], 1.0, 51);
+        let w = Tensor::randn(&[40, 21], 0.3, 52);
+        let wq = QuantizedMatrix::quantize(&w, 16);
+        let want = ops::matmul(&x, &wq.dequantize());
+        let got = matmul_quantized(&x, &wq);
+        assert!(got.allclose(&want, 1e-4), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn packed_int8_bit_exact_with_oracle() {
+        // Every microkernel (scalar fallback, every forced MR, and the
+        // measured dispatch) performs the identical rounding sequence as the
+        // portable oracle — bit-exact, not allclose.
+        for (m, k, n, gs) in [
+            (1, 32, 16, 8),
+            (3, 48, 77, 16),
+            (8, 33, 40, 7),
+            (16, 64, 101, 32),
+            (5, 20, 37, 64), // group larger than k: single ragged group
+        ] {
+            let x = Tensor::randn(&[m, k], 1.0, 61);
+            let w = Tensor::randn(&[k, n], 0.4, 62);
+            let wq = QuantizedMatrix::quantize(&w, gs);
+            let want = matmul_quantized(&x, &wq);
+            let qb = QuantizedPackedB::from_matrix(&wq);
+            let mut scalar = vec![0.0f32; m * n];
+            for i in 0..m {
+                gemv_int8_scalar(&x.data()[i * k..(i + 1) * k], &qb, &mut scalar[i * n..(i + 1) * n]);
+            }
+            assert_eq!(scalar, want.data(), "scalar m={m} k={k} n={n} gs={gs}");
+            for force in [1, 2, 4, 8, 16] {
+                let mut got = vec![0.0f32; m * n];
+                gemm_int8_with(x.data(), m, &qb, &mut got, Epilogue::None, Some(force));
+                assert_eq!(got, want.data(), "m={m} k={k} n={n} gs={gs} force={force}");
+            }
+            let mut got = vec![0.0f32; m * n];
+            gemm_int8_with(x.data(), m, &qb, &mut got, Epilogue::None, None);
+            assert_eq!(got, want.data(), "m={m} k={k} n={n} gs={gs} dispatch");
+        }
+    }
+
+    #[test]
+    fn pre_transposed_quantize_matches_direct() {
+        let w = Tensor::randn(&[12, 9], 0.5, 71);
+        let mut wt = Tensor::zeros(&[9, 12]);
+        for i in 0..12 {
+            for j in 0..9 {
+                wt.row_mut(j)[i] = w.row(i)[j];
+            }
+        }
+        let x = Tensor::randn(&[2, 12], 1.0, 72);
+        let a = crate::blocked::matmul_packed(&x, &QuantizedPackedB::quantize_pack(&w, 4));
+        let b = crate::blocked::matmul_packed(&x, &QuantizedPackedB::quantize_pack_pre_transposed(&wt, 4));
+        assert!(a.allclose(&b, 0.0));
     }
 }

@@ -23,6 +23,17 @@ use crate::tensor::Tensor;
 use dsi_sim::hw::DType;
 use rayon::prelude::*;
 
+/// CPU analog of the Sec. III-C3 interleave choice: how many activation
+/// rows a decode microkernel should amortize one 64-byte weight cache line
+/// across, per element width. Smaller elements stream fewer bytes per
+/// column, so more rows are needed before the kernel leaves the
+/// bandwidth-bound regime (FP16→2, INT8→4 on the paper's 128-byte GPU
+/// transactions; halved line size here). [`crate::dispatch`] uses this as
+/// the static prior its measurements start from.
+pub fn cpu_microkernel_rows(elem_bytes: usize) -> usize {
+    (64 / (8 * elem_bytes.max(1))).clamp(1, 8)
+}
+
 /// SBI weight layout: `[k, n]` stored so that for each output column `j`,
 /// blocks of `m_interleave` consecutive input-rows are contiguous.
 #[derive(Debug, Clone)]

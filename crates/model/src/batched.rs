@@ -2,7 +2,16 @@
 //! sequences with per-sequence KV caches, ragged prompts, and early
 //! termination — the request-level structure that the paper's scheduling
 //! work (micro-batches of sequences, Sec. IV-C1) operates on.
+//!
+//! Greedy decode steps route through the packed M-row fast path
+//! ([`crate::fast::PackedModel::forward_rows`]): one ragged-batch forward
+//! advances every active sequence instead of the old one-model-call-per-
+//! sequence loop (kept as [`BatchSession::step_reference`], the oracle the
+//! fast route is proptested against). Sampled (non-greedy) decoding still
+//! uses the reference path — its RNG consumption is part of the session's
+//! observable behavior.
 
+use crate::fast::{self, PackedModel, Scratch, StepRow};
 use crate::reference::{GptModel, KvCache};
 use crate::sampling::Sampler;
 use dsi_kernels::tensor::Tensor;
@@ -27,6 +36,15 @@ pub struct BatchSession<'m> {
     pub eos: Option<usize>,
     /// Per-sequence generation cap.
     pub max_new_tokens: usize,
+    /// Lazily-packed fast path for greedy steps (packing is paid once, on
+    /// the first greedy step).
+    fast: Option<FastBatch<'m>>,
+}
+
+/// Packed weights + row-stacked scratch for the greedy M-row step route.
+struct FastBatch<'m> {
+    pm: PackedModel<'m>,
+    scratch: Scratch,
 }
 
 /// Summary of a completed batch run.
@@ -59,6 +77,7 @@ impl<'m> BatchSession<'m> {
             sequences,
             eos: None,
             max_new_tokens,
+            fast: None,
         }
     }
 
@@ -78,7 +97,23 @@ impl<'m> BatchSession<'m> {
 
     /// One generation step: every unfinished sequence advances by one token.
     /// Returns how many sequences are still active.
+    ///
+    /// Greedy sampling (`temperature <= 0`) consumes no randomness and is
+    /// argmax-deterministic, so it routes through the packed M-row forward:
+    /// one model call per step instead of one per sequence. Any other
+    /// configuration falls back to [`Self::step_reference`].
     pub fn step(&mut self, sampler: &mut Sampler) -> usize {
+        if sampler.config.temperature <= 0.0 {
+            self.step_fast_greedy()
+        } else {
+            self.step_reference(sampler)
+        }
+    }
+
+    /// The original serial per-sequence step: one reference forward per
+    /// unfinished sequence. Kept as the oracle the fast greedy route is
+    /// proptested against, and as the path for sampled decoding.
+    pub fn step_reference(&mut self, sampler: &mut Sampler) -> usize {
         for s in &mut self.sequences {
             if s.finished {
                 continue;
@@ -86,6 +121,48 @@ impl<'m> BatchSession<'m> {
             let last = *s.tokens.last().unwrap();
             let logits = self.model.forward(&[last], &mut s.cache);
             let next = sampler.sample(logits.row(0));
+            s.tokens.push(next);
+            s.generated += 1;
+            if Some(next) == self.eos || s.generated >= self.max_new_tokens {
+                s.finished = true;
+            }
+        }
+        self.sequences.iter().filter(|s| !s.finished).count()
+    }
+
+    /// Greedy step through the M-row fast path: all unfinished sequences
+    /// advance in a single ragged-batch forward over packed weights.
+    fn step_fast_greedy(&mut self) -> usize {
+        let model = self.model;
+        let batch = self.sequences.len();
+        let fb = self.fast.get_or_insert_with(|| {
+            let pm = PackedModel::pack(model);
+            let scratch = Scratch::new(&model.config, batch.max(1));
+            FastBatch { pm, scratch }
+        });
+        fb.scratch.ensure(&model.config, batch.max(1));
+        let mut rows: Vec<StepRow<'_>> = self
+            .sequences
+            .iter_mut()
+            .filter(|s| !s.finished)
+            .map(|s| StepRow {
+                token: *s.tokens.last().unwrap(),
+                cache: &mut s.cache,
+            })
+            .collect();
+        if rows.is_empty() {
+            return 0;
+        }
+        fb.pm.forward_rows(&mut fb.scratch, &mut rows);
+        drop(rows);
+        let vocab = model.config.vocab;
+        let mut r = 0;
+        for s in &mut self.sequences {
+            if s.finished {
+                continue;
+            }
+            let next = fast::argmax(fb.scratch.logits_row(r, vocab));
+            r += 1;
             s.tokens.push(next);
             s.generated += 1;
             if Some(next) == self.eos || s.generated >= self.max_new_tokens {

@@ -34,7 +34,10 @@ pub use batched::BatchSession;
 pub use beam::beam_search;
 pub use encoder::BertModel;
 pub use config::{BertConfig, GptConfig, MoeConfig};
-pub use fast::{FastSession, PackedLayer, PackedModel};
+pub use fast::{
+    BatchedFastSession, BatchedSeq, FastSession, PackedLayer, PackedModel, QuantizedFastSession,
+    QuantizedPackedModel, StepRow,
+};
 pub use quantized::QuantizedGptModel;
 pub use reference::{GptModel, KvCache, LayerKv, LayerWeights};
 pub use sampling::{Sampler, SamplerConfig};

@@ -278,12 +278,11 @@ struct RankState {
     kv: KvCache,
     /// `[m, h]` replicated activations.
     x: Vec<f32>,
-    /// `[h]` layer-norm row (interior of the fused regions).
+    /// `[m, h]` layer-norm rows (interior of the fused regions).
     normed: Vec<f32>,
-    /// `[m, 3h/tp]` sharded QKV output.
+    /// `[m, 3h/tp]` sharded QKV output; attention reads query rows in place
+    /// at stride `3h/tp` (no gather buffer).
     qkv: Vec<f32>,
-    /// `[m, h/tp]` query rows gathered for multi-row prompts.
-    q: Vec<f32>,
     /// `[m, h/tp]` attention context over this rank's heads.
     attn: Vec<f32>,
     /// `[m, h]` row-parallel partial output; the all-reduce buffer.
@@ -316,9 +315,8 @@ impl RankState {
             m_max: m,
             kv,
             x: vec![0.0; m * c.hidden],
-            normed: vec![0.0; c.hidden],
+            normed: vec![0.0; m * c.hidden],
             qkv: vec![0.0; m * 3 * hs],
-            q: vec![0.0; m * hs],
             attn: vec![0.0; m * hs],
             part: vec![0.0; m * c.hidden],
             ff: vec![0.0; m * 4 * hs],
@@ -389,27 +387,20 @@ impl RankState {
             // Region 1: layer-norm → sharded QKV GEMM → bias.
             fused::ln_matmul_bias_into(
                 &s.x[..m * h], m, &pl.ln1_g, &pl.ln1_b, 1e-5,
-                &pl.w_qkv, &pl.b_qkv, &mut s.normed, &mut s.qkv[..m * 3 * hs],
+                &pl.w_qkv, &pl.b_qkv, &mut s.normed[..m * h], &mut s.qkv[..m * 3 * hs],
             );
             // KV shard append in place (this rank's heads only).
             for i in 0..m {
                 let row = &s.qkv[i * 3 * hs..(i + 1) * 3 * hs];
                 kv.append_row_slices(&row[hs..2 * hs], &row[2 * hs..3 * hs]);
             }
-            // Region 2: streaming-softmax attention over this rank's heads.
-            if m == 1 {
-                fused::attention_into(
-                    &s.qkv[..hs], 1, &kv.k, &kv.v, heads, offset, &mut s.attn[..hs],
-                );
-            } else {
-                for i in 0..m {
-                    s.q[i * hs..(i + 1) * hs]
-                        .copy_from_slice(&s.qkv[i * 3 * hs..i * 3 * hs + hs]);
-                }
-                fused::attention_into(
-                    &s.q[..m * hs], m, &kv.k, &kv.v, heads, offset, &mut s.attn[..m * hs],
-                );
-            }
+            // Region 2: streaming-softmax attention over this rank's heads,
+            // reading query rows in place from the QKV scratch (stride
+            // 3h/tp) — no gather, no m == 1 special case.
+            fused::attention_seq_into(
+                &s.qkv[..m * 3 * hs], 3 * hs, m, &kv.k, &kv.v, heads, offset,
+                &mut s.attn[..m * hs],
+            );
             // Region 3: row-parallel output projection → all-reduce →
             // bias + residual (applied once, post-reduce).
             blocked::matmul_into(&s.attn[..m * hs], m, &pl.w_o, &mut s.part[..m * h]);
@@ -419,7 +410,7 @@ impl RankState {
             // Region 4: layer-norm → sharded FF1 GEMM → bias → GeLU.
             fused::ln_matmul_bias_gelu_into(
                 &s.x[..m * h], m, &pl.ln2_g, &pl.ln2_b, 1e-5,
-                &pl.w_ff1, &pl.b_ff1, &mut s.normed, &mut s.ff[..m * 4 * hs],
+                &pl.w_ff1, &pl.b_ff1, &mut s.normed[..m * h], &mut s.ff[..m * 4 * hs],
             );
             // Region 5: row-parallel FF2 → all-reduce → bias + residual.
             blocked::matmul_into(&s.ff[..m * 4 * hs], m, &pl.w_ff2, &mut s.part[..m * h]);
@@ -433,13 +424,13 @@ impl RankState {
         if s.rank == 0 {
             for i in 0..m {
                 fused::layernorm_row_into(
-                    &s.x[i * h..(i + 1) * h], &model.lnf_g, &model.lnf_b, 1e-5, &mut s.normed,
-                );
-                blocked::matmul_into(
-                    &s.normed, 1, &model.wte_packed,
-                    &mut s.logits[i * c.vocab..(i + 1) * c.vocab],
+                    &s.x[i * h..(i + 1) * h], &model.lnf_g, &model.lnf_b, 1e-5,
+                    &mut s.normed[i * h..(i + 1) * h],
                 );
             }
+            blocked::matmul_into(
+                &s.normed[..m * h], m, &model.wte_packed, &mut s.logits[..m * c.vocab],
+            );
         }
         s.last_m = m;
         Ok(())

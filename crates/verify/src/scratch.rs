@@ -22,7 +22,11 @@
 //! call from the model configuration alone, against the arena layout
 //! published by [`dsi_model::fast::scratch_layout`] — so the verifier and
 //! the executor derive buffer capacities from the same source and cannot
-//! drift silently.
+//! drift silently. [`batched_decode_step_trace`] does the same for the
+//! ragged-batch step (`PackedModel::forward_rows`): M sequences share the
+//! row-stacked scratch but each owns a private KV cache, so the trace
+//! carries per-row KV buffers and per-row attention launches at ragged
+//! offsets.
 
 use crate::{Diagnostic, Pass};
 use dsi_model::config::GptConfig;
@@ -192,10 +196,32 @@ pub fn check_trace(arena: &Arena, steps: &[Step], assume_init: &[SliceRef]) -> V
     diags
 }
 
+/// Intern a dynamically built buffer name. Trace construction needs
+/// `&'static str` names; interning bounds the leak to one copy per distinct
+/// name across the whole process, no matter how many traces (batched sweeps
+/// build hundreds) are generated.
+fn intern(s: String) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static INTERN: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERN.get_or_init(|| Mutex::new(HashSet::new())).lock().unwrap();
+    match set.get(s.as_str()) {
+        Some(&got) => got,
+        None => {
+            let leaked: &'static str = Box::leak(s.into_boxed_str());
+            set.insert(leaked);
+            leaked
+        }
+    }
+}
+
 /// Build the step trace of one `FastSession::forward(ids)` call with `m`
 /// tokens entering at KV offset `offset`, mirroring the region sequence of
 /// `dsi-model::fast` (embed → per-layer regions 1–5 with the x/y
-/// double-buffer swap → final layer-norm + logits).
+/// double-buffer swap → final layer-norm + logits). Attention reads its
+/// query rows *in place* from the QKV scratch at stride `3h` — there is no
+/// gather step and no `m == 1` special case, matching
+/// `fused::attention_seq_into`.
 ///
 /// The arena combines the scratch buffers of [`scratch_layout`] with the
 /// per-layer KV tensors (capacity `max_seq × hidden` each, matching
@@ -203,22 +229,12 @@ pub fn check_trace(arena: &Arena, steps: &[Step], assume_init: &[SliceRef]) -> V
 pub fn decode_step_trace(c: &GptConfig, m: usize, offset: usize) -> (Arena, Vec<Step>) {
     let h = c.hidden;
     let mut buffers: Vec<(&'static str, usize)> = scratch_layout(c, m).to_vec();
-    // KV tensors: one K and one V per layer. Names are leaked once per
-    // (layer, side) — traces are built a handful of times per process.
+    // KV tensors: one K and one V per layer.
     for l in 0..c.layers {
-        let k_name: &'static str = Box::leak(format!("kv{l}.k").into_boxed_str());
-        let v_name: &'static str = Box::leak(format!("kv{l}.v").into_boxed_str());
-        buffers.push((k_name, c.max_seq * h));
-        buffers.push((v_name, c.max_seq * h));
+        buffers.push((intern(format!("kv{l}.k")), c.max_seq * h));
+        buffers.push((intern(format!("kv{l}.v")), c.max_seq * h));
     }
-    let kv_name = |l: usize, side: &str| -> &'static str {
-        let want = format!("kv{l}.{side}");
-        buffers
-            .iter()
-            .map(|&(n, _)| n)
-            .find(|n| **n == *want)
-            .expect("kv buffer registered above")
-    };
+    let kv_name = |l: usize, side: &str| intern(format!("kv{l}.{side}"));
 
     let mut steps = Vec::new();
     // Embedding writes the first activation buffer.
@@ -232,12 +248,12 @@ pub fn decode_step_trace(c: &GptConfig, m: usize, offset: usize) -> (Arena, Vec<
     for l in 0..c.layers {
         let kn = kv_name(l, "k");
         let vn = kv_name(l, "v");
-        // Region 1: layer-norm → QKV GEMM → bias. `normed` is the interior
-        // scratch row.
+        // Region 1: layer-norm → QKV GEMM → bias. `normed` holds all m
+        // normalized rows (the M-row GEMM consumes them in one launch).
         steps.push(Step::new(
             format!("l{l}.r1.ln_qkv"),
             vec![SliceRef::new(cur, 0, m * h)],
-            vec![SliceRef::new("normed", 0, h), SliceRef::new("qkv", 0, m * 3 * h)],
+            vec![SliceRef::new("normed", 0, m * h), SliceRef::new("qkv", 0, m * 3 * h)],
         ));
         // KV append in place at the context offset.
         steps.push(Step::new(
@@ -248,34 +264,17 @@ pub fn decode_step_trace(c: &GptConfig, m: usize, offset: usize) -> (Arena, Vec<
                 SliceRef::new(vn, offset * h, (offset + m) * h),
             ],
         ));
-        // Region 2: attention over the cache. Multi-row prompts gather the
-        // strided query rows into the spare buffer first.
-        if m == 1 {
-            steps.push(Step::new(
-                format!("l{l}.r2.attention"),
-                vec![
-                    SliceRef::new("qkv", 0, h),
-                    SliceRef::new(kn, 0, (offset + m) * h),
-                    SliceRef::new(vn, 0, (offset + m) * h),
-                ],
-                vec![SliceRef::new("attn", 0, m * h)],
-            ));
-        } else {
-            steps.push(Step::new(
-                format!("l{l}.r2.q_gather"),
-                vec![SliceRef::new("qkv", 0, m * 3 * h)],
-                vec![SliceRef::new(alt, 0, m * h)],
-            ));
-            steps.push(Step::new(
-                format!("l{l}.r2.attention"),
-                vec![
-                    SliceRef::new(alt, 0, m * h),
-                    SliceRef::new(kn, 0, (offset + m) * h),
-                    SliceRef::new(vn, 0, (offset + m) * h),
-                ],
-                vec![SliceRef::new("attn", 0, m * h)],
-            ));
-        }
+        // Region 2: attention over the cache, query rows read in place from
+        // the QKV scratch (stride 3h).
+        steps.push(Step::new(
+            format!("l{l}.r2.attention"),
+            vec![
+                SliceRef::new("qkv", 0, m * 3 * h),
+                SliceRef::new(kn, 0, (offset + m) * h),
+                SliceRef::new(vn, 0, (offset + m) * h),
+            ],
+            vec![SliceRef::new("attn", 0, m * h)],
+        ));
         // Region 3: output projection + bias + residual (reads the residual
         // stream from `cur`, writes the spare).
         steps.push(Step::new(
@@ -288,7 +287,7 @@ pub fn decode_step_trace(c: &GptConfig, m: usize, offset: usize) -> (Arena, Vec<
         steps.push(Step::new(
             format!("l{l}.r4.ln_ff1"),
             vec![SliceRef::new(cur, 0, m * h)],
-            vec![SliceRef::new("normed", 0, h), SliceRef::new("ff", 0, m * 4 * h)],
+            vec![SliceRef::new("normed", 0, m * h), SliceRef::new("ff", 0, m * 4 * h)],
         ));
         // Region 5: FF2 GEMM + bias + residual.
         steps.push(Step::new(
@@ -301,11 +300,98 @@ pub fn decode_step_trace(c: &GptConfig, m: usize, offset: usize) -> (Arena, Vec<
     steps.push(Step::new(
         "final_ln",
         vec![SliceRef::new(cur, 0, m * h)],
-        vec![SliceRef::new("normed", 0, h)],
+        vec![SliceRef::new("normed", 0, m * h)],
     ));
     steps.push(Step::new(
         "logits",
-        vec![SliceRef::new("normed", 0, h)],
+        vec![SliceRef::new("normed", 0, m * h)],
+        vec![SliceRef::new("logits", 0, m * c.vocab)],
+    ));
+    (Arena { buffers }, steps)
+}
+
+/// Build the step trace of one batched decode step
+/// (`PackedModel::forward_rows`) over `offsets.len()` sequences, sequence
+/// `i` entering at its own KV offset `offsets[i]` (ragged contexts). The
+/// dense regions (1, 3, 4, 5 and the final layer-norm + logits) are single
+/// M-row launches over the shared row-stacked scratch; the KV append and
+/// attention are per-row launches against that row's *private* KV buffers
+/// (`kv{l}.r{i}.k/v`), which is exactly the isolation the batched path must
+/// preserve — two rows touching the same KV tensor would be cross-sequence
+/// corruption.
+pub fn batched_decode_step_trace(c: &GptConfig, offsets: &[usize]) -> (Arena, Vec<Step>) {
+    let h = c.hidden;
+    let m = offsets.len();
+    assert!(m > 0, "batched trace needs at least one row");
+    let mut buffers: Vec<(&'static str, usize)> = scratch_layout(c, m).to_vec();
+    for l in 0..c.layers {
+        for i in 0..m {
+            buffers.push((intern(format!("kv{l}.r{i}.k")), c.max_seq * h));
+            buffers.push((intern(format!("kv{l}.r{i}.v")), c.max_seq * h));
+        }
+    }
+    let kv_name = |l: usize, i: usize, side: &str| intern(format!("kv{l}.r{i}.{side}"));
+
+    let mut steps = Vec::new();
+    steps.push(Step::new(
+        "embed",
+        vec![],
+        vec![SliceRef::new("x", 0, m * h)],
+    ));
+    let (mut cur, mut alt) = ("x", "y");
+    for l in 0..c.layers {
+        steps.push(Step::new(
+            format!("l{l}.r1.ln_qkv"),
+            vec![SliceRef::new(cur, 0, m * h)],
+            vec![SliceRef::new("normed", 0, m * h), SliceRef::new("qkv", 0, m * 3 * h)],
+        ));
+        for (i, &off) in offsets.iter().enumerate() {
+            let kn = kv_name(l, i, "k");
+            let vn = kv_name(l, i, "v");
+            steps.push(Step::new(
+                format!("l{l}.row{i}.kv_append"),
+                vec![SliceRef::new("qkv", i * 3 * h, (i + 1) * 3 * h)],
+                vec![
+                    SliceRef::new(kn, off * h, (off + 1) * h),
+                    SliceRef::new(vn, off * h, (off + 1) * h),
+                ],
+            ));
+            steps.push(Step::new(
+                format!("l{l}.row{i}.attention"),
+                vec![
+                    SliceRef::new("qkv", i * 3 * h, i * 3 * h + h),
+                    SliceRef::new(kn, 0, (off + 1) * h),
+                    SliceRef::new(vn, 0, (off + 1) * h),
+                ],
+                vec![SliceRef::new("attn", i * h, (i + 1) * h)],
+            ));
+        }
+        steps.push(Step::new(
+            format!("l{l}.r3.attn_out"),
+            vec![SliceRef::new("attn", 0, m * h), SliceRef::new(cur, 0, m * h)],
+            vec![SliceRef::new(alt, 0, m * h)],
+        ));
+        std::mem::swap(&mut cur, &mut alt);
+        steps.push(Step::new(
+            format!("l{l}.r4.ln_ff1"),
+            vec![SliceRef::new(cur, 0, m * h)],
+            vec![SliceRef::new("normed", 0, m * h), SliceRef::new("ff", 0, m * 4 * h)],
+        ));
+        steps.push(Step::new(
+            format!("l{l}.r5.ff2"),
+            vec![SliceRef::new("ff", 0, m * 4 * h), SliceRef::new(cur, 0, m * h)],
+            vec![SliceRef::new(alt, 0, m * h)],
+        ));
+        std::mem::swap(&mut cur, &mut alt);
+    }
+    steps.push(Step::new(
+        "final_ln",
+        vec![SliceRef::new(cur, 0, m * h)],
+        vec![SliceRef::new("normed", 0, m * h)],
+    ));
+    steps.push(Step::new(
+        "logits",
+        vec![SliceRef::new("normed", 0, m * h)],
         vec![SliceRef::new("logits", 0, m * c.vocab)],
     ));
     (Arena { buffers }, steps)
@@ -325,6 +411,22 @@ pub fn kv_preinit(arena: &Arena, c: &GptConfig, offset: usize) -> Vec<SliceRef> 
         .collect()
 }
 
+/// Assumed-initialized KV rows for a batched trace: row `i`'s private K/V
+/// buffers hold `0..offsets[i]` context rows from earlier steps.
+pub fn batched_kv_preinit(c: &GptConfig, offsets: &[usize]) -> Vec<SliceRef> {
+    let mut pre = Vec::new();
+    for l in 0..c.layers {
+        for (i, &off) in offsets.iter().enumerate() {
+            if off == 0 {
+                continue;
+            }
+            pre.push(SliceRef::new(intern(format!("kv{l}.r{i}.k")), 0, off * c.hidden));
+            pre.push(SliceRef::new(intern(format!("kv{l}.r{i}.v")), 0, off * c.hidden));
+        }
+    }
+    pre
+}
+
 /// Verify the fast decode path of one model config for both phases:
 /// multi-row prompt ingestion and steady-state single-token decode.
 pub fn verify_decode_plan(c: &GptConfig, prompt_len: usize) -> Vec<Diagnostic> {
@@ -335,6 +437,38 @@ pub fn verify_decode_plan(c: &GptConfig, prompt_len: usize) -> Vec<Diagnostic> {
     let pre = kv_preinit(&arena, c, prompt_len);
     diags.extend(check_trace(&arena, &steps, &pre));
     diags
+}
+
+/// Verify one batched decode step at ragged per-row KV offsets.
+pub fn verify_batched_decode_plan(c: &GptConfig, offsets: &[usize]) -> Vec<Diagnostic> {
+    let (arena, steps) = batched_decode_step_trace(c, offsets);
+    let pre = batched_kv_preinit(c, offsets);
+    check_trace(&arena, &steps, &pre)
+}
+
+/// Seeded negative control for the batched layout: two M-row attention
+/// launches whose output slices alias (row stride `h` but write width `2h`,
+/// as if a row-pitch bug doubled the write extent). Packaged as a single
+/// fused launch — exactly how a real batched kernel would issue it — so the
+/// intra-step write/write overlap check must fire `scratch-alias`.
+pub fn aliased_batched_rows_trace(h: usize) -> (Arena, Vec<Step>) {
+    let m = 2usize;
+    let arena = Arena {
+        buffers: vec![("qkv", m * 3 * h), ("attn", m * h + h)],
+    };
+    let steps = vec![
+        Step::new("qkv_init", vec![], vec![SliceRef::new("qkv", 0, m * 3 * h)]),
+        Step::new(
+            "batched_attention_rows",
+            vec![SliceRef::new("qkv", 0, m * 3 * h)],
+            vec![
+                // Row 0 writes [0, 2h) instead of [0, h): spills into row 1.
+                SliceRef::new("attn", 0, 2 * h),
+                SliceRef::new("attn", h, 3 * h),
+            ],
+        ),
+    ];
+    (arena, steps)
 }
 
 #[cfg(test)]
@@ -357,6 +491,45 @@ mod tests {
     fn verify_decode_plan_clean_for_zoo_models() {
         let d = verify_decode_plan(&zoo::tiny(2), 8);
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn batched_trace_is_clean_at_ragged_offsets() {
+        let c = zoo::tiny(3);
+        for offsets in [vec![0], vec![3, 1], vec![5, 0, 2, 9], vec![1; 16]] {
+            let d = verify_batched_decode_plan(&c, &offsets);
+            assert!(d.is_empty(), "offsets={offsets:?}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn batched_rows_share_no_kv_buffers() {
+        // Two rows of the same layer must reference distinct KV buffers —
+        // the trace-level statement of per-sequence cache isolation.
+        let c = zoo::tiny(1);
+        let (arena, _) = batched_decode_step_trace(&c, &[4, 7]);
+        let kv: Vec<&str> =
+            arena.buffers.iter().map(|&(n, _)| n).filter(|n| n.starts_with("kv")).collect();
+        let unique: std::collections::HashSet<&str> = kv.iter().copied().collect();
+        assert_eq!(kv.len(), unique.len());
+        assert_eq!(kv.len(), 2 * 2); // 1 layer × 2 rows × {k, v}
+    }
+
+    #[test]
+    fn aliased_batched_rows_control_fires() {
+        let (arena, steps) = aliased_batched_rows_trace(8);
+        let d = check_trace(&arena, &steps, &[]);
+        assert!(
+            d.iter().any(|x| x.code == "scratch-alias" && x.site == "batched_attention_rows"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn interner_returns_stable_pointers() {
+        let a = super::intern("kv0.r0.k".to_string());
+        let b = super::intern("kv0.r0.k".to_string());
+        assert!(std::ptr::eq(a, b), "same name must intern to one allocation");
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //!   × the model's TP degrees (1, its Fig. 6 degree, its Fig. 8 degree) ×
 //!   all four canonical fusion plans;
 //! * **Scratch** — the fast decode path of each dense model (prompt
-//!   ingestion + steady-state decode against the real arena layout);
+//!   ingestion + steady-state decode against the real arena layout), plus
+//!   the batched ragged-offset step at every dispatcher batch size
+//!   M ∈ {1, 2, 4, 8, 16};
 //! * **Collective** — tensor-parallel all-reduce programs for each Fig. 6
 //!   mapping, the executed TP engine's barrier-fenced shared-memory
 //!   all-reduce schedule at its bench degrees, pipeline p2p programs and
@@ -17,7 +19,8 @@
 //!
 //! [`negative_controls`] seeds one defect of each class the verifier claims
 //! to catch — a dtype-mixed region, a corrupted GEMM contraction, an illegal
-//! fusion boundary, an aliased scratch write, a rank skipping an all-reduce,
+//! fusion boundary, an aliased scratch write, a pair of aliasing M-row
+//! attention regions in the batched layout, a rank skipping an all-reduce,
 //! a rank skipping a shared-memory barrier crossing, a cyclic task graph,
 //! an undocumented `unsafe` block, a rank exiting mid-schedule (survivors
 //! must abort typed), a recv stranded by a dead sender, and a survivor
@@ -137,14 +140,27 @@ pub fn verify_all() -> SweepReport {
         }
 
         // --- Pass 2: scratch arena of the fast decode path. ---
-        // Trace a 16-token prompt: long enough to exercise multi-row
-        // gather, cheap enough to run for the 530B layer count.
+        // Trace a 16-token prompt: long enough to exercise the strided
+        // multi-row attention, cheap enough to run for the 530B layer count.
         let d = crate::scratch::verify_decode_plan(c, 16);
         report.scratch_traces += 2; // prompt + decode trace
         report.diagnostics.extend(d.into_iter().map(|mut x| {
             x.site = format!("{}: {}", site("decode"), x.site);
             x
         }));
+
+        // --- Pass 2b: batched ragged-offset decode (forward_rows). ---
+        // Each batch size the M-row dispatcher distinguishes, at staggered
+        // per-row offsets so no two rows are at the same context length.
+        for m in [1usize, 2, 4, 8, 16] {
+            let offsets: Vec<usize> = (0..m).map(|i| 1 + (i * 3) % 13).collect();
+            let d = crate::scratch::verify_batched_decode_plan(c, &offsets);
+            report.scratch_traces += 1;
+            report.diagnostics.extend(d.into_iter().map(|mut x| {
+                x.site = format!("{}: {}", site(&format!("batched m={m}")), x.site);
+                x
+            }));
+        }
 
         // --- Pass 3a: Fig. 6 tensor-parallel all-reduce programs. ---
         if e.fig6_tp > 1 {
@@ -311,6 +327,16 @@ pub fn negative_controls() -> Vec<Control> {
         diagnostics: check_trace(&arena, &steps, &[]),
     });
 
+    // Scratch, batched layout: two M-row attention launches whose output
+    // rows alias (row pitch h, write width 2h) — the cross-row overwrite
+    // class the batched sweep exists to catch.
+    let (arena, steps) = crate::scratch::aliased_batched_rows_trace(16);
+    out.push(Control {
+        name: "aliased M-row regions (attention rows overlap)",
+        expect_code: "scratch-alias",
+        diagnostics: check_trace(&arena, &steps, &[]),
+    });
+
     // Collective: one rank skips its layer-0 FF2 all-reduce.
     let m = Mapping3D::new(1, 1, 4);
     let (groups, mut progs) = tp_allreduce_programs(&m, 2, 4096);
@@ -437,14 +463,15 @@ mod tests {
         assert!(r.is_clean(), "sweep found defects: {:#?}", r.diagnostics);
         // Sanity: the sweep actually covered things.
         assert!(r.ir_plans >= 9 * 2 * 3 * 4, "ir_plans = {}", r.ir_plans);
-        assert!(r.scratch_traces >= 18);
+        // Per Table-I model: prompt + decode + 5 batched M sweeps.
+        assert!(r.scratch_traces >= 9 * 7, "scratch_traces = {}", r.scratch_traces);
         assert!(r.collective_programs >= 10);
     }
 
     #[test]
     fn every_negative_control_fires() {
         let controls = negative_controls();
-        assert_eq!(controls.len(), 13);
+        assert_eq!(controls.len(), 14);
         for c in &controls {
             assert!(c.fired(), "control `{}` produced {:?}", c.name, c.diagnostics);
         }

@@ -1,0 +1,133 @@
+//! Batched decode equivalence: the M-row fast path must be an
+//! *implementation detail* — no batching configuration (ragged prompt
+//! lengths, early EOS, any M) may change a single emitted token.
+//!
+//! Two oracles anchor the property:
+//! * `BatchSession::step_reference` — the original serial per-sequence
+//!   reference loop the greedy route retired;
+//! * a solo `FastSession` per prompt — the batch-of-one packed path, which
+//!   the M-row kernels are bit-identical to by construction (every output
+//!   element accumulates over k sequentially in one register lane).
+
+use deepspeed_inference::model::batched::BatchSession;
+use deepspeed_inference::model::fast::PackedModel;
+use deepspeed_inference::model::reference::GptModel;
+use deepspeed_inference::model::sampling::{Sampler, SamplerConfig};
+use deepspeed_inference::zoo;
+use proptest::prelude::*;
+
+fn model(layers: usize, seed: u64) -> GptModel {
+    GptModel::random(zoo::tiny(layers), seed)
+}
+
+/// Build `m` ragged prompts from a generated pool of lengths and tokens.
+fn build_prompts(m: usize, lens: &[usize], tokens: &[usize]) -> Vec<Vec<usize>> {
+    let mut prompts = Vec::with_capacity(m);
+    let mut cursor = 0usize;
+    for i in 0..m {
+        let len = lens[i % lens.len()];
+        let p: Vec<usize> =
+            (0..len).map(|j| tokens[(cursor + j) % tokens.len()]).collect();
+        cursor += len;
+        prompts.push(p);
+    }
+    prompts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The greedy fast route through `BatchSession::step` emits exactly the
+    /// tokens of the retired serial reference loop, across ragged lengths,
+    /// batch sizes M ∈ {1, 2, 4, 8}, and early EOS termination.
+    #[test]
+    fn batch_session_greedy_matches_reference_loop(
+        mi in 0usize..4,
+        seed in 0u64..500,
+        max_new in 1usize..6,
+        use_eos in 0usize..2,
+        lens in prop::collection::vec(1usize..7, 8..9),
+        tokens in prop::collection::vec(0usize..101, 24..49),
+    ) {
+        let batch = [1usize, 2, 4, 8][mi];
+        let prompts = build_prompts(batch, &lens, &tokens);
+        let m = model(2, seed);
+        // Pick an EOS the model can actually hit: the first greedy token of
+        // prompt 0 (forces at least one sequence to terminate early).
+        let eos = if use_eos == 1 {
+            Some(m.generate(&prompts[0], 1)[0])
+        } else {
+            None
+        };
+
+        let mut fast = BatchSession::new(&m, &prompts, max_new);
+        fast.eos = eos;
+        let mut sampler = Sampler::new(SamplerConfig::greedy(), 0);
+        fast.run(&mut sampler); // step() routes greedy through forward_rows
+
+        let mut refr = BatchSession::new(&m, &prompts, max_new);
+        refr.eos = eos;
+        let mut sampler = Sampler::new(SamplerConfig::greedy(), 0);
+        refr.prompt(&mut sampler);
+        let mut guard = 0;
+        while refr.step_reference(&mut sampler) > 0 {
+            guard += 1;
+            prop_assert!(guard <= max_new + 1, "runaway reference loop");
+        }
+
+        for i in 0..prompts.len() {
+            prop_assert_eq!(
+                fast.output(i),
+                refr.output(i),
+                "sequence {} diverged (eos={:?})",
+                i,
+                eos
+            );
+        }
+    }
+
+    /// `BatchedFastSession` (packed weights end to end, M-row steps) is
+    /// token-identical to running each prompt alone through `FastSession`.
+    #[test]
+    fn batched_fast_session_matches_per_sequence(
+        mi in 0usize..4,
+        seed in 0u64..500,
+        max_new in 1usize..8,
+        lens in prop::collection::vec(1usize..7, 8..9),
+        tokens in prop::collection::vec(0usize..101, 24..49),
+    ) {
+        let batch = [1usize, 2, 4, 8][mi];
+        let prompts = build_prompts(batch, &lens, &tokens);
+        let m = model(2, seed);
+        let pm = PackedModel::pack(&m);
+        let mut sess = pm.batched_session(&prompts, max_new);
+        sess.run();
+        for (i, p) in prompts.iter().enumerate() {
+            let want = pm.session(p.len()).generate(p, max_new);
+            prop_assert_eq!(sess.output(i), &want[..], "sequence {} diverged", i);
+        }
+    }
+}
+
+/// Sampled (non-greedy) decoding must keep using the reference loop — RNG
+/// consumption order is observable, so `step` with temperature > 0 matches
+/// `step_reference` with an identically-seeded sampler.
+#[test]
+fn sampled_path_still_uses_reference_loop() {
+    let m = model(2, 77);
+    let prompts = vec![vec![1, 2, 3], vec![9, 8]];
+    let cfg = SamplerConfig { temperature: 0.8, top_k: 0, top_p: 1.0 };
+
+    let mut a = BatchSession::new(&m, &prompts, 4);
+    let mut sa = Sampler::new(cfg, 42);
+    a.run(&mut sa);
+
+    let mut b = BatchSession::new(&m, &prompts, 4);
+    let mut sb = Sampler::new(cfg, 42);
+    b.prompt(&mut sb);
+    while b.step_reference(&mut sb) > 0 {}
+
+    for i in 0..prompts.len() {
+        assert_eq!(a.output(i), b.output(i), "sequence {i}");
+    }
+}

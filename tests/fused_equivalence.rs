@@ -60,7 +60,7 @@ proptest! {
         let mut want = ops::matmul(&ops::layernorm(&x, &g, &b, 1e-5), &w);
         ops::add_bias(&mut want, &bias);
         let pw = PackedB::pack(&w);
-        let mut normed = vec![0.0f32; h];
+        let mut normed = vec![0.0f32; m * h];
         let mut got = Tensor::zeros(&[m, n]);
         fused::ln_matmul_bias_into(
             x.data(), m, g.data(), b.data(), 1e-5, &pw, bias.data(),
