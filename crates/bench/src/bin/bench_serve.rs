@@ -13,6 +13,12 @@
 //!   rate, each with shedding ON (queue 4, deadline 10× service time) and
 //!   OFF (unbounded queue, no deadline). Each cell records the full
 //!   [`ServeReport`] (goodput, p50/p95/p99, rejection counts).
+//! * **engines** — the same 3× overload offered to the two engine
+//!   disciplines on the *same* model and core budget: single-flight (one
+//!   request owns the engine end-to-end) vs continuous batching (paged KV,
+//!   iteration-level admission). The continuous cell carries the scheduler
+//!   report: batch-occupancy and tokens-per-step histograms plus page-pool
+//!   stats (in use, high-water, fragmentation).
 //! * **breaker** — a scripted storm of permanent faults served with the
 //!   breaker enabled vs disabled: the enabled arm fast-fails doomed
 //!   requests instead of burning a detection timeout on each.
@@ -20,16 +26,22 @@
 //! Acceptance criteria (asserted in-process, full mode):
 //! * overloaded regime: p99 with shedding ≤ 0.5× p99 without;
 //! * overloaded regime: goodput with shedding ≥ 0.9× without;
+//! * engines: continuous goodput ≥ 2× single-flight at 3× overload, with
+//!   zero external fragmentation in the page pool;
 //! * the breaker arm opens and fast-fails at least once.
 //!
 //! Modes: default — full sweep + JSON; `--smoke` — one overloaded run per
 //! arm on a tiny model (no JSON): the CI gate that overload + storm neither
-//! hang nor break the accounting invariants.
+//! hang nor break the accounting invariants, and that *both* engine
+//! disciplines survive the same burst — gating on the continuous arm's
+//! scheduler invariants (occupancy > 1, fragmentation = 0).
 
 use dsi_bench::print_table;
 use dsi_model::reference::GptModel;
 use dsi_model::zoo;
-use dsi_serve::{Outcome, Request, ServeConfig, ServeReport, Server};
+use dsi_serve::{
+    ContinuousConfig, EngineMode, Outcome, Request, ServeConfig, ServeReport, Server,
+};
 use dsi_sim::fault::{FaultKind, FaultPlan, FaultSite, FaultSpec};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -50,9 +62,25 @@ fn request(i: usize) -> Request {
     }
 }
 
+/// Model for the engine-discipline comparison. The batching win is weight
+/// streaming amortized across the M resident rows, so it only shows on a
+/// config whose per-layer weights exceed cache (hidden 384, as in the
+/// `bench_decode` batch sweep) — `tiny`'s 64-wide weights sit in L1 and
+/// would understate continuous batching by an order of magnitude.
+fn engine_model() -> dsi_model::config::GptConfig {
+    dsi_model::config::GptConfig {
+        name: "bench-384".into(),
+        hidden: 384,
+        layers: 8,
+        heads: 8,
+        vocab: 512,
+        max_seq: 64,
+    }
+}
+
 /// Mean sequential service time: the engine's capacity is 1/service.
-fn calibrate(model: &Arc<GptModel>, reps: usize) -> Duration {
-    let mut cfg = ServeConfig::new(TP);
+fn calibrate(model: &Arc<GptModel>, tp: usize, reps: usize) -> Duration {
+    let mut cfg = ServeConfig::new(tp);
     cfg.comm.timeout = Duration::from_secs(5);
     let srv = Server::start(Arc::clone(model), cfg);
     // Warm-up: first request builds the TP group.
@@ -118,6 +146,58 @@ fn run_regime(
     srv.drain(Duration::from_secs(30))
 }
 
+/// Config for the engine-discipline comparison: tp=1, a bounded queue of 8,
+/// no deadlines — queue overflow is the only shedding, so completed-per-
+/// second isolates what the engine discipline itself buys.
+fn engine_cfg(mode: EngineMode) -> ServeConfig {
+    let mut cfg = ServeConfig::new(1);
+    cfg.queue_capacity = 8;
+    cfg.kv_budget_tokens = 4096;
+    cfg.default_deadline = None;
+    cfg.mode = mode;
+    cfg
+}
+
+fn continuous_mode() -> EngineMode {
+    EngineMode::Continuous(ContinuousConfig {
+        max_slots: 8,
+        pages_total: 64,
+        page_tokens: 16,
+    })
+}
+
+/// Offer the same seeded 3×-overload burst to one engine discipline.
+fn run_engine_arm(
+    model: &Arc<GptModel>,
+    service: Duration,
+    rate_mult: f64,
+    mode: EngineMode,
+    n: usize,
+) -> ServeReport {
+    let srv = Server::start(Arc::clone(model), engine_cfg(mode));
+    // Same seed for both arms: an identical arrival schedule, so the engine
+    // discipline is the only variable.
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ 0xe17);
+    let mean_gap = service.as_secs_f64() / rate_mult;
+    let start = Instant::now();
+    let mut next_arrival = 0.0f64;
+    let mut tickets = Vec::new();
+    for i in 0..n {
+        next_arrival += -rng.unit_f64().max(1e-12).ln() * mean_gap;
+        let rem = next_arrival - start.elapsed().as_secs_f64();
+        if rem > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(rem));
+        }
+        if let Ok(t) = srv.submit(request(i)) {
+            tickets.push(t);
+        }
+    }
+    for t in tickets {
+        t.wait();
+    }
+    srv.drain(Duration::from_secs(30))
+}
+
 /// A storm of scripted permanent faults, breaker on/off.
 fn run_storm(model: &Arc<GptModel>, breaker: bool, n: usize) -> ServeReport {
     let mut cfg = ServeConfig::new(TP);
@@ -163,6 +243,15 @@ struct RegimePoint {
 }
 
 #[derive(Serialize)]
+struct EnginePoint {
+    engine: &'static str,
+    rate_multiplier: f64,
+    /// Carries the scheduler section (occupancy / tokens-per-step
+    /// histograms, page stats) for the continuous arm.
+    report: ServeReport,
+}
+
+#[derive(Serialize)]
 struct ServeBench {
     model: String,
     tp: usize,
@@ -170,19 +259,28 @@ struct ServeBench {
     gen_tokens: usize,
     n_requests: usize,
     service_time_ms: f64,
+    /// Model and request count of the engine-discipline comparison.
+    engine_model: String,
+    engine_requests: usize,
+    /// Sequential tp=1 service time the engine comparison is paced by.
+    single_service_time_ms: f64,
     available_parallelism: usize,
     regimes: Vec<RegimePoint>,
     /// Overloaded regime: p99 with shedding / p99 without. Bar: ≤ 0.5.
     p99_ratio_overloaded: f64,
     /// Overloaded regime: goodput with shedding / without. Bar: ≥ 0.9.
     goodput_ratio_overloaded: f64,
+    /// Single-flight vs continuous at 3× overload, same model, same cores.
+    engines: Vec<EnginePoint>,
+    /// 3× overload: continuous goodput / single-flight goodput. Bar: ≥ 2.
+    continuous_goodput_ratio_overloaded: f64,
     storm_breaker_on: ServeReport,
     storm_breaker_off: ServeReport,
 }
 
 fn smoke() {
     let model = Arc::new(GptModel::random(zoo::tiny(4), SEED));
-    let service = calibrate(&model, 8);
+    let service = calibrate(&model, TP, 8);
     // Overload both arms; the invariants are asserted inside drain, the
     // no-hang criterion by this binary exiting under CI's timeout.
     let shed = run_regime(&model, service, 3.0, true, 40);
@@ -192,13 +290,36 @@ fn smoke() {
         "overload must shed through the bounded queue or deadlines"
     );
     assert_eq!(noshed.completed, noshed.admitted, "admit-everything arm completes all");
+
+    // Both engine disciplines take the same burst on the same (memory-
+    // bound) model; the gate is on the continuous arm: it must batch
+    // (occupancy > 1), keep the page pool whole (fragmentation 0), and
+    // complete work.
+    let emodel = Arc::new(GptModel::random(engine_model(), SEED));
+    let service1 = calibrate(&emodel, 1, 6);
+    let single = run_engine_arm(&emodel, service1, 3.0, EngineMode::SingleFlight, 24);
+    let cont = run_engine_arm(&emodel, service1, 3.0, continuous_mode(), 24);
+    assert!(single.completed > 0, "single-flight arm must complete work");
+    assert!(cont.completed > 0, "continuous arm must complete work");
+    let sched = cont.scheduler.as_ref().expect("continuous arm publishes a scheduler report");
+    assert_eq!(sched.pages.fragmentation, 0, "page pool must drain whole");
+    assert!(
+        sched.mean_occupancy > 1.0,
+        "3x overload must co-schedule requests (mean occupancy {:.2})",
+        sched.mean_occupancy
+    );
+
     let storm = run_storm(&model, true, 12);
     assert!(storm.breaker_opens >= 1, "fault storm must open the breaker");
     println!(
-        "bench_serve --smoke: shed {} of 40 under 3x overload (p99 {:.1} ms vs {:.1} ms unshed); breaker opened {}x",
+        "bench_serve --smoke: shed {} of 40 under 3x overload (p99 {:.1} ms vs {:.1} ms unshed); \
+         continuous {} done at occupancy {:.2} vs single-flight {} done; breaker opened {}x",
         shed.rejected_total() + shed.deadline_expired,
         shed.p99_latency_s * 1e3,
         noshed.p99_latency_s * 1e3,
+        cont.completed,
+        sched.mean_occupancy,
+        single.completed,
         storm.breaker_opens,
     );
 }
@@ -210,7 +331,7 @@ fn main() {
     }
 
     let model = Arc::new(GptModel::random(zoo::tiny(4), SEED));
-    let service = calibrate(&model, 24);
+    let service = calibrate(&model, TP, 24);
     let n = 150;
 
     let mut regimes = Vec::new();
@@ -236,6 +357,19 @@ fn main() {
     let p99_ratio = over(true).p99_latency_s / over(false).p99_latency_s;
     let goodput_ratio = over(true).goodput_rps / over(false).goodput_rps;
 
+    // Engine disciplines head-to-head: same (memory-bound) model, same
+    // cores, same seeded 3× burst, tp=1 — only the engine changes.
+    let emodel = Arc::new(GptModel::random(engine_model(), SEED));
+    let service1 = calibrate(&emodel, 1, 8);
+    let n_engine = 60;
+    let eng_single = run_engine_arm(&emodel, service1, 3.0, EngineMode::SingleFlight, n_engine);
+    let eng_cont = run_engine_arm(&emodel, service1, 3.0, continuous_mode(), n_engine);
+    let continuous_ratio = eng_cont.goodput_rps / eng_single.goodput_rps;
+    let engines = vec![
+        EnginePoint { engine: "single_flight", rate_multiplier: 3.0, report: eng_single },
+        EnginePoint { engine: "continuous", rate_multiplier: 3.0, report: eng_cont },
+    ];
+
     let storm_on = run_storm(&model, true, 30);
     let storm_off = run_storm(&model, false, 30);
 
@@ -247,10 +381,15 @@ fn main() {
         gen_tokens: GEN_TOKENS,
         n_requests: n,
         service_time_ms: service.as_secs_f64() * 1e3,
+        engine_model: "bench-384".into(),
+        engine_requests: n_engine,
+        single_service_time_ms: service1.as_secs_f64() * 1e3,
         available_parallelism: cores,
         regimes,
         p99_ratio_overloaded: p99_ratio,
         goodput_ratio_overloaded: goodput_ratio,
+        engines,
+        continuous_goodput_ratio_overloaded: continuous_ratio,
         storm_breaker_on: storm_on,
         storm_breaker_off: storm_off,
     };
@@ -283,6 +422,43 @@ fn main() {
         "\noverloaded: p99 shed/unshed = {:.3} (bar ≤ 0.5), goodput ratio = {:.3} (bar ≥ 0.9)",
         bench.p99_ratio_overloaded, bench.goodput_ratio_overloaded
     );
+
+    println!(
+        "\nEngine disciplines at 3x overload ({}, tp=1, service {:.2} ms/request):\n",
+        bench.engine_model, bench.single_service_time_ms
+    );
+    let engine_rows: Vec<Vec<String>> = bench
+        .engines
+        .iter()
+        .map(|e| {
+            let rep = &e.report;
+            let (occ, hw) = rep
+                .scheduler
+                .as_ref()
+                .map(|s| {
+                    (format!("{:.2}", s.mean_occupancy), format!("{}", s.pages.high_water))
+                })
+                .unwrap_or_else(|| ("1.00".into(), "-".into()));
+            vec![
+                e.engine.to_string(),
+                format!("{}", rep.completed),
+                format!("{}", rep.rejected_total() + rep.deadline_expired),
+                format!("{:.0}", rep.goodput_rps),
+                format!("{:.1}", rep.p50_latency_s * 1e3),
+                format!("{:.1}", rep.p99_latency_s * 1e3),
+                occ,
+                hw,
+            ]
+        })
+        .collect();
+    print_table(
+        &["engine", "completed", "shed", "goodput rps", "p50 ms", "p99 ms", "occupancy", "pages hw"],
+        &engine_rows,
+    );
+    println!(
+        "\ncontinuous/single-flight goodput = {:.2}x (bar ≥ 2.0)",
+        bench.continuous_goodput_ratio_overloaded
+    );
     println!(
         "fault storm: breaker on  -> {} fast-fails, {} opens, wall {:.2}s",
         bench.storm_breaker_on.rejected_breaker,
@@ -308,6 +484,18 @@ fn main() {
         bench.goodput_ratio_overloaded >= 0.9,
         "shedding must preserve goodput within 10% (got ratio {:.3})",
         bench.goodput_ratio_overloaded
+    );
+    assert!(
+        bench.continuous_goodput_ratio_overloaded >= 2.0,
+        "continuous batching must at least double single-flight goodput at 3x overload (got {:.2}x)",
+        bench.continuous_goodput_ratio_overloaded
+    );
+    let sched = bench.engines[1].report.scheduler.as_ref().expect("continuous scheduler report");
+    assert_eq!(sched.pages.fragmentation, 0, "page pool must drain with zero fragmentation");
+    assert_eq!(
+        sched.occupancy_hist.iter().sum::<u64>(),
+        sched.steps,
+        "occupancy histogram must account for every decode step"
     );
     assert!(bench.storm_breaker_on.breaker_opens >= 1, "storm must open the breaker");
     assert!(

@@ -1,0 +1,319 @@
+//! The batched engine step trait — the seam that lets one scheduler drive
+//! many execution engines.
+//!
+//! Before this trait, `dsi-serve`'s worker was welded 1:1 to
+//! [`FtSession`]: one request owned the whole session, so the M-row
+//! microkernels of the fast path never saw M>1 in production. The trait
+//! factors the *slot lifecycle* out of the execution engine:
+//!
+//! ```text
+//!   free ──prefill(slot, prompt)──▶ resident ──decode_step*──▶ resident
+//!                                       │
+//!                                  release(slot)
+//!                                       ▼
+//!                                     free
+//! ```
+//!
+//! * `prefill` admits a prompt into a free slot, runs its prompt pass, and
+//!   returns the first greedy token;
+//! * `decode_step` advances any strictly-ascending subset of resident slots
+//!   one token each through a single ragged M-row pass;
+//! * `release` retires a slot (returning its KV pages, if the engine is
+//!   paged).
+//!
+//! Implementations: [`FastSession`] (one slot, contiguous KV),
+//! [`BatchedFastSession`] (M slots, contiguous per-slot KV),
+//! [`PagedEngine`] (M slots over a shared page pool — the serving
+//! configuration), and [`FtEngine`] (one slot over the fault-tolerant
+//! tensor-parallel [`FtSession`]). Every implementation emits **the same
+//! token stream** for a given prompt — the microkernel
+//! accumulation-order invariant makes batching and paging invisible to the
+//! numerics — which is what lets the chaos suite use solo sessions as
+//! bitwise oracles for continuous-batched serving.
+
+use dsi_kernels::blocked::PanelWeights;
+use dsi_model::fast::{BatchedFastSession, FastSession};
+use dsi_model::paged::{PageStats, PagedEngine, PagesExhausted};
+use dsi_parallel::supervisor::{FtSession, StepCtl, StepError};
+
+/// Why an engine step could not run. `OutOfPages` is a *scheduling* signal
+/// (retire a victim and retry — nothing advanced, nothing leaked); `Fault`
+/// is an execution failure (the slot's sequence is lost and the engine may
+/// need a reset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A page reservation failed; the step was not executed.
+    OutOfPages { needed: usize, free: usize },
+    /// The underlying engine faulted (collective failure, rank loss, ...).
+    Fault(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::OutOfPages { needed, free } => {
+                write!(f, "out of kv pages: need {needed}, {free} free")
+            }
+            EngineError::Fault(m) => write!(f, "engine fault: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<PagesExhausted> for EngineError {
+    fn from(e: PagesExhausted) -> Self {
+        EngineError::OutOfPages { needed: e.needed, free: e.free }
+    }
+}
+
+/// A multi-slot generation engine a continuous-batching scheduler can
+/// drive. See the module docs for the slot lifecycle and the
+/// token-identity contract.
+pub trait BatchEngine {
+    /// Number of sequence slots (the scheduler's `SlotPolicy::max_slots`
+    /// must not exceed this).
+    fn max_slots(&self) -> usize;
+
+    /// Admit `prompt` into free `slot`; returns the first greedy token.
+    /// On `Err(OutOfPages)` the slot stays free and nothing is held.
+    fn prefill(&mut self, slot: usize, prompt: &[usize]) -> Result<usize, EngineError>;
+
+    /// Advance the given resident slots (strictly ascending) one token each
+    /// in a single ragged pass, appending each new token to `out` in
+    /// `slots` order. On `Err(OutOfPages)` no slot advanced.
+    fn decode_step(&mut self, slots: &[usize], out: &mut Vec<usize>) -> Result<(), EngineError>;
+
+    /// Retire `slot`, returning its KV storage for reuse.
+    fn release(&mut self, slot: usize);
+
+    /// Pages a `tokens`-long context pins. Unpaged engines meter at token
+    /// granularity (one "page" per token), so page-based admission math
+    /// degrades to token accounting without a special case.
+    fn pages_for(&self, tokens: usize) -> usize {
+        tokens
+    }
+
+    /// Allocator statistics, if the engine meters KV at page granularity.
+    /// `None` means contiguous growth (admission falls back to the
+    /// caller's token budget).
+    fn kv_stats(&self) -> Option<PageStats> {
+        None
+    }
+}
+
+impl<B: PanelWeights> BatchEngine for FastSession<'_, '_, B> {
+    fn max_slots(&self) -> usize {
+        1
+    }
+
+    fn prefill(&mut self, slot: usize, prompt: &[usize]) -> Result<usize, EngineError> {
+        assert_eq!(slot, 0, "FastSession has one slot");
+        self.reset();
+        self.begin(prompt);
+        Ok(self.generate_step())
+    }
+
+    fn decode_step(&mut self, slots: &[usize], out: &mut Vec<usize>) -> Result<(), EngineError> {
+        assert_eq!(slots, [0], "FastSession has one slot");
+        out.push(self.generate_step());
+        Ok(())
+    }
+
+    fn release(&mut self, slot: usize) {
+        assert_eq!(slot, 0, "FastSession has one slot");
+        self.reset();
+    }
+}
+
+impl<B: PanelWeights> BatchEngine for BatchedFastSession<'_, '_, B> {
+    fn max_slots(&self) -> usize {
+        self.seqs.len()
+    }
+
+    fn prefill(&mut self, slot: usize, prompt: &[usize]) -> Result<usize, EngineError> {
+        Ok(self.prefill_slot(slot, prompt))
+    }
+
+    fn decode_step(&mut self, slots: &[usize], out: &mut Vec<usize>) -> Result<(), EngineError> {
+        self.decode_slots(slots, out);
+        Ok(())
+    }
+
+    fn release(&mut self, slot: usize) {
+        self.release_slot(slot);
+    }
+}
+
+impl<B: PanelWeights> BatchEngine for PagedEngine<'_, '_, B> {
+    fn max_slots(&self) -> usize {
+        PagedEngine::max_slots(self)
+    }
+
+    fn prefill(&mut self, slot: usize, prompt: &[usize]) -> Result<usize, EngineError> {
+        PagedEngine::prefill(self, slot, prompt).map_err(EngineError::from)
+    }
+
+    fn decode_step(&mut self, slots: &[usize], out: &mut Vec<usize>) -> Result<(), EngineError> {
+        PagedEngine::decode(self, slots, out).map_err(EngineError::from)
+    }
+
+    fn release(&mut self, slot: usize) {
+        PagedEngine::release(self, slot);
+    }
+
+    fn pages_for(&self, tokens: usize) -> usize {
+        PagedEngine::pages_for(self, tokens)
+    }
+
+    fn kv_stats(&self) -> Option<PageStats> {
+        Some(self.pool_stats())
+    }
+}
+
+/// The fault-tolerant tensor-parallel engine: one slot over an
+/// [`FtSession`], so TP execution plugs into the same scheduler seam as
+/// the fast-path engines. Faults surface as [`EngineError::Fault`] with
+/// the slot's sequence lost; the wrapper resets the session so the slot is
+/// reusable.
+pub struct FtEngine {
+    sess: FtSession,
+    resident: bool,
+}
+
+impl FtEngine {
+    pub fn new(sess: FtSession) -> Self {
+        FtEngine { sess, resident: false }
+    }
+
+    /// The wrapped session (fault report, TP degree, ...).
+    pub fn session(&self) -> &FtSession {
+        &self.sess
+    }
+
+    pub fn into_session(self) -> FtSession {
+        self.sess
+    }
+}
+
+impl BatchEngine for FtEngine {
+    fn max_slots(&self) -> usize {
+        1
+    }
+
+    fn prefill(&mut self, slot: usize, prompt: &[usize]) -> Result<usize, EngineError> {
+        assert_eq!(slot, 0, "FtEngine has one slot");
+        assert!(!self.resident, "prefill into occupied slot");
+        self.sess.reset();
+        let tok = self
+            .sess
+            .begin_ctl(prompt, &StepCtl::NONE)
+            .and_then(|()| self.sess.generate_step_ctl(&StepCtl::NONE))
+            .map_err(|e| match e {
+                StepError::Fault(f) => EngineError::Fault(f.to_string()),
+                StepError::Aborted(_) => unreachable!("StepCtl::NONE never aborts"),
+            })?;
+        self.resident = true;
+        Ok(tok)
+    }
+
+    fn decode_step(&mut self, slots: &[usize], out: &mut Vec<usize>) -> Result<(), EngineError> {
+        assert_eq!(slots, [0], "FtEngine has one slot");
+        assert!(self.resident, "decode of free slot");
+        match self.sess.generate_step_ctl(&StepCtl::NONE) {
+            Ok(tok) => {
+                out.push(tok);
+                Ok(())
+            }
+            Err(StepError::Fault(f)) => {
+                // The sequence is unrecoverable: drop residency so the
+                // scheduler can reuse the slot after accounting the loss.
+                self.resident = false;
+                self.sess.reset();
+                Err(EngineError::Fault(f.to_string()))
+            }
+            Err(StepError::Aborted(_)) => unreachable!("StepCtl::NONE never aborts"),
+        }
+    }
+
+    fn release(&mut self, slot: usize) {
+        assert_eq!(slot, 0, "FtEngine has one slot");
+        self.resident = false;
+        self.sess.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_model::fast::PackedModel;
+    use dsi_model::reference::GptModel;
+    use dsi_model::zoo;
+    use dsi_parallel::supervisor::FtConfig;
+    use std::sync::Arc;
+
+    fn model(seed: u64) -> GptModel {
+        GptModel::random(zoo::tiny(2), seed)
+    }
+
+    /// Drive any engine through the common lifecycle and return the token
+    /// stream of one slot-0 request.
+    fn run_slot0<E: BatchEngine>(eng: &mut E, prompt: &[usize], n: usize) -> Vec<usize> {
+        let mut toks = vec![eng.prefill(0, prompt).unwrap()];
+        let mut step = Vec::new();
+        for _ in 1..n {
+            step.clear();
+            eng.decode_step(&[0], &mut step).unwrap();
+            toks.push(step[0]);
+        }
+        eng.release(0);
+        toks
+    }
+
+    #[test]
+    fn every_engine_emits_the_same_tokens() {
+        let m = model(11);
+        let pm = PackedModel::pack(&m);
+        let prompt = [3usize, 1, 4, 1, 5];
+        let want = pm.session(prompt.len()).generate(&prompt, 6);
+
+        let mut fast = pm.session(prompt.len());
+        assert_eq!(run_slot0(&mut fast, &prompt, 6), want, "FastSession");
+
+        let mut batched = pm.slot_session(3, prompt.len());
+        assert_eq!(run_slot0(&mut batched, &prompt, 6), want, "BatchedFastSession");
+
+        let mut paged = PagedEngine::new(&pm, 3, 32, 4);
+        assert_eq!(run_slot0(&mut paged, &prompt, 6), want, "PagedEngine");
+
+        let mut ft = FtEngine::new(FtSession::new(
+            Arc::new(model(11)),
+            prompt.len(),
+            FtConfig::new(2),
+        ));
+        assert_eq!(run_slot0(&mut ft, &prompt, 6), want, "FtEngine tp=2");
+    }
+
+    #[test]
+    fn slot_is_reusable_after_release() {
+        let m = model(13);
+        let pm = PackedModel::pack(&m);
+        let mut paged = PagedEngine::new(&pm, 2, 16, 4);
+        let a = run_slot0(&mut paged, &[1, 2, 3], 4);
+        let b = run_slot0(&mut paged, &[1, 2, 3], 4);
+        assert_eq!(a, b, "release must fully clear the slot");
+        assert_eq!(paged.kv_stats().unwrap().pages_in_use, 0);
+    }
+
+    #[test]
+    fn unpaged_engines_meter_per_token() {
+        let m = model(17);
+        let pm = PackedModel::pack(&m);
+        let fast = pm.session(4);
+        assert_eq!(BatchEngine::pages_for(&fast, 7), 7);
+        assert!(BatchEngine::kv_stats(&fast).is_none());
+        let paged = PagedEngine::new(&pm, 1, 8, 4);
+        assert_eq!(BatchEngine::pages_for(&paged, 7), 2);
+        assert_eq!(BatchEngine::kv_stats(&paged).unwrap().pages_total, 8);
+    }
+}

@@ -17,11 +17,53 @@ use rand::distributions::Distribution;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// The iteration-level slot policy — **one** struct shared by the analytic
+/// simulator below and the *executed* continuous scheduler in `dsi-serve`
+/// (`dsi_serve::scheduler`): a sequence may join whenever a slot is free,
+/// and retires the moment it finishes. Keeping the decision in one place
+/// means the simulator's predictions and the runtime's behavior cannot
+/// drift apart on admission policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotPolicy {
+    /// Maximum sequences resident in the running batch.
+    pub max_slots: usize,
+}
+
+impl SlotPolicy {
+    pub fn new(max_slots: usize) -> Self {
+        assert!(max_slots > 0, "SlotPolicy: max_slots must be positive");
+        SlotPolicy { max_slots }
+    }
+
+    /// May another sequence join a batch currently holding `resident`?
+    pub fn can_admit(&self, resident: usize) -> bool {
+        resident < self.max_slots
+    }
+
+    /// Slots free for admission with `resident` sequences in flight.
+    pub fn free_slots(&self, resident: usize) -> usize {
+        self.max_slots.saturating_sub(resident)
+    }
+}
+
 /// Continuous-batching policy.
 #[derive(Debug, Clone, Copy)]
 pub struct ContinuousPolicy {
     /// Maximum sequences resident in the running batch.
     pub max_batch: usize,
+}
+
+impl ContinuousPolicy {
+    /// The slot policy this batching policy induces.
+    pub fn slots(&self) -> SlotPolicy {
+        SlotPolicy::new(self.max_batch)
+    }
+}
+
+impl From<ContinuousPolicy> for SlotPolicy {
+    fn from(p: ContinuousPolicy) -> Self {
+        p.slots()
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -57,6 +99,7 @@ pub fn simulate_continuous_with_faults(
 ) -> ServingReport {
     assert!(workload.requests > 0 && policy.max_batch > 0);
     assert!((0.0..=1.0).contains(&faults.failure_rate));
+    let slots = policy.slots();
     let mut rng = ChaCha8Rng::seed_from_u64(workload.seed);
     let exp = rand::distributions::Uniform::new(0.0f64, 1.0);
     let mut fault_rng = ChaCha8Rng::seed_from_u64(faults.seed);
@@ -100,9 +143,10 @@ pub fn simulate_continuous_with_faults(
     let mut evicted = 0usize;
 
     while latencies.len() + evicted < workload.requests {
-        // Admit arrivals into free slots.
+        // Admit arrivals into free slots (shared policy with dsi-serve's
+        // executed scheduler).
         while next < arrivals.len()
-            && running.len() < policy.max_batch
+            && slots.can_admit(running.len())
             && arrivals[next] <= now
         {
             running.push(Request {

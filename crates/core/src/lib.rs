@@ -14,6 +14,7 @@
 //! Re-exports the commonly used types from every substrate crate so that
 //! downstream users need a single dependency.
 
+pub mod batch;
 pub mod continuous;
 pub mod engine;
 pub mod planner;
@@ -31,7 +32,10 @@ pub use dsi_sim::hw::{ClusterSpec, DType, GpuSpec, NodeSpec};
 pub use dsi_zero::engine::ZeroInference;
 pub use engine::{EngineConfig, InferenceEngine, RunReport};
 pub use planner::{plan, Objective, Plan};
-pub use continuous::{simulate_continuous, simulate_continuous_with_faults, ContinuousPolicy};
+pub use batch::{BatchEngine, EngineError, FtEngine};
+pub use continuous::{
+    simulate_continuous, simulate_continuous_with_faults, ContinuousPolicy, SlotPolicy,
+};
 pub use serving::{
     simulate_serving, simulate_serving_with_faults, BatchPolicy, FaultProfile, ServingReport,
     Workload,

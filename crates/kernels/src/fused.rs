@@ -205,6 +205,98 @@ pub struct KvView<'a> {
     pub offset: usize,
 }
 
+/// One sequence's **paged** KV cache: K/V rows live in shared per-layer
+/// arenas, scattered across fixed-size token pages named by `pages` (the
+/// sequence's page table). Token position `j` resolves to arena row
+/// `pages[j / page_tokens] * page_tokens + j % page_tokens`.
+pub struct PagedKvView<'a> {
+    /// K arena, `[pages_total * page_tokens, h]` row-major.
+    pub k: &'a [f32],
+    /// V arena, same shape as `k`.
+    pub v: &'a [f32],
+    /// This sequence's page table, in position order.
+    pub pages: &'a [u32],
+    /// Tokens per page.
+    pub page_tokens: usize,
+    /// Context rows written through the table so far.
+    pub len: usize,
+    /// The query's position: it attends to keys `0..=offset`.
+    pub offset: usize,
+}
+
+/// One query row attending through a page table ([`PagedKvView`]). The FLOP
+/// sequence is the *same monomorphized code* as [`attention_row_into`] —
+/// only the key-row addressing differs — so the output is bit-identical to
+/// contiguous attention over the same K/V values.
+pub fn attention_row_paged_into(
+    q: &[f32],
+    kv: &PagedKvView<'_>,
+    n_heads: usize,
+    out: &mut [f32],
+) {
+    let h = q.len();
+    let pt = kv.page_tokens;
+    assert!(pt > 0, "paged attention: zero page_tokens");
+    let visible = (kv.offset + 1).min(kv.len);
+    let pages_needed = visible.div_ceil(pt);
+    assert!(
+        pages_needed <= kv.pages.len(),
+        "paged attention: page table too short ({} pages for {visible} tokens)",
+        kv.pages.len()
+    );
+    // Every page the pass will touch must map inside both arenas — this is
+    // the bounds contract the AVX kernel's raw pointer arithmetic relies on.
+    for &p in &kv.pages[..pages_needed] {
+        let end = (p as usize + 1) * pt * h;
+        assert!(
+            end <= kv.k.len() && end <= kv.v.len(),
+            "paged attention: page {p} out of arena bounds"
+        );
+    }
+    attention_row_core_indexed(
+        q,
+        kv.k,
+        kv.v,
+        h,
+        n_heads,
+        visible,
+        PagedRows { pages: kv.pages, page_tokens: pt },
+        out,
+    );
+}
+
+/// Maps a logical context index to its physical row in the K/V backing
+/// storage. Contiguous caches are the identity; paged caches translate
+/// through a page table. Monomorphization keeps the floating-point
+/// instruction sequence of both paths identical — paged attention is
+/// bit-identical to contiguous attention by construction, not by tolerance.
+trait RowIndex: Copy {
+    fn row(&self, j: usize) -> usize;
+}
+
+#[derive(Clone, Copy)]
+struct ContigRows;
+
+impl RowIndex for ContigRows {
+    #[inline(always)]
+    fn row(&self, j: usize) -> usize {
+        j
+    }
+}
+
+#[derive(Clone, Copy)]
+struct PagedRows<'a> {
+    pages: &'a [u32],
+    page_tokens: usize,
+}
+
+impl RowIndex for PagedRows<'_> {
+    #[inline(always)]
+    fn row(&self, j: usize) -> usize {
+        self.pages[j / self.page_tokens] as usize * self.page_tokens + j % self.page_tokens
+    }
+}
+
 /// Ragged-batch region-2 kernel: row `i` of the strided `q` block attends
 /// over its own `kvs[i]` (per-row KV tensors and per-row sequence length).
 /// This is [`attention_seq_into`] generalized from "one cache, stair-step
@@ -252,34 +344,50 @@ fn attention_row_core(
 ) {
     let t_ctx = k.rows();
     let h = k.cols();
-    assert_eq!(qrow.len(), h, "attention: q row size mismatch");
     assert_eq!(v.rows(), t_ctx);
     assert_eq!(v.cols(), h);
+    assert!(visible <= t_ctx, "attention: visible exceeds cache");
+    attention_row_core_indexed(qrow, k.data(), v.data(), h, n_heads, visible, ContigRows, out);
+}
+
+/// [`attention_row_core`] over arbitrary K/V row placement: logical context
+/// index `j` reads arena row `idx.row(j)`. The caller must guarantee
+/// `(idx.row(j) + 1) * h <= kd.len(), vd.len()` for every `j < visible`.
+#[allow(clippy::too_many_arguments)]
+fn attention_row_core_indexed<I: RowIndex>(
+    qrow: &[f32],
+    kd: &[f32],
+    vd: &[f32],
+    h: usize,
+    n_heads: usize,
+    visible: usize,
+    idx: I,
+    out: &mut [f32],
+) {
+    assert_eq!(qrow.len(), h, "attention: q row size mismatch");
     assert_eq!(out.len(), h, "attention: out row size mismatch");
     assert_eq!(h % n_heads, 0, "heads must divide hidden");
-    assert!(visible <= t_ctx, "attention: visible exceeds cache");
     let d = h / n_heads;
     let scale = 1.0 / (d as f32).sqrt();
-    let (kd, vd) = (k.data(), v.data());
     for hd in 0..n_heads {
         let lo = hd * d;
         let qi = &qrow[lo..lo + d];
         let acc = &mut out[lo..lo + d];
         #[cfg(target_arch = "x86_64")]
         if d.is_multiple_of(8) && crate::simd::avx2_fma() {
-            // SAFETY: feature support checked; `d` divides 8; the
-            // pointer arithmetic stays inside `kd`/`vd` because
-            // `visible <= t_ctx` and `lo + d <= h`.
-            unsafe { attn_avx::head_attention(qi, kd, vd, h, lo, visible, scale, acc) };
+            // SAFETY: feature support checked; `d` divides 8; the pointer
+            // arithmetic stays inside `kd`/`vd` because the caller bounds
+            // every `idx.row(j)` row inside both arenas and `lo + d <= h`.
+            unsafe { attn_avx::head_attention(qi, kd, vd, h, lo, visible, scale, idx, acc) };
             continue;
         }
-        head_attention_scalar(qi, kd, vd, h, lo, visible, scale, acc);
+        head_attention_scalar(qi, kd, vd, h, lo, visible, scale, idx, acc);
     }
 }
 
 /// One (query, head) online-softmax pass: the portable reference kernel.
 #[allow(clippy::too_many_arguments)]
-fn head_attention_scalar(
+fn head_attention_scalar<I: RowIndex>(
     qi: &[f32],
     kd: &[f32],
     vd: &[f32],
@@ -287,6 +395,7 @@ fn head_attention_scalar(
     lo: usize,
     visible: usize,
     scale: f32,
+    idx: I,
     acc: &mut [f32],
 ) {
     let d = qi.len();
@@ -294,7 +403,8 @@ fn head_attention_scalar(
     let mut m_run = f32::NEG_INFINITY;
     let mut sum = 0.0f32;
     for j in 0..visible {
-        let kj = &kd[j * h + lo..j * h + lo + d];
+        let r = idx.row(j);
+        let kj = &kd[r * h + lo..r * h + lo + d];
         let s = dot(qi, kj) * scale;
         if s > m_run {
             // Rescale history to the new max. First iteration:
@@ -308,7 +418,7 @@ fn head_attention_scalar(
         }
         let w = (s - m_run).exp();
         sum += w;
-        let vj = &vd[j * h + lo..j * h + lo + d];
+        let vj = &vd[r * h + lo..r * h + lo + d];
         for (a, &vv) in acc.iter_mut().zip(vj) {
             *a += w * vv;
         }
@@ -321,6 +431,7 @@ fn head_attention_scalar(
 
 #[cfg(target_arch = "x86_64")]
 mod attn_avx {
+    use super::RowIndex;
     use crate::simd::avx::exp_ps;
     use std::arch::x86_64::*;
 
@@ -341,14 +452,18 @@ mod attn_avx {
     /// 8 vector dot products, one shared running-max rescale, one 8-wide
     /// `exp`, then 8 FMA accumulations — same recurrence as the scalar
     /// kernel, still O(1) state (an 8-score register block, no per-query
-    /// buffer). Requires `d % 8 == 0`.
+    /// buffer). Key rows are addressed through `idx` (identity for
+    /// contiguous caches, page-table translation for paged ones); each of
+    /// the 8 dots addresses its own row, so non-contiguous placement
+    /// changes nothing but the load addresses. Requires `d % 8 == 0`.
     ///
     /// # Safety
-    /// Requires AVX2+FMA; `kd`/`vd` must hold `[t_ctx, h]` row-major with
-    /// `visible <= t_ctx`, `lo + d <= h`, `d == qi.len() == acc.len()`.
+    /// Requires AVX2+FMA; `kd`/`vd` must hold `h`-column rows with
+    /// `(idx.row(j) + 1) * h <= kd.len(), vd.len()` for every
+    /// `j < visible`, `lo + d <= h`, `d == qi.len() == acc.len()`.
     #[allow(clippy::too_many_arguments)]
     #[target_feature(enable = "avx2", enable = "fma")]
-    pub unsafe fn head_attention(
+    pub unsafe fn head_attention<I: RowIndex>(
         qi: &[f32],
         kd: &[f32],
         vd: &[f32],
@@ -356,6 +471,7 @@ mod attn_avx {
         lo: usize,
         visible: usize,
         scale: f32,
+        idx: I,
         acc: &mut [f32],
     ) {
         let d = qi.len();
@@ -363,8 +479,10 @@ mod attn_avx {
         debug_assert!(d.is_multiple_of(8), "head_dim must be a multiple of 8");
         debug_assert_eq!(acc.len(), d);
         debug_assert!(lo + d <= h, "head slice must fit inside the hidden dim");
-        debug_assert!(visible * h <= kd.len(), "visible rows exceed K data");
-        debug_assert!(visible * h <= vd.len(), "visible rows exceed V data");
+        debug_assert!(
+            (0..visible).all(|j| (idx.row(j) + 1) * h <= kd.len().min(vd.len())),
+            "indexed rows exceed K/V data"
+        );
         acc.fill(0.0);
         let mut m_run = f32::NEG_INFINITY;
         let mut sum = 0.0f32;
@@ -373,12 +491,13 @@ mod attn_avx {
         let mut j = 0;
         while j + 8 <= visible {
             for (jr, sb) in sbuf.iter_mut().enumerate() {
-                // SAFETY: `j + jr < visible`, `visible * h <= kd.len()` and
-                // `lo + d <= h` keep `kj.add(t)` (t < d, 8-aligned strides)
-                // inside `kd`; `t + 8 <= d == qi.len()` bounds the q loads;
-                // `hsum` requires AVX2+FMA, guaranteed by this fn.
+                // SAFETY: `j + jr < visible`, the caller's row bound
+                // `(idx.row(j) + 1) * h <= kd.len()` and `lo + d <= h` keep
+                // `kj.add(t)` (t < d, 8-aligned strides) inside `kd`;
+                // `t + 8 <= d == qi.len()` bounds the q loads; `hsum`
+                // requires AVX2+FMA, guaranteed by this fn.
                 unsafe {
-                    let kj = kd.as_ptr().add((j + jr) * h + lo);
+                    let kj = kd.as_ptr().add(idx.row(j + jr) * h + lo);
                     let mut dv = _mm256_setzero_ps();
                     let mut t = 0;
                     while t < d {
@@ -431,11 +550,11 @@ mod attn_avx {
             for (jr, &wv) in wbuf.iter().enumerate() {
                 let wv = _mm256_set1_ps(wv);
                 // SAFETY: same bounds as the K pass — `j + jr < visible`,
-                // `visible * h <= vd.len()`, `lo + d <= h` keep the V loads
-                // in bounds; `t + 8 <= d == acc.len()` bounds the
+                // the caller's row bound on `vd`, `lo + d <= h` keep the V
+                // loads in bounds; `t + 8 <= d == acc.len()` bounds the
                 // accumulator update.
                 unsafe {
-                    let vj = vd.as_ptr().add((j + jr) * h + lo);
+                    let vj = vd.as_ptr().add(idx.row(j + jr) * h + lo);
                     let mut t = 0;
                     while t < d {
                         let p = acc.as_mut_ptr().add(t);
@@ -451,7 +570,8 @@ mod attn_avx {
         }
         // Scalar tail: fewer than 8 keys left.
         for jj in j..visible {
-            let kj = &kd[jj * h + lo..jj * h + lo + d];
+            let r = idx.row(jj);
+            let kj = &kd[r * h + lo..r * h + lo + d];
             let s = crate::blocked::dot(qi, kj) * scale;
             if s > m_run {
                 let corr = (m_run - s).exp();
@@ -463,7 +583,7 @@ mod attn_avx {
             }
             let w = (s - m_run).exp();
             sum += w;
-            let vj = &vd[jj * h + lo..jj * h + lo + d];
+            let vj = &vd[r * h + lo..r * h + lo + d];
             for (a, &vv) in acc.iter_mut().zip(vj) {
                 *a += w * vv;
             }
@@ -612,6 +732,100 @@ mod tests {
                 gi.max_abs_diff(&want)
             );
         }
+    }
+
+    /// Scatter the rows of a contiguous `[t, h]` K (or V) into a paged
+    /// arena through an arbitrary page table.
+    fn scatter_paged(src: &Tensor, pages: &[u32], pt: usize, arena_pages: usize) -> Vec<f32> {
+        let h = src.cols();
+        let mut arena = vec![f32::NAN; arena_pages * pt * h]; // poison unused slots
+        for j in 0..src.rows() {
+            let r = pages[j / pt] as usize * pt + j % pt;
+            arena[r * h..(r + 1) * h].copy_from_slice(src.row(j));
+        }
+        arena
+    }
+
+    #[test]
+    fn paged_attention_bit_identical_to_contiguous() {
+        // Shuffled, non-adjacent page tables; lengths that land mid-page, on
+        // page edges, and inside the first page; head dims hitting both the
+        // AVX (d % 8 == 0) and scalar paths.
+        let cases = [
+            (1usize, 4usize, 1usize, 8usize), // single token, AVX head
+            (7, 4, 2, 8),                     // mid-page, 2 heads
+            (8, 4, 1, 8),                     // exact page boundary
+            (13, 4, 2, 8),                    // crosses 3 pages
+            (16, 8, 2, 8),                    // two full pages
+            (9, 3, 1, 4),                     // pt % 8 != 0, scalar head (d=4)
+            (21, 5, 3, 8),                    // ragged everything
+        ];
+        for (ci, &(len, pt, heads, d)) in cases.iter().enumerate() {
+            let h = heads * d;
+            let seed = 100 + ci as u64;
+            let q = Tensor::randn(&[1, h], 1.0, seed);
+            let k = Tensor::randn(&[len, h], 1.0, seed + 1);
+            let v = Tensor::randn(&[len, h], 1.0, seed + 2);
+            let n_pages = len.div_ceil(pt);
+            // Reverse page order + a gap: pages are deliberately scattered.
+            let arena_pages = n_pages + 2;
+            let pages: Vec<u32> = (0..n_pages).map(|p| (arena_pages - 1 - p) as u32).collect();
+            let ka = scatter_paged(&k, &pages, pt, arena_pages);
+            let va = scatter_paged(&v, &pages, pt, arena_pages);
+            for offset in [0, len / 2, len - 1] {
+                let mut want = vec![0.0f32; h];
+                attention_row_into(q.row(0), &k, &v, heads, offset, &mut want);
+                let mut got = vec![0.0f32; h];
+                attention_row_paged_into(
+                    q.row(0),
+                    &PagedKvView {
+                        k: &ka,
+                        v: &va,
+                        pages: &pages,
+                        page_tokens: pt,
+                        len,
+                        offset,
+                    },
+                    heads,
+                    &mut got,
+                );
+                assert_eq!(
+                    got.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                    "case {ci} (len {len}, pt {pt}, offset {offset}) not bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "page table too short")]
+    fn paged_attention_rejects_short_table() {
+        let h = 8;
+        let arena = vec![0.0f32; 4 * h];
+        let q = vec![0.0f32; h];
+        let mut out = vec![0.0f32; h];
+        attention_row_paged_into(
+            &q,
+            &PagedKvView { k: &arena, v: &arena, pages: &[0], page_tokens: 4, len: 6, offset: 5 },
+            1,
+            &mut out,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of arena bounds")]
+    fn paged_attention_rejects_out_of_range_page() {
+        let h = 8;
+        let arena = vec![0.0f32; 4 * h]; // one 4-token page worth of rows
+        let q = vec![0.0f32; h];
+        let mut out = vec![0.0f32; h];
+        attention_row_paged_into(
+            &q,
+            &PagedKvView { k: &arena, v: &arena, pages: &[3], page_tokens: 4, len: 2, offset: 1 },
+            1,
+            &mut out,
+        );
     }
 
     #[test]

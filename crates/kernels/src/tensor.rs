@@ -191,6 +191,17 @@ impl Tensor {
         self.set_rows_2d(c);
     }
 
+    /// Drop all rows past `rows`, keeping the backing storage (the inverse
+    /// of [`Tensor::push_row_slice`]): a session reset truncates its KV
+    /// tensors to zero rows and the next request appends into the same
+    /// allocation.
+    pub fn truncate_rows(&mut self, rows: usize) {
+        let c = self.cols();
+        assert!(rows <= self.rows(), "truncate_rows: growing");
+        self.data.truncate(rows * c);
+        self.set_rows_2d(c);
+    }
+
     /// Collapse the shape to 2-D `[rows, cols]` after a data append, reusing
     /// the shape vector's storage: per-token KV appends must not allocate.
     fn set_rows_2d(&mut self, cols: usize) {

@@ -200,6 +200,32 @@ impl<'m, B: PanelWeights> PackedModel<'m, B> {
         }
     }
 
+    /// Start an **empty** batched session with `max_slots` reusable slots,
+    /// all initially released — the multi-slot contiguous-KV engine surface
+    /// behind `dsi-core`'s `BatchEngine` ([`BatchedFastSession::prefill_slot`]
+    /// / [`BatchedFastSession::decode_slots`] /
+    /// [`BatchedFastSession::release_slot`]).
+    pub fn slot_session(&self, max_slots: usize, max_prompt: usize) -> BatchedFastSession<'_, 'm, B> {
+        assert!(max_slots > 0);
+        let c = self.config();
+        BatchedFastSession {
+            pm: self,
+            seqs: (0..max_slots)
+                .map(|_| BatchedSeq {
+                    cache: KvCache::with_capacity(c.layers, c.hidden, c.max_seq),
+                    tokens: Vec::new(),
+                    prompt_len: 0,
+                    generated: 0,
+                    finished: true,
+                })
+                .collect(),
+            scratch: Scratch::new(c, max_prompt.max(max_slots).max(1)),
+            eos: None,
+            max_new_tokens: usize::MAX,
+            active_idx: Vec::with_capacity(max_slots),
+        }
+    }
+
     /// Forward `ids` as consecutive positions of **one** sequence over
     /// `cache`, leaving `[ids.len(), vocab]` logits in `scratch`. The
     /// engine core shared by [`FastSession::forward`] and the batched
@@ -357,19 +383,19 @@ pub struct StepRow<'a> {
 #[derive(Debug)]
 pub struct Scratch {
     /// `[h]` layer-norm output row (interior of fused regions 1 and 4).
-    normed: Vec<f32>,
+    pub(crate) normed: Vec<f32>,
     /// `[m, h]` current activations.
-    x: Vec<f32>,
+    pub(crate) x: Vec<f32>,
     /// `[m, 3h]` fused QKV projection output.
-    qkv: Vec<f32>,
+    pub(crate) qkv: Vec<f32>,
     /// `[m, h]` attention context output.
-    attn: Vec<f32>,
+    pub(crate) attn: Vec<f32>,
     /// `[m, h]` block output (regions 3/5 write here, then swap with `x`).
-    y: Vec<f32>,
+    pub(crate) y: Vec<f32>,
     /// `[m, 4h]` FF1 activation.
-    ff: Vec<f32>,
+    pub(crate) ff: Vec<f32>,
     /// `[m, vocab]` logits.
-    logits: Vec<f32>,
+    pub(crate) logits: Vec<f32>,
 }
 
 /// The scratch arena's layout: `(buffer name, capacity in floats)` for `m`
@@ -492,6 +518,15 @@ impl<B: PanelWeights> FastSession<'_, '_, B> {
         let tok = argmax(self.last_logits());
         self.to_feed = Some(tok);
         tok
+    }
+
+    /// Drop all decode state (KV context, pending token), keeping every
+    /// buffer's capacity: the session is ready for a fresh prompt with zero
+    /// reallocation — the single-slot engine's `release` path.
+    pub fn reset(&mut self) {
+        self.cache.clear();
+        self.to_feed = None;
+        self.last_m = 0;
     }
 
     /// Greedy generation: process `prompt`, then emit `n_tokens` tokens
@@ -631,6 +666,70 @@ impl<B: PanelWeights> BatchedFastSession<'_, '_, B> {
     pub fn output(&self, i: usize) -> &[usize] {
         let s = &self.seqs[i];
         &s.tokens[s.prompt_len..]
+    }
+
+    /// Engine-slot surface: (re)fill `slot` with a fresh prompt, run its
+    /// prompt pass, and return the first greedy token (recorded as the
+    /// slot's pending feed). Unlike [`BatchedFastSession::prompt`], slot
+    /// retirement (EOS, caps) is the *caller's* decision — this surface
+    /// only executes.
+    pub fn prefill_slot(&mut self, slot: usize, prompt: &[usize]) -> usize {
+        assert!(!prompt.is_empty(), "empty prompt");
+        let vocab = self.pm.config().vocab;
+        let sq = &mut self.seqs[slot];
+        sq.cache.clear();
+        sq.tokens.clear();
+        sq.tokens.extend_from_slice(prompt);
+        sq.prompt_len = prompt.len();
+        sq.finished = false;
+        self.pm.forward_seq(&mut self.scratch, &mut sq.cache, prompt);
+        let next = argmax(self.scratch.logits_row(prompt.len() - 1, vocab));
+        sq.tokens.push(next);
+        sq.generated = 1;
+        next
+    }
+
+    /// Engine-slot surface: advance the given slots (strictly ascending,
+    /// in-use) by one token each through a single ragged M-row pass,
+    /// appending each slot's new token to `out` in `slots` order.
+    pub fn decode_slots(&mut self, slots: &[usize], out: &mut Vec<usize>) {
+        assert!(!slots.is_empty(), "decode_slots: empty batch");
+        assert!(
+            slots.windows(2).all(|w| w[0] < w[1]),
+            "decode_slots: slots must be strictly ascending"
+        );
+        let vocab = self.pm.config().vocab;
+        let mut rows: Vec<StepRow<'_>> = self
+            .seqs
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| slots.binary_search(i).is_ok())
+            .map(|(_, s)| StepRow {
+                token: *s.tokens.last().expect("slot not prefilled"),
+                cache: &mut s.cache,
+            })
+            .collect();
+        assert_eq!(rows.len(), slots.len(), "decode_slots: slot out of range");
+        self.pm.forward_rows(&mut self.scratch, &mut rows);
+        drop(rows);
+        for (r, &i) in slots.iter().enumerate() {
+            let next = argmax(self.scratch.logits_row(r, vocab));
+            let sq = &mut self.seqs[i];
+            sq.tokens.push(next);
+            sq.generated += 1;
+            out.push(next);
+        }
+    }
+
+    /// Engine-slot surface: return `slot` to the released state, keeping
+    /// its KV capacity for the next occupant.
+    pub fn release_slot(&mut self, slot: usize) {
+        let sq = &mut self.seqs[slot];
+        sq.cache.clear();
+        sq.tokens.clear();
+        sq.prompt_len = 0;
+        sq.generated = 0;
+        sq.finished = true;
     }
 
     /// Scratch + KV data pointers; unchanged values across steps prove the

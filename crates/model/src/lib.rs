@@ -25,6 +25,7 @@ pub mod config;
 pub mod encoder;
 pub mod fast;
 pub mod io;
+pub mod paged;
 pub mod quantized;
 pub mod reference;
 pub mod sampling;
@@ -38,6 +39,7 @@ pub use fast::{
     BatchedFastSession, BatchedSeq, FastSession, PackedLayer, PackedModel, QuantizedFastSession,
     QuantizedPackedModel, StepRow,
 };
+pub use paged::{PagePool, PageStats, PagedEngine, PagedSeq, PagesExhausted};
 pub use quantized::QuantizedGptModel;
 pub use reference::{GptModel, KvCache, LayerKv, LayerWeights};
 pub use sampling::{Sampler, SamplerConfig};

@@ -113,6 +113,12 @@ impl LayerKv {
     pub fn bytes(&self) -> usize {
         (self.k.len() + self.v.len()) * 4
     }
+
+    /// Drop all cached context, keeping the backing storage for reuse.
+    pub fn clear(&mut self) {
+        self.k.truncate_rows(0);
+        self.v.truncate_rows(0);
+    }
 }
 
 /// Per-layer KV cache for one sequence.
@@ -144,6 +150,14 @@ impl KvCache {
 
     pub fn total_bytes(&self) -> usize {
         self.layers.iter().map(|l| l.bytes()).sum()
+    }
+
+    /// Drop all cached context in every layer, keeping capacity (session
+    /// reuse across requests).
+    pub fn clear(&mut self) {
+        for l in &mut self.layers {
+            l.clear();
+        }
     }
 }
 

@@ -33,11 +33,23 @@
 //!    `admitted == completed + evicted + deadline_expired` — under every
 //!    fault storm the chaos suite can script.
 
+//!
+//! Since the continuous-batching rewrite the runtime fronts **two engine
+//! disciplines** behind the same admission/drain machinery
+//! ([`server::EngineMode`]): the single-flight fault-tolerant `FtSession`
+//! path above, and an executed continuous-batching scheduler
+//! ([`scheduler`]) over a paged multi-slot engine
+//! ([`PagedEngine`](dsi_model::paged::PagedEngine)) — iteration-level
+//! admission, ragged M-row decode, mid-batch retirement, and
+//! page-granular KV accounting with typed page-exhaustion shedding.
+
 pub mod breaker;
+pub mod scheduler;
 pub mod server;
 
 pub use breaker::{Breaker, BreakerAdmission, BreakerConfig, BreakerState};
+pub use scheduler::{PageReport, SchedReport};
 pub use server::{
-    kv_budget_tokens, EvictReason, Outcome, Rejected, Request, ServeConfig, ServeReport, Server,
-    Ticket,
+    kv_budget_tokens, ContinuousConfig, EngineMode, EvictReason, Outcome, Rejected, Request,
+    ServeConfig, ServeReport, Server, Ticket,
 };

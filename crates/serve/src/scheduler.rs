@@ -1,0 +1,349 @@
+//! The executed continuous-batching scheduler — `core::continuous`'s slot
+//! policy, now driving a real engine instead of a cost model.
+//!
+//! Every iteration is three phases around one ragged decode step:
+//!
+//! 1. **Admit** (under the state lock): pop queued jobs into free slots
+//!    while [`SlotPolicy::can_admit`] holds *and* the page pool can seat
+//!    the job's prompt right now. The policy struct is the same one
+//!    `simulate_continuous` uses, so the simulator's admission discipline
+//!    and the runtime's cannot drift.
+//! 2. **Execute** (no lock): prefill newcomers (one prompt pass each),
+//!    then advance every resident one token through a single
+//!    `forward_rows` pass via [`PagedEngine::decode`]. Page growth for the
+//!    step is reserved *before* compute; on exhaustion the newest resident
+//!    is shed with [`EvictReason::PagesExhausted`] (its exact token prefix
+//!    attached) and the step retries — never an abort, never a hang.
+//! 3. **Retire** (under the lock): resolve residents that completed
+//!    (`n_tokens` reached or [`eos`](crate::ServeConfig::eos) emitted),
+//!    were cancelled, or passed their deadline — mid-batch, without
+//!    disturbing neighbours. Counters, latencies, and the breaker see
+//!    exactly the same transitions as the single-flight path, so the
+//!    `submitted == admitted + rejected` and
+//!    `admitted == completed + evicted + deadline_expired` identities hold
+//!    unchanged.
+//!
+//! Because [`PagedEngine`] decode is bit-identical to a solo
+//! [`FastSession`](dsi_model::fast::FastSession) run (which is
+//! token-identical to `FtSession` at any TP degree), every outcome's token
+//! stream — full or partial — is an exact prefix of the request's solo
+//! generation. The chaos suite holds serving to that oracle.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use dsi_core::batch::{BatchEngine, EngineError};
+use dsi_core::SlotPolicy;
+use dsi_model::fast::PackedModel;
+use dsi_model::paged::PagedEngine;
+use dsi_model::reference::GptModel;
+use serde::Serialize;
+
+use crate::server::{ContinuousConfig, EvictReason, Job, Outcome, Running, Shared};
+
+/// Page-allocator statistics at drain, for BENCH_serve.json.
+#[derive(Debug, Clone, Serialize)]
+pub struct PageReport {
+    pub pages_total: usize,
+    pub page_tokens: usize,
+    /// Most pages simultaneously in use over the run.
+    pub high_water: usize,
+    /// `pages_total - in_use - free` at drain — the allocator identity
+    /// makes this 0 by construction, and the drain path asserts it.
+    pub fragmentation: usize,
+}
+
+/// Scheduler-side counters and histograms, attached to the final
+/// `ServeReport` in continuous mode.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchedReport {
+    /// Ragged decode steps executed.
+    pub steps: u64,
+    /// Prompt passes executed (== admissions into slots).
+    pub prefills: u64,
+    /// `occupancy_hist[b]` = decode steps that ran with `b` residents.
+    pub occupancy_hist: Vec<u64>,
+    /// `tokens_per_step_hist[t]` = decode steps that emitted `t` tokens.
+    /// (Every resident emits one token per step, so this tracks occupancy
+    /// unless sequences retire mid-step in a later scheduler.)
+    pub tokens_per_step_hist: Vec<u64>,
+    /// Mean residents per decode step.
+    pub mean_occupancy: f64,
+    /// Requests shed with [`EvictReason::PagesExhausted`].
+    pub page_evictions: u64,
+    pub pages: PageReport,
+}
+
+/// One admitted sequence resident in an engine slot.
+struct Resident {
+    job: Job,
+    /// Generated tokens so far (first one from prefill).
+    tokens: Vec<usize>,
+    /// Admission order; page-exhaustion sheds the largest (newest first).
+    admit_seq: u64,
+}
+
+enum Retire {
+    Completed,
+    Cancelled,
+    DeadlineExpired,
+    PagesExhausted,
+}
+
+pub(crate) fn continuous_worker_loop(
+    shared: Arc<Shared>,
+    model: Arc<GptModel>,
+    cont: ContinuousConfig,
+    eos: Option<usize>,
+) {
+    let pm = PackedModel::pack(&model);
+    let mut eng = PagedEngine::new(&pm, cont.max_slots, cont.pages_total, cont.page_tokens);
+    let policy = SlotPolicy::new(cont.max_slots);
+    let mut residents: Vec<Option<Resident>> = (0..cont.max_slots).map(|_| None).collect();
+    let mut admit_seq = 0u64;
+    let mut steps = 0u64;
+    let mut prefills = 0u64;
+    let mut page_evictions = 0u64;
+    let mut occupancy_hist = vec![0u64; cont.max_slots + 1];
+    let mut tokens_per_step_hist = vec![0u64; cont.max_slots + 1];
+
+    loop {
+        // ---- Phase 1: admit from the queue into free slots (under lock).
+        let mut newcomers: Vec<(usize, Job)> = Vec::new();
+        {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                let resident_count =
+                    residents.iter().filter(|r| r.is_some()).count() + newcomers.len();
+                if !policy.can_admit(resident_count) {
+                    break;
+                }
+                let Some(job) = st.queue.front() else { break };
+                // Seat the prompt only if the pool can take it *now*;
+                // otherwise wait for a retirement to free pages. (Queued
+                // jobs are never hopeless: submit rejects prompts larger
+                // than the whole pool.)
+                let need = eng.pages_for(job.prompt.len() + 1);
+                let free = eng.kv_stats().expect("paged engine").pages_free;
+                if need > free {
+                    break;
+                }
+                let job = st.queue.pop_front().unwrap();
+                st.inflight_tokens -= job.cost;
+                // Stamp the heartbeat before publishing `running`, so the
+                // watchdog never reads a stale heartbeat for a fresh job.
+                shared.progress_ns.store(shared.clock.now_ns(), Ordering::Release);
+                st.running.push(Running { id: job.id, cancel: job.cancel.clone() });
+                let slot = (0..residents.len())
+                    .find(|&s| {
+                        residents[s].is_none() && !newcomers.iter().any(|(t, _)| *t == s)
+                    })
+                    .expect("can_admit implies a free slot");
+                newcomers.push((slot, job));
+            }
+            if newcomers.is_empty() && residents.iter().all(|r| r.is_none()) {
+                if st.draining && st.queue.is_empty() {
+                    break;
+                }
+                drop(shared.work.wait(st).unwrap());
+                continue;
+            }
+        }
+
+        // ---- Phase 2: execute (no lock held).
+        let now = shared.clock.now_ns();
+        let mut retired: Vec<(usize, Retire)> = Vec::new();
+        for (slot, job) in newcomers {
+            // A job may be dead on arrival (cancelled or expired while
+            // queued) — resolve it without spending a prompt pass, exactly
+            // like the single-flight StepCtl check before `begin`.
+            if job.cancel.is_cancelled() {
+                residents[slot] = Some(Resident { job, tokens: Vec::new(), admit_seq });
+                retired.push((slot, Retire::Cancelled));
+            } else if job.deadline_ns.is_some_and(|d| now >= d) {
+                residents[slot] = Some(Resident { job, tokens: Vec::new(), admit_seq });
+                retired.push((slot, Retire::DeadlineExpired));
+            } else {
+                shared.progress_ns.store(shared.clock.now_ns(), Ordering::Release);
+                match eng.prefill(slot, &job.prompt) {
+                    Ok(first) => {
+                        prefills += 1;
+                        residents[slot] =
+                            Some(Resident { job, tokens: vec![first], admit_seq });
+                    }
+                    Err(_) => {
+                        // Phase 1 checked the fit under the lock and only
+                        // this thread allocates pages, so this is
+                        // unreachable; shed typed rather than crash if the
+                        // invariant ever breaks.
+                        page_evictions += 1;
+                        residents[slot] = Some(Resident { job, tokens: Vec::new(), admit_seq });
+                        retired.push((slot, Retire::PagesExhausted));
+                    }
+                }
+            }
+            admit_seq += 1;
+        }
+
+        // Retire checks for residents that finished at prefill (n_tokens
+        // reached, EOS on the first token, cancel/deadline between steps).
+        scan_retirements(&residents, eos, shared.clock.now_ns(), &mut retired);
+
+        // One ragged decode step over everyone still live.
+        let mut active: Vec<usize> = (0..residents.len())
+            .filter(|&s| residents[s].is_some() && !retired.iter().any(|(rs, _)| *rs == s))
+            .collect();
+        if !active.is_empty() {
+            let mut step_out = Vec::with_capacity(active.len());
+            loop {
+                step_out.clear();
+                match eng.decode_step(&active, &mut step_out) {
+                    Ok(()) => {
+                        occupancy_hist[active.len()] += 1;
+                        tokens_per_step_hist[step_out.len()] += 1;
+                        steps += 1;
+                        shared.progress_ns.store(shared.clock.now_ns(), Ordering::Release);
+                        for (r, &slot) in active.iter().enumerate() {
+                            residents[slot]
+                                .as_mut()
+                                .expect("active slot occupied")
+                                .tokens
+                                .push(step_out[r]);
+                        }
+                        break;
+                    }
+                    Err(EngineError::OutOfPages { .. }) => {
+                        // Shed the newest resident and retry; nothing
+                        // advanced, so every survivor's stream is intact.
+                        let victim = *active
+                            .iter()
+                            .max_by_key(|&&s| {
+                                residents[s].as_ref().expect("occupied").admit_seq
+                            })
+                            .expect("active is non-empty");
+                        page_evictions += 1;
+                        // Free the victim's pages NOW so the retry can
+                        // succeed; outcome delivery waits for phase 3.
+                        eng.release(victim);
+                        retired.push((victim, Retire::PagesExhausted));
+                        active.retain(|&s| s != victim);
+                        if active.is_empty() {
+                            break;
+                        }
+                    }
+                    Err(EngineError::Fault(m)) => {
+                        unreachable!("paged fast path cannot fault: {m}")
+                    }
+                }
+            }
+            // Post-step retirements: completion, EOS, cancel, deadline.
+            scan_retirements(&residents, eos, shared.clock.now_ns(), &mut retired);
+        }
+
+        // ---- Phase 3: retire (under lock), deliver outcomes after.
+        if !retired.is_empty() {
+            let mut deliveries: Vec<(Job, Outcome)> = Vec::new();
+            let mut st = shared.state.lock().unwrap();
+            let now = shared.clock.now_ns();
+            for (slot, why) in retired {
+                let Resident { job, mut tokens, .. } =
+                    residents[slot].take().expect("retired slot occupied");
+                if eng.slot_in_use(slot) {
+                    eng.release(slot);
+                }
+                st.running.retain(|r| r.id != job.id);
+                let outcome = match why {
+                    Retire::Completed => {
+                        tokens.truncate(job.n_tokens);
+                        st.counters.completed += 1;
+                        let latency_s = (now - job.submit_ns) as f64 / 1e9;
+                        st.latencies_s.push(latency_s);
+                        st.breaker.on_success();
+                        Outcome::Completed { tokens, latency_s }
+                    }
+                    Retire::Cancelled => {
+                        st.counters.evicted += 1;
+                        if job.probe {
+                            st.breaker.abort_probe(now);
+                        }
+                        Outcome::Evicted { partial: tokens, reason: EvictReason::Cancelled }
+                    }
+                    Retire::DeadlineExpired => {
+                        st.counters.deadline_expired += 1;
+                        if job.probe {
+                            st.breaker.abort_probe(now);
+                        }
+                        Outcome::DeadlineExpired { partial: tokens }
+                    }
+                    Retire::PagesExhausted => {
+                        st.counters.evicted += 1;
+                        if job.probe {
+                            st.breaker.abort_probe(now);
+                        }
+                        Outcome::Evicted { partial: tokens, reason: EvictReason::PagesExhausted }
+                    }
+                };
+                deliveries.push((job, outcome));
+            }
+            st.pool_pages = eng.pool_stats().pages_in_use;
+            drop(st);
+            for (job, outcome) in deliveries {
+                let _ = job.tx.send(outcome);
+            }
+            shared.idle.notify_all();
+        } else {
+            let mut st = shared.state.lock().unwrap();
+            st.pool_pages = eng.pool_stats().pages_in_use;
+        }
+    }
+
+    // Loop exit: draining, queue empty, no residents. Publish the
+    // scheduler report and hand the final pool identity to drain's
+    // asserts.
+    let stats = eng.pool_stats();
+    let total_occ: u64 = occupancy_hist.iter().enumerate().map(|(b, &n)| b as u64 * n).sum();
+    let mut st = shared.state.lock().unwrap();
+    st.pool_pages = stats.pages_in_use;
+    st.sched_report = Some(SchedReport {
+        steps,
+        prefills,
+        mean_occupancy: if steps > 0 { total_occ as f64 / steps as f64 } else { 0.0 },
+        occupancy_hist,
+        tokens_per_step_hist,
+        page_evictions,
+        pages: PageReport {
+            pages_total: stats.pages_total,
+            page_tokens: stats.page_tokens,
+            high_water: stats.high_water,
+            fragmentation: stats.pages_total - stats.pages_in_use - stats.pages_free,
+        },
+    });
+    st.worker_done = true;
+    drop(st);
+    shared.idle.notify_all();
+}
+
+/// Append retirements for residents that are complete (token budget or
+/// EOS), cancelled, or past deadline — skipping slots already in `out`.
+fn scan_retirements(
+    residents: &[Option<Resident>],
+    eos: Option<usize>,
+    now: u64,
+    out: &mut Vec<(usize, Retire)>,
+) {
+    for (slot, r) in residents.iter().enumerate() {
+        let Some(r) = r else { continue };
+        if r.tokens.is_empty() || out.iter().any(|(s, _)| *s == slot) {
+            continue;
+        }
+        if r.tokens.len() >= r.job.n_tokens
+            || (eos.is_some() && r.tokens.last() == eos.as_ref())
+        {
+            out.push((slot, Retire::Completed));
+        } else if r.job.cancel.is_cancelled() {
+            out.push((slot, Retire::Cancelled));
+        } else if r.job.deadline_ns.is_some_and(|d| now >= d) {
+            out.push((slot, Retire::DeadlineExpired));
+        }
+    }
+}

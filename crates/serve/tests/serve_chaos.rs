@@ -23,7 +23,10 @@ use std::time::Duration;
 
 use dsi_model::reference::GptModel;
 use dsi_model::zoo;
-use dsi_serve::{EvictReason, Outcome, Rejected, Request, ServeConfig, Server};
+use dsi_parallel::supervisor::{FtConfig, FtSession};
+use dsi_serve::{
+    ContinuousConfig, EngineMode, EvictReason, Outcome, Rejected, Request, ServeConfig, Server,
+};
 use dsi_sim::fault::FaultPlan;
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -207,6 +210,201 @@ fn chaos_sweep_over_seeded_scenarios() {
     // requests served, plenty shed. (Per-scenario counts vary by seed.)
     assert!(total_completed > 50, "sweep too lenient: only {total_completed} completions");
     assert!(total_rejected > 0, "sweep never triggered load shedding");
+}
+
+/// One seeded continuous-batching scenario: ragged joins/retires over the
+/// paged engine under cancel and deadline storms, with every outcome held
+/// to the solo-`FtSession` oracle.
+struct ContinuousScenario {
+    seed: u64,
+    /// TP degree of the *oracle* session — serve output must be identical
+    /// at every degree (token streams are TP-invariant by construction).
+    oracle_tp: usize,
+    n_requests: usize,
+    max_slots: usize,
+    pages_total: usize,
+    page_tokens: usize,
+    deadline: Option<Duration>,
+    cancel_every: Option<usize>,
+    eos: bool,
+    drain_grace: Duration,
+}
+
+impl ContinuousScenario {
+    fn from_seed(seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x00c0ffee);
+        ContinuousScenario {
+            seed,
+            oracle_tp: [1, 2][range(&mut rng, 0, 2) as usize],
+            n_requests: range(&mut rng, 8, 18) as usize,
+            max_slots: range(&mut rng, 2, 6) as usize,
+            // Small pools force page-exhaustion shedding in some seeds;
+            // large ones exercise pure batching.
+            pages_total: range(&mut rng, 12, 64) as usize,
+            page_tokens: [1, 2, 3, 4][range(&mut rng, 0, 4) as usize],
+            deadline: if chance(&mut rng, 0.4) {
+                Some(Duration::from_millis(range(&mut rng, 2, 30)))
+            } else {
+                None
+            },
+            cancel_every: if chance(&mut rng, 0.4) {
+                Some(range(&mut rng, 2, 5) as usize)
+            } else {
+                None
+            },
+            eos: chance(&mut rng, 0.3),
+            drain_grace: Duration::from_millis([1, 2000][range(&mut rng, 0, 2) as usize]),
+        }
+    }
+}
+
+/// The continuous-batching chaos sweep: for every seeded scenario, every
+/// ticket resolves typed (zero hangs), the accounting identities hold, and
+/// **every byte of output — full or partial — is an exact prefix of the
+/// same prompt's solo `FtSession` generation** at tp ∈ {1, 2}. That is the
+/// strongest correctness statement continuous batching can make: the
+/// scheduler is invisible in the tokens.
+#[test]
+fn continuous_chaos_token_identity_sweep() {
+    let mut total_completed = 0u64;
+    let mut total_page_evictions = 0u64;
+    for seed in 0..10u64 {
+        let mut sc = ContinuousScenario::from_seed(seed);
+        if seed == 0 {
+            // One deterministic overcommit scenario: an 8-token pool under
+            // requests of up to ~17 tokens guarantees the page-exhaustion
+            // shed path runs in every sweep.
+            sc.pages_total = 8;
+            sc.page_tokens = 1;
+            sc.max_slots = 4;
+            sc.deadline = None;
+            sc.cancel_every = None;
+            sc.eos = false;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(sc.seed.wrapping_mul(0x5851_f42d));
+        let model = Arc::new(GptModel::random(zoo::tiny(2), sc.seed ^ 0x7777));
+
+        // Derive the request mix, then the oracle streams (solo FtSession
+        // at the scenario's TP degree — PR 3/4 guarantee TP-invariance, so
+        // comparing against tp=2 checks the whole chain).
+        let mut requests: Vec<(Vec<usize>, usize)> = (0..sc.n_requests)
+            .map(|i| {
+                let plen = range(&mut rng, 1, 7) as usize;
+                let prompt: Vec<usize> = (0..plen).map(|j| (3 * i + j) % 97).collect();
+                let n_tokens = range(&mut rng, 1, 12) as usize;
+                (prompt, n_tokens)
+            })
+            .collect();
+        if seed == 0 {
+            // Guarantee a mid-decode page exhaustion: the first request's
+            // total footprint (prompt + generated) exceeds the 8-page,
+            // 1-token-per-page pool, so its decode-step reservation must
+            // fail and the shed path fires deterministically.
+            requests[0].1 = 14;
+        }
+        let mut oracle = FtSession::new(Arc::clone(&model), 64, FtConfig::new(sc.oracle_tp));
+        let full_streams: Vec<Vec<usize>> = requests
+            .iter()
+            .map(|(p, n)| {
+                let out = oracle.generate(p, *n).unwrap();
+                oracle.reset();
+                out
+            })
+            .collect();
+        // An EOS id that actually occurs in some stream makes early
+        // retirement reachable; truncate the oracles the same way.
+        let eos = sc.eos.then(|| full_streams[0][full_streams[0].len() / 2]);
+        let oracles: Vec<Vec<usize>> = full_streams
+            .iter()
+            .map(|s| match eos.and_then(|e| s.iter().position(|t| *t == e)) {
+                Some(p) => s[..=p].to_vec(),
+                None => s.clone(),
+            })
+            .collect();
+
+        let mut cfg = ServeConfig::new(1);
+        cfg.mode = EngineMode::Continuous(ContinuousConfig {
+            max_slots: sc.max_slots,
+            pages_total: sc.pages_total,
+            page_tokens: sc.page_tokens,
+        });
+        cfg.eos = eos;
+        cfg.max_prompt = 8;
+        cfg.queue_capacity = sc.n_requests; // shed on pages, not the queue
+        cfg.default_deadline = sc.deadline;
+        let srv = Server::start(Arc::clone(&model), cfg);
+
+        let mut tickets = Vec::new();
+        let mut rejected = 0u64;
+        for (i, (prompt, n_tokens)) in requests.iter().enumerate() {
+            match srv.submit(Request {
+                prompt: prompt.clone(),
+                n_tokens: *n_tokens,
+                deadline: None,
+            }) {
+                Ok(t) => {
+                    if sc.cancel_every.is_some_and(|k| i % k == k - 1) {
+                        t.cancel();
+                    }
+                    tickets.push((i, t));
+                }
+                Err(_) => rejected += 1,
+            }
+            if chance(&mut rng, 0.3) {
+                std::thread::sleep(Duration::from_millis(range(&mut rng, 0, 3)));
+            }
+        }
+        let report = srv.drain(sc.drain_grace);
+
+        let (mut completed, mut evicted, mut expired) = (0u64, 0u64, 0u64);
+        for (i, t) in tickets {
+            let label = format!("seed {seed} req {i} (oracle tp {})", sc.oracle_tp);
+            match t.wait() {
+                Outcome::Completed { tokens, .. } => {
+                    assert_eq!(tokens, oracles[i], "{label}: completed stream diverged");
+                    completed += 1;
+                }
+                Outcome::Evicted { partial, reason } => {
+                    assert!(
+                        !matches!(reason, EvictReason::Fault(_)),
+                        "{label}: paged engine cannot fault"
+                    );
+                    assert_eq!(
+                        &full_streams[i][..partial.len()],
+                        &partial[..],
+                        "{label}: evicted partial is not an exact prefix"
+                    );
+                    evicted += 1;
+                }
+                Outcome::DeadlineExpired { partial } => {
+                    assert_eq!(
+                        &full_streams[i][..partial.len()],
+                        &partial[..],
+                        "{label}: expired partial is not an exact prefix"
+                    );
+                    expired += 1;
+                }
+            }
+        }
+        // Client-observed tallies == the server's books == the identities.
+        assert_eq!(report.completed, completed, "seed {seed}");
+        assert_eq!(report.evicted, evicted, "seed {seed}");
+        assert_eq!(report.deadline_expired, expired, "seed {seed}");
+        assert_eq!(report.rejected_total(), rejected, "seed {seed}");
+        assert_eq!(report.admitted, completed + evicted + expired, "seed {seed}");
+        let sched = report.scheduler.expect("continuous scheduler report");
+        assert_eq!(sched.pages.fragmentation, 0, "seed {seed}: fragmentation");
+        assert_eq!(
+            sched.occupancy_hist.iter().sum::<u64>(),
+            sched.steps,
+            "seed {seed}: occupancy histogram covers every step"
+        );
+        total_completed += completed;
+        total_page_evictions += sched.page_evictions;
+    }
+    assert!(total_completed > 30, "sweep too lenient: {total_completed} completions");
+    // At least one seed must have actually exercised page shedding.
+    assert!(total_page_evictions > 0, "sweep never hit page exhaustion");
 }
 
 /// Sustained overload against a tiny queue must shed with typed rejections

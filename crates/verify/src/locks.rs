@@ -222,6 +222,62 @@ pub fn serve_runtime_model() -> (usize, Vec<ThreadModel>) {
     (1, threads)
 }
 
+/// The continuous-batching scheduler's synchronization design
+/// (`dsi-serve::scheduler::continuous_worker_loop`), transcribed phase by
+/// phase: **admit** under the state mutex (waiting on the `work` condvar
+/// when no request is queued and no sequence is resident), **execute** —
+/// prefills plus one batched decode step — with *no* lock held, and
+/// **retire** under the mutex again (outcome channels are sent to only
+/// after it is dropped). The same single-mutex/two-condvar discipline as
+/// the single-flight worker, so the lock graph stays a single node; any
+/// second lock introduced by a future scheduler change shows up here as a
+/// `lock-cycle` or `wait-holding-lock` diagnostic.
+pub fn continuous_scheduler_model() -> (usize, Vec<ThreadModel>) {
+    use LockOp::*;
+    let threads = vec![
+        // submit(): page-granular admission check + enqueue, one section.
+        ThreadModel::new(
+            "submitter",
+            vec![Acquire(SERVE_STATE), Release(SERVE_STATE)],
+        ),
+        // scheduler: admit (wait on `work` when idle) / execute unlocked /
+        // retire and mirror pool stats under the lock.
+        ThreadModel::new(
+            "scheduler",
+            vec![
+                Acquire(SERVE_STATE),
+                Wait { mutex: SERVE_STATE }, // work condvar
+                Release(SERVE_STATE),
+                // prefill + batched decode + shed-retry run with no lock
+                Acquire(SERVE_STATE),
+                Release(SERVE_STATE),
+                // outcome delivery happens here, after the unlock
+            ],
+        ),
+        // watchdog: heartbeat inspection + cancel-all under the lock.
+        ThreadModel::new(
+            "watchdog",
+            vec![
+                Acquire(SERVE_STATE),
+                Wait { mutex: SERVE_STATE }, // idle condvar (timed)
+                Release(SERVE_STATE),
+            ],
+        ),
+        // drain: set the flag, then wait for quiescence on `idle`.
+        ThreadModel::new(
+            "drain",
+            vec![
+                Acquire(SERVE_STATE),
+                Release(SERVE_STATE),
+                Acquire(SERVE_STATE),
+                Wait { mutex: SERVE_STATE }, // idle condvar (timed)
+                Release(SERVE_STATE),
+            ],
+        ),
+    ];
+    (1, threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +287,13 @@ mod tests {
         let (n, threads) = serve_runtime_model();
         let diags = check_lock_order(n, &threads);
         assert!(diags.is_empty(), "serve lock model: {diags:#?}");
+    }
+
+    #[test]
+    fn continuous_scheduler_model_is_clean() {
+        let (n, threads) = continuous_scheduler_model();
+        let diags = check_lock_order(n, &threads);
+        assert!(diags.is_empty(), "scheduler lock model: {diags:#?}");
     }
 
     #[test]

@@ -471,6 +471,54 @@ pub fn aliased_batched_rows_trace(h: usize) -> (Arena, Vec<Step>) {
     (arena, steps)
 }
 
+/// Paged-KV disjointness check: the page tables of all live sequences
+/// must map **pairwise-distinct** pages, each inside the pool. The paged
+/// engine's correctness argument ("same FLOPs, different addressing")
+/// silently collapses if two sequences ever share a page — each decode
+/// step would overwrite the other's KV rows and both streams would go
+/// wrong without any kernel-level fault — so the sweep re-proves
+/// disjointness over a live allocator's tables, and the negative control
+/// seeds exactly that two-sequences-one-page defect.
+pub fn check_page_tables(pages_total: usize, tables: &[Vec<u32>]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // First owner of each page, for the witness in the alias message.
+    let mut owner: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+    for (s, table) in tables.iter().enumerate() {
+        for (slot, &p) in table.iter().enumerate() {
+            if p as usize >= pages_total {
+                diags.push(Diagnostic::new(
+                    Pass::Scratch,
+                    "page-out-of-range",
+                    format!("seq {s} table entry {slot}"),
+                    format!("page {p} outside pool of {pages_total} pages"),
+                ));
+                continue;
+            }
+            match owner.get(&p) {
+                Some(&first) if first == s => diags.push(Diagnostic::new(
+                    Pass::Scratch,
+                    "page-alias",
+                    format!("seq {s} table entry {slot}"),
+                    format!("page {p} mapped twice by the same sequence"),
+                )),
+                Some(&first) => diags.push(Diagnostic::new(
+                    Pass::Scratch,
+                    "page-alias",
+                    format!("seq {s} table entry {slot}"),
+                    format!(
+                        "page {p} already mapped by seq {first}: two sequences \
+                         writing one page corrupt each other's KV rows"
+                    ),
+                )),
+                None => {
+                    owner.insert(p, s);
+                }
+            }
+        }
+    }
+    diags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -596,6 +644,29 @@ mod tests {
         let steps = vec![Step::new("w", vec![], vec![SliceRef::new("ghost", 0, 1)])];
         let d = check_trace(&arena, &steps, &[]);
         assert!(d.iter().any(|x| x.code == "scratch-oob"), "{d:?}");
+    }
+
+    #[test]
+    fn disjoint_page_tables_are_clean() {
+        let d = check_page_tables(8, &[vec![0, 3, 6], vec![1, 4], vec![7]]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn shared_and_duplicated_pages_are_flagged() {
+        // Cross-sequence share (page 2) and an intra-table duplicate (5, 5).
+        let d = check_page_tables(8, &[vec![0, 2], vec![2, 3], vec![5, 5]]);
+        assert_eq!(
+            d.iter().filter(|x| x.code == "page-alias").count(),
+            2,
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_page_is_flagged() {
+        let d = check_page_tables(4, &[vec![0, 4]]);
+        assert!(d.iter().any(|x| x.code == "page-out-of-range"), "{d:?}");
     }
 
     #[test]

@@ -20,7 +20,8 @@
 //! [`negative_controls`] seeds one defect of each class the verifier claims
 //! to catch — a dtype-mixed region, a corrupted GEMM contraction, an illegal
 //! fusion boundary, an aliased scratch write, a pair of aliasing M-row
-//! attention regions in the batched layout, a rank skipping an all-reduce,
+//! attention regions in the batched layout, two sequences mapped to one KV
+//! page in the paged allocator, a rank skipping an all-reduce,
 //! a rank skipping a shared-memory barrier crossing, a cyclic task graph,
 //! an undocumented `unsafe` block, a rank exiting mid-schedule (survivors
 //! must abort typed), a recv stranded by a dead sender, and a survivor
@@ -184,6 +185,34 @@ pub fn verify_all() -> SweepReport {
         }
     }
 
+    // --- Pass 2c: paged-KV allocator page-table disjointness. ---
+    // Reserve/release/re-reserve churn on a real `PagePool` (the continuous
+    // scheduler's allocator), then prove every live table maps distinct
+    // in-range pages. Free-list recycling is exactly where an aliasing bug
+    // would creep in, so the churn retires a middle sequence and grows the
+    // survivors through the recycled pages before checking.
+    {
+        use dsi_model::paged::{PagePool, PagedSeq};
+        let mut pool = PagePool::new(2, 16, 24, 4);
+        let mut seqs: Vec<PagedSeq> = (0..4).map(|_| PagedSeq::new()).collect();
+        for (i, s) in seqs.iter_mut().enumerate() {
+            pool.reserve(s, 3 + 5 * i).expect("sweep pool sized to fit");
+        }
+        let mut mid = seqs.remove(1);
+        pool.release(&mut mid);
+        for s in seqs.iter_mut() {
+            pool.reserve(s, 20).expect("recycled pages cover the growth");
+        }
+        let tables: Vec<Vec<u32>> = seqs.iter().map(|s| s.pages().to_vec()).collect();
+        report.scratch_traces += 1;
+        report.diagnostics.extend(
+            crate::scratch::check_page_tables(24, &tables).into_iter().map(|mut x| {
+                x.site = format!("paged-kv pool: {}", x.site);
+                x
+            }),
+        );
+    }
+
     // --- Pass 3c: executed TP engine's barrier-fenced shmem programs. ---
     // The threaded engine (dsi-parallel::tp_exec) runs at the bench degrees
     // {1, 2, 4}; verify its per-step barrier/reduce-scatter/all-gather
@@ -197,17 +226,20 @@ pub fn verify_all() -> SweepReport {
         }));
     }
 
-    // --- Pass 3c': serving-runtime lock model (dsi-serve). ---
-    // The one multi-threaded control plane in the workspace: its
-    // held-while-acquiring graph must stay acyclic and its condvar waits
-    // disciplined. A future second lock ordered inconsistently against the
-    // state mutex fails the sweep here.
-    {
-        let (n_locks, threads) = crate::locks::serve_runtime_model();
+    // --- Pass 3c': serving-runtime lock models (dsi-serve). ---
+    // The multi-threaded control planes in the workspace: the single-flight
+    // worker and the continuous-batching scheduler. Each held-while-acquiring
+    // graph must stay acyclic and every condvar wait disciplined. A future
+    // second lock ordered inconsistently against the state mutex fails the
+    // sweep here.
+    for (what, (n_locks, threads)) in [
+        ("serve runtime", crate::locks::serve_runtime_model()),
+        ("continuous scheduler", crate::locks::continuous_scheduler_model()),
+    ] {
         report.collective_programs += 1;
         report.diagnostics.extend(
             crate::locks::check_lock_order(n_locks, &threads).into_iter().map(|mut x| {
-                x.site = format!("serve runtime: {}", x.site);
+                x.site = format!("{what}: {}", x.site);
                 x
             }),
         );
@@ -335,6 +367,16 @@ pub fn negative_controls() -> Vec<Control> {
         name: "aliased M-row regions (attention rows overlap)",
         expect_code: "scratch-alias",
         diagnostics: check_trace(&arena, &steps, &[]),
+    });
+
+    // Paged KV: two sequences whose page tables share a page — the defect
+    // class the continuous engine's disjointness argument rules out. Both
+    // streams would silently corrupt each other's KV rows, so the checker
+    // must flag it before any kernel runs.
+    out.push(Control {
+        name: "two sequences mapped to one page (paged-KV alias)",
+        expect_code: "page-alias",
+        diagnostics: crate::scratch::check_page_tables(8, &[vec![0, 1, 2], vec![3, 2, 4]]),
     });
 
     // Collective: one rank skips its layer-0 FF2 all-reduce.
@@ -471,7 +513,7 @@ mod tests {
     #[test]
     fn every_negative_control_fires() {
         let controls = negative_controls();
-        assert_eq!(controls.len(), 14);
+        assert_eq!(controls.len(), 15);
         for c in &controls {
             assert!(c.fired(), "control `{}` produced {:?}", c.name, c.diagnostics);
         }

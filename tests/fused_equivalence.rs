@@ -120,6 +120,59 @@ proptest! {
         );
     }
 
+    /// Paged attention through a scattered, non-identity page table is
+    /// **bit-identical** to contiguous attention over the same K/V values,
+    /// for random shapes: `attention_row_paged_into` runs the same
+    /// monomorphized FLOP sequence as the contiguous row kernel, so the
+    /// comparison is exact equality, not a tolerance.
+    #[test]
+    fn paged_attention_bitwise_matches_contiguous(
+        heads in 1usize..4,
+        hd8 in 1usize..3,
+        page_tokens in 1usize..5,
+        t_ctx in 1usize..18,
+        seed in 0u64..1000,
+    ) {
+        let h = 8 * hd8 * heads;
+        let k = Tensor::randn(&[t_ctx, h], 0.7, seed);
+        let v = Tensor::randn(&[t_ctx, h], 0.7, seed + 1);
+        let q = Tensor::randn(&[t_ctx, h], 1.0, seed + 2);
+        // Contiguous reference: every row i attends to keys 0..=i.
+        let mut want = Tensor::zeros(&[t_ctx, h]);
+        fused::attention_seq_into(q.data(), h, t_ctx, &k, &v, heads, 0, want.data_mut());
+        // Scatter the same rows through a reversed (maximally non-identity)
+        // page table into arenas with spare pages on both sides.
+        let pages_needed = t_ctx.div_ceil(page_tokens);
+        let pages_total = pages_needed + 3;
+        let table: Vec<u32> = (0..pages_needed)
+            .map(|i| (pages_total - 1 - i) as u32)
+            .collect();
+        let mut ka = vec![0.0f32; pages_total * page_tokens * h];
+        let mut va = vec![0.0f32; pages_total * page_tokens * h];
+        for pos in 0..t_ctx {
+            let r = table[pos / page_tokens] as usize * page_tokens + pos % page_tokens;
+            ka[r * h..(r + 1) * h].copy_from_slice(&k.data()[pos * h..(pos + 1) * h]);
+            va[r * h..(r + 1) * h].copy_from_slice(&v.data()[pos * h..(pos + 1) * h]);
+        }
+        let mut got = vec![0.0f32; h];
+        for i in 0..t_ctx {
+            let view = fused::PagedKvView {
+                k: &ka,
+                v: &va,
+                pages: &table,
+                page_tokens,
+                len: i + 1,
+                offset: i,
+            };
+            fused::attention_row_paged_into(&q.data()[i * h..(i + 1) * h], &view, heads, &mut got);
+            prop_assert_eq!(
+                &got[..],
+                &want.data()[i * h..(i + 1) * h],
+                "row {i} of ({t_ctx},{h}) pt={page_tokens} diverged"
+            );
+        }
+    }
+
     /// The amortized in-place KV append (`push_rows` into reserved
     /// capacity) yields bit-identical tensors to `cat_rows` rebuilds, for
     /// any split of the same row stream.
