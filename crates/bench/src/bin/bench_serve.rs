@@ -37,12 +37,18 @@
 //! scheduler invariants (occupancy > 1, fragmentation = 0).
 
 use dsi_bench::print_table;
+use dsi_core::batch::{BatchEngine, FaultyEngine};
+use dsi_model::fast::PackedModel;
+use dsi_model::paged::PagedEngine;
 use dsi_model::reference::GptModel;
 use dsi_model::zoo;
 use dsi_serve::{
     ContinuousConfig, EngineMode, Outcome, Request, ServeConfig, ServeReport, Server,
 };
-use dsi_sim::fault::{FaultKind, FaultPlan, FaultSite, FaultSpec};
+use dsi_sim::fault::{
+    EngineFaultInjector, EngineFaultPlan, FaultKind, FaultPlan, FaultSite, FaultSpec,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
@@ -163,7 +169,75 @@ fn continuous_mode() -> EngineMode {
         max_slots: 8,
         pages_total: 64,
         page_tokens: 16,
+        ..ContinuousConfig::default()
     })
+}
+
+/// Relative decode-throughput cost of *arming* the fault machinery with no
+/// faults scripted: the scheduler's per-step `catch_unwind` plus the
+/// `FaultyEngine` wrapper's empty-plan scan, measured against the bare
+/// engine on identical work. min-of-N wall times; returns armed/bare − 1.
+fn armed_idle_overhead(model: &Arc<GptModel>) -> f64 {
+    const SLOTS: usize = 4;
+    const STEPS: usize = 48;
+    let pm = PackedModel::pack(model);
+    let prompts: Vec<Vec<usize>> = (0..SLOTS).map(|i| vec![i + 1, i + 2, i + 3]).collect();
+    let slots: Vec<usize> = (0..SLOTS).collect();
+
+    let run_bare = || {
+        let mut eng = PagedEngine::new(&pm, SLOTS, 64, 16);
+        for (s, p) in prompts.iter().enumerate() {
+            eng.prefill(s, p).unwrap();
+        }
+        let mut out = Vec::with_capacity(SLOTS);
+        let t0 = Instant::now();
+        for _ in 0..STEPS {
+            out.clear();
+            eng.decode_step(&slots, &mut out).unwrap();
+        }
+        t0.elapsed()
+    };
+    let run_armed = || {
+        let inj = Arc::new(EngineFaultPlan::new(Vec::new()).injector());
+        let mut eng = FaultyEngine::new(PagedEngine::new(&pm, SLOTS, 64, 16), inj);
+        for (s, p) in prompts.iter().enumerate() {
+            eng.prefill(s, p).unwrap();
+        }
+        let mut out = Vec::with_capacity(SLOTS);
+        let t0 = Instant::now();
+        for _ in 0..STEPS {
+            out.clear();
+            catch_unwind(AssertUnwindSafe(|| eng.decode_step(&slots, &mut out)))
+                .unwrap()
+                .unwrap();
+        }
+        t0.elapsed()
+    };
+
+    // Interleaved min-of-5: the minima see the same cache/frequency state.
+    let mut bare = Duration::MAX;
+    let mut armed = Duration::MAX;
+    for _ in 0..5 {
+        bare = bare.min(run_bare());
+        armed = armed.min(run_armed());
+    }
+    armed.as_secs_f64() / bare.as_secs_f64() - 1.0
+}
+
+/// The continuous arm under an injected engine-fault storm (panics, stalls
+/// past the step deadline, corruption, page-exhaustion bursts).
+fn faulted_continuous_mode() -> (EngineMode, Arc<EngineFaultInjector>) {
+    let mode = EngineMode::Continuous(ContinuousConfig {
+        max_slots: 8,
+        pages_total: 64,
+        page_tokens: 16,
+        step_deadline: Some(Duration::from_millis(10)),
+        ..ContinuousConfig::default()
+    });
+    // Stalls of 10–20ms against the 10ms step deadline; ~10 faults across
+    // the first 60 engine calls of the burst.
+    let plan = EngineFaultPlan::random(SEED ^ 0xFA17, 10, 60, 20);
+    (mode, Arc::new(plan.injector()))
 }
 
 /// Offer the same seeded 3×-overload burst to one engine discipline.
@@ -172,9 +246,12 @@ fn run_engine_arm(
     service: Duration,
     rate_mult: f64,
     mode: EngineMode,
+    faults: Option<Arc<EngineFaultInjector>>,
     n: usize,
 ) -> ServeReport {
-    let srv = Server::start(Arc::clone(model), engine_cfg(mode));
+    let mut cfg = engine_cfg(mode);
+    cfg.engine_faults = faults;
+    let srv = Server::start(Arc::clone(model), cfg);
     // Same seed for both arms: an identical arrival schedule, so the engine
     // discipline is the only variable.
     let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ 0xe17);
@@ -274,6 +351,14 @@ struct ServeBench {
     engines: Vec<EnginePoint>,
     /// 3× overload: continuous goodput / single-flight goodput. Bar: ≥ 2.
     continuous_goodput_ratio_overloaded: f64,
+    /// Decode-throughput cost of arming `catch_unwind` + the fault-injection
+    /// wrapper with no faults scripted (armed/bare − 1). Bar: < 0.02.
+    armed_idle_overhead: f64,
+    /// The continuous arm under a seeded engine-fault storm (panics, stalls
+    /// past the step deadline, corruption, exhaustion bursts).
+    engine_faulted: ServeReport,
+    /// Faulted-arm goodput / un-faulted continuous goodput. Bar: ≥ 0.25.
+    recovered_goodput_ratio: f64,
     storm_breaker_on: ServeReport,
     storm_breaker_off: ServeReport,
 }
@@ -297,8 +382,8 @@ fn smoke() {
     // complete work.
     let emodel = Arc::new(GptModel::random(engine_model(), SEED));
     let service1 = calibrate(&emodel, 1, 6);
-    let single = run_engine_arm(&emodel, service1, 3.0, EngineMode::SingleFlight, 24);
-    let cont = run_engine_arm(&emodel, service1, 3.0, continuous_mode(), 24);
+    let single = run_engine_arm(&emodel, service1, 3.0, EngineMode::SingleFlight, None, 24);
+    let cont = run_engine_arm(&emodel, service1, 3.0, continuous_mode(), None, 24);
     assert!(single.completed > 0, "single-flight arm must complete work");
     assert!(cont.completed > 0, "continuous arm must complete work");
     let sched = cont.scheduler.as_ref().expect("continuous arm publishes a scheduler report");
@@ -309,8 +394,43 @@ fn smoke() {
         sched.mean_occupancy
     );
 
+    // Fault-tolerance gates: arming the recovery machinery with no faults
+    // scripted must be ~free, and a seeded engine-fault storm must leave
+    // most of the goodput intact through prefix-replay recovery.
+    let overhead = armed_idle_overhead(&emodel);
+    assert!(
+        overhead < 0.02,
+        "armed-idle fault machinery must cost <2% decode throughput (got {:.2}%)",
+        overhead * 100.0
+    );
+    let (fmode, finj) = faulted_continuous_mode();
+    let faulted = run_engine_arm(&emodel, service1, 3.0, fmode, Some(finj), 24);
+    let recovered_ratio = if cont.goodput_rps > 0.0 {
+        faulted.goodput_rps / cont.goodput_rps
+    } else {
+        0.0
+    };
+    let fsched = faulted.scheduler.as_ref().expect("faulted arm publishes a scheduler report");
+    assert!(
+        fsched.recoveries > 0,
+        "the seeded storm must actually trigger fault recovery"
+    );
+    assert!(
+        recovered_ratio >= 0.25,
+        "recovery must preserve ≥25% of un-faulted goodput (got {:.2})",
+        recovered_ratio
+    );
+
     let storm = run_storm(&model, true, 12);
     assert!(storm.breaker_opens >= 1, "fault storm must open the breaker");
+    println!(
+        "bench_serve --smoke: armed-idle overhead {:.2}%, recovered goodput {:.2}x \
+         ({} recoveries, {} replays)",
+        overhead * 100.0,
+        recovered_ratio,
+        fsched.recoveries,
+        fsched.replays,
+    );
     println!(
         "bench_serve --smoke: shed {} of 40 under 3x overload (p99 {:.1} ms vs {:.1} ms unshed); \
          continuous {} done at occupancy {:.2} vs single-flight {} done; breaker opened {}x",
@@ -362,9 +482,17 @@ fn main() {
     let emodel = Arc::new(GptModel::random(engine_model(), SEED));
     let service1 = calibrate(&emodel, 1, 8);
     let n_engine = 60;
-    let eng_single = run_engine_arm(&emodel, service1, 3.0, EngineMode::SingleFlight, n_engine);
-    let eng_cont = run_engine_arm(&emodel, service1, 3.0, continuous_mode(), n_engine);
+    let eng_single =
+        run_engine_arm(&emodel, service1, 3.0, EngineMode::SingleFlight, None, n_engine);
+    let eng_cont = run_engine_arm(&emodel, service1, 3.0, continuous_mode(), None, n_engine);
     let continuous_ratio = eng_cont.goodput_rps / eng_single.goodput_rps;
+
+    // Fault-tolerance cells: armed-idle decode overhead and the same
+    // continuous burst under a seeded engine-fault storm.
+    let armed_overhead = armed_idle_overhead(&emodel);
+    let (fmode, finj) = faulted_continuous_mode();
+    let eng_faulted = run_engine_arm(&emodel, service1, 3.0, fmode, Some(finj), n_engine);
+    let recovered_ratio = eng_faulted.goodput_rps / eng_cont.goodput_rps;
     let engines = vec![
         EnginePoint { engine: "single_flight", rate_multiplier: 3.0, report: eng_single },
         EnginePoint { engine: "continuous", rate_multiplier: 3.0, report: eng_cont },
@@ -390,6 +518,9 @@ fn main() {
         goodput_ratio_overloaded: goodput_ratio,
         engines,
         continuous_goodput_ratio_overloaded: continuous_ratio,
+        armed_idle_overhead: armed_overhead,
+        engine_faulted: eng_faulted,
+        recovered_goodput_ratio: recovered_ratio,
         storm_breaker_on: storm_on,
         storm_breaker_off: storm_off,
     };
@@ -459,6 +590,20 @@ fn main() {
         "\ncontinuous/single-flight goodput = {:.2}x (bar ≥ 2.0)",
         bench.continuous_goodput_ratio_overloaded
     );
+    let fsched = bench
+        .engine_faulted
+        .scheduler
+        .as_ref()
+        .expect("faulted continuous arm publishes a scheduler report");
+    println!(
+        "fault tolerance: armed-idle overhead {:.2}% (bar < 2%), faulted goodput {:.2}x \
+         un-faulted (bar ≥ 0.25) with {} recoveries / {} replays / {} fault evictions",
+        bench.armed_idle_overhead * 100.0,
+        bench.recovered_goodput_ratio,
+        fsched.recoveries,
+        fsched.replays,
+        fsched.engine_fault_evictions,
+    );
     println!(
         "fault storm: breaker on  -> {} fast-fails, {} opens, wall {:.2}s",
         bench.storm_breaker_on.rejected_breaker,
@@ -501,5 +646,16 @@ fn main() {
     assert!(
         bench.storm_breaker_on.rejected_breaker >= 1,
         "an open breaker must fast-fail at least one admission"
+    );
+    assert!(
+        bench.armed_idle_overhead < 0.02,
+        "armed-idle fault machinery must cost <2% decode throughput (got {:.2}%)",
+        bench.armed_idle_overhead * 100.0
+    );
+    assert!(fsched.recoveries > 0, "the seeded storm must trigger fault recovery");
+    assert!(
+        bench.recovered_goodput_ratio >= 0.25,
+        "recovery must preserve ≥25% of un-faulted goodput (got {:.2})",
+        bench.recovered_goodput_ratio
     );
 }

@@ -35,17 +35,81 @@ use dsi_kernels::blocked::PanelWeights;
 use dsi_model::fast::{BatchedFastSession, FastSession};
 use dsi_model::paged::{PageStats, PagedEngine, PagesExhausted};
 use dsi_parallel::supervisor::{FtSession, StepCtl, StepError};
+use dsi_sim::fault::{EngineFaultInjector, EngineFaultKind};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// The failure classes an engine fault is binned into. Each class gets its
+/// own circuit breaker in the serving runtime, so a stall storm cannot mask
+/// a panic storm (and vice versa): tripping one class's breaker leaves the
+/// others admitting normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum FaultClass {
+    /// A step exceeded its progress deadline (stall, slow rank, hang).
+    Timeout,
+    /// A step panicked or a worker died mid-step.
+    Panic,
+    /// A step completed but its output or KV state is untrustworthy.
+    Corruption,
+    /// Allocation pressure: page reservations failing beyond scheduling.
+    Memory,
+}
+
+impl FaultClass {
+    /// All classes, in breaker-set order.
+    pub const ALL: [FaultClass; 4] =
+        [FaultClass::Timeout, FaultClass::Panic, FaultClass::Corruption, FaultClass::Memory];
+
+    /// Bin a fault message into a class by keyword. The messages are our
+    /// own `Display` impls ([`dsi_sim::fault::CollectiveError`],
+    /// [`dsi_parallel::supervisor::FaultError`], injected-fault strings),
+    /// so the mapping is deterministic; unknown text defaults to `Panic`
+    /// (the most conservative class: the engine's state is suspect).
+    pub fn classify(msg: &str) -> FaultClass {
+        let m = msg.to_ascii_lowercase();
+        if m.contains("timed out") || m.contains("stall") || m.contains("deadline") {
+            FaultClass::Timeout
+        } else if m.contains("corrupt") {
+            FaultClass::Corruption
+        } else if m.contains("pages") || m.contains("memory") {
+            FaultClass::Memory
+        } else {
+            // "poisoned", "panic", "dropped its barrier", "exit", ...
+            FaultClass::Panic
+        }
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultClass::Timeout => "timeout",
+            FaultClass::Panic => "panic",
+            FaultClass::Corruption => "corruption",
+            FaultClass::Memory => "memory",
+        })
+    }
+}
 
 /// Why an engine step could not run. `OutOfPages` is a *scheduling* signal
 /// (retire a victim and retry — nothing advanced, nothing leaked); `Fault`
-/// is an execution failure (the slot's sequence is lost and the engine may
-/// need a reset).
+/// is an execution failure (the slot's sequence must be replayed from its
+/// committed prefix or evicted, and the fault's class feeds that class's
+/// circuit breaker).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
     /// A page reservation failed; the step was not executed.
     OutOfPages { needed: usize, free: usize },
-    /// The underlying engine faulted (collective failure, rank loss, ...).
-    Fault(String),
+    /// The underlying engine faulted (collective failure, rank loss,
+    /// injected chaos, ...).
+    Fault { class: FaultClass, msg: String },
+}
+
+impl EngineError {
+    /// Build a `Fault` by classifying `msg` (see [`FaultClass::classify`]).
+    pub fn classified(msg: String) -> Self {
+        EngineError::Fault { class: FaultClass::classify(&msg), msg }
+    }
 }
 
 impl std::fmt::Display for EngineError {
@@ -54,7 +118,7 @@ impl std::fmt::Display for EngineError {
             EngineError::OutOfPages { needed, free } => {
                 write!(f, "out of kv pages: need {needed}, {free} free")
             }
-            EngineError::Fault(m) => write!(f, "engine fault: {m}"),
+            EngineError::Fault { class, msg } => write!(f, "engine fault [{class}]: {msg}"),
         }
     }
 }
@@ -210,7 +274,7 @@ impl BatchEngine for FtEngine {
             .begin_ctl(prompt, &StepCtl::NONE)
             .and_then(|()| self.sess.generate_step_ctl(&StepCtl::NONE))
             .map_err(|e| match e {
-                StepError::Fault(f) => EngineError::Fault(f.to_string()),
+                StepError::Fault(f) => EngineError::classified(f.to_string()),
                 StepError::Aborted(_) => unreachable!("StepCtl::NONE never aborts"),
             })?;
         self.resident = true;
@@ -230,7 +294,7 @@ impl BatchEngine for FtEngine {
                 // scheduler can reuse the slot after accounting the loss.
                 self.resident = false;
                 self.sess.reset();
-                Err(EngineError::Fault(f.to_string()))
+                Err(EngineError::classified(f.to_string()))
             }
             Err(StepError::Aborted(_)) => unreachable!("StepCtl::NONE never aborts"),
         }
@@ -240,6 +304,121 @@ impl BatchEngine for FtEngine {
         assert_eq!(slot, 0, "FtEngine has one slot");
         self.resident = false;
         self.sess.reset();
+    }
+}
+
+/// Chaos wrapper: any [`BatchEngine`] plus a scripted
+/// [`EngineFaultInjector`]. Each fault kind is injected with semantics the
+/// scheduler's recovery can rely on:
+///
+/// * `Panic` fires **before** the inner call, so the inner engine's state
+///   is untouched when `catch_unwind` catches it — prefix replay of every
+///   resident is sound and leaks nothing.
+/// * `Stall` sleeps, then runs the call normally; detection is the
+///   caller's per-step progress deadline (the call itself succeeds late).
+/// * `Corrupt` runs the call, then reports its output as poisoned: decode
+///   tokens are discarded (`out` is truncated back), a prefilled slot is
+///   released again before the error returns — `Err` from prefill still
+///   means "slot free".
+/// * `Exhaust { calls }` returns `OutOfPages` for this call and the next
+///   `calls - 1` calls of either kind without touching the inner engine —
+///   a transient allocator storm the scheduler sheds through.
+///
+/// With an empty plan the wrapper costs one atomic scan per call — the
+/// armed-idle overhead `bench_serve` gates at < 2%.
+pub struct FaultyEngine<E: BatchEngine> {
+    inner: E,
+    injector: Arc<EngineFaultInjector>,
+    prefill_calls: u64,
+    decode_calls: u64,
+    exhaust_left: u32,
+}
+
+impl<E: BatchEngine> FaultyEngine<E> {
+    pub fn new(inner: E, injector: Arc<EngineFaultInjector>) -> Self {
+        FaultyEngine { inner, injector, prefill_calls: 0, decode_calls: 0, exhaust_left: 0 }
+    }
+
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Apply the shared pre-call kinds; `Corrupt` is site-specific and
+    /// handled by the caller. Returns `Err` if the call must not reach the
+    /// inner engine.
+    fn pre_call(&mut self, kind: Option<EngineFaultKind>, needed: usize) -> Result<bool, EngineError> {
+        if self.exhaust_left > 0 {
+            self.exhaust_left -= 1;
+            return Err(EngineError::OutOfPages { needed, free: 0 });
+        }
+        match kind {
+            Some(EngineFaultKind::Panic) => panic!("injected engine panic"),
+            Some(EngineFaultKind::Stall { millis }) => {
+                dsi_sim::fault::apply_stall(millis);
+                Ok(false)
+            }
+            Some(EngineFaultKind::Exhaust { calls }) => {
+                self.exhaust_left = calls - 1;
+                Err(EngineError::OutOfPages { needed, free: 0 })
+            }
+            Some(EngineFaultKind::Corrupt) => Ok(true),
+            None => Ok(false),
+        }
+    }
+}
+
+impl<E: BatchEngine> BatchEngine for FaultyEngine<E> {
+    fn max_slots(&self) -> usize {
+        self.inner.max_slots()
+    }
+
+    fn prefill(&mut self, slot: usize, prompt: &[usize]) -> Result<usize, EngineError> {
+        let call = self.prefill_calls;
+        self.prefill_calls += 1;
+        let kind = self.injector.at_prefill(call);
+        let needed = self.inner.pages_for(prompt.len() + 1);
+        let corrupt = self.pre_call(kind, needed)?;
+        let tok = self.inner.prefill(slot, prompt)?;
+        if corrupt {
+            self.inner.release(slot);
+            return Err(EngineError::Fault {
+                class: FaultClass::Corruption,
+                msg: format!("injected corruption at prefill {call}"),
+            });
+        }
+        Ok(tok)
+    }
+
+    fn decode_step(&mut self, slots: &[usize], out: &mut Vec<usize>) -> Result<(), EngineError> {
+        let call = self.decode_calls;
+        self.decode_calls += 1;
+        let kind = self.injector.at_decode(call);
+        let corrupt = self.pre_call(kind, slots.len())?;
+        let base = out.len();
+        self.inner.decode_step(slots, out)?;
+        if corrupt {
+            // The inner engine advanced: its KV now holds tokens the
+            // scheduler never committed, so every stepped slot must be
+            // replayed from its committed prefix.
+            out.truncate(base);
+            return Err(EngineError::Fault {
+                class: FaultClass::Corruption,
+                msg: format!("injected corruption at decode {call}"),
+            });
+        }
+        Ok(())
+    }
+
+    fn release(&mut self, slot: usize) {
+        self.inner.release(slot);
+    }
+
+    fn pages_for(&self, tokens: usize) -> usize {
+        self.inner.pages_for(tokens)
+    }
+
+    fn kv_stats(&self) -> Option<PageStats> {
+        self.inner.kv_stats()
     }
 }
 
@@ -303,6 +482,153 @@ mod tests {
         let b = run_slot0(&mut paged, &[1, 2, 3], 4);
         assert_eq!(a, b, "release must fully clear the slot");
         assert_eq!(paged.kv_stats().unwrap().pages_in_use, 0);
+    }
+
+    use dsi_sim::fault::{EngineFaultPlan, EngineFaultSite, EngineFaultSpec};
+
+    fn spec(site: EngineFaultSite, kind: EngineFaultKind) -> EngineFaultSpec {
+        EngineFaultSpec { site, kind }
+    }
+
+    #[test]
+    fn faulty_engine_with_empty_plan_is_transparent() {
+        let m = model(11);
+        let pm = PackedModel::pack(&m);
+        let prompt = [3usize, 1, 4, 1, 5];
+        let want = pm.session(prompt.len()).generate(&prompt, 6);
+        let paged = PagedEngine::new(&pm, 3, 32, 4);
+        let mut faulty = FaultyEngine::new(paged, Arc::new(EngineFaultPlan::default().injector()));
+        assert_eq!(run_slot0(&mut faulty, &prompt, 6), want);
+    }
+
+    #[test]
+    fn corrupt_prefill_returns_err_with_slot_free() {
+        let m = model(19);
+        let pm = PackedModel::pack(&m);
+        let plan = EngineFaultPlan::new(vec![spec(
+            EngineFaultSite::Prefill { call: 0 },
+            EngineFaultKind::Corrupt,
+        )]);
+        let paged = PagedEngine::new(&pm, 2, 16, 4);
+        let mut eng = FaultyEngine::new(paged, Arc::new(plan.injector()));
+        let err = eng.prefill(0, &[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, EngineError::Fault { class: FaultClass::Corruption, .. }), "{err}");
+        assert_eq!(eng.kv_stats().unwrap().pages_in_use, 0, "Err from prefill must leave slot free");
+        // The slot is immediately reusable and numerics are untouched.
+        let want = pm.session(3).generate(&[1, 2, 3], 4);
+        assert_eq!(run_slot0(&mut eng, &[1, 2, 3], 4), want);
+    }
+
+    #[test]
+    fn corrupt_decode_discards_tokens_and_reports_poisoned_state() {
+        let m = model(23);
+        let pm = PackedModel::pack(&m);
+        let plan = EngineFaultPlan::new(vec![spec(
+            EngineFaultSite::Decode { call: 0 },
+            EngineFaultKind::Corrupt,
+        )]);
+        let paged = PagedEngine::new(&pm, 2, 16, 4);
+        let mut eng = FaultyEngine::new(paged, Arc::new(plan.injector()));
+        eng.prefill(0, &[1, 2, 3]).unwrap();
+        let mut out = vec![99];
+        let err = eng.decode_step(&[0], &mut out).unwrap_err();
+        assert!(matches!(err, EngineError::Fault { class: FaultClass::Corruption, .. }), "{err}");
+        assert_eq!(out, [99], "corrupted step's tokens must be discarded");
+        // The inner engine advanced: context length shows the poison.
+        assert_eq!(eng.inner().context_len(0), 4, "inner state advanced past the committed prefix");
+    }
+
+    #[test]
+    fn exhaust_storm_counts_down_without_touching_inner() {
+        let m = model(29);
+        let pm = PackedModel::pack(&m);
+        let plan = EngineFaultPlan::new(vec![spec(
+            EngineFaultSite::Decode { call: 0 },
+            EngineFaultKind::Exhaust { calls: 2 },
+        )]);
+        let paged = PagedEngine::new(&pm, 2, 16, 4);
+        let mut eng = FaultyEngine::new(paged, Arc::new(plan.injector()));
+        let t0 = eng.prefill(0, &[1, 2, 3]).unwrap();
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            let err = eng.decode_step(&[0], &mut out).unwrap_err();
+            assert!(matches!(err, EngineError::OutOfPages { .. }), "{err}");
+        }
+        eng.decode_step(&[0], &mut out).unwrap();
+        let want = pm.session(3).generate(&[1, 2, 3], 2);
+        assert_eq!(vec![t0, out[0]], want, "storm must not advance or corrupt the sequence");
+    }
+
+    #[test]
+    fn injected_panic_fires_before_inner_state_changes() {
+        let m = model(31);
+        let pm = PackedModel::pack(&m);
+        let plan = EngineFaultPlan::new(vec![spec(
+            EngineFaultSite::Decode { call: 0 },
+            EngineFaultKind::Panic,
+        )]);
+        let paged = PagedEngine::new(&pm, 2, 16, 4);
+        let mut eng = FaultyEngine::new(paged, Arc::new(plan.injector()));
+        eng.prefill(0, &[1, 2, 3]).unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut out = Vec::new();
+            eng.decode_step(&[0], &mut out)
+        }));
+        assert!(r.is_err(), "scripted panic must fire");
+        assert_eq!(eng.inner().context_len(0), 3, "panic fires before the inner engine runs");
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The recovery contract the scheduler's prefix replay rests on:
+        /// releasing a resident and re-prefilling its committed prefix
+        /// reproduces the exact token stream — greedy decode is a pure
+        /// function of the committed context.
+        #[test]
+        fn prefix_replay_is_bit_exact(
+            prompt in prop::collection::vec(0usize..16, 1..6),
+            k in 1usize..6,
+            tail in 2usize..5,
+        ) {
+            let m = model(37);
+            let pm = PackedModel::pack(&m);
+            let want = pm.session(prompt.len()).generate(&prompt, k + tail);
+            let mut eng = PagedEngine::new(&pm, 2, 64, 4);
+            // Run k tokens, fault, release, replay the committed prefix,
+            // finish — the stream must equal the un-faulted oracle.
+            let mut toks = vec![eng.prefill(0, &prompt).unwrap()];
+            let mut step = Vec::new();
+            for _ in 1..k {
+                step.clear();
+                eng.decode_step(&[0], &mut step).unwrap();
+                toks.push(step[0]);
+            }
+            BatchEngine::release(&mut eng, 0);
+            let mut committed: Vec<usize> = prompt.clone();
+            committed.extend_from_slice(&toks[..k - 1]);
+            let replayed = eng.prefill(0, &committed).unwrap();
+            prop_assert_eq!(replayed, toks[k - 1], "replay must reproduce the last token");
+            for _ in 0..tail {
+                step.clear();
+                eng.decode_step(&[0], &mut step).unwrap();
+                toks.push(step[0]);
+            }
+            prop_assert_eq!(&toks, &want);
+        }
+    }
+
+    #[test]
+    fn fault_classification_maps_known_messages() {
+        assert_eq!(FaultClass::classify("rank 2 timed out at epoch 7"), FaultClass::Timeout);
+        assert_eq!(FaultClass::classify("step stalled past deadline"), FaultClass::Timeout);
+        assert_eq!(FaultClass::classify("corrupted chunk from rank 1"), FaultClass::Corruption);
+        assert_eq!(FaultClass::classify("group poisoned by rank 0"), FaultClass::Panic);
+        assert_eq!(FaultClass::classify("rank 3 dropped its barrier"), FaultClass::Panic);
+        assert_eq!(FaultClass::classify("out of kv pages: need 2, 0 free"), FaultClass::Memory);
+        assert_eq!(FaultClass::classify("???"), FaultClass::Panic, "unknown defaults to Panic");
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub use dsi_sim::hw::{ClusterSpec, DType, GpuSpec, NodeSpec};
 pub use dsi_zero::engine::ZeroInference;
 pub use engine::{EngineConfig, InferenceEngine, RunReport};
 pub use planner::{plan, Objective, Plan};
-pub use batch::{BatchEngine, EngineError, FtEngine};
+pub use batch::{BatchEngine, EngineError, FaultClass, FaultyEngine, FtEngine};
 pub use continuous::{
     simulate_continuous, simulate_continuous_with_faults, ContinuousPolicy, SlotPolicy,
 };

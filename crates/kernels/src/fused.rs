@@ -493,9 +493,8 @@ mod attn_avx {
             for (jr, sb) in sbuf.iter_mut().enumerate() {
                 // SAFETY: `j + jr < visible`, the caller's row bound
                 // `(idx.row(j) + 1) * h <= kd.len()` and `lo + d <= h` keep
-                // `kj.add(t)` (t < d, 8-aligned strides) inside `kd`;
-                // `t + 8 <= d == qi.len()` bounds the q loads; `hsum`
-                // requires AVX2+FMA, guaranteed by this fn.
+                // `kj.add(t)` (t < d, 8-aligned strides) inside `kd`; `t + 8
+                // <= d == qi.len()` bounds the q loads; AVX2+FMA per this fn.
                 unsafe {
                     let kj = kd.as_ptr().add(idx.row(j + jr) * h + lo);
                     let mut dv = _mm256_setzero_ps();

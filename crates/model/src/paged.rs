@@ -177,11 +177,18 @@ impl PagePool {
 
     /// Return every page of `seq` to the free list (reverse order, so the
     /// most recently used page is reallocated first) and reset the
-    /// sequence.
+    /// sequence. Debug builds also reject double-frees: a page already on
+    /// the free list means two page tables claimed the same page (the
+    /// recovery/replay path releases possibly-poisoned sequences, so this
+    /// is exactly where an aliasing bug would corrupt a survivor's KV).
     pub fn release(&mut self, seq: &mut PagedSeq) {
         let n = seq.pages.len();
         while let Some(p) = seq.pages.pop() {
             debug_assert!((p as usize) < self.pages_total, "foreign page released");
+            debug_assert!(
+                !self.free.contains(&p),
+                "double free: page {p} is already on the free list"
+            );
             self.free.push(p);
         }
         self.in_use -= n;
@@ -505,6 +512,21 @@ mod tests {
 
     fn model(layers: usize, seed: u64) -> GptModel {
         GptModel::random(zoo::tiny(layers), seed)
+    }
+
+    /// A page table holding a page that is already back on the free list
+    /// (the double-free shape a buggy replay-release would produce) must
+    /// trip the debug assert instead of silently aliasing a survivor.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn double_free_is_caught_in_debug_builds() {
+        let mut pool = PagePool::new(1, 4, 4, 2);
+        let mut a = PagedSeq::new();
+        pool.reserve(&mut a, 3).unwrap(); // 2 pages
+        let mut alias = PagedSeq { pages: a.pages().to_vec(), len: a.len() };
+        pool.release(&mut a);
+        pool.release(&mut alias);
     }
 
     #[test]

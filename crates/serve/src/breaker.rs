@@ -21,6 +21,7 @@
 //! [`FaultError`]: dsi_parallel::supervisor::FaultError
 //! [`Rejected::BreakerOpen`]: crate::server::Rejected::BreakerOpen
 
+use dsi_core::FaultClass;
 use std::time::Duration;
 
 /// Breaker tuning. `enabled: false` turns the breaker into a pass-through
@@ -147,6 +148,119 @@ impl Breaker {
     }
 }
 
+/// Admission verdict from a [`BreakerSet`]: like [`BreakerAdmission`] but a
+/// probe names the fault class it is probing, so the completion path can
+/// route the outcome to the right breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetAdmission {
+    Admit,
+    /// Admitted as the half-open probe for this class.
+    AdmitProbe(FaultClass),
+    /// Some class's breaker is open (or probing): fast-fail.
+    Reject,
+}
+
+/// One [`Breaker`] per [`FaultClass`], with independent thresholds and
+/// half-open probes — the PR-5 global breaker split per fault class so a
+/// stall storm cannot mask a panic storm (each class's failure count and
+/// open window are its own).
+///
+/// Admission is the conjunction of the per-class breakers: a request is
+/// admitted only if **no** class is open. When exactly the set's first
+/// elapsed-open class is ready to probe, the request becomes that class's
+/// probe. A success closes the probed class and resets the failure count of
+/// every *closed* class — classes that are open (or half-open for another
+/// probe) stay open until their own window/probe clears them, because a
+/// success under, say, a stall storm says nothing about the panic storm
+/// that opened the other breaker.
+#[derive(Debug, Clone)]
+pub struct BreakerSet {
+    breakers: [(FaultClass, Breaker); 4],
+}
+
+impl BreakerSet {
+    /// Every class starts from `base`; `overrides` replaces the tuning of
+    /// individual classes (independent thresholds are the point of the
+    /// split).
+    pub fn new(base: BreakerConfig, overrides: &[(FaultClass, BreakerConfig)]) -> Self {
+        let breakers = FaultClass::ALL.map(|class| {
+            let cfg = overrides
+                .iter()
+                .rev()
+                .find(|(c, _)| *c == class)
+                .map(|(_, cfg)| cfg.clone())
+                .unwrap_or_else(|| base.clone());
+            (class, Breaker::new(cfg))
+        });
+        BreakerSet { breakers }
+    }
+
+    fn get_mut(&mut self, class: FaultClass) -> &mut Breaker {
+        &mut self.breakers.iter_mut().find(|(c, _)| *c == class).expect("all classes present").1
+    }
+
+    pub fn get(&self, class: FaultClass) -> &Breaker {
+        &self.breakers.iter().find(|(c, _)| *c == class).expect("all classes present").1
+    }
+
+    /// Admission at `now_ns`: reject if any class is half-open (its probe
+    /// is in flight) or open within its window; otherwise the first class
+    /// whose window has elapsed turns this request into its probe; with
+    /// every class closed, admit.
+    pub fn admit(&mut self, now_ns: u64) -> SetAdmission {
+        if self.breakers.iter().any(|(_, b)| b.state() == BreakerState::HalfOpen) {
+            return SetAdmission::Reject;
+        }
+        let probe = self.breakers.iter().find_map(|(c, b)| match b.state() {
+            BreakerState::Open { until_ns } if now_ns >= until_ns => Some(*c),
+            _ => None,
+        });
+        if let Some(class) = probe {
+            // Only the elapsed class transitions; other open classes keep
+            // their windows.
+            let got = self.get_mut(class).admit(now_ns);
+            debug_assert_eq!(got, BreakerAdmission::AdmitProbe);
+            return SetAdmission::AdmitProbe(class);
+        }
+        if self.breakers.iter().any(|(_, b)| matches!(b.state(), BreakerState::Open { .. })) {
+            return SetAdmission::Reject;
+        }
+        SetAdmission::Admit
+    }
+
+    /// Revoke a probe admission that never ran (capacity reject).
+    pub fn abort_probe(&mut self, class: FaultClass, now_ns: u64) {
+        self.get_mut(class).abort_probe(now_ns);
+    }
+
+    /// A request completed cleanly. `probe` is the class it was probing, if
+    /// any: that class closes; every already-closed class forgets its
+    /// consecutive failures; open classes are untouched.
+    pub fn on_success(&mut self, probe: Option<FaultClass>) {
+        for (class, b) in &mut self.breakers {
+            if Some(*class) == probe || matches!(b.state(), BreakerState::Closed { .. }) {
+                b.on_success();
+            }
+        }
+    }
+
+    /// A request ended in a terminal fault of `class`: only that class's
+    /// breaker counts it.
+    pub fn on_failure(&mut self, class: FaultClass, now_ns: u64) {
+        self.get_mut(class).on_failure(now_ns);
+    }
+
+    /// Total opens across classes (the report's headline counter).
+    pub fn opens(&self) -> u32 {
+        self.breakers.iter().map(|(_, b)| b.opens).sum()
+    }
+
+    /// Per-class open counts, in [`FaultClass::ALL`] order.
+    pub fn opens_by_class(&self) -> [(FaultClass, u32); 4] {
+        self.breakers.clone().map(|(c, b)| (c, b.opens))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,5 +348,165 @@ mod tests {
         }
         assert_eq!(b.admit(clock.now_ns()), BreakerAdmission::Admit);
         assert_eq!(b.opens, 0);
+    }
+
+    fn set(threshold: u32, window_ms: u64) -> BreakerSet {
+        BreakerSet::new(
+            BreakerConfig {
+                enabled: true,
+                failure_threshold: threshold,
+                open_window: Duration::from_millis(window_ms),
+            },
+            &[],
+        )
+    }
+
+    #[test]
+    fn classes_count_failures_independently() {
+        let (clock, _time) = Clock::manual();
+        let mut s = set(3, 10);
+        // Two timeouts + two panics: four faults total, but no class has
+        // reached its own threshold — the global breaker would have opened.
+        s.on_failure(FaultClass::Timeout, clock.now_ns());
+        s.on_failure(FaultClass::Timeout, clock.now_ns());
+        s.on_failure(FaultClass::Panic, clock.now_ns());
+        s.on_failure(FaultClass::Panic, clock.now_ns());
+        assert_eq!(s.admit(clock.now_ns()), SetAdmission::Admit);
+        assert_eq!(s.opens(), 0);
+        // A third timeout opens only the timeout class.
+        s.on_failure(FaultClass::Timeout, clock.now_ns());
+        assert_eq!(s.admit(clock.now_ns()), SetAdmission::Reject);
+        assert_eq!(s.get(FaultClass::Timeout).opens, 1);
+        assert_eq!(s.get(FaultClass::Panic).opens, 0);
+    }
+
+    #[test]
+    fn success_does_not_mask_an_open_class() {
+        let (clock, time) = Clock::manual();
+        let mut s = set(1, 10);
+        s.on_failure(FaultClass::Panic, clock.now_ns());
+        // A non-probe success (e.g. a request admitted before the storm)
+        // must not close the panic breaker early...
+        s.on_success(None);
+        assert_eq!(s.admit(clock.now_ns()), SetAdmission::Reject);
+        // ...but it does reset closed classes' consecutive counts.
+        time.advance(Duration::from_millis(10));
+        assert_eq!(s.admit(clock.now_ns()), SetAdmission::AdmitProbe(FaultClass::Panic));
+        s.on_success(Some(FaultClass::Panic));
+        assert_eq!(s.admit(clock.now_ns()), SetAdmission::Admit);
+    }
+
+    #[test]
+    fn probe_for_one_class_while_another_stays_open() {
+        let (clock, time) = Clock::manual();
+        let mut s = BreakerSet::new(
+            BreakerConfig {
+                enabled: true,
+                failure_threshold: 1,
+                open_window: Duration::from_millis(10),
+            },
+            &[(
+                FaultClass::Panic,
+                BreakerConfig {
+                    enabled: true,
+                    failure_threshold: 1,
+                    open_window: Duration::from_millis(50),
+                },
+            )],
+        );
+        s.on_failure(FaultClass::Timeout, clock.now_ns());
+        s.on_failure(FaultClass::Panic, clock.now_ns());
+        // Timeout's window elapses first: its probe runs while panic is
+        // still open, and a probe success must not unlock panic.
+        time.advance(Duration::from_millis(10));
+        assert_eq!(s.admit(clock.now_ns()), SetAdmission::AdmitProbe(FaultClass::Timeout));
+        s.on_success(Some(FaultClass::Timeout));
+        assert_eq!(s.admit(clock.now_ns()), SetAdmission::Reject, "panic class still open");
+        time.advance(Duration::from_millis(40));
+        assert_eq!(s.admit(clock.now_ns()), SetAdmission::AdmitProbe(FaultClass::Panic));
+        s.on_failure(FaultClass::Panic, clock.now_ns());
+        assert_eq!(s.get(FaultClass::Panic).opens, 2);
+        assert_eq!(s.opens(), 3, "set total sums class opens");
+    }
+
+    #[test]
+    fn aborted_set_probe_reprobes_immediately() {
+        let (clock, time) = Clock::manual();
+        let mut s = set(1, 10);
+        s.on_failure(FaultClass::Corruption, clock.now_ns());
+        time.advance(Duration::from_millis(10));
+        assert_eq!(s.admit(clock.now_ns()), SetAdmission::AdmitProbe(FaultClass::Corruption));
+        s.abort_probe(FaultClass::Corruption, clock.now_ns());
+        assert_eq!(s.admit(clock.now_ns()), SetAdmission::AdmitProbe(FaultClass::Corruption));
+    }
+
+    /// Lock-step conformance against `dsi_verify::runtime::BreakerModel` —
+    /// the pure transcription that `check_breaker_model` explores
+    /// exhaustively. The verifier proves the *model* safe; this test pins
+    /// the executable breaker to the model under seeded random event
+    /// sequences, closing the loop.
+    #[test]
+    fn breaker_conforms_to_verified_model_in_lockstep() {
+        use dsi_verify::runtime::{BreakerModel, ModelAdmission, ModelState};
+        for seed in 0..8u64 {
+            let (clock, time) = Clock::manual();
+            let mut real = breaker(2, 10);
+            let mut model = BreakerModel::new(2, Duration::from_millis(10).as_nanos() as u64);
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678);
+            let mut next = move || {
+                s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            for step in 0..200 {
+                let now = clock.now_ns();
+                match next() % 5 {
+                    0 => {
+                        let got = real.admit(now);
+                        let want = model.admit(now);
+                        let same = matches!(
+                            (got, want),
+                            (BreakerAdmission::Admit, ModelAdmission::Admit)
+                                | (BreakerAdmission::AdmitProbe, ModelAdmission::AdmitProbe)
+                                | (BreakerAdmission::Reject, ModelAdmission::Reject)
+                        );
+                        assert!(same, "seed {seed} step {step}: {got:?} vs model {want:?}");
+                    }
+                    1 => {
+                        real.on_success();
+                        model.on_success();
+                    }
+                    2 => {
+                        real.on_failure(now);
+                        model.on_failure(now);
+                    }
+                    3 => {
+                        real.abort_probe(now);
+                        model.abort_probe(now);
+                    }
+                    _ => time.advance(Duration::from_millis(next() % 8)),
+                }
+                let eq = match (real.state(), model.state) {
+                    (
+                        BreakerState::Closed { consecutive_failures },
+                        ModelState::Closed { failures },
+                    ) => consecutive_failures == failures,
+                    (BreakerState::Open { until_ns }, ModelState::Open { until }) => {
+                        until_ns == until
+                    }
+                    (BreakerState::HalfOpen, ModelState::HalfOpen) => true,
+                    _ => false,
+                };
+                assert!(
+                    eq,
+                    "seed {seed} step {step}: real {:?} diverged from model {:?}",
+                    real.state(),
+                    model.state
+                );
+                assert_eq!(real.opens, model.opens, "seed {seed} step {step}: opens diverged");
+            }
+        }
     }
 }

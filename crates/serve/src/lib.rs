@@ -47,8 +47,10 @@ pub mod breaker;
 pub mod scheduler;
 pub mod server;
 
-pub use breaker::{Breaker, BreakerAdmission, BreakerConfig, BreakerState};
-pub use scheduler::{PageReport, SchedReport};
+pub use breaker::{
+    Breaker, BreakerAdmission, BreakerConfig, BreakerSet, BreakerState, SetAdmission,
+};
+pub use scheduler::{live_trace_check, PageReport, SchedReport};
 pub use server::{
     kv_budget_tokens, ContinuousConfig, EngineMode, EvictReason, Outcome, Rejected, Request,
     ServeConfig, ServeReport, Server, Ticket,

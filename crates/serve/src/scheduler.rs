@@ -10,33 +10,73 @@
 //!    and the runtime's cannot drift.
 //! 2. **Execute** (no lock): prefill newcomers (one prompt pass each),
 //!    then advance every resident one token through a single
-//!    `forward_rows` pass via [`PagedEngine::decode`]. Page growth for the
-//!    step is reserved *before* compute; on exhaustion the newest resident
-//!    is shed with [`EvictReason::PagesExhausted`] (its exact token prefix
-//!    attached) and the step retries — never an abort, never a hang.
+//!    `forward_rows` pass via [`BatchEngine::decode_step`]. Page growth
+//!    for the step is reserved *before* compute; on exhaustion the newest
+//!    resident is shed with [`EvictReason::PagesExhausted`] (its exact
+//!    token prefix attached) and the step retries — never an abort, never
+//!    a hang.
 //! 3. **Retire** (under the lock): resolve residents that completed
 //!    (`n_tokens` reached or [`eos`](crate::ServeConfig::eos) emitted),
 //!    were cancelled, or passed their deadline — mid-batch, without
-//!    disturbing neighbours. Counters, latencies, and the breaker see
-//!    exactly the same transitions as the single-flight path, so the
-//!    `submitted == admitted + rejected` and
+//!    disturbing neighbours. Counters, latencies, and the per-class
+//!    breakers see exactly the same transitions as the single-flight path,
+//!    so the `submitted == admitted + rejected` and
 //!    `admitted == completed + evicted + deadline_expired` identities hold
 //!    unchanged.
+//!
+//! ## Fault tolerance: prefix replay
+//!
+//! Engine steps run under `catch_unwind` plus an optional per-step
+//! progress deadline ([`ContinuousConfig::step_deadline`]). A panic, a
+//! typed [`EngineError::Fault`], or a step that completes past the
+//! deadline is a **fault**: the step's tokens (if any) are discarded and
+//! every active resident is recovered by *prefix replay* — release its
+//! possibly-poisoned pages, then re-prefill the committed prefix
+//! (`prompt ++ tokens[..len-1]`), which reproduces the last committed
+//! token bit-exactly because greedy decode is a pure function of the
+//! committed context. Every poisoned slot is released **before** any
+//! replay reserves (replay demand equals pre-fault demand, so every replay
+//! fits by construction — the protocol `dsi-verify`'s recovery-program
+//! checker proves). A resident that keeps faulting past
+//! [`ContinuousConfig::replay_budget`] is evicted with the typed
+//! [`EvictReason::EngineFault`]. Each fault's class feeds that class's
+//! circuit breaker ([`crate::breaker::BreakerSet`]).
+//!
+//! Recovery leans on two wrapper guarantees (see
+//! [`dsi_core::FaultyEngine`]): an injected panic fires *before* the inner
+//! engine runs (its state is untouched under `catch_unwind`), and `Err`
+//! from prefill means the slot is free.
+//!
+//! ## Debug tracer
+//!
+//! With [`ContinuousConfig::trace`] on (default in debug builds), the loop
+//! records its actual lock acquire/release and admit/execute/recover/retire
+//! ordering as [`SchedTraceOp`]s, attaches the trace to the final
+//! [`SchedReport`], and self-checks it against
+//! [`dsi_verify::locks::continuous_scheduler_model`] via
+//! [`check_sched_trace`] at exit — the recovery transitions cannot drift
+//! from the verified model. `cargo xtask verify` runs [`live_trace_check`]
+//! as an end-to-end gate.
 //!
 //! Because [`PagedEngine`] decode is bit-identical to a solo
 //! [`FastSession`](dsi_model::fast::FastSession) run (which is
 //! token-identical to `FtSession` at any TP degree), every outcome's token
 //! stream — full or partial — is an exact prefix of the request's solo
-//! generation. The chaos suite holds serving to that oracle.
+//! generation. The chaos suite holds serving to that oracle, faults
+//! included.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use dsi_core::batch::{BatchEngine, EngineError};
+use dsi_core::batch::{BatchEngine, EngineError, FaultClass, FaultyEngine};
 use dsi_core::SlotPolicy;
 use dsi_model::fast::PackedModel;
-use dsi_model::paged::PagedEngine;
+use dsi_model::paged::{PageStats, PagedEngine};
 use dsi_model::reference::GptModel;
+use dsi_sim::fault::EngineFaultInjector;
+use dsi_verify::locks::{check_sched_trace, SchedTraceOp};
 use serde::Serialize;
 
 use crate::server::{ContinuousConfig, EvictReason, Job, Outcome, Running, Shared};
@@ -71,14 +111,34 @@ pub struct SchedReport {
     pub mean_occupancy: f64,
     /// Requests shed with [`EvictReason::PagesExhausted`].
     pub page_evictions: u64,
+    /// Step faults recovered from (each recovery replays every active
+    /// resident).
+    pub recoveries: u64,
+    /// Prefix replays executed (committed-prefix prompt passes).
+    pub replays: u64,
+    /// Residents evicted with [`EvictReason::EngineFault`] after
+    /// exhausting their replay budget.
+    pub engine_fault_evictions: u64,
+    /// Debug-build scheduler trace (lock + phase ordering of the live
+    /// worker); empty when tracing is off. Checked against the verified
+    /// model by [`check_sched_trace`].
+    pub trace: Vec<SchedTraceOp>,
     pub pages: PageReport,
 }
 
 /// One admitted sequence resident in an engine slot.
 struct Resident {
     job: Job,
-    /// Generated tokens so far (first one from prefill).
+    /// Generated tokens so far (first one from prefill). Always a
+    /// committed, bit-exact prefix of the request's solo generation —
+    /// faulted steps never append.
     tokens: Vec<usize>,
+    /// Whether the engine currently holds this slot's sequence (pages
+    /// reserved). False between a recovery release and its replay.
+    seated: bool,
+    /// Recovery attempts charged against
+    /// [`ContinuousConfig::replay_budget`].
+    replays: u32,
     /// Admission order; page-exhaustion sheds the largest (newest first).
     admit_seq: u64,
 }
@@ -88,6 +148,182 @@ enum Retire {
     Cancelled,
     DeadlineExpired,
     PagesExhausted,
+    EngineFault { class: FaultClass, msg: String },
+}
+
+/// Outcome of one guarded engine call.
+enum StepVerdict<T> {
+    Ok(T),
+    OutOfPages,
+    Fault { class: FaultClass, msg: String },
+}
+
+fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "engine panicked".to_string()
+    }
+}
+
+/// Prefill under `catch_unwind` + the step deadline. A success that lands
+/// past the deadline is treated as a timeout fault: the seat is undone
+/// (release) and the caller replays — bit-exactness makes the discard
+/// safe, and treating lateness as a fault is what lets a stall storm trip
+/// the Timeout breaker instead of silently degrading every neighbour.
+fn guarded_prefill<E: BatchEngine>(
+    eng: &mut E,
+    slot: usize,
+    prompt: &[usize],
+    deadline: Option<Duration>,
+) -> StepVerdict<usize> {
+    let t0 = Instant::now();
+    let r = catch_unwind(AssertUnwindSafe(|| eng.prefill(slot, prompt)));
+    let late = deadline.is_some_and(|d| t0.elapsed() > d);
+    match r {
+        Ok(Ok(tok)) if !late => StepVerdict::Ok(tok),
+        Ok(Ok(_)) => {
+            // Seated, but past the progress deadline: undo the seat and
+            // report a timeout fault (the slot is free again — the
+            // prefill contract the caller relies on).
+            eng.release(slot);
+            StepVerdict::Fault {
+                class: FaultClass::Timeout,
+                msg: "prefill stalled past the step deadline".to_string(),
+            }
+        }
+        Ok(Err(EngineError::OutOfPages { .. })) => StepVerdict::OutOfPages,
+        Ok(Err(EngineError::Fault { class, msg })) => StepVerdict::Fault { class, msg },
+        Err(p) => StepVerdict::Fault { class: FaultClass::Panic, msg: panic_msg(p) },
+    }
+}
+
+/// One ragged decode step under `catch_unwind` + the step deadline. On any
+/// fault verdict the contents of `out` are untrustworthy and the caller
+/// must discard them and replay every active resident.
+fn guarded_decode<E: BatchEngine>(
+    eng: &mut E,
+    slots: &[usize],
+    out: &mut Vec<usize>,
+    deadline: Option<Duration>,
+) -> StepVerdict<()> {
+    let t0 = Instant::now();
+    let r = catch_unwind(AssertUnwindSafe(|| eng.decode_step(slots, out)));
+    let late = deadline.is_some_and(|d| t0.elapsed() > d);
+    match r {
+        Ok(Ok(())) if !late => StepVerdict::Ok(()),
+        Ok(Ok(())) => StepVerdict::Fault {
+            class: FaultClass::Timeout,
+            msg: "decode step stalled past the step deadline".to_string(),
+        },
+        Ok(Err(EngineError::OutOfPages { .. })) => StepVerdict::OutOfPages,
+        Ok(Err(EngineError::Fault { class, msg })) => StepVerdict::Fault { class, msg },
+        Err(p) => StepVerdict::Fault { class: FaultClass::Panic, msg: panic_msg(p) },
+    }
+}
+
+#[derive(Default)]
+struct RecoveryCounters {
+    recoveries: u64,
+    replays: u64,
+    engine_fault_evictions: u64,
+}
+
+/// Charge one recovery attempt against the resident's budget.
+fn charge_replay(r: &mut Resident, counters: &mut RecoveryCounters, budget: u32) -> bool {
+    if r.replays >= budget {
+        return false;
+    }
+    r.replays += 1;
+    counters.replays += 1;
+    true
+}
+
+/// Seat (fresh resident: admission prefill) or re-seat (recovery: prefix
+/// replay) `resident` into `slot`, retrying injected faults against the
+/// replay budget. Returns `Some(retire)` when the resident must be retired
+/// instead. On `None` the resident is seated and its last token committed.
+fn seat_resident<E: BatchEngine>(
+    eng: &mut E,
+    slot: usize,
+    resident: &mut Resident,
+    cont: &ContinuousConfig,
+    fault_events: &mut Vec<FaultClass>,
+    counters: &mut RecoveryCounters,
+) -> Option<Retire> {
+    loop {
+        let fresh = resident.tokens.is_empty();
+        let ctx: Vec<usize> = if fresh {
+            resident.job.prompt.clone()
+        } else {
+            // The committed engine context: prompt plus every generated
+            // token except the last (whose KV row is only materialized by
+            // the step that consumes it).
+            resident
+                .job
+                .prompt
+                .iter()
+                .chain(&resident.tokens[..resident.tokens.len() - 1])
+                .copied()
+                .collect()
+        };
+        match guarded_prefill(eng, slot, &ctx, cont.step_deadline) {
+            StepVerdict::Ok(tok) => {
+                if fresh {
+                    resident.tokens.push(tok);
+                } else {
+                    debug_assert_eq!(
+                        tok,
+                        *resident.tokens.last().expect("replayed resident has tokens"),
+                        "prefix replay must be bit-exact"
+                    );
+                }
+                resident.seated = true;
+                return None;
+            }
+            StepVerdict::OutOfPages if fresh => {
+                // Admission checked the fit under the lock, but an
+                // injected allocator storm (or a broken invariant) can
+                // still surface here: shed typed rather than crash.
+                return Some(Retire::PagesExhausted);
+            }
+            StepVerdict::OutOfPages => {
+                // Real exhaustion is impossible during replay: every
+                // poisoned slot was released before any replay reserves
+                // and replay demand equals pre-fault demand. Only an
+                // injected storm reaches this arm; it burns budget like
+                // any other fault.
+                fault_events.push(FaultClass::Memory);
+                if !charge_replay(resident, counters, cont.replay_budget) {
+                    return Some(Retire::EngineFault {
+                        class: FaultClass::Memory,
+                        msg: "replay budget exhausted under allocator storm".to_string(),
+                    });
+                }
+            }
+            StepVerdict::Fault { class, msg } => {
+                fault_events.push(class);
+                if !charge_replay(resident, counters, cont.replay_budget) {
+                    return Some(Retire::EngineFault { class, msg });
+                }
+            }
+        }
+    }
+}
+
+struct Tracer {
+    on: bool,
+    ops: Vec<SchedTraceOp>,
+}
+
+impl Tracer {
+    fn rec(&mut self, op: SchedTraceOp) {
+        if self.on {
+            self.ops.push(op);
+        }
+    }
 }
 
 pub(crate) fn continuous_worker_loop(
@@ -95,23 +331,48 @@ pub(crate) fn continuous_worker_loop(
     model: Arc<GptModel>,
     cont: ContinuousConfig,
     eos: Option<usize>,
+    faults: Option<Arc<EngineFaultInjector>>,
 ) {
     let pm = PackedModel::pack(&model);
-    let mut eng = PagedEngine::new(&pm, cont.max_slots, cont.pages_total, cont.page_tokens);
+    match faults {
+        Some(inj) => {
+            let eng = FaultyEngine::new(
+                PagedEngine::new(&pm, cont.max_slots, cont.pages_total, cont.page_tokens),
+                inj,
+            );
+            run_scheduler(shared, eng, cont, eos);
+        }
+        None => {
+            let eng = PagedEngine::new(&pm, cont.max_slots, cont.pages_total, cont.page_tokens);
+            run_scheduler(shared, eng, cont, eos);
+        }
+    }
+}
+
+fn run_scheduler<E: BatchEngine>(
+    shared: Arc<Shared>,
+    mut eng: E,
+    cont: ContinuousConfig,
+    eos: Option<usize>,
+) {
     let policy = SlotPolicy::new(cont.max_slots);
     let mut residents: Vec<Option<Resident>> = (0..cont.max_slots).map(|_| None).collect();
     let mut admit_seq = 0u64;
     let mut steps = 0u64;
     let mut prefills = 0u64;
     let mut page_evictions = 0u64;
+    let mut counters = RecoveryCounters::default();
     let mut occupancy_hist = vec![0u64; cont.max_slots + 1];
     let mut tokens_per_step_hist = vec![0u64; cont.max_slots + 1];
+    let mut tracer = Tracer { on: cont.trace, ops: Vec::new() };
 
     loop {
         // ---- Phase 1: admit from the queue into free slots (under lock).
+        tracer.rec(SchedTraceOp::IterStart);
         let mut newcomers: Vec<(usize, Job)> = Vec::new();
         {
             let mut st = shared.state.lock().unwrap();
+            tracer.rec(SchedTraceOp::Acquire);
             loop {
                 let resident_count =
                     residents.iter().filter(|r| r.is_some()).count() + newcomers.len();
@@ -124,7 +385,7 @@ pub(crate) fn continuous_worker_loop(
                 // jobs are never hopeless: submit rejects prompts larger
                 // than the whole pool.)
                 let need = eng.pages_for(job.prompt.len() + 1);
-                let free = eng.kv_stats().expect("paged engine").pages_free;
+                let free = eng.kv_stats().map_or(usize::MAX, |s| s.pages_free);
                 if need > free {
                     break;
                 }
@@ -141,48 +402,69 @@ pub(crate) fn continuous_worker_loop(
                     .expect("can_admit implies a free slot");
                 newcomers.push((slot, job));
             }
+            if !newcomers.is_empty() {
+                tracer.rec(SchedTraceOp::Admit);
+            }
             if newcomers.is_empty() && residents.iter().all(|r| r.is_none()) {
                 if st.draining && st.queue.is_empty() {
+                    drop(st);
+                    tracer.rec(SchedTraceOp::Release);
                     break;
                 }
-                drop(shared.work.wait(st).unwrap());
+                tracer.rec(SchedTraceOp::Wait);
+                let st = shared.work.wait(st).unwrap();
+                drop(st);
+                tracer.rec(SchedTraceOp::Release);
                 continue;
             }
+            drop(st);
+            tracer.rec(SchedTraceOp::Release);
         }
 
         // ---- Phase 2: execute (no lock held).
         let now = shared.clock.now_ns();
         let mut retired: Vec<(usize, Retire)> = Vec::new();
+        // Fault classes observed this iteration; fed to the per-class
+        // breakers in phase 3 (one `on_failure` per event, mirroring the
+        // single-flight path's one-per-terminal-fault discipline).
+        let mut fault_events: Vec<FaultClass> = Vec::new();
+        if !newcomers.is_empty() {
+            tracer.rec(SchedTraceOp::Execute);
+        }
         for (slot, job) in newcomers {
             // A job may be dead on arrival (cancelled or expired while
             // queued) — resolve it without spending a prompt pass, exactly
             // like the single-flight StepCtl check before `begin`.
-            if job.cancel.is_cancelled() {
-                residents[slot] = Some(Resident { job, tokens: Vec::new(), admit_seq });
+            let mut resident =
+                Resident { job, tokens: Vec::new(), seated: false, replays: 0, admit_seq };
+            admit_seq += 1;
+            if resident.job.cancel.is_cancelled() {
+                residents[slot] = Some(resident);
                 retired.push((slot, Retire::Cancelled));
-            } else if job.deadline_ns.is_some_and(|d| now >= d) {
-                residents[slot] = Some(Resident { job, tokens: Vec::new(), admit_seq });
+            } else if resident.job.deadline_ns.is_some_and(|d| now >= d) {
+                residents[slot] = Some(resident);
                 retired.push((slot, Retire::DeadlineExpired));
             } else {
                 shared.progress_ns.store(shared.clock.now_ns(), Ordering::Release);
-                match eng.prefill(slot, &job.prompt) {
-                    Ok(first) => {
-                        prefills += 1;
-                        residents[slot] =
-                            Some(Resident { job, tokens: vec![first], admit_seq });
-                    }
-                    Err(_) => {
-                        // Phase 1 checked the fit under the lock and only
-                        // this thread allocates pages, so this is
-                        // unreachable; shed typed rather than crash if the
-                        // invariant ever breaks.
-                        page_evictions += 1;
-                        residents[slot] = Some(Resident { job, tokens: Vec::new(), admit_seq });
-                        retired.push((slot, Retire::PagesExhausted));
-                    }
+                let retire = seat_resident(
+                    &mut eng,
+                    slot,
+                    &mut resident,
+                    &cont,
+                    &mut fault_events,
+                    &mut counters,
+                );
+                match retire {
+                    None => prefills += 1,
+                    Some(Retire::PagesExhausted) => page_evictions += 1,
+                    Some(Retire::EngineFault { .. }) => counters.engine_fault_evictions += 1,
+                    Some(_) => unreachable!("seat_resident retires typed page/fault only"),
+                }
+                residents[slot] = Some(resident);
+                if let Some(why) = retire {
+                    retired.push((slot, why));
                 }
             }
-            admit_seq += 1;
         }
 
         // Retire checks for residents that finished at prefill (n_tokens
@@ -194,11 +476,15 @@ pub(crate) fn continuous_worker_loop(
             .filter(|&s| residents[s].is_some() && !retired.iter().any(|(rs, _)| *rs == s))
             .collect();
         if !active.is_empty() {
+            tracer.rec(SchedTraceOp::Execute);
             let mut step_out = Vec::with_capacity(active.len());
             loop {
+                if active.is_empty() {
+                    break;
+                }
                 step_out.clear();
-                match eng.decode_step(&active, &mut step_out) {
-                    Ok(()) => {
+                match guarded_decode(&mut eng, &active, &mut step_out, cont.step_deadline) {
+                    StepVerdict::Ok(()) => {
                         occupancy_hist[active.len()] += 1;
                         tokens_per_step_hist[step_out.len()] += 1;
                         steps += 1;
@@ -212,7 +498,7 @@ pub(crate) fn continuous_worker_loop(
                         }
                         break;
                     }
-                    Err(EngineError::OutOfPages { .. }) => {
+                    StepVerdict::OutOfPages => {
                         // Shed the newest resident and retry; nothing
                         // advanced, so every survivor's stream is intact.
                         let victim = *active
@@ -224,15 +510,66 @@ pub(crate) fn continuous_worker_loop(
                         page_evictions += 1;
                         // Free the victim's pages NOW so the retry can
                         // succeed; outcome delivery waits for phase 3.
-                        eng.release(victim);
+                        let v = residents[victim].as_mut().expect("occupied");
+                        if v.seated {
+                            eng.release(victim);
+                            v.seated = false;
+                        }
                         retired.push((victim, Retire::PagesExhausted));
                         active.retain(|&s| s != victim);
-                        if active.is_empty() {
-                            break;
-                        }
                     }
-                    Err(EngineError::Fault(m)) => {
-                        unreachable!("paged fast path cannot fault: {m}")
+                    StepVerdict::Fault { class, msg } => {
+                        // The step's output (if any) is discarded; every
+                        // active resident's engine state is suspect.
+                        // Recover each by prefix replay.
+                        tracer.rec(SchedTraceOp::Recover);
+                        counters.recoveries += 1;
+                        fault_events.push(class);
+                        // Release every poisoned slot BEFORE any replay
+                        // reserves — replay demand equals pre-fault
+                        // demand, so all replays fit (the release-first
+                        // protocol dsi-verify's recovery checker proves).
+                        for &slot in &active {
+                            let r = residents[slot].as_mut().expect("occupied");
+                            if r.seated {
+                                eng.release(slot);
+                                r.seated = false;
+                            }
+                        }
+                        let mut keep = Vec::with_capacity(active.len());
+                        for &slot in &active {
+                            let r = residents[slot].as_mut().expect("occupied");
+                            let retire = if !charge_replay(r, &mut counters, cont.replay_budget)
+                            {
+                                Some(Retire::EngineFault { class, msg: msg.clone() })
+                            } else {
+                                seat_resident(
+                                    &mut eng,
+                                    slot,
+                                    r,
+                                    &cont,
+                                    &mut fault_events,
+                                    &mut counters,
+                                )
+                            };
+                            match retire {
+                                None => {
+                                    shared
+                                        .progress_ns
+                                        .store(shared.clock.now_ns(), Ordering::Release);
+                                    keep.push(slot);
+                                }
+                                Some(why) => {
+                                    if matches!(why, Retire::EngineFault { .. }) {
+                                        counters.engine_fault_evictions += 1;
+                                    } else {
+                                        page_evictions += 1;
+                                    }
+                                    retired.push((slot, why));
+                                }
+                            }
+                        }
+                        active = keep;
                     }
                 }
             }
@@ -240,15 +577,25 @@ pub(crate) fn continuous_worker_loop(
             scan_retirements(&residents, eos, shared.clock.now_ns(), &mut retired);
         }
 
-        // ---- Phase 3: retire (under lock), deliver outcomes after.
-        if !retired.is_empty() {
-            let mut deliveries: Vec<(Job, Outcome)> = Vec::new();
+        // ---- Phase 3: retire + account (under lock), deliver after.
+        let mut deliveries: Vec<(Job, Outcome)> = Vec::new();
+        {
             let mut st = shared.state.lock().unwrap();
+            tracer.rec(SchedTraceOp::Acquire);
             let now = shared.clock.now_ns();
+            // Fault events feed the per-class breakers first, so a probe
+            // evicted by a fault of its own class sees Open (not
+            // HalfOpen) when its abort is processed below.
+            for class in fault_events.drain(..) {
+                st.breaker.on_failure(class, now);
+            }
+            if !retired.is_empty() {
+                tracer.rec(SchedTraceOp::Retire);
+            }
             for (slot, why) in retired {
-                let Resident { job, mut tokens, .. } =
+                let Resident { job, mut tokens, seated, .. } =
                     residents[slot].take().expect("retired slot occupied");
-                if eng.slot_in_use(slot) {
+                if seated {
                     eng.release(slot);
                 }
                 st.running.retain(|r| r.id != job.id);
@@ -258,51 +605,78 @@ pub(crate) fn continuous_worker_loop(
                         st.counters.completed += 1;
                         let latency_s = (now - job.submit_ns) as f64 / 1e9;
                         st.latencies_s.push(latency_s);
-                        st.breaker.on_success();
+                        st.breaker.on_success(job.probe);
                         Outcome::Completed { tokens, latency_s }
                     }
                     Retire::Cancelled => {
                         st.counters.evicted += 1;
-                        if job.probe {
-                            st.breaker.abort_probe(now);
+                        if let Some(pc) = job.probe {
+                            st.breaker.abort_probe(pc, now);
                         }
                         Outcome::Evicted { partial: tokens, reason: EvictReason::Cancelled }
                     }
                     Retire::DeadlineExpired => {
                         st.counters.deadline_expired += 1;
-                        if job.probe {
-                            st.breaker.abort_probe(now);
+                        if let Some(pc) = job.probe {
+                            st.breaker.abort_probe(pc, now);
                         }
                         Outcome::DeadlineExpired { partial: tokens }
                     }
                     Retire::PagesExhausted => {
                         st.counters.evicted += 1;
-                        if job.probe {
-                            st.breaker.abort_probe(now);
+                        if let Some(pc) = job.probe {
+                            st.breaker.abort_probe(pc, now);
                         }
                         Outcome::Evicted { partial: tokens, reason: EvictReason::PagesExhausted }
+                    }
+                    Retire::EngineFault { class, msg } => {
+                        st.counters.evicted += 1;
+                        // The class breaker already counted the underlying
+                        // fault events; a probe evicted this way proved
+                        // nothing (abort_probe no-ops if the class
+                        // breaker re-opened above).
+                        if let Some(pc) = job.probe {
+                            st.breaker.abort_probe(pc, now);
+                        }
+                        Outcome::Evicted {
+                            partial: tokens,
+                            reason: EvictReason::EngineFault { class, msg },
+                        }
                     }
                 };
                 deliveries.push((job, outcome));
             }
-            st.pool_pages = eng.pool_stats().pages_in_use;
+            st.pool_pages = eng.kv_stats().map_or(0, |s| s.pages_in_use);
             drop(st);
-            for (job, outcome) in deliveries {
-                let _ = job.tx.send(outcome);
-            }
-            shared.idle.notify_all();
-        } else {
-            let mut st = shared.state.lock().unwrap();
-            st.pool_pages = eng.pool_stats().pages_in_use;
+            tracer.rec(SchedTraceOp::Release);
         }
+        for (job, outcome) in deliveries {
+            let _ = job.tx.send(outcome);
+        }
+        shared.idle.notify_all();
     }
 
     // Loop exit: draining, queue empty, no residents. Publish the
     // scheduler report and hand the final pool identity to drain's
     // asserts.
-    let stats = eng.pool_stats();
+    let stats = eng.kv_stats().unwrap_or(PageStats {
+        pages_total: 0,
+        pages_in_use: 0,
+        pages_free: 0,
+        high_water: 0,
+        page_tokens: 0,
+    });
     let total_occ: u64 = occupancy_hist.iter().enumerate().map(|(b, &n)| b as u64 * n).sum();
+    tracer.rec(SchedTraceOp::IterStart);
     let mut st = shared.state.lock().unwrap();
+    tracer.rec(SchedTraceOp::Acquire);
+    // The release below follows unconditionally once the report is
+    // published; record it now so the attached trace is complete.
+    tracer.rec(SchedTraceOp::Release);
+    if tracer.on {
+        let diags = check_sched_trace(&tracer.ops);
+        debug_assert!(diags.is_empty(), "live scheduler trace diverged from model: {diags:#?}");
+    }
     st.pool_pages = stats.pages_in_use;
     st.sched_report = Some(SchedReport {
         steps,
@@ -311,6 +685,10 @@ pub(crate) fn continuous_worker_loop(
         occupancy_hist,
         tokens_per_step_hist,
         page_evictions,
+        recoveries: counters.recoveries,
+        replays: counters.replays,
+        engine_fault_evictions: counters.engine_fault_evictions,
+        trace: tracer.ops,
         pages: PageReport {
             pages_total: stats.pages_total,
             page_tokens: stats.page_tokens,
@@ -346,4 +724,42 @@ fn scan_retirements(
             out.push((slot, Retire::DeadlineExpired));
         }
     }
+}
+
+/// End-to-end tracer gate for `cargo xtask verify`: run a short continuous
+/// serve with tracing forced on — batched completions, a cancel, an idle
+/// park, a drain — and diff the live scheduler's recorded trace against
+/// the verified lock model. Returns the diagnostics (empty = clean).
+pub fn live_trace_check() -> Vec<dsi_verify::Diagnostic> {
+    use crate::server::{EngineMode, Request, ServeConfig, Server};
+    let model = Arc::new(GptModel::random(dsi_model::zoo::tiny(2), 7));
+    let mut cfg = ServeConfig::new(1);
+    cfg.mode = EngineMode::Continuous(ContinuousConfig {
+        max_slots: 2,
+        pages_total: 32,
+        page_tokens: 4,
+        trace: true,
+        ..ContinuousConfig::default()
+    });
+    let srv = Server::start(model, cfg);
+    let tickets: Vec<_> = (0..3)
+        .map(|i| {
+            srv.submit(Request { prompt: vec![i + 1, i + 2], n_tokens: 4, deadline: None })
+                .expect("admission")
+        })
+        .collect();
+    let cancelled = srv
+        .submit(Request { prompt: vec![9, 9], n_tokens: 16, deadline: None })
+        .expect("admission");
+    cancelled.cancel();
+    for t in tickets {
+        t.wait();
+    }
+    cancelled.wait();
+    // Let the scheduler park at least once before draining, so the trace
+    // contains the idle Wait shape too.
+    std::thread::sleep(Duration::from_millis(10));
+    let report = srv.drain(Duration::from_secs(5));
+    let trace = report.scheduler.expect("continuous mode attaches a scheduler report").trace;
+    check_sched_trace(&trace)
 }

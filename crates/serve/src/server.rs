@@ -70,7 +70,10 @@ use dsi_sim::hw::DType;
 use dsi_sim::shmem::CommConfig;
 use serde::Serialize;
 
-use crate::breaker::{Breaker, BreakerAdmission, BreakerConfig};
+use dsi_core::FaultClass;
+use dsi_sim::fault::EngineFaultInjector;
+
+use crate::breaker::{BreakerConfig, BreakerSet, SetAdmission};
 use crate::scheduler::{continuous_worker_loop, SchedReport};
 
 /// Convert a KV byte budget into admission tokens for
@@ -106,11 +109,33 @@ pub struct ContinuousConfig {
     pub pages_total: usize,
     /// Context tokens per page.
     pub page_tokens: usize,
+    /// Recovery attempts a resident may consume across its lifetime. An
+    /// engine fault replays every active resident from its committed
+    /// prefix (one budget charge each); a resident that exhausts the
+    /// budget is evicted with the typed [`EvictReason::EngineFault`].
+    pub replay_budget: u32,
+    /// Per-step progress deadline. An engine step (prefill or decode)
+    /// that completes later than this is treated as a Timeout-class
+    /// fault: its output is discarded and the residents are replayed —
+    /// bounding the latency any single wedged step can inflict on the
+    /// whole batch. `None` disables the check.
+    pub step_deadline: Option<Duration>,
+    /// Record the scheduler's lock/phase trace and self-check it against
+    /// the verified model at exit (see `dsi_verify::locks`). Defaults on
+    /// in debug builds, off in release.
+    pub trace: bool,
 }
 
 impl Default for ContinuousConfig {
     fn default() -> Self {
-        ContinuousConfig { max_slots: 8, pages_total: 512, page_tokens: 16 }
+        ContinuousConfig {
+            max_slots: 8,
+            pages_total: 512,
+            page_tokens: 16,
+            replay_budget: 3,
+            step_deadline: None,
+            trace: cfg!(debug_assertions),
+        }
     }
 }
 
@@ -147,8 +172,19 @@ pub struct ServeConfig {
     pub kv_budget_tokens: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
-    /// Circuit breaker over terminal fault outcomes.
+    /// Base circuit-breaker configuration, applied to every fault class
+    /// (timeout / panic / corruption / memory — each class trips and
+    /// probes independently; see [`crate::breaker::BreakerSet`]).
     pub breaker: BreakerConfig,
+    /// Per-class overrides of [`ServeConfig::breaker`]: e.g. a longer
+    /// open window for memory faults than for timeouts. Last entry wins
+    /// per class.
+    pub breaker_class_overrides: Vec<(FaultClass, BreakerConfig)>,
+    /// Scripted engine-fault injection for the continuous scheduler
+    /// (chaos testing): the paged engine is wrapped in
+    /// [`dsi_core::FaultyEngine`] driven by this injector. `None` (the
+    /// default) runs the engine bare.
+    pub engine_faults: Option<Arc<EngineFaultInjector>>,
     /// Watchdog: cancel the running request if no token progress within
     /// this window. `None` disables the watchdog thread entirely.
     pub progress_timeout: Option<Duration>,
@@ -171,6 +207,8 @@ impl ServeConfig {
             kv_budget_tokens: 4096,
             default_deadline: None,
             breaker: BreakerConfig::default(),
+            breaker_class_overrides: Vec::new(),
+            engine_faults: None,
             progress_timeout: None,
             watchdog_poll: Duration::from_millis(2),
             clock: Clock::wall(),
@@ -218,7 +256,8 @@ impl std::error::Error for Rejected {}
 /// Why an admitted request was evicted without completing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvictReason {
-    /// Terminal engine fault (retries and degradation exhausted).
+    /// Terminal engine fault (retries and degradation exhausted) in the
+    /// single-flight path.
     Fault(String),
     /// Cancelled — by the client, the watchdog, or drain-grace expiry.
     Cancelled,
@@ -226,6 +265,12 @@ pub enum EvictReason {
     /// it was chosen as the shed victim (newest resident first). `partial`
     /// holds the exact prefix generated before the shed.
     PagesExhausted,
+    /// Continuous mode: the resident exhausted its prefix-replay budget
+    /// ([`ContinuousConfig::replay_budget`]) under repeated engine faults.
+    /// `partial` holds the committed prefix — every token in it survived
+    /// recovery bit-exact, so it is still a true prefix of the request's
+    /// solo generation.
+    EngineFault { class: FaultClass, msg: String },
 }
 
 /// Terminal outcome of an admitted request. Exactly one `Outcome` is
@@ -280,8 +325,12 @@ pub struct ServeReport {
     pub rejected_memory: u64,
     pub rejected_breaker: u64,
     pub rejected_draining: u64,
-    /// Times the breaker transitioned Closed/HalfOpen → Open.
+    /// Times any class breaker transitioned Closed/HalfOpen → Open
+    /// (sum over classes).
     pub breaker_opens: u32,
+    /// Per-fault-class breaker opens (timeout / panic / corruption /
+    /// memory trip independently; see `crate::breaker::BreakerSet`).
+    pub breaker_opens_by_class: Vec<(FaultClass, u32)>,
     /// Times the watchdog cancelled a request for lack of progress.
     pub watchdog_fires: u64,
     /// Serve-clock seconds from `Server::start` to drain completion.
@@ -320,7 +369,10 @@ pub(crate) struct Job {
     /// becomes resident and the page pool takes over (continuous).
     pub(crate) cost: usize,
     pub(crate) cancel: CancelToken,
-    pub(crate) probe: bool,
+    /// `Some(class)` when this job is the half-open probe for that fault
+    /// class's breaker: completion closes it, a fault-free non-answer
+    /// (cancel/deadline/shed) aborts it for an immediate re-probe.
+    pub(crate) probe: Option<FaultClass>,
     pub(crate) submit_ns: u64,
     pub(crate) tx: mpsc::Sender<Outcome>,
 }
@@ -359,7 +411,7 @@ pub(crate) struct State {
     pub(crate) running: Vec<Running>,
     pub(crate) draining: bool,
     pub(crate) worker_done: bool,
-    pub(crate) breaker: Breaker,
+    pub(crate) breaker: BreakerSet,
     pub(crate) counters: Counters,
     pub(crate) latencies_s: Vec<f64>,
     pub(crate) ft_report: Option<FtReport>,
@@ -402,7 +454,7 @@ impl Server {
                 running: Vec::new(),
                 draining: false,
                 worker_done: false,
-                breaker: Breaker::new(cfg.breaker.clone()),
+                breaker: BreakerSet::new(cfg.breaker.clone(), &cfg.breaker_class_overrides),
                 counters: Counters::default(),
                 latencies_s: Vec::new(),
                 ft_report: None,
@@ -430,9 +482,10 @@ impl Server {
                 }
                 EngineMode::Continuous(cont) => {
                     let eos = cfg.eos;
+                    let faults = cfg.engine_faults.clone();
                     std::thread::Builder::new()
                         .name("dsi-serve-scheduler".into())
-                        .spawn(move || continuous_worker_loop(shared, model, cont, eos))
+                        .spawn(move || continuous_worker_loop(shared, model, cont, eos, faults))
                         .expect("spawn serve scheduler")
                 }
             }
@@ -466,16 +519,16 @@ impl Server {
         }
         let now = self.shared.clock.now_ns();
         let probe = match st.breaker.admit(now) {
-            BreakerAdmission::Admit => false,
-            BreakerAdmission::AdmitProbe => true,
-            BreakerAdmission::Reject => {
+            SetAdmission::Admit => None,
+            SetAdmission::AdmitProbe(class) => Some(class),
+            SetAdmission::Reject => {
                 st.counters.rejected_breaker += 1;
                 return Err(Rejected::BreakerOpen);
             }
         };
         if st.queue.len() >= self.cfg.queue_capacity {
-            if probe {
-                st.breaker.abort_probe(now);
+            if let Some(pc) = probe {
+                st.breaker.abort_probe(pc, now);
             }
             st.counters.rejected_queue_full += 1;
             return Err(Rejected::QueueFull);
@@ -500,8 +553,8 @@ impl Server {
             }
         };
         if over_budget {
-            if probe {
-                st.breaker.abort_probe(now);
+            if let Some(pc) = probe {
+                st.breaker.abort_probe(pc, now);
             }
             st.counters.rejected_memory += 1;
             return Err(Rejected::MemoryPressure);
@@ -598,7 +651,8 @@ impl Server {
             rejected_memory: c.rejected_memory,
             rejected_breaker: c.rejected_breaker,
             rejected_draining: c.rejected_draining,
-            breaker_opens: st.breaker.opens,
+            breaker_opens: st.breaker.opens(),
+            breaker_opens_by_class: st.breaker.opens_by_class().to_vec(),
             watchdog_fires: c.watchdog_fires,
             wall_s,
             goodput_rps: if wall_s > 0.0 { c.completed as f64 / wall_s } else { 0.0 },
@@ -670,29 +724,34 @@ fn worker_loop(shared: Arc<Shared>, model: Arc<GptModel>, max_prompt: usize, ft_
                 st.counters.completed += 1;
                 let latency_s = (now - job.submit_ns) as f64 / 1e9;
                 st.latencies_s.push(latency_s);
-                st.breaker.on_success();
+                st.breaker.on_success(job.probe);
                 Outcome::Completed { tokens, latency_s }
             }
             Err(e) => match e.abort {
                 StepError::Aborted(StepAbort::DeadlineExceeded) => {
                     st.counters.deadline_expired += 1;
-                    if job.probe {
+                    if let Some(pc) = job.probe {
                         // The probe proved nothing: re-probe immediately.
-                        st.breaker.abort_probe(now);
+                        st.breaker.abort_probe(pc, now);
                     }
                     Outcome::DeadlineExpired { partial: e.partial }
                 }
                 StepError::Aborted(StepAbort::Cancelled) => {
                     st.counters.evicted += 1;
-                    if job.probe {
-                        st.breaker.abort_probe(now);
+                    if let Some(pc) = job.probe {
+                        st.breaker.abort_probe(pc, now);
                     }
                     Outcome::Evicted { partial: e.partial, reason: EvictReason::Cancelled }
                 }
                 StepError::Fault(f) => {
                     st.counters.evicted += 1;
-                    st.breaker.on_failure(now);
-                    Outcome::Evicted { partial: e.partial, reason: EvictReason::Fault(f.to_string()) }
+                    // Route the terminal fault to its class breaker: a
+                    // collective timeout trips Timeout, a poisoned worker
+                    // trips Panic — independent thresholds, independent
+                    // probes.
+                    let msg = f.to_string();
+                    st.breaker.on_failure(FaultClass::classify(&msg), now);
+                    Outcome::Evicted { partial: e.partial, reason: EvictReason::Fault(msg) }
                 }
             },
         };
@@ -986,7 +1045,12 @@ mod tests {
 
     fn continuous_cfg(max_slots: usize, pages_total: usize, page_tokens: usize) -> ServeConfig {
         let mut cfg = ServeConfig::new(1);
-        cfg.mode = EngineMode::Continuous(ContinuousConfig { max_slots, pages_total, page_tokens });
+        cfg.mode = EngineMode::Continuous(ContinuousConfig {
+            max_slots,
+            pages_total,
+            page_tokens,
+            ..ContinuousConfig::default()
+        });
         cfg
     }
 

@@ -327,6 +327,7 @@ fn continuous_chaos_token_identity_sweep() {
             max_slots: sc.max_slots,
             pages_total: sc.pages_total,
             page_tokens: sc.page_tokens,
+            ..ContinuousConfig::default()
         });
         cfg.eos = eos;
         cfg.max_prompt = 8;
@@ -366,8 +367,11 @@ fn continuous_chaos_token_identity_sweep() {
                 }
                 Outcome::Evicted { partial, reason } => {
                     assert!(
-                        !matches!(reason, EvictReason::Fault(_)),
-                        "{label}: paged engine cannot fault"
+                        !matches!(
+                            reason,
+                            EvictReason::Fault(_) | EvictReason::EngineFault { .. }
+                        ),
+                        "{label}: un-faulted paged engine cannot fault"
                     );
                     assert_eq!(
                         &full_streams[i][..partial.len()],

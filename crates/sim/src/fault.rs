@@ -238,6 +238,141 @@ pub fn apply_stall(millis: u64) {
     std::thread::sleep(Duration::from_millis(millis));
 }
 
+// ---------------------------------------------------------------------------
+// Engine-level faults: the paged/continuous path's injection surface.
+// ---------------------------------------------------------------------------
+
+/// What a scripted engine fault does when it fires at a batch-engine call.
+/// These model the paged fast path's failure classes: a worker panic inside
+/// a step, a step stalling past the scheduler's progress deadline, silent
+/// page-content corruption (detected because the step's tokens are
+/// discarded and the sequence replayed), and a transient page-allocator
+/// storm that reports `PagesExhausted` even though pages are free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum EngineFaultKind {
+    /// Panic at the call boundary, *before* the inner engine runs — the
+    /// "kernel assert" model. The injection point guarantees the inner
+    /// engine's state is untouched, so `catch_unwind` recovery is sound.
+    Panic,
+    /// Sleep `millis` before running the call (the call then succeeds
+    /// late; a scheduler with a per-step progress deadline detects it).
+    Stall { millis: u64 },
+    /// Run the call, then report its output as corrupted: the inner engine
+    /// advanced (its KV state is poisoned from the scheduler's view) and
+    /// the emitted tokens must be discarded.
+    Corrupt,
+    /// Report `PagesExhausted` for this call and the next `calls - 1`
+    /// calls without touching the engine — a transient allocator storm.
+    Exhaust { calls: u32 },
+}
+
+/// Where in the batch-engine call stream a fault fires. Calls are indexed
+/// per kind from 0 in the order the wrapper sees them; replayed calls count
+/// as new calls, so a recovery path can be re-faulted by a later spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum EngineFaultSite {
+    /// The wrapper's `call`-th prefill (0-based).
+    Prefill { call: u64 },
+    /// The wrapper's `call`-th decode step (0-based).
+    Decode { call: u64 },
+}
+
+/// One scripted engine fault: `kind` fires at `site`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct EngineFaultSpec {
+    pub site: EngineFaultSite,
+    pub kind: EngineFaultKind,
+}
+
+/// A deterministic engine-fault script, the paged-path analog of
+/// [`FaultPlan`]. Compile with [`EngineFaultPlan::injector`].
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct EngineFaultPlan {
+    pub specs: Vec<EngineFaultSpec>,
+}
+
+impl EngineFaultPlan {
+    pub fn new(specs: Vec<EngineFaultSpec>) -> Self {
+        EngineFaultPlan { specs }
+    }
+
+    /// A seed-driven plan of `n` faults over the first `max_call` calls of
+    /// each kind, drawn from the same splitmix64 stream discipline as
+    /// [`FaultPlan::random`]: one seed, one script. `stall_millis` bounds
+    /// injected stalls (keep it above the scheduler's step deadline to make
+    /// stalls detectable, below the test's patience to keep runs fast).
+    pub fn random(seed: u64, n: usize, max_call: u64, stall_millis: u64) -> Self {
+        assert!(max_call > 0 && stall_millis > 0);
+        let mut s = seed;
+        let mut next = move || -> u64 {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let specs = (0..n)
+            .map(|_| {
+                let kind = match next() % 4 {
+                    0 => EngineFaultKind::Panic,
+                    1 => EngineFaultKind::Stall { millis: stall_millis / 2 + next() % (stall_millis / 2 + 1) },
+                    2 => EngineFaultKind::Corrupt,
+                    _ => EngineFaultKind::Exhaust { calls: 1 + (next() % 3) as u32 },
+                };
+                let site = if next() % 3 == 0 {
+                    EngineFaultSite::Prefill { call: next() % max_call }
+                } else {
+                    EngineFaultSite::Decode { call: next() % max_call }
+                };
+                EngineFaultSpec { site, kind }
+            })
+            .collect();
+        EngineFaultPlan { specs }
+    }
+
+    /// Compile the plan into a fire-once injector.
+    pub fn injector(&self) -> EngineFaultInjector {
+        EngineFaultInjector {
+            specs: self.specs.iter().map(|&s| (s, AtomicBool::new(false))).collect(),
+        }
+    }
+}
+
+/// A compiled [`EngineFaultPlan`]: each spec fires at most once, so replay
+/// recovery does not re-trip the same scripted fault (unless a *different*
+/// spec targets a later call index). Shared behind an `Arc` between the
+/// serving config and the engine wrapper; a `None` injector costs nothing.
+#[derive(Debug, Default)]
+pub struct EngineFaultInjector {
+    specs: Vec<(EngineFaultSpec, AtomicBool)>,
+}
+
+impl EngineFaultInjector {
+    /// The scripted fault for the `call`-th prefill, if any (consumes it).
+    pub fn at_prefill(&self, call: u64) -> Option<EngineFaultKind> {
+        self.take(|s| matches!(s.site, EngineFaultSite::Prefill { call: c } if c == call))
+    }
+
+    /// The scripted fault for the `call`-th decode step, if any.
+    pub fn at_decode(&self, call: u64) -> Option<EngineFaultKind> {
+        self.take(|s| matches!(s.site, EngineFaultSite::Decode { call: c } if c == call))
+    }
+
+    /// Number of specs that have not fired yet.
+    pub fn pending(&self) -> usize {
+        self.specs.iter().filter(|(_, fired)| !fired.load(Ordering::Relaxed)).count()
+    }
+
+    fn take(&self, hit: impl Fn(&EngineFaultSpec) -> bool) -> Option<EngineFaultKind> {
+        for (spec, fired) in &self.specs {
+            if hit(spec) && !fired.swap(true, Ordering::Relaxed) {
+                return Some(spec.kind);
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,5 +430,46 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("rank 2") && s.contains("epoch 7") && s.contains("[1]"), "{s}");
+    }
+
+    #[test]
+    fn engine_plans_are_seed_deterministic() {
+        let a = EngineFaultPlan::random(42, 8, 32, 80);
+        let b = EngineFaultPlan::random(42, 8, 32, 80);
+        assert_eq!(a.specs, b.specs);
+        let c = EngineFaultPlan::random(43, 8, 32, 80);
+        assert_ne!(a.specs, c.specs, "different seeds must give different scripts");
+        for s in &a.specs {
+            match s.site {
+                EngineFaultSite::Prefill { call } | EngineFaultSite::Decode { call } => {
+                    assert!(call < 32)
+                }
+            }
+            if let EngineFaultKind::Stall { millis } = s.kind {
+                assert!((40..=80).contains(&millis), "stall {millis} out of band");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_injector_fires_each_spec_once() {
+        let plan = EngineFaultPlan::new(vec![
+            EngineFaultSpec {
+                site: EngineFaultSite::Decode { call: 2 },
+                kind: EngineFaultKind::Panic,
+            },
+            EngineFaultSpec {
+                site: EngineFaultSite::Prefill { call: 0 },
+                kind: EngineFaultKind::Exhaust { calls: 2 },
+            },
+        ]);
+        let inj = plan.injector();
+        assert_eq!(inj.at_decode(0), None, "wrong call index must not fire");
+        assert_eq!(inj.at_prefill(2), None, "site kinds are distinct");
+        assert_eq!(inj.pending(), 2);
+        assert_eq!(inj.at_decode(2), Some(EngineFaultKind::Panic));
+        assert_eq!(inj.at_decode(2), None, "specs are one-shot");
+        assert_eq!(inj.at_prefill(0), Some(EngineFaultKind::Exhaust { calls: 2 }));
+        assert_eq!(inj.pending(), 0);
     }
 }

@@ -46,6 +46,7 @@ pub mod trace;
 pub use clock::{CancelToken, Clock, ManualClock};
 pub use collectives::{allreduce_sum_slices, CollectiveCost, CommGroup};
 pub use fault::{CollectiveError, CollectiveErrorKind, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpec};
+pub use fault::{EngineFaultInjector, EngineFaultKind, EngineFaultPlan, EngineFaultSite, EngineFaultSpec};
 pub use shmem::{CommConfig, SenseBarrier, ShmComm, ShmPoisoner, ShmRank};
 pub use engine::{Resource, Schedule, Task, TaskGraph, TaskId};
 pub use hw::{ClusterSpec, GpuSpec, LinkSpec, NodeSpec};

@@ -22,6 +22,11 @@
 //! * [`locks`] — lock-order / condvar-discipline audit of the serving
 //!   runtime's thread model (`dsi-serve`): the held-while-acquiring graph
 //!   must be acyclic and every condvar wait must hold exactly its mutex.
+//!   Also hosts [`locks::check_sched_trace`], which diffs the continuous
+//!   scheduler's *live* debug-build trace against the hand-written model.
+//! * [`runtime`] — runtime state machines as checked models: the circuit
+//!   breaker (exhaustive bounded exploration) and the scheduler's
+//!   fault-recovery page protocol (release-before-replay).
 //! * [`audit`] — unsafe-kernel audit: every `unsafe` block must carry a
 //!   `// SAFETY:` comment and every `unsafe fn` a `# Safety` doc section.
 //! * [`sweep`] — the `cargo xtask verify` entry point: runs the passes over
@@ -38,6 +43,7 @@ pub mod audit;
 pub mod collective;
 pub mod ir;
 pub mod locks;
+pub mod runtime;
 pub mod scratch;
 pub mod sweep;
 

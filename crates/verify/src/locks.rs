@@ -278,6 +278,178 @@ pub fn continuous_scheduler_model() -> (usize, Vec<ThreadModel>) {
     (1, threads)
 }
 
+/// One event recorded by the continuous scheduler's debug-build tracer.
+/// `Acquire`/`Wait`/`Release` are the *actual* state-mutex operations of
+/// the live scheduler thread; `Admit`/`Execute`/`Recover`/`Retire` mark
+/// which phase the surrounding work belongs to. [`check_sched_trace`]
+/// diffs a recorded trace against the scheduler thread of
+/// [`continuous_scheduler_model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum SchedTraceOp {
+    /// Top of the scheduler loop (also opens the final report section).
+    IterStart,
+    /// State mutex locked.
+    Acquire,
+    /// Condvar wait on the state mutex (park for work).
+    Wait,
+    /// State mutex unlocked.
+    Release,
+    /// Queue → slot admission work (must hold the lock).
+    Admit,
+    /// Prefill/decode engine work (must NOT hold the lock).
+    Execute,
+    /// Fault recovery — release + prefix replay (must NOT hold the lock).
+    Recover,
+    /// Outcome accounting (must hold the lock; delivery happens after
+    /// release, which is why `Retire` sits inside the second section).
+    Retire,
+}
+
+/// Diff a live scheduler trace against the verified model: every iteration
+/// must be a run of [`continuous_scheduler_model`]'s scheduler thread —
+/// `Acquire, Wait*, Release, Acquire, Release`, truncatable at the
+/// lock-free points (the idle `continue` and the drain `break` end an
+/// iteration after the first release) — with each phase marker inside the
+/// right section: admission in the first critical section, engine
+/// execution and recovery strictly between the two, retirement in the
+/// second. The projected lock ops are then re-checked with the same
+/// [`check_lock_order`] that validates the hand-written model, so the live
+/// path and the model cannot drift apart silently.
+pub fn check_sched_trace(trace: &[SchedTraceOp]) -> Vec<Diagnostic> {
+    use SchedTraceOp as T;
+    let mut diags = Vec::new();
+    if trace.is_empty() {
+        diags.push(Diagnostic::new(
+            Pass::Collective,
+            "sched-trace-empty",
+            "scheduler trace",
+            "tracing enabled but no iteration was recorded",
+        ));
+        return diags;
+    }
+    if trace[0] != T::IterStart {
+        diags.push(Diagnostic::new(
+            Pass::Collective,
+            "sched-trace-start",
+            "scheduler trace op 0",
+            format!("trace must open with IterStart, found {:?}", trace[0]),
+        ));
+    }
+
+    // Split into iterations at IterStart markers.
+    let mut starts: Vec<usize> = trace
+        .iter()
+        .enumerate()
+        .filter_map(|(i, op)| (*op == T::IterStart).then_some(i))
+        .collect();
+    starts.push(trace.len());
+
+    let mut projection: Vec<LockOp> = Vec::new();
+    for (it, w) in starts.windows(2).enumerate() {
+        let iter = &trace[w[0] + 1..w[1]];
+        let site = |i: usize, op: T| format!("scheduler iteration {it} op {i} ({op:?})");
+        // Section machine derived from the model's scheduler ops
+        // [Acquire, Wait*, Release, Acquire, Release]:
+        // 0 = before first acquire, 1 = admission section, 2 = unlocked
+        // execute window, 3 = retire section, 4 = done.
+        let mut sec = 0usize;
+        for (i, &op) in iter.iter().enumerate() {
+            match op {
+                T::Acquire => {
+                    projection.push(LockOp::Acquire(SERVE_STATE));
+                    match sec {
+                        0 => sec = 1,
+                        2 => sec = 3,
+                        _ => diags.push(Diagnostic::new(
+                            Pass::Collective,
+                            "sched-model-diff",
+                            site(i, op),
+                            format!("acquire in section {sec}: not a run of the scheduler model"),
+                        )),
+                    }
+                }
+                T::Release => {
+                    projection.push(LockOp::Release(SERVE_STATE));
+                    match sec {
+                        1 => sec = 2,
+                        3 => sec = 4,
+                        _ => diags.push(Diagnostic::new(
+                            Pass::Collective,
+                            "sched-model-diff",
+                            site(i, op),
+                            format!("release in section {sec}: not a run of the scheduler model"),
+                        )),
+                    }
+                }
+                T::Wait => {
+                    projection.push(LockOp::Wait { mutex: SERVE_STATE });
+                    if sec != 1 {
+                        diags.push(Diagnostic::new(
+                            Pass::Collective,
+                            "sched-model-diff",
+                            site(i, op),
+                            "condvar wait outside the admission critical section".to_string(),
+                        ));
+                    }
+                }
+                T::Admit => {
+                    if sec != 1 {
+                        diags.push(Diagnostic::new(
+                            Pass::Collective,
+                            "sched-phase-order",
+                            site(i, op),
+                            "admission work outside the first critical section".to_string(),
+                        ));
+                    }
+                }
+                T::Execute | T::Recover => {
+                    if sec != 2 {
+                        diags.push(Diagnostic::new(
+                            Pass::Collective,
+                            "sched-phase-order",
+                            site(i, op),
+                            "engine work while holding the state lock (or out of order)".to_string(),
+                        ));
+                    }
+                }
+                T::Retire => {
+                    if sec != 3 {
+                        diags.push(Diagnostic::new(
+                            Pass::Collective,
+                            "sched-phase-order",
+                            site(i, op),
+                            "retirement accounting outside the second critical section".to_string(),
+                        ));
+                    }
+                }
+                T::IterStart => unreachable!("IterStart is an iteration boundary"),
+            }
+        }
+        // An iteration may stop early only at a lock-free point (idle
+        // `continue`, drain `break`, report section): sections 2 and 4.
+        if sec == 1 || sec == 3 {
+            diags.push(Diagnostic::new(
+                Pass::Collective,
+                "sched-model-diff",
+                format!("scheduler iteration {it} end"),
+                "iteration ended while still holding the state lock".to_string(),
+            ));
+        } else if sec == 0 {
+            diags.push(Diagnostic::new(
+                Pass::Collective,
+                "sched-model-diff",
+                format!("scheduler iteration {it}"),
+                "iteration performed no lock operation at all".to_string(),
+            ));
+        }
+    }
+
+    // The projected lock trace must also satisfy the generic discipline
+    // checker the hand-written models are held to.
+    diags.extend(check_lock_order(1, &[ThreadModel::new("live-scheduler", projection)]));
+    diags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,5 +527,68 @@ mod tests {
         for code in ["lock-leak", "double-acquire", "release-unheld"] {
             assert!(diags.iter().any(|d| d.code == code), "missing {code}: {diags:#?}");
         }
+    }
+
+    #[test]
+    fn sched_trace_of_the_live_shapes_is_clean() {
+        use SchedTraceOp::*;
+        // Idle park, full work iteration (with recovery), drain break,
+        // report section — the four shapes the live scheduler records.
+        let trace = vec![
+            IterStart, Acquire, Wait, Release,
+            IterStart, Acquire, Admit, Release, Execute, Recover, Execute, Acquire, Retire, Release,
+            IterStart, Acquire, Release,
+            IterStart, Acquire, Release,
+        ];
+        let diags = check_sched_trace(&trace);
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+
+    #[test]
+    fn sched_trace_retire_under_admission_lock_is_flagged() {
+        use SchedTraceOp::*;
+        let trace = vec![IterStart, Acquire, Admit, Retire, Release, Execute, Acquire, Release];
+        let diags = check_sched_trace(&trace);
+        assert!(diags.iter().any(|d| d.code == "sched-phase-order"), "{diags:#?}");
+    }
+
+    #[test]
+    fn sched_trace_execute_while_locked_is_flagged() {
+        use SchedTraceOp::*;
+        let trace = vec![IterStart, Acquire, Admit, Execute, Release];
+        let diags = check_sched_trace(&trace);
+        assert!(diags.iter().any(|d| d.code == "sched-phase-order"), "{diags:#?}");
+    }
+
+    #[test]
+    fn sched_trace_lock_leak_is_flagged() {
+        use SchedTraceOp::*;
+        let trace = vec![IterStart, Acquire, Admit, Release, Execute, Acquire, Retire];
+        let diags = check_sched_trace(&trace);
+        assert!(
+            diags.iter().any(|d| d.code == "sched-model-diff"),
+            "iteration ending locked must diff from the model: {diags:#?}"
+        );
+        assert!(
+            diags.iter().any(|d| d.code == "lock-leak"),
+            "the projected trace must also fail the generic checker: {diags:#?}"
+        );
+    }
+
+    #[test]
+    fn sched_trace_third_critical_section_is_flagged() {
+        use SchedTraceOp::*;
+        // A third lock section per iteration is not a run of the model.
+        let trace = vec![
+            IterStart, Acquire, Release, Execute, Acquire, Retire, Release, Acquire, Release,
+        ];
+        let diags = check_sched_trace(&trace);
+        assert!(diags.iter().any(|d| d.code == "sched-model-diff"), "{diags:#?}");
+    }
+
+    #[test]
+    fn empty_sched_trace_is_flagged() {
+        let diags = check_sched_trace(&[]);
+        assert!(diags.iter().any(|d| d.code == "sched-trace-empty"), "{diags:#?}");
     }
 }

@@ -24,8 +24,10 @@
 //! page in the paged allocator, a rank skipping an all-reduce,
 //! a rank skipping a shared-memory barrier crossing, a cyclic task graph,
 //! an undocumented `unsafe` block, a rank exiting mid-schedule (survivors
-//! must abort typed), a recv stranded by a dead sender, and a survivor
-//! deadlock that an unrelated exit must not mask — and returns the
+//! must abort typed), a recv stranded by a dead sender, a survivor
+//! deadlock that an unrelated exit must not mask, and a fault recovery
+//! that replays a resident without releasing its poisoned pages — and
+//! returns the
 //! diagnostics each produced. CI fails if any control comes back clean: a
 //! verifier that stops detecting is worse than none.
 
@@ -240,6 +242,35 @@ pub fn verify_all() -> SweepReport {
         report.diagnostics.extend(
             crate::locks::check_lock_order(n_locks, &threads).into_iter().map(|mut x| {
                 x.site = format!("{what}: {}", x.site);
+                x
+            }),
+        );
+    }
+
+    // --- Pass 3c'': serving-runtime state machines (dsi-serve). ---
+    // The circuit breaker explored exhaustively over every event sequence
+    // of bounded depth at the thresholds the serve configs use, and the
+    // scheduler's fault-recovery page protocol (release every poisoned
+    // slot before any replay reserves) over representative fan-outs.
+    for (threshold, window) in [(1u32, 1u64), (2, 2), (3, 1)] {
+        report.collective_programs += 1;
+        report.diagnostics.extend(
+            crate::runtime::check_breaker_model(threshold, window, 6).into_iter().map(|mut x| {
+                x.site = format!("breaker t={threshold} w={window}: {}", x.site);
+                x
+            }),
+        );
+    }
+    for (slots, evict) in [
+        (vec![0usize, 1, 2], vec![]),
+        (vec![0usize, 2, 5], vec![2usize]),
+        (vec![1usize], vec![1usize]),
+    ] {
+        let prog = crate::runtime::scheduler_recovery_program(&slots, &evict);
+        report.collective_programs += 1;
+        report.diagnostics.extend(
+            crate::runtime::check_recovery_program(8, &prog).into_iter().map(|mut x| {
+                x.site = format!("recovery slots={slots:?} evict={evict:?}: {}", x.site);
                 x
             }),
         );
@@ -473,6 +504,26 @@ pub fn negative_controls() -> Vec<Control> {
         diagnostics: simulate_rendezvous_with_exits(&progs, &ExitPlan::from([(1usize, 0)])),
     });
 
+    // Recovery protocol: a recovery that replays a victim without first
+    // releasing its poisoned pages would double-reserve (leak the old
+    // pages and break the replay-fits-by-construction argument); the
+    // recovery checker must flag the missing release.
+    {
+        use crate::runtime::{check_recovery_program, RecoveryOp};
+        let bad = vec![
+            RecoveryOp::Fault { slots: vec![0, 1] },
+            RecoveryOp::Release { slot: 0 },
+            RecoveryOp::Replay { slot: 0 },
+            // Slot 1 replayed while still holding its poisoned pages.
+            RecoveryOp::Replay { slot: 1 },
+        ];
+        out.push(Control {
+            name: "recovery replays without releasing poisoned pages",
+            expect_code: "replay-page-leak",
+            diagnostics: check_recovery_program(2, &bad),
+        });
+    }
+
     // Exit safety: a genuine deadlock among *survivors* (send/send cycle)
     // must still be reported even when an unrelated rank exits — the abort
     // semantics must not excuse real schedule bugs.
@@ -513,7 +564,7 @@ mod tests {
     #[test]
     fn every_negative_control_fires() {
         let controls = negative_controls();
-        assert_eq!(controls.len(), 15);
+        assert_eq!(controls.len(), 16);
         for c in &controls {
             assert!(c.fired(), "control `{}` produced {:?}", c.name, c.diagnostics);
         }

@@ -62,6 +62,20 @@ fn run_verify() -> ExitCode {
             );
         }
     }
+    // End-to-end tracer gate: run a short continuous serve with tracing
+    // forced on and diff the live scheduler's lock/phase trace against the
+    // verified model — the one check that cannot go stale against the
+    // executed code.
+    let trace_diags = dsi_serve::live_trace_check();
+    if trace_diags.is_empty() {
+        println!("  live scheduler trace: clean against the lock model");
+    } else {
+        ok = false;
+        eprintln!("live scheduler trace diverged from the model:");
+        for d in &trace_diags {
+            eprintln!("  {d}");
+        }
+    }
     if ok {
         println!("xtask verify: clean ({} negative controls fired)", controls.len());
         ExitCode::SUCCESS
