@@ -322,7 +322,10 @@ impl BatchEngine for FtEngine {
 ///   means "slot free".
 /// * `Exhaust { calls }` returns `OutOfPages` for this call and the next
 ///   `calls - 1` calls of either kind without touching the inner engine —
-///   a transient allocator storm the scheduler sheds through.
+///   a transient allocator storm the scheduler sheds through. A scripted
+///   fault whose call index lands *inside* the storm is left pending (the
+///   storm-eaten call never reaches the injector), so it shows up in
+///   [`EngineFaultInjector::pending`] rather than vanishing silently.
 ///
 /// With an empty plan the wrapper costs one atomic scan per call — the
 /// armed-idle overhead `bench_serve` gates at < 2%.
@@ -344,13 +347,21 @@ impl<E: BatchEngine> FaultyEngine<E> {
     }
 
     /// Apply the shared pre-call kinds; `Corrupt` is site-specific and
-    /// handled by the caller. Returns `Err` if the call must not reach the
-    /// inner engine.
-    fn pre_call(&mut self, kind: Option<EngineFaultKind>, needed: usize) -> Result<bool, EngineError> {
+    /// handled by the caller. The injector is queried only when no exhaust
+    /// storm is draining, so a scripted fault whose call index lands inside
+    /// a storm stays pending (observable via `EngineFaultInjector::pending`)
+    /// instead of being consumed without firing. Returns `Err` if the call
+    /// must not reach the inner engine.
+    fn pre_call(&mut self, decode: bool, call: u64, needed: usize) -> Result<bool, EngineError> {
         if self.exhaust_left > 0 {
             self.exhaust_left -= 1;
             return Err(EngineError::OutOfPages { needed, free: 0 });
         }
+        let kind = if decode {
+            self.injector.at_decode(call)
+        } else {
+            self.injector.at_prefill(call)
+        };
         match kind {
             Some(EngineFaultKind::Panic) => panic!("injected engine panic"),
             Some(EngineFaultKind::Stall { millis }) => {
@@ -358,7 +369,10 @@ impl<E: BatchEngine> FaultyEngine<E> {
                 Ok(false)
             }
             Some(EngineFaultKind::Exhaust { calls }) => {
-                self.exhaust_left = calls - 1;
+                // `calls` counts this call too; clamp so a (public-field)
+                // zero still means a one-call storm instead of wrapping to
+                // a permanent one.
+                self.exhaust_left = calls.saturating_sub(1);
                 Err(EngineError::OutOfPages { needed, free: 0 })
             }
             Some(EngineFaultKind::Corrupt) => Ok(true),
@@ -375,9 +389,8 @@ impl<E: BatchEngine> BatchEngine for FaultyEngine<E> {
     fn prefill(&mut self, slot: usize, prompt: &[usize]) -> Result<usize, EngineError> {
         let call = self.prefill_calls;
         self.prefill_calls += 1;
-        let kind = self.injector.at_prefill(call);
         let needed = self.inner.pages_for(prompt.len() + 1);
-        let corrupt = self.pre_call(kind, needed)?;
+        let corrupt = self.pre_call(false, call, needed)?;
         let tok = self.inner.prefill(slot, prompt)?;
         if corrupt {
             self.inner.release(slot);
@@ -392,8 +405,7 @@ impl<E: BatchEngine> BatchEngine for FaultyEngine<E> {
     fn decode_step(&mut self, slots: &[usize], out: &mut Vec<usize>) -> Result<(), EngineError> {
         let call = self.decode_calls;
         self.decode_calls += 1;
-        let kind = self.injector.at_decode(call);
-        let corrupt = self.pre_call(kind, slots.len())?;
+        let corrupt = self.pre_call(true, call, slots.len())?;
         let base = out.len();
         self.inner.decode_step(slots, out)?;
         if corrupt {
@@ -557,6 +569,50 @@ mod tests {
         eng.decode_step(&[0], &mut out).unwrap();
         let want = pm.session(3).generate(&[1, 2, 3], 2);
         assert_eq!(vec![t0, out[0]], want, "storm must not advance or corrupt the sequence");
+    }
+
+    #[test]
+    fn scripted_fault_inside_exhaust_storm_stays_pending() {
+        let m = model(41);
+        let pm = PackedModel::pack(&m);
+        // The storm at decode call 0 covers calls 0-1; the panic scripted
+        // at call 1 lands inside it and must NOT be consumed (a one-shot
+        // spec silently eaten by the storm would shrink chaos coverage).
+        let plan = EngineFaultPlan::new(vec![
+            spec(EngineFaultSite::Decode { call: 0 }, EngineFaultKind::Exhaust { calls: 2 }),
+            spec(EngineFaultSite::Decode { call: 1 }, EngineFaultKind::Panic),
+        ]);
+        let injector = Arc::new(plan.injector());
+        let paged = PagedEngine::new(&pm, 2, 16, 4);
+        let mut eng = FaultyEngine::new(paged, Arc::clone(&injector));
+        eng.prefill(0, &[1, 2, 3]).unwrap();
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            let err = eng.decode_step(&[0], &mut out).unwrap_err();
+            assert!(matches!(err, EngineError::OutOfPages { .. }), "{err}");
+        }
+        assert_eq!(injector.pending(), 1, "storm-covered spec must stay pending, not vanish");
+        // The storm has drained; the next call runs clean.
+        eng.decode_step(&[0], &mut out).unwrap();
+    }
+
+    #[test]
+    fn exhaust_zero_calls_clamps_to_one_call_storm() {
+        let m = model(43);
+        let pm = PackedModel::pack(&m);
+        // `calls` is a public field: 0 must mean a one-call storm, not a
+        // `0 - 1` wrap into a permanent one.
+        let plan = EngineFaultPlan::new(vec![spec(
+            EngineFaultSite::Decode { call: 0 },
+            EngineFaultKind::Exhaust { calls: 0 },
+        )]);
+        let paged = PagedEngine::new(&pm, 2, 16, 4);
+        let mut eng = FaultyEngine::new(paged, Arc::new(plan.injector()));
+        eng.prefill(0, &[1, 2, 3]).unwrap();
+        let mut out = Vec::new();
+        let err = eng.decode_step(&[0], &mut out).unwrap_err();
+        assert!(matches!(err, EngineError::OutOfPages { .. }), "{err}");
+        eng.decode_step(&[0], &mut out).unwrap();
     }
 
     #[test]

@@ -27,8 +27,10 @@
 //! ## Fault tolerance: prefix replay
 //!
 //! Engine steps run under `catch_unwind` plus an optional per-step
-//! progress deadline ([`ContinuousConfig::step_deadline`]). A panic, a
-//! typed [`EngineError::Fault`], or a step that completes past the
+//! progress deadline ([`ContinuousConfig::step_deadline`]), measured on
+//! the server's injected [`Clock`] and scaled by the context length for
+//! prefill (one deadline per token-step of work). A panic, a typed
+//! [`EngineError::Fault`], or a step that completes past the
 //! deadline is a **fault**: the step's tokens (if any) are discarded and
 //! every active resident is recovered by *prefix replay* — release its
 //! possibly-poisoned pages, then re-prefill the committed prefix
@@ -68,13 +70,14 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use dsi_core::batch::{BatchEngine, EngineError, FaultClass, FaultyEngine};
 use dsi_core::SlotPolicy;
 use dsi_model::fast::PackedModel;
 use dsi_model::paged::{PageStats, PagedEngine};
 use dsi_model::reference::GptModel;
+use dsi_sim::clock::Clock;
 use dsi_sim::fault::EngineFaultInjector;
 use dsi_verify::locks::{check_sched_trace, SchedTraceOp};
 use serde::Serialize;
@@ -173,15 +176,24 @@ fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
 /// (release) and the caller replays — bit-exactness makes the discard
 /// safe, and treating lateness as a fault is what lets a stall storm trip
 /// the Timeout breaker instead of silently degrading every neighbour.
+///
+/// Lateness is measured on the injected [`Clock`] (deterministic under a
+/// manual clock), and the deadline scales with the context length: a
+/// prefill does `prompt.len()` token-steps of work in one call, so a long
+/// but healthy prompt pass is not misread as a stall.
 fn guarded_prefill<E: BatchEngine>(
     eng: &mut E,
     slot: usize,
     prompt: &[usize],
     deadline: Option<Duration>,
+    clock: &Clock,
 ) -> StepVerdict<usize> {
-    let t0 = Instant::now();
+    let t0 = clock.now_ns();
     let r = catch_unwind(AssertUnwindSafe(|| eng.prefill(slot, prompt)));
-    let late = deadline.is_some_and(|d| t0.elapsed() > d);
+    let late = deadline.is_some_and(|d| {
+        let budget = (d.as_nanos() as u64).saturating_mul(prompt.len().max(1) as u64);
+        clock.now_ns().saturating_sub(t0) > budget
+    });
     match r {
         Ok(Ok(tok)) if !late => StepVerdict::Ok(tok),
         Ok(Ok(_)) => {
@@ -208,10 +220,12 @@ fn guarded_decode<E: BatchEngine>(
     slots: &[usize],
     out: &mut Vec<usize>,
     deadline: Option<Duration>,
+    clock: &Clock,
 ) -> StepVerdict<()> {
-    let t0 = Instant::now();
+    let t0 = clock.now_ns();
     let r = catch_unwind(AssertUnwindSafe(|| eng.decode_step(slots, out)));
-    let late = deadline.is_some_and(|d| t0.elapsed() > d);
+    let late =
+        deadline.is_some_and(|d| clock.now_ns().saturating_sub(t0) > d.as_nanos() as u64);
     match r {
         Ok(Ok(())) if !late => StepVerdict::Ok(()),
         Ok(Ok(())) => StepVerdict::Fault {
@@ -250,6 +264,7 @@ fn seat_resident<E: BatchEngine>(
     slot: usize,
     resident: &mut Resident,
     cont: &ContinuousConfig,
+    clock: &Clock,
     fault_events: &mut Vec<FaultClass>,
     counters: &mut RecoveryCounters,
 ) -> Option<Retire> {
@@ -269,7 +284,7 @@ fn seat_resident<E: BatchEngine>(
                 .copied()
                 .collect()
         };
-        match guarded_prefill(eng, slot, &ctx, cont.step_deadline) {
+        match guarded_prefill(eng, slot, &ctx, cont.step_deadline, clock) {
             StepVerdict::Ok(tok) => {
                 if fresh {
                     resident.tokens.push(tok);
@@ -451,6 +466,7 @@ fn run_scheduler<E: BatchEngine>(
                     slot,
                     &mut resident,
                     &cont,
+                    &shared.clock,
                     &mut fault_events,
                     &mut counters,
                 );
@@ -483,7 +499,13 @@ fn run_scheduler<E: BatchEngine>(
                     break;
                 }
                 step_out.clear();
-                match guarded_decode(&mut eng, &active, &mut step_out, cont.step_deadline) {
+                match guarded_decode(
+                    &mut eng,
+                    &active,
+                    &mut step_out,
+                    cont.step_deadline,
+                    &shared.clock,
+                ) {
                     StepVerdict::Ok(()) => {
                         occupancy_hist[active.len()] += 1;
                         tokens_per_step_hist[step_out.len()] += 1;
@@ -548,6 +570,7 @@ fn run_scheduler<E: BatchEngine>(
                                     slot,
                                     r,
                                     &cont,
+                                    &shared.clock,
                                     &mut fault_events,
                                     &mut counters,
                                 )
@@ -762,4 +785,89 @@ pub fn live_trace_check() -> Vec<dsi_verify::Diagnostic> {
     let report = srv.drain(Duration::from_secs(5));
     let trace = report.scheduler.expect("continuous mode attaches a scheduler report").trace;
     check_sched_trace(&trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_sim::clock::ManualClock;
+
+    /// Stub engine that advances a manual clock by a fixed amount inside
+    /// every call — the deterministic stand-in for a slow/stalled step the
+    /// review asked the deadline guards to be testable against.
+    struct SlowEngine {
+        time: ManualClock,
+        advance: Duration,
+        released: Vec<usize>,
+    }
+
+    impl BatchEngine for SlowEngine {
+        fn max_slots(&self) -> usize {
+            1
+        }
+
+        fn prefill(&mut self, _slot: usize, _prompt: &[usize]) -> Result<usize, EngineError> {
+            self.time.advance(self.advance);
+            Ok(7)
+        }
+
+        fn decode_step(
+            &mut self,
+            _slots: &[usize],
+            out: &mut Vec<usize>,
+        ) -> Result<(), EngineError> {
+            self.time.advance(self.advance);
+            out.push(7);
+            Ok(())
+        }
+
+        fn release(&mut self, slot: usize) {
+            self.released.push(slot);
+        }
+    }
+
+    fn slow(advance_ms: u64) -> (SlowEngine, Clock) {
+        let (clock, time) = Clock::manual();
+        (SlowEngine { time, advance: Duration::from_millis(advance_ms), released: Vec::new() }, clock)
+    }
+
+    #[test]
+    fn decode_past_deadline_is_a_timeout_fault_under_manual_clock() {
+        let deadline = Some(Duration::from_millis(10));
+        let mut out = Vec::new();
+
+        let (mut eng, clock) = slow(20);
+        let v = guarded_decode(&mut eng, &[0], &mut out, deadline, &clock);
+        assert!(
+            matches!(v, StepVerdict::Fault { class: FaultClass::Timeout, .. }),
+            "a 20ms step against a 10ms deadline must be a timeout fault"
+        );
+
+        let (mut eng, clock) = slow(5);
+        out.clear();
+        let v = guarded_decode(&mut eng, &[0], &mut out, deadline, &clock);
+        assert!(matches!(v, StepVerdict::Ok(())), "a 5ms step is on time");
+        assert_eq!(out, [7]);
+    }
+
+    #[test]
+    fn prefill_deadline_scales_with_context_length() {
+        let deadline = Some(Duration::from_millis(10));
+
+        // 4 context tokens buy a 40ms budget: a 20ms prefill is healthy,
+        // not a stall — the long-prompt false-positive the review flagged.
+        let (mut eng, clock) = slow(20);
+        let v = guarded_prefill(&mut eng, 0, &[1, 2, 3, 4], deadline, &clock);
+        assert!(matches!(v, StepVerdict::Ok(7)), "long prompt must get a scaled budget");
+        assert!(eng.released.is_empty());
+
+        // 50ms blows even the scaled budget: timeout fault, seat undone.
+        let (mut eng, clock) = slow(50);
+        let v = guarded_prefill(&mut eng, 0, &[1, 2, 3, 4], deadline, &clock);
+        assert!(
+            matches!(v, StepVerdict::Fault { class: FaultClass::Timeout, .. }),
+            "a stalled prefill must still be caught"
+        );
+        assert_eq!(eng.released, [0], "late prefill must release its seat");
+    }
 }

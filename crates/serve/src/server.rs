@@ -114,11 +114,14 @@ pub struct ContinuousConfig {
     /// prefix (one budget charge each); a resident that exhausts the
     /// budget is evicted with the typed [`EvictReason::EngineFault`].
     pub replay_budget: u32,
-    /// Per-step progress deadline. An engine step (prefill or decode)
-    /// that completes later than this is treated as a Timeout-class
-    /// fault: its output is discarded and the residents are replayed —
-    /// bounding the latency any single wedged step can inflict on the
-    /// whole batch. `None` disables the check.
+    /// Per-step progress deadline, measured on [`ServeConfig::clock`]. An
+    /// engine step that completes later than this is treated as a
+    /// Timeout-class fault: its output is discarded and the residents are
+    /// replayed — bounding the latency any single wedged step can inflict
+    /// on the whole batch. Decode steps get exactly this budget; a prefill
+    /// of `n` context tokens gets `n ×` it (one deadline per token-step of
+    /// work), so long healthy prompts are not misread as stalls. `None`
+    /// disables the check.
     pub step_deadline: Option<Duration>,
     /// Record the scheduler's lock/phase trace and self-check it against
     /// the verified model at exit (see `dsi_verify::locks`). Defaults on
@@ -751,6 +754,15 @@ fn worker_loop(shared: Arc<Shared>, model: Arc<GptModel>, max_prompt: usize, ft_
                     // probes.
                     let msg = f.to_string();
                     st.breaker.on_failure(FaultClass::classify(&msg), now);
+                    // A probe that faulted in a *different* class proved
+                    // nothing about the class it was probing: abort it so
+                    // that breaker re-opens for an immediate re-probe
+                    // instead of leaking HalfOpen (which would reject all
+                    // admissions forever). No-op when the fault was the
+                    // probed class — on_failure above already re-opened it.
+                    if let Some(pc) = job.probe {
+                        st.breaker.abort_probe(pc, now);
+                    }
                     Outcome::Evicted { partial: e.partial, reason: EvictReason::Fault(msg) }
                 }
             },
@@ -998,6 +1010,64 @@ mod tests {
         assert_eq!(report.rejected_breaker, 1);
         assert_eq!(report.evicted, 2);
         assert_eq!(report.completed, 2);
+    }
+
+    #[test]
+    fn cross_class_probe_fault_does_not_wedge_admission() {
+        let mut cfg = quiet_cfg(2);
+        cfg.retry.max_retries = 0; // first fault is terminal
+        cfg.retry.backoff_ms = 0;
+        cfg.breaker.failure_threshold = 1;
+        cfg.breaker.open_window = Duration::from_millis(20);
+        cfg.comm.timeout = Duration::from_millis(50);
+        // Request 1 hits a stall: a Timeout-class terminal fault opens the
+        // Timeout breaker. Its half-open probe then hits a scripted panic —
+        // a fault of a *different* class. The probed Timeout breaker must
+        // re-open (not leak HalfOpen, which rejects every admission in
+        // BreakerSet::admit forever).
+        let plan = FaultPlan::new(vec![
+            FaultSpec {
+                rank: 1,
+                site: FaultSite::Barrier { epoch: 0 },
+                kind: FaultKind::Stall { millis: 200 },
+            },
+            FaultSpec { rank: 1, site: FaultSite::Barrier { epoch: 0 }, kind: FaultKind::Panic },
+        ]);
+        cfg.comm.injector = Some(Arc::new(plan.injector()));
+        let srv = Server::start(tiny_model(), cfg);
+
+        let t = srv.submit(Request { prompt: vec![1, 2], n_tokens: 3, deadline: None }).unwrap();
+        let Outcome::Evicted { reason: EvictReason::Fault(msg), .. } = t.wait() else {
+            panic!("expected terminal fault")
+        };
+        assert_eq!(FaultClass::classify(&msg), FaultClass::Timeout, "{msg}");
+        assert_eq!(
+            srv.submit(Request { prompt: vec![1], n_tokens: 1, deadline: None }).err(),
+            Some(Rejected::BreakerOpen)
+        );
+
+        std::thread::sleep(Duration::from_millis(25));
+        let probe = srv.submit(Request { prompt: vec![1], n_tokens: 2, deadline: None }).unwrap();
+        let Outcome::Evicted { reason: EvictReason::Fault(msg), .. } = probe.wait() else {
+            panic!("expected the probe to fault")
+        };
+        assert_eq!(FaultClass::classify(&msg), FaultClass::Panic, "{msg}");
+
+        // The aborted Timeout probe re-opens with an elapsed window: the
+        // very next submit becomes its probe and (faults consumed)
+        // completes. Before the fix this submit fast-failed forever.
+        let t = srv.submit(Request { prompt: vec![2], n_tokens: 2, deadline: None }).unwrap();
+        assert!(matches!(t.wait(), Outcome::Completed { .. }));
+        // The panic class opened its own window off the probe's fault;
+        // once it elapses its probe clears it and admission is fully open.
+        std::thread::sleep(Duration::from_millis(25));
+        let t = srv.submit(Request { prompt: vec![3], n_tokens: 2, deadline: None }).unwrap();
+        assert!(matches!(t.wait(), Outcome::Completed { .. }));
+
+        let report = srv.drain(Duration::from_secs(5));
+        assert_eq!(report.breaker_opens, 2, "one Timeout open, one Panic open");
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.evicted, 2);
     }
 
     #[test]

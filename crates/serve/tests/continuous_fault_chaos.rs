@@ -76,9 +76,11 @@ fn continuous_fault_storms_recover_bit_exact() {
             .collect();
 
         // Storm: up to 8 faults over the first ~40 engine calls. Stalls run
-        // 20–40ms against a 10ms step deadline, so every stall is also a
-        // Timeout-class fault; panics, corruption, and exhaustion bursts
-        // land on both prefill and decode sites.
+        // 20–40ms against a 10ms step deadline, so every decode stall is
+        // also a Timeout-class fault (prefill budgets scale with context
+        // length, so a prefill stall may legitimately land in time);
+        // panics, corruption, and exhaustion bursts land on both prefill
+        // and decode sites.
         let plan = EngineFaultPlan::random(seed, 8, 40, 40);
         let mut cfg = ServeConfig::new(1);
         cfg.mode = EngineMode::Continuous(ContinuousConfig {

@@ -263,6 +263,8 @@ pub enum EngineFaultKind {
     Corrupt,
     /// Report `PagesExhausted` for this call and the next `calls - 1`
     /// calls without touching the engine — a transient allocator storm.
+    /// `calls` counts the firing call itself, so `0` is clamped to a
+    /// one-call storm.
     Exhaust { calls: u32 },
 }
 
