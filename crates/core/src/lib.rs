@@ -21,6 +21,7 @@ pub mod planner;
 pub mod report;
 pub mod serving;
 pub mod stats;
+pub mod streamed;
 pub mod whatif;
 
 pub use dsi_baselines::exec::{ExecStyle, LatencyReport};
@@ -30,6 +31,8 @@ pub use dsi_model::reference::GptModel;
 pub use dsi_moe::system::{MoeSystem, MoeSystemKind};
 pub use dsi_sim::hw::{ClusterSpec, DType, GpuSpec, NodeSpec};
 pub use dsi_zero::engine::ZeroInference;
+pub use dsi_zero::offload::{OffloadConfig, OffloadError, OffloadStats, OffloadStore};
+pub use streamed::StreamedEngine;
 pub use engine::{EngineConfig, InferenceEngine, RunReport};
 pub use planner::{plan, Objective, Plan};
 pub use batch::{BatchEngine, EngineError, FaultClass, FaultyEngine, FtEngine};

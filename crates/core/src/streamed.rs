@@ -1,0 +1,289 @@
+//! The streamed decode engine: [`BatchEngine`] over an
+//! [`OffloadStore`] — serve a model whose weight file exceeds the resident
+//! budget, token-identical to the fully-resident fast path.
+//!
+//! The engine holds **no layer weights of its own**. Each forward pass
+//! walks the layer stack checking panels out of the store one at a time:
+//!
+//! ```text
+//!   for l in 0..L {
+//!       panel = store.acquire(l)?          // resident hit or demand fetch
+//!       store.prefetch_ahead(l + 1)        // worker reads l+1.. meanwhile
+//!       layer_step(panel, ...)             // the dsi_model::fast kernels
+//!       drop(panel)                        // release-before-refetch
+//!   }
+//! ```
+//!
+//! The layer body, embedding, and logits stages are the *same free
+//! functions* (`dsi_model::fast::{embed_seq_into, layer_seq_step, ...}`)
+//! the resident `PackedModel` engines call, and the panel bytes round-trip
+//! bit-exactly through the v2 weight file — so streamed greedy decode is
+//! bit-identical to the [`FastSession`] oracle by construction, at every
+//! prefetch depth and budget. The proptest suite pins this.
+//!
+//! Store failures surface as classified [`EngineError::Fault`]s (the
+//! `Display` strings of `OffloadError` land in the right `FaultClass`
+//! bins), so the continuous-batching scheduler's release-and-replay
+//! protocol and per-class breakers handle a dying weight tier exactly like
+//! any other engine fault. A faulted step leaves the slot's KV
+//! unspecified; the scheduler's release-all-before-replay makes that
+//! unobservable.
+//!
+//! [`FastSession`]: dsi_model::fast::FastSession
+//! [`EngineError::Fault`]: crate::batch::EngineError
+
+use crate::batch::{BatchEngine, EngineError};
+use dsi_zero::offload::{OffloadError, OffloadStore};
+use dsi_model::fast::{
+    argmax, embed_rows_into, embed_seq_into, layer_rows_step, layer_seq_step, logits_into,
+    Scratch, StepRow,
+};
+use dsi_model::paged::PageStats;
+use dsi_model::reference::KvCache;
+
+/// One slot's decode state: its KV context and the greedy token emitted by
+/// the last pass (the next pass's input).
+struct StreamSlot {
+    cache: KvCache,
+    last: usize,
+    busy: bool,
+}
+
+/// A multi-slot greedy decode engine streaming weights from an
+/// [`OffloadStore`]. Construct with [`StreamedEngine::new`]; drive through
+/// the [`BatchEngine`] surface (`dsi-serve` does, in both single-flight
+/// and continuous modes).
+pub struct StreamedEngine {
+    store: OffloadStore,
+    scratch: Scratch,
+    slots: Vec<StreamSlot>,
+    /// Token-capacity budget reported through `kv_stats` (admission
+    /// metering at `page_tokens = 1`).
+    token_budget: usize,
+    high_water: usize,
+}
+
+impl StreamedEngine {
+    /// `max_slots` concurrent sequences over `store`, reporting
+    /// `token_budget` total KV tokens to the scheduler's admission math
+    /// (single-flight discipline is `max_slots = 1`).
+    pub fn new(store: OffloadStore, max_slots: usize, token_budget: usize) -> Self {
+        assert!(max_slots > 0);
+        let c = store.config().clone();
+        StreamedEngine {
+            scratch: Scratch::new(&c, max_slots),
+            slots: (0..max_slots)
+                .map(|_| StreamSlot {
+                    cache: KvCache::with_capacity(c.layers, c.hidden, c.max_seq),
+                    last: 0,
+                    busy: false,
+                })
+                .collect(),
+            token_budget,
+            high_water: 0,
+            store,
+        }
+    }
+
+    /// The underlying store (stats, prefetcher health, test hooks).
+    pub fn store(&self) -> &OffloadStore {
+        &self.store
+    }
+
+    fn tokens_in_use(&self) -> usize {
+        self.slots.iter().filter(|s| s.busy).map(|s| s.cache.context_len() + 1).sum()
+    }
+
+    /// One full layer sweep for `m` consecutive rows of slot `slot`'s
+    /// sequence (the prompt pass). KV state after an `Err` is unspecified.
+    fn forward_slot_seq(&mut self, slot: usize, ids: &[usize]) -> Result<(), OffloadError> {
+        let StreamedEngine { store, scratch, slots, .. } = self;
+        let c = store.config();
+        let m = ids.len();
+        let cache = &mut slots[slot].cache;
+        let offset = cache.context_len();
+        assert!(offset + m <= c.max_seq, "sequence exceeds max_seq");
+        scratch.ensure(c, m);
+        let rg = store.resident();
+        embed_seq_into(c, &rg.wte, &rg.wpe, ids, offset, scratch);
+        for l in 0..c.layers {
+            let panel = store.acquire(l)?;
+            store.prefetch_ahead(l + 1);
+            layer_seq_step(c, scratch, &panel, &mut cache.layers[l], m, offset);
+            // `panel` drops here: release-before-refetch, so the budget
+            // always has the in-use panel's slot back before the worker
+            // needs room for the next one.
+        }
+        logits_into(c, scratch, m, &rg.lnf_g, &rg.lnf_b, &rg.wte_packed);
+        Ok(())
+    }
+
+    /// One ragged decode step over `slot_ids` (strictly ascending, busy).
+    fn forward_slot_rows(&mut self, slot_ids: &[usize]) -> Result<(), OffloadError> {
+        let StreamedEngine { store, scratch, slots, .. } = self;
+        let c = store.config();
+        let m = slot_ids.len();
+        scratch.ensure(c, m);
+        let mut rows: Vec<StepRow<'_>> = slots
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| slot_ids.binary_search(i).is_ok())
+            .map(|(_, s)| StepRow { token: s.last, cache: &mut s.cache })
+            .collect();
+        assert_eq!(rows.len(), m, "decode_step: slot out of range");
+        let rg = store.resident();
+        embed_rows_into(c, &rg.wte, &rg.wpe, &rows, scratch);
+        for l in 0..c.layers {
+            let panel = store.acquire(l)?;
+            store.prefetch_ahead(l + 1);
+            layer_rows_step(c, scratch, &panel, &mut rows, l);
+        }
+        logits_into(c, scratch, m, &rg.lnf_g, &rg.lnf_b, &rg.wte_packed);
+        Ok(())
+    }
+}
+
+fn classify(e: OffloadError) -> EngineError {
+    EngineError::classified(e.to_string())
+}
+
+impl BatchEngine for StreamedEngine {
+    fn max_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn prefill(&mut self, slot: usize, prompt: &[usize]) -> Result<usize, EngineError> {
+        assert!(!prompt.is_empty(), "empty prompt");
+        assert!(!self.slots[slot].busy, "prefill into busy slot {slot}");
+        self.slots[slot].cache.clear();
+        if let Err(e) = self.forward_slot_seq(slot, prompt) {
+            // Contract: on Err the slot stays free and holds nothing.
+            self.slots[slot].cache.clear();
+            return Err(classify(e));
+        }
+        let vocab = self.store.config().vocab;
+        let next = argmax(self.scratch.logits_row(prompt.len() - 1, vocab));
+        let sq = &mut self.slots[slot];
+        sq.last = next;
+        sq.busy = true;
+        self.high_water = self.high_water.max(self.tokens_in_use());
+        Ok(next)
+    }
+
+    fn decode_step(&mut self, slots: &[usize], out: &mut Vec<usize>) -> Result<(), EngineError> {
+        assert!(!slots.is_empty(), "decode_step: empty batch");
+        assert!(
+            slots.windows(2).all(|w| w[0] < w[1]),
+            "decode_step: slots must be strictly ascending"
+        );
+        for &s in slots {
+            assert!(self.slots[s].busy, "decode_step on free slot {s}");
+        }
+        self.forward_slot_rows(slots).map_err(classify)?;
+        let vocab = self.store.config().vocab;
+        for (r, &i) in slots.iter().enumerate() {
+            let next = argmax(self.scratch.logits_row(r, vocab));
+            self.slots[i].last = next;
+            out.push(next);
+        }
+        self.high_water = self.high_water.max(self.tokens_in_use());
+        Ok(())
+    }
+
+    fn release(&mut self, slot: usize) {
+        let sq = &mut self.slots[slot];
+        sq.cache.clear();
+        sq.last = 0;
+        sq.busy = false;
+    }
+
+    fn kv_stats(&self) -> Option<PageStats> {
+        let in_use = self.tokens_in_use();
+        Some(PageStats {
+            pages_total: self.token_budget,
+            pages_in_use: in_use,
+            pages_free: self.token_budget.saturating_sub(in_use),
+            high_water: self.high_water,
+            page_tokens: 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_zero::offload::OffloadConfig;
+    use dsi_model::fast::PackedModel;
+    use dsi_model::reference::GptModel;
+    use dsi_model::zoo;
+
+    fn saved(layers: usize, seed: u64, tag: &str) -> (GptModel, std::path::PathBuf) {
+        let m = GptModel::random(zoo::tiny(layers), seed);
+        let path = std::env::temp_dir().join(format!("dsi_streamed_{tag}_{seed}_{layers}.bin"));
+        dsi_model::io::save(&m, &path).expect("save");
+        (m, path)
+    }
+
+    #[test]
+    fn streamed_decode_matches_resident_oracle() {
+        let (m, path) = saved(3, 41, "oracle");
+        let store = OffloadStore::open(&path, OffloadConfig::default()).expect("open");
+        let mut eng = StreamedEngine::new(store, 1, 4096);
+        let pm = PackedModel::pack(&m);
+        let mut oracle = pm.session(4);
+        let want = oracle.generate(&[1, 2, 3, 4], 8);
+        let mut got = vec![eng.prefill(0, &[1, 2, 3, 4]).expect("prefill")];
+        for _ in 1..8 {
+            eng.decode_step(&[0], &mut got).expect("decode");
+        }
+        assert_eq!(got, want);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn streamed_batch_matches_solo_sessions_under_tight_budget() {
+        let (m, path) = saved(4, 43, "batch");
+        let probe = OffloadStore::open(&path, OffloadConfig::default()).expect("probe");
+        let budget = probe.panel_bytes() * 2;
+        drop(probe);
+        let cfg = OffloadConfig { resident_budget_bytes: budget, ..OffloadConfig::default() };
+        let store = OffloadStore::open(&path, cfg).expect("open");
+        assert!(store.file_bytes() > budget, "model bigger than the budget");
+        let mut eng = StreamedEngine::new(store, 3, 4096);
+        let prompts = [vec![1usize, 2, 3], vec![9, 8], vec![4, 5, 6, 7]];
+        let pm = PackedModel::pack(&m);
+        let mut streams: Vec<Vec<usize>> = prompts
+            .iter()
+            .enumerate()
+            .map(|(s, p)| vec![eng.prefill(s, p).expect("prefill")])
+            .collect();
+        for _ in 1..6 {
+            let mut out = Vec::new();
+            eng.decode_step(&[0, 1, 2], &mut out).expect("decode");
+            for (s, t) in out.into_iter().enumerate() {
+                streams[s].push(t);
+            }
+        }
+        for (s, p) in prompts.iter().enumerate() {
+            let want = pm.session(p.len()).generate(p, 6);
+            assert_eq!(streams[s], want, "slot {s}");
+        }
+        assert!(eng.store().stats().evictions > 0, "tight budget must evict");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn release_frees_the_slot_for_reuse() {
+        let (m, path) = saved(2, 47, "reuse");
+        let store = OffloadStore::open(&path, OffloadConfig::default()).expect("open");
+        let mut eng = StreamedEngine::new(store, 1, 64);
+        let pm = PackedModel::pack(&m);
+        let first = eng.prefill(0, &[5, 6]).expect("prefill");
+        eng.release(0);
+        assert_eq!(eng.kv_stats().unwrap().pages_in_use, 0);
+        let again = eng.prefill(0, &[5, 6]).expect("prefill again");
+        assert_eq!(first, again);
+        assert_eq!(again, pm.session(2).generate(&[5, 6], 1)[0]);
+        let _ = std::fs::remove_file(path);
+    }
+}

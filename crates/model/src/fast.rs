@@ -27,7 +27,7 @@
 //! token-for-token against [`GptModel::generate`] in the property suite.
 
 use crate::config::GptConfig;
-use crate::reference::{GptModel, KvCache, LayerWeights};
+use crate::reference::{GptModel, KvCache, LayerKv, LayerWeights};
 use dsi_kernels::blocked::{self, PackedB, PanelWeights};
 use dsi_kernels::fused;
 use dsi_kernels::quant::QuantizedPackedB;
@@ -232,69 +232,15 @@ impl<'m, B: PanelWeights> PackedModel<'m, B> {
     /// prompt phase.
     pub fn forward_seq(&self, s: &mut Scratch, cache: &mut KvCache, ids: &[usize]) {
         let c = self.config();
-        let (h, heads) = (c.hidden, c.heads);
         let m = ids.len();
         let offset = cache.context_len();
         assert!(offset + m <= c.max_seq, "sequence exceeds max_seq");
         s.ensure(c, m);
-        let model = self.model;
-
-        // Embedding: token row + position row, fused into one write.
-        for (i, &id) in ids.iter().enumerate() {
-            assert!(id < c.vocab, "token id {id} out of vocab");
-            let te = model.wte.row(id);
-            let pe = model.wpe.row(offset + i);
-            for (x, (&t, &p)) in s.x[i * h..(i + 1) * h].iter_mut().zip(te.iter().zip(pe)) {
-                *x = t + p;
-            }
-        }
-
+        embed_seq_into(c, &self.model.wte, &self.model.wpe, ids, offset, s);
         for (l, pl) in self.layers.iter().enumerate() {
-            let kv = &mut cache.layers[l];
-            // Region 1: layer-norm rows → one M-row QKV GEMM → bias.
-            fused::ln_matmul_bias_into(
-                &s.x[..m * h], m, &pl.ln1_g, &pl.ln1_b, 1e-5,
-                &pl.w_qkv, &pl.b_qkv, &mut s.normed[..m * h], &mut s.qkv[..m * 3 * h],
-            );
-            // KV append in place (amortized; no reallocation at steady state).
-            for i in 0..m {
-                let row = &s.qkv[i * 3 * h..(i + 1) * 3 * h];
-                kv.append_row_slices(&row[h..2 * h], &row[2 * h..3 * h]);
-            }
-            // Region 2: streaming-softmax attention over the cache, queries
-            // read in place from the QKV block (stride 3h) — no gather.
-            fused::attention_seq_into(
-                &s.qkv[..m * 3 * h], 3 * h, m, &kv.k, &kv.v, heads, offset,
-                &mut s.attn[..m * h],
-            );
-            // Region 3: output projection GEMM + bias + residual.
-            blocked::matmul_bias_add_into(
-                &s.attn[..m * h], m, &pl.w_o, &pl.b_o, &s.x[..m * h], &mut s.y[..m * h],
-            );
-            std::mem::swap(&mut s.x, &mut s.y);
-            // Region 4: layer-norm → FF1 GEMM → bias → GeLU.
-            fused::ln_matmul_bias_gelu_into(
-                &s.x[..m * h], m, &pl.ln2_g, &pl.ln2_b, 1e-5,
-                &pl.w_ff1, &pl.b_ff1, &mut s.normed[..m * h], &mut s.ff[..m * 4 * h],
-            );
-            // Region 5: FF2 GEMM + bias + residual.
-            blocked::matmul_bias_add_into(
-                &s.ff[..m * 4 * h], m, &pl.w_ff2, &pl.b_ff2, &s.x[..m * h],
-                &mut s.y[..m * h],
-            );
-            std::mem::swap(&mut s.x, &mut s.y);
+            layer_seq_step(c, s, pl, &mut cache.layers[l], m, offset);
         }
-
-        // Final layer-norm rows, then one M-row tied-embedding logits GEMM
-        // via the pre-packed `wteᵀ`.
-        for i in 0..m {
-            fused::layernorm_row_into(
-                &s.x[i * h..(i + 1) * h],
-                model.lnf_g.data(), model.lnf_b.data(), 1e-5,
-                &mut s.normed[i * h..(i + 1) * h],
-            );
-        }
-        blocked::matmul_into(&s.normed[..m * h], m, &self.wte_packed, &mut s.logits[..m * c.vocab]);
+        logits_into(c, s, m, self.model.lnf_g.data(), self.model.lnf_b.data(), &self.wte_packed);
     }
 
     /// Forward one token of **each of `rows.len()` independent sequences**
@@ -309,65 +255,169 @@ impl<'m, B: PanelWeights> PackedModel<'m, B> {
     /// alone through [`PackedModel::forward_seq`].
     pub fn forward_rows(&self, s: &mut Scratch, rows: &mut [StepRow<'_>]) {
         let c = self.config();
-        let (h, heads) = (c.hidden, c.heads);
         let m = rows.len();
         assert!(m > 0, "forward_rows: empty batch");
         s.ensure(c, m);
-        let model = self.model;
-
-        for (i, row) in rows.iter().enumerate() {
-            let pos = row.cache.context_len();
-            assert!(pos < c.max_seq, "sequence exceeds max_seq");
-            assert!(row.token < c.vocab, "token id {} out of vocab", row.token);
-            let te = model.wte.row(row.token);
-            let pe = model.wpe.row(pos);
-            for (x, (&t, &p)) in s.x[i * h..(i + 1) * h].iter_mut().zip(te.iter().zip(pe)) {
-                *x = t + p;
-            }
-        }
-
+        embed_rows_into(c, &self.model.wte, &self.model.wpe, rows, s);
         for (l, pl) in self.layers.iter().enumerate() {
-            fused::ln_matmul_bias_into(
-                &s.x[..m * h], m, &pl.ln1_g, &pl.ln1_b, 1e-5,
-                &pl.w_qkv, &pl.b_qkv, &mut s.normed[..m * h], &mut s.qkv[..m * 3 * h],
-            );
-            // Ragged region 2: each row appends to and attends over its own
-            // cache at its own position.
-            for (i, row) in rows.iter_mut().enumerate() {
-                let kv = &mut row.cache.layers[l];
-                let off = kv.len();
-                let qkv_row = &s.qkv[i * 3 * h..(i + 1) * 3 * h];
-                kv.append_row_slices(&qkv_row[h..2 * h], &qkv_row[2 * h..3 * h]);
-                fused::attention_row_into(
-                    &s.qkv[i * 3 * h..i * 3 * h + h],
-                    &kv.k, &kv.v, heads, off,
-                    &mut s.attn[i * h..(i + 1) * h],
-                );
-            }
-            blocked::matmul_bias_add_into(
-                &s.attn[..m * h], m, &pl.w_o, &pl.b_o, &s.x[..m * h], &mut s.y[..m * h],
-            );
-            std::mem::swap(&mut s.x, &mut s.y);
-            fused::ln_matmul_bias_gelu_into(
-                &s.x[..m * h], m, &pl.ln2_g, &pl.ln2_b, 1e-5,
-                &pl.w_ff1, &pl.b_ff1, &mut s.normed[..m * h], &mut s.ff[..m * 4 * h],
-            );
-            blocked::matmul_bias_add_into(
-                &s.ff[..m * 4 * h], m, &pl.w_ff2, &pl.b_ff2, &s.x[..m * h],
-                &mut s.y[..m * h],
-            );
-            std::mem::swap(&mut s.x, &mut s.y);
+            layer_rows_step(c, s, pl, rows, l);
         }
-
-        for i in 0..m {
-            fused::layernorm_row_into(
-                &s.x[i * h..(i + 1) * h],
-                model.lnf_g.data(), model.lnf_b.data(), 1e-5,
-                &mut s.normed[i * h..(i + 1) * h],
-            );
-        }
-        blocked::matmul_into(&s.normed[..m * h], m, &self.wte_packed, &mut s.logits[..m * c.vocab]);
+        logits_into(c, s, m, self.model.lnf_g.data(), self.model.lnf_b.data(), &self.wte_packed);
     }
+}
+
+// ---------------------------------------------------------------------------
+// The fused forward pass, one free function per stage.
+//
+// These are the single source of the Deep-Fusion kernel sequence: both the
+// fully-resident [`PackedModel`] engines and `dsi-zero`'s streamed engine
+// (which holds only a window of layer panels resident at a time) drive the
+// same functions, so "streamed decode is token-identical to the resident
+// oracle" holds by construction — the two paths cannot drift apart
+// numerically, only in where the `PackedLayer` came from.
+// ---------------------------------------------------------------------------
+
+/// Embedding stage for `ids` as consecutive positions (starting at
+/// `offset`) of one sequence: token row + position row fused into one write
+/// of `s.x`. Caller has run `s.ensure(c, ids.len())`.
+pub fn embed_seq_into(c: &GptConfig, wte: &Tensor, wpe: &Tensor, ids: &[usize], offset: usize, s: &mut Scratch) {
+    let h = c.hidden;
+    for (i, &id) in ids.iter().enumerate() {
+        assert!(id < c.vocab, "token id {id} out of vocab");
+        let te = wte.row(id);
+        let pe = wpe.row(offset + i);
+        for (x, (&t, &p)) in s.x[i * h..(i + 1) * h].iter_mut().zip(te.iter().zip(pe)) {
+            *x = t + p;
+        }
+    }
+}
+
+/// Embedding stage for one token of each of `rows.len()` independent
+/// sequences, each at its own cache position. Caller has run
+/// `s.ensure(c, rows.len())`.
+pub fn embed_rows_into(c: &GptConfig, wte: &Tensor, wpe: &Tensor, rows: &[StepRow<'_>], s: &mut Scratch) {
+    let h = c.hidden;
+    for (i, row) in rows.iter().enumerate() {
+        let pos = row.cache.context_len();
+        assert!(pos < c.max_seq, "sequence exceeds max_seq");
+        assert!(row.token < c.vocab, "token id {} out of vocab", row.token);
+        let te = wte.row(row.token);
+        let pe = wpe.row(pos);
+        for (x, (&t, &p)) in s.x[i * h..(i + 1) * h].iter_mut().zip(te.iter().zip(pe)) {
+            *x = t + p;
+        }
+    }
+}
+
+/// One transformer layer over `m` consecutive rows of a single sequence
+/// whose prior context length is `offset` (the `forward_seq` layer body):
+/// fused regions 1–5, KV appended in place to `kv`.
+pub fn layer_seq_step<B: PanelWeights>(
+    c: &GptConfig,
+    s: &mut Scratch,
+    pl: &PackedLayer<B>,
+    kv: &mut LayerKv,
+    m: usize,
+    offset: usize,
+) {
+    let (h, heads) = (c.hidden, c.heads);
+    // Region 1: layer-norm rows → one M-row QKV GEMM → bias.
+    fused::ln_matmul_bias_into(
+        &s.x[..m * h], m, &pl.ln1_g, &pl.ln1_b, 1e-5,
+        &pl.w_qkv, &pl.b_qkv, &mut s.normed[..m * h], &mut s.qkv[..m * 3 * h],
+    );
+    // KV append in place (amortized; no reallocation at steady state).
+    for i in 0..m {
+        let row = &s.qkv[i * 3 * h..(i + 1) * 3 * h];
+        kv.append_row_slices(&row[h..2 * h], &row[2 * h..3 * h]);
+    }
+    // Region 2: streaming-softmax attention over the cache, queries read in
+    // place from the QKV block (stride 3h) — no gather.
+    fused::attention_seq_into(
+        &s.qkv[..m * 3 * h], 3 * h, m, &kv.k, &kv.v, heads, offset,
+        &mut s.attn[..m * h],
+    );
+    // Region 3: output projection GEMM + bias + residual.
+    blocked::matmul_bias_add_into(
+        &s.attn[..m * h], m, &pl.w_o, &pl.b_o, &s.x[..m * h], &mut s.y[..m * h],
+    );
+    std::mem::swap(&mut s.x, &mut s.y);
+    // Region 4: layer-norm → FF1 GEMM → bias → GeLU.
+    fused::ln_matmul_bias_gelu_into(
+        &s.x[..m * h], m, &pl.ln2_g, &pl.ln2_b, 1e-5,
+        &pl.w_ff1, &pl.b_ff1, &mut s.normed[..m * h], &mut s.ff[..m * 4 * h],
+    );
+    // Region 5: FF2 GEMM + bias + residual.
+    blocked::matmul_bias_add_into(
+        &s.ff[..m * 4 * h], m, &pl.w_ff2, &pl.b_ff2, &s.x[..m * h],
+        &mut s.y[..m * h],
+    );
+    std::mem::swap(&mut s.x, &mut s.y);
+}
+
+/// One transformer layer (`layer`) over a ragged batch: dense M-row GEMMs
+/// for regions 1/3/4/5, per-row KV append + online-softmax attention over
+/// each row's own cache (the `forward_rows` layer body).
+pub fn layer_rows_step<B: PanelWeights>(
+    c: &GptConfig,
+    s: &mut Scratch,
+    pl: &PackedLayer<B>,
+    rows: &mut [StepRow<'_>],
+    layer: usize,
+) {
+    let (h, heads) = (c.hidden, c.heads);
+    let m = rows.len();
+    fused::ln_matmul_bias_into(
+        &s.x[..m * h], m, &pl.ln1_g, &pl.ln1_b, 1e-5,
+        &pl.w_qkv, &pl.b_qkv, &mut s.normed[..m * h], &mut s.qkv[..m * 3 * h],
+    );
+    // Ragged region 2: each row appends to and attends over its own cache
+    // at its own position.
+    for (i, row) in rows.iter_mut().enumerate() {
+        let kv = &mut row.cache.layers[layer];
+        let off = kv.len();
+        let qkv_row = &s.qkv[i * 3 * h..(i + 1) * 3 * h];
+        kv.append_row_slices(&qkv_row[h..2 * h], &qkv_row[2 * h..3 * h]);
+        fused::attention_row_into(
+            &s.qkv[i * 3 * h..i * 3 * h + h],
+            &kv.k, &kv.v, heads, off,
+            &mut s.attn[i * h..(i + 1) * h],
+        );
+    }
+    blocked::matmul_bias_add_into(
+        &s.attn[..m * h], m, &pl.w_o, &pl.b_o, &s.x[..m * h], &mut s.y[..m * h],
+    );
+    std::mem::swap(&mut s.x, &mut s.y);
+    fused::ln_matmul_bias_gelu_into(
+        &s.x[..m * h], m, &pl.ln2_g, &pl.ln2_b, 1e-5,
+        &pl.w_ff1, &pl.b_ff1, &mut s.normed[..m * h], &mut s.ff[..m * 4 * h],
+    );
+    blocked::matmul_bias_add_into(
+        &s.ff[..m * 4 * h], m, &pl.w_ff2, &pl.b_ff2, &s.x[..m * h],
+        &mut s.y[..m * h],
+    );
+    std::mem::swap(&mut s.x, &mut s.y);
+}
+
+/// Final stage: layer-norm each of the `m` rows, then one M-row
+/// tied-embedding logits GEMM via the pre-packed `wteᵀ` into `s.logits`.
+pub fn logits_into<B: PanelWeights>(
+    c: &GptConfig,
+    s: &mut Scratch,
+    m: usize,
+    lnf_g: &[f32],
+    lnf_b: &[f32],
+    wte_packed: &B,
+) {
+    let h = c.hidden;
+    for i in 0..m {
+        fused::layernorm_row_into(
+            &s.x[i * h..(i + 1) * h],
+            lnf_g, lnf_b, 1e-5,
+            &mut s.normed[i * h..(i + 1) * h],
+        );
+    }
+    blocked::matmul_into(&s.normed[..m * h], m, wte_packed, &mut s.logits[..m * c.vocab]);
 }
 
 /// One sequence's contribution to a batched decode step: the token to feed

@@ -2,10 +2,25 @@
 //! functional models (weights are the unit ZeRO-Inference pins to NVMe —
 //! a serving system needs them on disk).
 //!
-//! Format: magic `DSI1`, then the config as a JSON-free binary header, then
-//! each tensor as `(rank, dims..., f32 data)` little-endian. All failure
-//! paths are typed ([`IoError`]); loading validates magic, version, and
-//! structural consistency.
+//! Format v2: magic `DSI1`, version, the config as a JSON-free binary
+//! header, then a **panel directory** — one `(byte length, CRC32)` entry
+//! per panel — followed by the panel payloads back to back. Panel 0 is the
+//! *resident group* (embeddings + final layer-norm: the tensors every
+//! token touches at both ends of the stack); panel `1 + l` is layer `l`'s
+//! twelve tensors. Each tensor is `(rank, dims..., f32 data)`
+//! little-endian.
+//!
+//! The directory serves two consumers:
+//! * [`from_bytes`] — whole-model load, which now verifies every panel
+//!   checksum before parsing (v1 accepted silent bit-rot in tensor data;
+//!   truncation was caught structurally but a flipped mantissa bit read
+//!   back as a valid, wrong model);
+//! * `dsi-zero`'s `OffloadStore` — random access: seek to one layer's
+//!   panel, read it, verify its checksum, without touching the rest of a
+//!   file that may be much larger than memory.
+//!
+//! All failure paths are typed ([`IoError`]); loading validates magic,
+//! version, structural consistency, and per-panel integrity.
 
 use crate::config::GptConfig;
 use crate::reference::{GptModel, LayerWeights};
@@ -15,7 +30,7 @@ use std::fs;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"DSI1";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 /// Checkpoint errors.
 #[derive(Debug)]
@@ -27,6 +42,9 @@ pub enum IoError {
     BadVersion(u16),
     /// Structurally inconsistent payload.
     Corrupt(&'static str),
+    /// A panel's stored CRC32 does not match its payload — bit-rot, a torn
+    /// write, or an unfaithful tier read.
+    ChecksumMismatch { panel: usize },
 }
 
 impl std::fmt::Display for IoError {
@@ -36,6 +54,9 @@ impl std::fmt::Display for IoError {
             IoError::BadMagic => write!(f, "not a DSI checkpoint"),
             IoError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             IoError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            IoError::ChecksumMismatch { panel } => {
+                write!(f, "corrupt checkpoint: panel {panel} checksum mismatch")
+            }
         }
     }
 }
@@ -47,6 +68,42 @@ impl From<std::io::Error> for IoError {
         IoError::Io(e)
     }
 }
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3 polynomial, table-driven).
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `bytes` — the per-panel integrity check. Public so tier
+/// readers (the offload store) can verify panels they read directly.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Tensor / string primitives.
+// ---------------------------------------------------------------------------
 
 fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
     out.put_u8(t.shape().len() as u8);
@@ -108,33 +165,58 @@ fn get_string(buf: &mut &[u8]) -> Result<String, IoError> {
     Ok(s)
 }
 
-/// Serialize a model to bytes.
-pub fn to_bytes(model: &GptModel) -> Vec<u8> {
-    let c = &model.config;
-    let mut out = Vec::new();
-    out.put_slice(MAGIC);
-    out.put_u16_le(VERSION);
-    put_string(&mut out, &c.name);
-    for v in [c.hidden, c.layers, c.heads, c.vocab, c.max_seq] {
-        out.put_u64_le(v as u64);
-    }
-    put_tensor(&mut out, &model.wte);
-    put_tensor(&mut out, &model.wpe);
-    put_tensor(&mut out, &model.lnf_g);
-    put_tensor(&mut out, &model.lnf_b);
-    for lw in &model.layers {
-        for t in [
-            &lw.ln1_g, &lw.ln1_b, &lw.w_qkv, &lw.b_qkv, &lw.w_o, &lw.b_o, &lw.ln2_g, &lw.ln2_b,
-            &lw.w_ff1, &lw.b_ff1, &lw.w_ff2, &lw.b_ff2,
-        ] {
-            put_tensor(&mut out, t);
-        }
-    }
-    out
+// ---------------------------------------------------------------------------
+// Panel directory.
+// ---------------------------------------------------------------------------
+
+/// One panel's location in the weight file: `[offset, offset + len)` holds
+/// the payload whose IEEE CRC32 is `crc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PanelEntry {
+    /// Absolute byte offset of the payload from the start of the file.
+    pub offset: usize,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// CRC32 of the payload.
+    pub crc: u32,
 }
 
-/// Deserialize a model from bytes.
-pub fn from_bytes(mut buf: &[u8]) -> Result<GptModel, IoError> {
+/// The parsed header of a v2 weight file: the model config plus one
+/// [`PanelEntry`] per panel. `panels[0]` is the resident group (wte, wpe,
+/// final layer-norm); `panels[1 + l]` is layer `l`. Parsing the directory
+/// touches only the header bytes, so an offload store over a memory-mapped
+/// file learns every panel's location without faulting in the payloads.
+#[derive(Debug, Clone)]
+pub struct PanelDirectory {
+    pub config: GptConfig,
+    pub panels: Vec<PanelEntry>,
+}
+
+impl PanelDirectory {
+    /// The layer count implied by the directory (`panels.len() - 1`).
+    pub fn layers(&self) -> usize {
+        self.panels.len() - 1
+    }
+
+    /// Directory entry for layer `l` (panel `1 + l`).
+    pub fn layer_panel(&self, l: usize) -> &PanelEntry {
+        &self.panels[1 + l]
+    }
+
+    /// Total payload bytes across all layer panels — the file-side size of
+    /// everything an offload store streams (excludes the resident group).
+    pub fn layer_payload_bytes(&self) -> usize {
+        self.panels[1..].iter().map(|p| p.len).sum()
+    }
+}
+
+/// Parse magic, version, config, and the panel directory of a v2 weight
+/// file, validating that every directory entry lies inside `bytes` and
+/// that the payloads exactly tile the remainder of the file. Does not
+/// verify checksums (that is per-panel work — [`from_bytes`] does it for
+/// whole-model loads, tier readers do it per read).
+pub fn read_directory(mut buf: &[u8]) -> Result<PanelDirectory, IoError> {
+    let total = buf.len();
     if buf.remaining() < 6 {
         return Err(IoError::BadMagic);
     }
@@ -159,64 +241,151 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<GptModel, IoError> {
     if layers == 0 || layers > 1024 || heads == 0 || !hidden.is_multiple_of(heads.max(1)) {
         return Err(IoError::Corrupt("implausible config"));
     }
-    let config = GptConfig {
-        name,
-        hidden,
-        layers,
-        heads,
-        vocab,
-        max_seq,
-    };
+    let config = GptConfig { name, hidden, layers, heads, vocab, max_seq };
+    if buf.remaining() < 4 {
+        return Err(IoError::Corrupt("truncated panel directory"));
+    }
+    let panel_count = buf.get_u32_le() as usize;
+    if panel_count != layers + 1 {
+        return Err(IoError::Corrupt("panel count does not match layer count"));
+    }
+    if buf.remaining() < panel_count * 12 {
+        return Err(IoError::Corrupt("truncated panel directory"));
+    }
+    let mut panels = Vec::with_capacity(panel_count);
+    let mut lens = Vec::with_capacity(panel_count);
+    for _ in 0..panel_count {
+        let len = buf.get_u64_le() as usize;
+        let crc = buf.get_u32_le();
+        if len == 0 || len > 1 << 40 {
+            return Err(IoError::Corrupt("implausible panel length"));
+        }
+        lens.push((len, crc));
+    }
+    // Payloads are laid out back to back after the directory; offsets are
+    // implied by the running sum. The final offset must land exactly on
+    // the end of the file: short files are truncation, long files are
+    // trailing garbage — both typed.
+    let mut offset = total - buf.remaining();
+    for (len, crc) in lens {
+        if offset.checked_add(len).is_none_or(|end| end > total) {
+            return Err(IoError::Corrupt("truncated panel payload"));
+        }
+        panels.push(PanelEntry { offset, len, crc });
+        offset += len;
+    }
+    if offset != total {
+        return Err(IoError::Corrupt("trailing bytes"));
+    }
+    Ok(PanelDirectory { config, panels })
+}
+
+/// Parse panel 0 (the resident group): `(wte, wpe, lnf_g, lnf_b)`, with
+/// shape validation against `config`. `buf` is exactly the panel payload.
+pub fn parse_resident_panel(
+    mut buf: &[u8],
+    c: &GptConfig,
+) -> Result<(Tensor, Tensor, Tensor, Tensor), IoError> {
     let wte = get_tensor(&mut buf)?;
     let wpe = get_tensor(&mut buf)?;
     let lnf_g = get_tensor(&mut buf)?;
     let lnf_b = get_tensor(&mut buf)?;
-    if wte.shape() != [vocab, hidden] || wpe.shape() != [max_seq, hidden] {
+    if wte.shape() != [c.vocab, c.hidden] || wpe.shape() != [c.max_seq, c.hidden] {
         return Err(IoError::Corrupt("embedding shape mismatch"));
     }
-    let mut lws = Vec::with_capacity(layers);
-    for _ in 0..layers {
-        let ln1_g = get_tensor(&mut buf)?;
-        let ln1_b = get_tensor(&mut buf)?;
-        let w_qkv = get_tensor(&mut buf)?;
-        let b_qkv = get_tensor(&mut buf)?;
-        let w_o = get_tensor(&mut buf)?;
-        let b_o = get_tensor(&mut buf)?;
-        let ln2_g = get_tensor(&mut buf)?;
-        let ln2_b = get_tensor(&mut buf)?;
-        let w_ff1 = get_tensor(&mut buf)?;
-        let b_ff1 = get_tensor(&mut buf)?;
-        let w_ff2 = get_tensor(&mut buf)?;
-        let b_ff2 = get_tensor(&mut buf)?;
-        if w_qkv.shape() != [hidden, 3 * hidden] || w_ff2.shape() != [4 * hidden, hidden] {
-            return Err(IoError::Corrupt("layer shape mismatch"));
-        }
-        lws.push(LayerWeights {
-            ln1_g,
-            ln1_b,
-            w_qkv,
-            b_qkv,
-            w_o,
-            b_o,
-            ln2_g,
-            ln2_b,
-            w_ff1,
-            b_ff1,
-            w_ff2,
-            b_ff2,
-        });
+    if buf.has_remaining() {
+        return Err(IoError::Corrupt("trailing bytes in resident panel"));
+    }
+    Ok((wte, wpe, lnf_g, lnf_b))
+}
+
+/// Parse one layer panel into its twelve tensors, with shape validation
+/// against `config`. `buf` is exactly the panel payload.
+pub fn parse_layer_panel(mut buf: &[u8], c: &GptConfig) -> Result<LayerWeights, IoError> {
+    let ln1_g = get_tensor(&mut buf)?;
+    let ln1_b = get_tensor(&mut buf)?;
+    let w_qkv = get_tensor(&mut buf)?;
+    let b_qkv = get_tensor(&mut buf)?;
+    let w_o = get_tensor(&mut buf)?;
+    let b_o = get_tensor(&mut buf)?;
+    let ln2_g = get_tensor(&mut buf)?;
+    let ln2_b = get_tensor(&mut buf)?;
+    let w_ff1 = get_tensor(&mut buf)?;
+    let b_ff1 = get_tensor(&mut buf)?;
+    let w_ff2 = get_tensor(&mut buf)?;
+    let b_ff2 = get_tensor(&mut buf)?;
+    if w_qkv.shape() != [c.hidden, 3 * c.hidden] || w_ff2.shape() != [4 * c.hidden, c.hidden] {
+        return Err(IoError::Corrupt("layer shape mismatch"));
     }
     if buf.has_remaining() {
-        return Err(IoError::Corrupt("trailing bytes"));
+        return Err(IoError::Corrupt("trailing bytes in layer panel"));
     }
-    Ok(GptModel {
-        config,
-        wte,
-        wpe,
-        layers: lws,
-        lnf_g,
-        lnf_b,
+    Ok(LayerWeights {
+        ln1_g, ln1_b, w_qkv, b_qkv, w_o, b_o, ln2_g, ln2_b, w_ff1, b_ff1, w_ff2, b_ff2,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Whole-model serialize / deserialize.
+// ---------------------------------------------------------------------------
+
+/// Serialize a model to bytes (format v2: header, panel directory, panels).
+pub fn to_bytes(model: &GptModel) -> Vec<u8> {
+    let c = &model.config;
+    // Build panel payloads first so the directory can record their
+    // lengths and checksums.
+    let mut resident = Vec::new();
+    put_tensor(&mut resident, &model.wte);
+    put_tensor(&mut resident, &model.wpe);
+    put_tensor(&mut resident, &model.lnf_g);
+    put_tensor(&mut resident, &model.lnf_b);
+    let mut panels: Vec<Vec<u8>> = vec![resident];
+    for lw in &model.layers {
+        let mut p = Vec::new();
+        for t in [
+            &lw.ln1_g, &lw.ln1_b, &lw.w_qkv, &lw.b_qkv, &lw.w_o, &lw.b_o, &lw.ln2_g, &lw.ln2_b,
+            &lw.w_ff1, &lw.b_ff1, &lw.w_ff2, &lw.b_ff2,
+        ] {
+            put_tensor(&mut p, t);
+        }
+        panels.push(p);
+    }
+
+    let mut out = Vec::new();
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION);
+    put_string(&mut out, &c.name);
+    for v in [c.hidden, c.layers, c.heads, c.vocab, c.max_seq] {
+        out.put_u64_le(v as u64);
+    }
+    out.put_u32_le(panels.len() as u32);
+    for p in &panels {
+        out.put_u64_le(p.len() as u64);
+        out.put_u32_le(crc32(p));
+    }
+    for p in &panels {
+        out.put_slice(p);
+    }
+    out
+}
+
+/// Deserialize a model from bytes, verifying every panel checksum.
+pub fn from_bytes(buf: &[u8]) -> Result<GptModel, IoError> {
+    let dir = read_directory(buf)?;
+    let c = dir.config.clone();
+    for (i, p) in dir.panels.iter().enumerate() {
+        if crc32(&buf[p.offset..p.offset + p.len]) != p.crc {
+            return Err(IoError::ChecksumMismatch { panel: i });
+        }
+    }
+    let p0 = &dir.panels[0];
+    let (wte, wpe, lnf_g, lnf_b) = parse_resident_panel(&buf[p0.offset..p0.offset + p0.len], &c)?;
+    let mut lws = Vec::with_capacity(c.layers);
+    for l in 0..c.layers {
+        let p = dir.layer_panel(l);
+        lws.push(parse_layer_panel(&buf[p.offset..p.offset + p.len], &c)?);
+    }
+    Ok(GptModel { config: c, wte, wpe, layers: lws, lnf_g, lnf_b })
 }
 
 /// Save to a file.
@@ -294,6 +463,64 @@ mod tests {
         let mut bytes = to_bytes(&model());
         bytes.extend_from_slice(&[0u8; 8]);
         assert!(matches!(from_bytes(&bytes), Err(IoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_a_checksum_mismatch() {
+        // The v1 gap this format closes: bit-rot inside tensor data parsed
+        // fine and loaded a silently wrong model. Now every panel is
+        // checksummed, so a single flipped bit anywhere in any payload is a
+        // typed rejection naming the panel.
+        let m = model();
+        let clean = to_bytes(&m);
+        let dir = read_directory(&clean).expect("directory");
+        for (i, p) in dir.panels.iter().enumerate() {
+            let mut bytes = clean.clone();
+            bytes[p.offset + p.len / 2] ^= 0x10;
+            match from_bytes(&bytes) {
+                Err(IoError::ChecksumMismatch { panel }) => assert_eq!(panel, i),
+                other => panic!("panel {i}: expected checksum mismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_directory_entry_rejected_typed() {
+        let m = model();
+        let bytes = to_bytes(&m);
+        let dir = read_directory(&bytes).expect("directory");
+        // Inflate panel 0's recorded length: the payloads no longer tile
+        // the file, which must read as truncation, not a panic.
+        let len_field = dir.panels[0].offset - dir.panels.len() * 12;
+        let mut bad = bytes.clone();
+        bad[len_field] = 0xff;
+        assert!(from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn directory_names_every_layer_panel() {
+        let m = model();
+        let bytes = to_bytes(&m);
+        let dir = read_directory(&bytes).expect("directory");
+        assert_eq!(dir.layers(), m.config.layers);
+        assert_eq!(dir.panels.len(), m.config.layers + 1);
+        // Every layer panel parses standalone through the random-access
+        // path the offload store uses.
+        for l in 0..dir.layers() {
+            let p = dir.layer_panel(l);
+            let payload = &bytes[p.offset..p.offset + p.len];
+            assert_eq!(crc32(payload), p.crc);
+            let lw = parse_layer_panel(payload, &dir.config).expect("layer panel");
+            assert!(lw.w_qkv.allclose(&m.layers[l].w_qkv, 0.0));
+        }
+        assert!(dir.layer_payload_bytes() > 0);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

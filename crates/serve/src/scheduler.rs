@@ -341,6 +341,25 @@ impl Tracer {
     }
 }
 
+/// The streamed-mode worker: the same scheduler as continuous mode over a
+/// [`StreamedEngine`] built by `Server::start_streamed` (weights paged in
+/// from the offload tier instead of resident in a `PackedModel`).
+/// Engine-fault injection wraps the streamed engine exactly like the paged
+/// one, so the chaos harness composes I/O faults (inside the store) with
+/// engine faults (at this seam).
+pub(crate) fn streamed_worker_loop(
+    shared: Arc<Shared>,
+    eng: dsi_core::StreamedEngine,
+    cont: ContinuousConfig,
+    eos: Option<usize>,
+    faults: Option<Arc<EngineFaultInjector>>,
+) {
+    match faults {
+        Some(inj) => run_scheduler(shared, FaultyEngine::new(eng, inj), cont, eos),
+        None => run_scheduler(shared, eng, cont, eos),
+    }
+}
+
 pub(crate) fn continuous_worker_loop(
     shared: Arc<Shared>,
     model: Arc<GptModel>,

@@ -54,6 +54,7 @@
 //! audit in `dsi-verify::locks` encodes this as a regression gate.
 
 use std::collections::VecDeque;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -70,11 +71,12 @@ use dsi_sim::hw::DType;
 use dsi_sim::shmem::CommConfig;
 use serde::Serialize;
 
-use dsi_core::FaultClass;
+use dsi_core::{FaultClass, StreamedEngine};
 use dsi_sim::fault::EngineFaultInjector;
+use dsi_zero::offload::{OffloadConfig, OffloadError, OffloadStore};
 
 use crate::breaker::{BreakerConfig, BreakerSet, SetAdmission};
-use crate::scheduler::{continuous_worker_loop, SchedReport};
+use crate::scheduler::{continuous_worker_loop, streamed_worker_loop, SchedReport};
 
 /// Convert a KV byte budget into admission tokens for
 /// [`ServeConfig::kv_budget_tokens`], using the same per-token accounting
@@ -98,6 +100,18 @@ pub enum EngineMode {
     /// KV admission charges **prompt pages only**; decode growth reserves
     /// page-by-page per step ([`EvictReason::PagesExhausted`] on failure).
     Continuous(ContinuousConfig),
+    /// Continuous batching over `dsi_core::StreamedEngine` — weights
+    /// streamed from an offload tier under a resident budget, so the
+    /// served model's weight file may exceed memory. Same scheduler and
+    /// admission as [`EngineMode::Continuous`], but KV is metered at
+    /// **token granularity**: configure `page_tokens = 1` and
+    /// `pages_total` = the KV token budget (asserted by
+    /// [`Server::start_streamed`]). Single-flight discipline is
+    /// `max_slots = 1`. Start with [`Server::start_streamed`], not
+    /// [`Server::start`] (the engine is built from a weight *file*, and a
+    /// failed open must surface as a typed error before any thread
+    /// spawns).
+    Streamed(ContinuousConfig),
 }
 
 /// Sizing of the continuous engine (see [`EngineMode::Continuous`]).
@@ -435,6 +449,43 @@ pub(crate) struct Shared {
     pub(crate) clock: Clock,
 }
 
+/// Fresh shared state for a server, mode-independent (used by both
+/// [`Server::start`] and [`Server::start_streamed`]).
+fn new_shared(cfg: &ServeConfig) -> Arc<Shared> {
+    Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            inflight_tokens: 0,
+            pool_pages: 0,
+            running: Vec::new(),
+            draining: false,
+            worker_done: false,
+            breaker: BreakerSet::new(cfg.breaker.clone(), &cfg.breaker_class_overrides),
+            counters: Counters::default(),
+            latencies_s: Vec::new(),
+            ft_report: None,
+            sched_report: None,
+            next_id: 0,
+        }),
+        work: Condvar::new(),
+        idle: Condvar::new(),
+        progress_ns: AtomicU64::new(0),
+        clock: cfg.clock.clone(),
+    })
+}
+
+/// Spawn the progress watchdog, if configured.
+fn spawn_watchdog(cfg: &ServeConfig, shared: &Arc<Shared>) -> Option<JoinHandle<()>> {
+    cfg.progress_timeout.map(|timeout| {
+        let shared = Arc::clone(shared);
+        let poll = cfg.watchdog_poll;
+        std::thread::Builder::new()
+            .name("dsi-serve-watchdog".into())
+            .spawn(move || watchdog_loop(shared, timeout, poll))
+            .expect("spawn serve watchdog")
+    })
+}
+
 /// The serving runtime. Owns a worker thread (which owns the engine) and an
 /// optional watchdog thread; see the module docs for the full contract.
 pub struct Server {
@@ -449,26 +500,7 @@ impl Server {
     /// Spawn the runtime over `model`. The engine group itself is built
     /// lazily on the first request (inside `FtSession`).
     pub fn start(model: Arc<GptModel>, cfg: ServeConfig) -> Server {
-        let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queue: VecDeque::new(),
-                inflight_tokens: 0,
-                pool_pages: 0,
-                running: Vec::new(),
-                draining: false,
-                worker_done: false,
-                breaker: BreakerSet::new(cfg.breaker.clone(), &cfg.breaker_class_overrides),
-                counters: Counters::default(),
-                latencies_s: Vec::new(),
-                ft_report: None,
-                sched_report: None,
-                next_id: 0,
-            }),
-            work: Condvar::new(),
-            idle: Condvar::new(),
-            progress_ns: AtomicU64::new(0),
-            clock: cfg.clock.clone(),
-        });
+        let shared = new_shared(&cfg);
         let start_ns = cfg.clock.now_ns();
 
         let worker = {
@@ -491,19 +523,52 @@ impl Server {
                         .spawn(move || continuous_worker_loop(shared, model, cont, eos, faults))
                         .expect("spawn serve scheduler")
                 }
+                EngineMode::Streamed(_) => {
+                    panic!("EngineMode::Streamed decodes from a weight file: use Server::start_streamed")
+                }
             }
         };
 
-        let watchdog = cfg.progress_timeout.map(|timeout| {
-            let shared = Arc::clone(&shared);
-            let poll = cfg.watchdog_poll;
-            std::thread::Builder::new()
-                .name("dsi-serve-watchdog".into())
-                .spawn(move || watchdog_loop(shared, timeout, poll))
-                .expect("spawn serve watchdog")
-        });
-
+        let watchdog = spawn_watchdog(&cfg, &shared);
         Server { shared, cfg, start_ns, worker: Some(worker), watchdog }
+    }
+
+    /// Spawn the runtime over a **weight file** served through the tiered
+    /// offload store: `cfg.mode` must be [`EngineMode::Streamed`]. The
+    /// store is opened on the caller's thread so a missing/corrupt/
+    /// unopenable file (or an injected open fault) surfaces as a typed
+    /// `Err` here, before any thread exists. The scheduler, admission,
+    /// breakers, watchdog, and drain behave exactly as in continuous mode;
+    /// `offload` controls the resident budget, prefetch depth, fetch
+    /// deadlines, and I/O fault injection.
+    pub fn start_streamed(
+        path: impl AsRef<Path>,
+        offload: OffloadConfig,
+        cfg: ServeConfig,
+    ) -> Result<Server, OffloadError> {
+        let cont = match cfg.mode {
+            EngineMode::Streamed(c) => c,
+            _ => panic!("Server::start_streamed requires EngineMode::Streamed"),
+        };
+        assert_eq!(
+            cont.page_tokens, 1,
+            "streamed mode meters KV per token: set page_tokens = 1 and pages_total = token budget"
+        );
+        let store = OffloadStore::open(path, offload)?;
+        let eng = StreamedEngine::new(store, cont.max_slots, cont.pages_total);
+        let shared = new_shared(&cfg);
+        let start_ns = cfg.clock.now_ns();
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let eos = cfg.eos;
+            let faults = cfg.engine_faults.clone();
+            std::thread::Builder::new()
+                .name("dsi-serve-streamer".into())
+                .spawn(move || streamed_worker_loop(shared, eng, cont, eos, faults))
+                .expect("spawn streamed scheduler")
+        };
+        let watchdog = spawn_watchdog(&cfg, &shared);
+        Ok(Server { shared, cfg, start_ns, worker: Some(worker), watchdog })
     }
 
     /// Admit or reject `req`. Admission is O(1) under one lock: breaker
@@ -545,7 +610,7 @@ impl Server {
                 let cost = req.prompt.len() + req.n_tokens;
                 (cost, st.inflight_tokens + cost > self.cfg.kv_budget_tokens)
             }
-            EngineMode::Continuous(c) => {
+            EngineMode::Continuous(c) | EngineMode::Streamed(c) => {
                 // Prompt + the first generated token, which prefill always
                 // materializes.
                 let cost = c.pages_for(req.prompt.len() + 1);

@@ -375,6 +375,142 @@ impl EngineFaultInjector {
     }
 }
 
+// ---------------------------------------------------------------------------
+// I/O-tier faults: the weight-offload path's injection surface.
+// ---------------------------------------------------------------------------
+
+/// What a scripted I/O fault does when it fires at a tier read or open.
+/// These model the failure classes of a weight tier (NVMe/DRAM-backed
+/// weight file): a read stalling on a saturated device, a read returning
+/// fewer bytes than asked, silent bit-rot in a panel payload (caught by the
+/// per-panel checksum), and the tier handle failing outright. Reusable by
+/// any tier reader — the offload store is the first consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum IoFaultKind {
+    /// Sleep `millis` before the read completes (it then succeeds late; a
+    /// prefetcher with a clock-measured fetch deadline detects it).
+    SlowRead { millis: u64 },
+    /// The read returns fewer bytes than requested. The reader must detect
+    /// the short count and re-read (bounded) rather than consume garbage.
+    ShortRead,
+    /// The read completes full-length but a bit has flipped in the panel
+    /// payload; only the checksum can tell. A bounded re-read recovers
+    /// (the fault is one-shot) — persistent corruption fails typed.
+    CorruptPanel,
+    /// The open (or the tier handle behind a read) fails outright. At an
+    /// [`IoFaultSite::Open`] this makes `open` return a typed error; at a
+    /// [`IoFaultSite::Read`] it models the handle dying under the reader —
+    /// a prefetch worker hitting it must die cleanly, not wedge.
+    FailOpen,
+}
+
+/// Where in a tier's I/O call stream a fault fires. Calls are indexed per
+/// site kind from 0 in the order the tier reader issues them; re-reads
+/// count as new calls, so a retry path can be re-faulted by a later spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum IoFaultSite {
+    /// The reader's `call`-th open (0-based).
+    Open { call: u64 },
+    /// The reader's `call`-th panel read (0-based).
+    Read { call: u64 },
+}
+
+/// One scripted I/O fault: `kind` fires at `site`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct IoFaultSpec {
+    pub site: IoFaultSite,
+    pub kind: IoFaultKind,
+}
+
+/// A deterministic I/O-fault script, the tier-reader analog of
+/// [`EngineFaultPlan`]. Compile with [`IoFaultPlan::injector`].
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct IoFaultPlan {
+    pub specs: Vec<IoFaultSpec>,
+}
+
+impl IoFaultPlan {
+    pub fn new(specs: Vec<IoFaultSpec>) -> Self {
+        IoFaultPlan { specs }
+    }
+
+    /// A seed-driven plan of `n` faults over the first `max_call` reads,
+    /// drawn from the same splitmix64 stream discipline as
+    /// [`EngineFaultPlan::random`]: one seed, one script. `stall_millis`
+    /// bounds injected read stalls. `FailOpen` is only drawn at read sites
+    /// here (a storm that kills the open would end the run before it
+    /// starts); script open-faults explicitly when testing the open path.
+    pub fn random(seed: u64, n: usize, max_call: u64, stall_millis: u64) -> Self {
+        assert!(max_call > 0 && stall_millis > 0);
+        let mut s = seed;
+        let mut next = move || -> u64 {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let specs = (0..n)
+            .map(|_| {
+                let kind = match next() % 4 {
+                    0 => IoFaultKind::SlowRead {
+                        millis: stall_millis / 2 + next() % (stall_millis / 2 + 1),
+                    },
+                    1 => IoFaultKind::ShortRead,
+                    2 => IoFaultKind::CorruptPanel,
+                    _ => IoFaultKind::FailOpen,
+                };
+                let site = IoFaultSite::Read { call: next() % max_call };
+                IoFaultSpec { site, kind }
+            })
+            .collect();
+        IoFaultPlan { specs }
+    }
+
+    /// Compile the plan into a fire-once injector.
+    pub fn injector(&self) -> IoFaultInjector {
+        IoFaultInjector {
+            specs: self.specs.iter().map(|&s| (s, AtomicBool::new(false))).collect(),
+        }
+    }
+}
+
+/// A compiled [`IoFaultPlan`]: each spec fires at most once, so a bounded
+/// re-read recovers from a one-shot corruption (and persistent corruption
+/// needs a script that targets the retry's call index too). Shared behind
+/// an `Arc` between the offload config and the tier reader; a `None`
+/// injector costs nothing.
+#[derive(Debug, Default)]
+pub struct IoFaultInjector {
+    specs: Vec<(IoFaultSpec, AtomicBool)>,
+}
+
+impl IoFaultInjector {
+    /// The scripted fault for the `call`-th open, if any (consumes it).
+    pub fn at_open(&self, call: u64) -> Option<IoFaultKind> {
+        self.take(|s| matches!(s.site, IoFaultSite::Open { call: c } if c == call))
+    }
+
+    /// The scripted fault for the `call`-th panel read, if any.
+    pub fn at_read(&self, call: u64) -> Option<IoFaultKind> {
+        self.take(|s| matches!(s.site, IoFaultSite::Read { call: c } if c == call))
+    }
+
+    /// Number of specs that have not fired yet.
+    pub fn pending(&self) -> usize {
+        self.specs.iter().filter(|(_, fired)| !fired.load(Ordering::Relaxed)).count()
+    }
+
+    fn take(&self, hit: impl Fn(&IoFaultSpec) -> bool) -> Option<IoFaultKind> {
+        for (spec, fired) in &self.specs {
+            if hit(spec) && !fired.swap(true, Ordering::Relaxed) {
+                return Some(spec.kind);
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -451,6 +587,41 @@ mod tests {
                 assert!((40..=80).contains(&millis), "stall {millis} out of band");
             }
         }
+    }
+
+    #[test]
+    fn io_plans_are_seed_deterministic() {
+        let a = IoFaultPlan::random(42, 8, 64, 40);
+        let b = IoFaultPlan::random(42, 8, 64, 40);
+        assert_eq!(a.specs, b.specs);
+        let c = IoFaultPlan::random(43, 8, 64, 40);
+        assert_ne!(a.specs, c.specs, "different seeds must give different scripts");
+        for s in &a.specs {
+            match s.site {
+                IoFaultSite::Read { call } => assert!(call < 64),
+                IoFaultSite::Open { .. } => panic!("random plans target reads only"),
+            }
+            if let IoFaultKind::SlowRead { millis } = s.kind {
+                assert!((20..=40).contains(&millis), "stall {millis} out of band");
+            }
+        }
+    }
+
+    #[test]
+    fn io_injector_fires_each_spec_once() {
+        let plan = IoFaultPlan::new(vec![
+            IoFaultSpec { site: IoFaultSite::Read { call: 3 }, kind: IoFaultKind::CorruptPanel },
+            IoFaultSpec { site: IoFaultSite::Open { call: 0 }, kind: IoFaultKind::FailOpen },
+        ]);
+        let inj = plan.injector();
+        assert_eq!(inj.at_read(0), None, "wrong call index must not fire");
+        assert_eq!(inj.at_read(0), None);
+        assert_eq!(inj.pending(), 2);
+        assert_eq!(inj.at_read(3), Some(IoFaultKind::CorruptPanel));
+        assert_eq!(inj.at_read(3), None, "specs are one-shot");
+        assert_eq!(inj.at_open(1), None, "open sites are indexed separately");
+        assert_eq!(inj.at_open(0), Some(IoFaultKind::FailOpen));
+        assert_eq!(inj.pending(), 0);
     }
 
     #[test]

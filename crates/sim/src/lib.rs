@@ -47,6 +47,7 @@ pub use clock::{CancelToken, Clock, ManualClock};
 pub use collectives::{allreduce_sum_slices, CollectiveCost, CommGroup};
 pub use fault::{CollectiveError, CollectiveErrorKind, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpec};
 pub use fault::{EngineFaultInjector, EngineFaultKind, EngineFaultPlan, EngineFaultSite, EngineFaultSpec};
+pub use fault::{IoFaultInjector, IoFaultKind, IoFaultPlan, IoFaultSite, IoFaultSpec};
 pub use shmem::{CommConfig, SenseBarrier, ShmComm, ShmPoisoner, ShmRank};
 pub use engine::{Resource, Schedule, Task, TaskGraph, TaskId};
 pub use hw::{ClusterSpec, GpuSpec, LinkSpec, NodeSpec};

@@ -276,6 +276,30 @@ pub fn verify_all() -> SweepReport {
         );
     }
 
+    // The streaming weight store's prefetch schedule (dsi-zero offload):
+    // the transcribed fetch/acquire/evict/release program must never use a
+    // panel before it is resident, evict a pinned panel, or exceed the
+    // resident budget, across layer counts × prefetch depths × budgets.
+    for layers in [2usize, 3, 5] {
+        for depth in [0usize, 1, 2] {
+            for capacity in [1usize, 2, 3] {
+                let prog = crate::runtime::prefetch_program(layers, depth, capacity);
+                report.collective_programs += 1;
+                report.diagnostics.extend(
+                    crate::runtime::check_prefetch_program(layers, capacity, &prog)
+                        .into_iter()
+                        .map(|mut x| {
+                            x.site = format!(
+                                "prefetch layers={layers} depth={depth} cap={capacity}: {}",
+                                x.site
+                            );
+                            x
+                        }),
+                );
+            }
+        }
+    }
+
     // --- Pass 3d: Table II expert-parallel all-to-all programs. ---
     for moe in zoo::table2() {
         let bytes = 2 * moe.base.hidden as u64;
@@ -524,6 +548,19 @@ pub fn negative_controls() -> Vec<Control> {
         });
     }
 
+    // Prefetch protocol: a decode loop that acquires a weight panel before
+    // its fetch completed would compute on absent weights — the streaming
+    // offload checker must flag the use-before-resident.
+    {
+        use crate::runtime::{check_prefetch_program, PrefetchOp};
+        let bad = vec![PrefetchOp::Acquire { panel: 0 }];
+        out.push(Control {
+            name: "prefetch acquires a panel before it is resident",
+            expect_code: "use-before-resident",
+            diagnostics: check_prefetch_program(1, 1, &bad),
+        });
+    }
+
     // Exit safety: a genuine deadlock among *survivors* (send/send cycle)
     // must still be reported even when an unrelated rank exits — the abort
     // semantics must not excuse real schedule bugs.
@@ -564,7 +601,7 @@ mod tests {
     #[test]
     fn every_negative_control_fires() {
         let controls = negative_controls();
-        assert_eq!(controls.len(), 16);
+        assert_eq!(controls.len(), 17);
         for c in &controls {
             assert!(c.fired(), "control `{}` produced {:?}", c.name, c.diagnostics);
         }

@@ -1,4 +1,8 @@
-//! The ZeRO-Inference streaming engine (Sec. VI).
+//! The ZeRO-Inference streaming engine **cost model** (Sec. VI) — the
+//! analytical baseline. The *executed* tier lives in [`crate::offload`]
+//! (fault-hardened mmap store) and `dsi_core::streamed` (the engine that
+//! serves from it); this module predicts bandwidth/overlap numbers that the
+//! executed path can be checked against.
 //!
 //! A prompt forward pass streams the model layer by layer: fetch layer `l`
 //! from its tier (NVMe/DRAM) while computing layer `l−1` (prefetching,

@@ -10,16 +10,28 @@
 //!   and what is the largest model each strategy (GPU-only, CPU-only,
 //!   ZeRO-Inference) can serve on a node — the 25×/10× model-scale claims of
 //!   Sec. VII-D1.
-//! * [`engine`] — the streaming engine: per-layer fetch tasks (bottlenecked
-//!   by NVMe or PCIe), prefetch `k` layers ahead (Sec. VI-B), multi-GPU
-//!   partitioned fetch with an intra-node all-gather, and the max-batch
-//!   solver that converts freed GPU memory into throughput. Schedules run on
-//!   the discrete-event engine so overlap is simulated, not assumed.
+//! * [`engine`] — the **analytical baseline**: per-layer fetch tasks
+//!   (bottlenecked by NVMe or PCIe), prefetch `k` layers ahead (Sec. VI-B),
+//!   multi-GPU partitioned fetch with an intra-node all-gather, and the
+//!   max-batch solver that converts freed GPU memory into throughput.
+//!   Schedules run on the discrete-event engine so overlap is simulated,
+//!   not assumed.
+//! * [`offload`] — the **executed** tiered weight store: a memory-mapped,
+//!   per-panel-checksummed v2 weight file served under a resident-byte
+//!   budget by a prefetch worker, with seeded I/O fault injection, bounded
+//!   re-reads, clock-measured fetch deadlines, and graceful degradation to
+//!   synchronous fetch when the prefetcher dies.
+//!
+//! `dsi_core::streamed::StreamedEngine` is the decode loop over the store
+//! (it lives in `dsi-core` because the `BatchEngine` trait does), and
+//! `dsi-serve` hosts it in both single-flight and continuous modes.
 
 pub mod engine;
+pub mod offload;
 pub mod store;
 pub mod tiers;
 
 pub use engine::{ZeroInference, ZeroReport};
+pub use offload::{OffloadConfig, OffloadError, OffloadStats, OffloadStore, ResidentGroup};
 pub use store::{streamed_forward, StreamingStore};
 pub use tiers::{cpu_only_feasible, gpu_only_feasible, place_weights, Tier};

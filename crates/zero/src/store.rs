@@ -8,6 +8,10 @@
 //! usage of the model to one or a few layers of weights"). Fetch counts and
 //! byte counters make the streaming behaviour observable; the forward pass
 //! through the store is verified identical to the in-memory reference.
+//!
+//! This is the in-memory teaching model. The production-shaped tier — a
+//! memory-mapped, checksummed weight file with a prefetch worker, eviction
+//! under a byte budget, and I/O fault tolerance — is [`crate::offload`].
 
 use dsi_model::reference::{layer_forward, GptModel, KvCache, LayerWeights};
 use dsi_kernels::ops;
